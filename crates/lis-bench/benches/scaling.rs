@@ -1,0 +1,52 @@
+//! E7 — "synthesizability guaranteed whatever the communication
+//! schedule is" (§3): wrapper generation + technology-mapping wall time
+//! vs schedule length. FSM synthesis cost grows super-linearly with
+//! schedule cycles; SP synthesis cost stays flat (only its ROM contents
+//! grow).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lis_core::{synthesize_wrapper, SpCompression};
+use lis_schedule::{random_schedule, RandomScheduleParams};
+use lis_synth::TechParams;
+use lis_wrappers::{FsmEncoding, WrapperKind};
+use std::hint::black_box;
+
+fn bench_scaling(c: &mut Criterion) {
+    let params = TechParams::default();
+    let mut group = c.benchmark_group("synthesis_vs_schedule_length");
+    group.sample_size(10);
+
+    for period in [64usize, 256, 1024, 4096] {
+        let schedule = random_schedule(
+            7,
+            RandomScheduleParams {
+                n_inputs: 2,
+                n_outputs: 2,
+                period,
+                sync_density: 0.3,
+                port_density: 0.5,
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("sp", period), &schedule, |b, s| {
+            b.iter(|| {
+                synthesize_wrapper(WrapperKind::Sp, black_box(s), SpCompression::Safe, &params)
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fsm", period), &schedule, |b, s| {
+            b.iter(|| {
+                synthesize_wrapper(
+                    WrapperKind::Fsm(FsmEncoding::OneHot),
+                    black_box(s),
+                    SpCompression::Safe,
+                    &params,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

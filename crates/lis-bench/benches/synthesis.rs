@@ -1,0 +1,42 @@
+//! Flow-kernel benches: schedule compression, netlist optimization and
+//! LUT mapping in isolation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lis_schedule::{compress, compress_bursty, random_schedule, RandomScheduleParams};
+use lis_synth::{map_luts, optimize};
+use lis_wrappers::{FsmEncoding, WrapperKind};
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let schedule = random_schedule(
+        13,
+        RandomScheduleParams {
+            n_inputs: 4,
+            n_outputs: 4,
+            period: 2048,
+            sync_density: 0.3,
+            port_density: 0.4,
+        },
+    );
+
+    c.bench_function("compress_2048", |b| {
+        b.iter(|| compress(black_box(&schedule)))
+    });
+    c.bench_function("compress_bursty_2048", |b| {
+        b.iter(|| compress_bursty(black_box(&schedule)))
+    });
+
+    let fsm = WrapperKind::Fsm(FsmEncoding::OneHot)
+        .generate_netlist(&schedule)
+        .unwrap();
+    c.bench_function("optimize_fsm_2048", |b| {
+        b.iter(|| optimize(black_box(&fsm)).unwrap())
+    });
+    let optimized = optimize(&fsm).unwrap();
+    c.bench_function("map_luts_fsm_2048", |b| {
+        b.iter(|| map_luts(black_box(&optimized)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

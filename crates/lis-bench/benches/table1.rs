@@ -1,0 +1,68 @@
+//! Criterion bench regenerating Table 1's two synthesis runs — the
+//! end-to-end flow cost of the paper's headline experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lis_core::{synthesize_wrapper, SpCompression};
+use lis_ip::{RsPearl, ViterbiPearl};
+use lis_proto::Pearl;
+use lis_synth::TechParams;
+use lis_wrappers::{FsmEncoding, WrapperKind};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let params = TechParams::default();
+    let viterbi = ViterbiPearl::new("v");
+    let rs = RsPearl::new("r");
+
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+
+    group.bench_function("viterbi_sp_burst", |b| {
+        b.iter(|| {
+            synthesize_wrapper(
+                WrapperKind::Sp,
+                black_box(viterbi.schedule()),
+                SpCompression::Burst,
+                &params,
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("viterbi_fsm_onehot", |b| {
+        b.iter(|| {
+            synthesize_wrapper(
+                WrapperKind::Fsm(FsmEncoding::OneHot),
+                black_box(viterbi.schedule()),
+                SpCompression::Safe,
+                &params,
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("rs_sp_safe", |b| {
+        b.iter(|| {
+            synthesize_wrapper(
+                WrapperKind::Sp,
+                black_box(rs.schedule()),
+                SpCompression::Safe,
+                &params,
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("rs_fsm_onehot", |b| {
+        b.iter(|| {
+            synthesize_wrapper(
+                WrapperKind::Fsm(FsmEncoding::OneHot),
+                black_box(rs.schedule()),
+                SpCompression::Safe,
+                &params,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

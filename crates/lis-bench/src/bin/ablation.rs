@@ -1,0 +1,17 @@
+//! E6: design ablations.
+//!
+//! 1. FSM state-encoding (one-hot vs binary) on the Viterbi schedule —
+//!    the baseline's area/fmax trade-off.
+//! 2. The shift-register wrapper (Casu & Macchiarulo) under increasing
+//!    stream irregularity — correct at zero irregularity, corrupting
+//!    data beyond it, which is why it cannot replace the SP in general.
+
+use lis_bench::{print_rows, section};
+use lis_core::experiment::ablation;
+use lis_synth::TechParams;
+
+fn main() {
+    section("E6 — ablations");
+    let rows = ablation(&TechParams::default()).expect("ablation");
+    print_rows(&rows);
+}

@@ -1,0 +1,47 @@
+//! E3/E4: the paper's central claim, swept. "Its complexity does not
+//! depend on the number of cycles the IP needs for a whole computation
+//! but only on the number of ports. Consequently its frequency and area
+//! are constant, for a given number of ports." (§5)
+//!
+//! E3 sweeps schedule length at fixed ports; E4 sweeps port count at
+//! fixed schedule length. Pass `--sweep ports` for E4 only, `--sweep
+//! length` for E3 only.
+
+use lis_bench::{bar, print_rows, section};
+use lis_core::experiment::{scaling_by_length, scaling_by_ports};
+use lis_synth::TechParams;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let what = args
+        .iter()
+        .position(|a| a == "--sweep")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("both");
+    let params = TechParams::default();
+
+    if what == "both" || what == "length" {
+        section("E3 — area & fmax vs schedule length (2 in / 2 out ports)");
+        let rows =
+            scaling_by_length(&[16, 64, 256, 1024, 4096], &params).expect("length sweep");
+        print_rows(&rows);
+        section("E3 — slices, charted");
+        let max = rows.iter().map(|r| r.slices).max().unwrap_or(1) as f64;
+        for r in &rows {
+            println!(
+                "x={:5} {:12} {:6} |{}",
+                r.x,
+                r.model,
+                r.slices,
+                bar(r.slices as f64, max, 50)
+            );
+        }
+    }
+
+    if what == "both" || what == "ports" {
+        section("E4 — area & fmax vs port count (64-cycle schedule)");
+        let rows = scaling_by_ports(&[2, 4, 8, 16, 32], &params).expect("port sweep");
+        print_rows(&rows);
+    }
+}

@@ -1,0 +1,190 @@
+//! The wrapper synthesis flow: schedule → controller netlist → area and
+//! timing reports, for any wrapper model.
+
+use lis_schedule::{compress, compress_bursty, IoSchedule, SpProgram};
+use lis_synth::{synthesize, SynthReport, TechParams};
+use lis_wrappers::{assemble_full_wrapper, generate_sp, WrapperKind};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How to compile a schedule into a synchronization-processor program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SpCompression {
+    /// One operation per I/O cycle ([`compress`]) — always safe.
+    #[default]
+    Safe,
+    /// Burst operations ([`compress_bursty`]) — one synchronization per
+    /// I/O phase, streaming through runs; the paper's Viterbi setup.
+    Burst,
+}
+
+/// Synthesis results for one wrapper implementation of one schedule.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WrapperSynthesis {
+    /// Wrapper model name ("sp", "fsm-onehot", …).
+    pub model: String,
+    /// Full synthesis report of the controller netlist.
+    pub report: SynthReport,
+    /// SP program length (ROM words), when applicable.
+    pub sp_ops: Option<usize>,
+}
+
+impl fmt::Display for WrapperSynthesis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:12} {}", self.model, self.report)
+    }
+}
+
+/// Synthesizes the wrapper controller of `kind` for `schedule`.
+///
+/// For [`WrapperKind::Sp`], `compression` picks the program style.
+///
+/// # Errors
+///
+/// Propagates netlist generation/validation errors.
+pub fn synthesize_wrapper(
+    kind: WrapperKind,
+    schedule: &IoSchedule,
+    compression: SpCompression,
+    params: &TechParams,
+) -> Result<WrapperSynthesis, lis_netlist::NetlistError> {
+    let (module, sp_ops) = match (kind, compression) {
+        (WrapperKind::Sp, SpCompression::Burst) => {
+            let program: SpProgram = compress_bursty(schedule);
+            let ops = program.len();
+            (generate_sp(&program)?, Some(ops))
+        }
+        (WrapperKind::Sp, SpCompression::Safe) => {
+            let program = compress(schedule);
+            let ops = program.len();
+            (generate_sp(&program)?, Some(ops))
+        }
+        (other, _) => (other.generate_netlist(schedule)?, None),
+    };
+    Ok(WrapperSynthesis {
+        model: kind.to_string(),
+        report: synthesize(&module, params)?,
+        sp_ops,
+    })
+}
+
+/// Synthesizes the *complete* wrapper — controller plus one gate-level
+/// FIFO per port — as the paper's figures draw it. `in_widths` /
+/// `out_widths` give the data width of each pearl port.
+///
+/// # Errors
+///
+/// Propagates netlist generation/validation errors.
+pub fn synthesize_full_wrapper(
+    kind: WrapperKind,
+    schedule: &IoSchedule,
+    compression: SpCompression,
+    in_widths: &[usize],
+    out_widths: &[usize],
+    params: &TechParams,
+) -> Result<WrapperSynthesis, lis_netlist::NetlistError> {
+    let (controller, sp_ops) = match (kind, compression) {
+        (WrapperKind::Sp, SpCompression::Burst) => {
+            let program: SpProgram = compress_bursty(schedule);
+            let ops = program.len();
+            (generate_sp(&program)?, Some(ops))
+        }
+        (WrapperKind::Sp, SpCompression::Safe) => {
+            let program = compress(schedule);
+            let ops = program.len();
+            (generate_sp(&program)?, Some(ops))
+        }
+        (other, _) => (other.generate_netlist(schedule)?, None),
+    };
+    let full = assemble_full_wrapper(&controller, in_widths, out_widths)?;
+    Ok(WrapperSynthesis {
+        model: format!("{kind}+ports"),
+        report: synthesize(&full, params)?,
+        sp_ops,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lis_schedule::ScheduleBuilder;
+
+    fn schedule() -> IoSchedule {
+        ScheduleBuilder::new(2, 1)
+            .read(0)
+            .repeat_io([1], [], 20)
+            .quiet(20)
+            .write(0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn sp_burst_uses_fewer_rom_words_than_safe() {
+        let p = TechParams::default();
+        let safe =
+            synthesize_wrapper(WrapperKind::Sp, &schedule(), SpCompression::Safe, &p).unwrap();
+        let burst =
+            synthesize_wrapper(WrapperKind::Sp, &schedule(), SpCompression::Burst, &p).unwrap();
+        assert!(burst.sp_ops.unwrap() < safe.sp_ops.unwrap());
+        assert_eq!(burst.sp_ops.unwrap(), 3);
+    }
+
+    #[test]
+    fn fsm_wrapper_overtakes_sp_as_schedules_grow() {
+        // On a tiny schedule the SP's counters/ROM overhead can exceed a
+        // small FSM — the paper's claim is about *long* schedules, where
+        // FSM area keeps growing while the SP stays flat.
+        let p = TechParams::default();
+        let long_schedule = ScheduleBuilder::new(2, 1)
+            .read(0)
+            .repeat_io([1], [], 400)
+            .quiet(400)
+            .write(0)
+            .build()
+            .unwrap();
+        let sp = synthesize_wrapper(WrapperKind::Sp, &long_schedule, SpCompression::Safe, &p)
+            .unwrap();
+        let fsm = synthesize_wrapper(
+            WrapperKind::Fsm(Default::default()),
+            &long_schedule,
+            SpCompression::Safe,
+            &p,
+        )
+        .unwrap();
+        assert!(
+            fsm.report.area.slices > 3 * sp.report.area.slices,
+            "fsm={} sp={}",
+            fsm.report.area.slices,
+            sp.report.area.slices
+        );
+        assert!(fsm.sp_ops.is_none());
+    }
+
+    #[test]
+    fn full_wrapper_adds_port_hardware() {
+        let p = TechParams::default();
+        let controller_only =
+            synthesize_wrapper(WrapperKind::Sp, &schedule(), SpCompression::Safe, &p).unwrap();
+        let full = synthesize_full_wrapper(
+            WrapperKind::Sp,
+            &schedule(),
+            SpCompression::Safe,
+            &[8, 16],
+            &[32],
+            &p,
+        )
+        .unwrap();
+        assert!(full.report.area.slices > controller_only.report.area.slices);
+        assert!(full.report.area.ffs >= 2 * (8 + 16 + 32));
+        assert!(full.model.contains("+ports"));
+    }
+
+    #[test]
+    fn display_includes_model_name() {
+        let p = TechParams::default();
+        let sp =
+            synthesize_wrapper(WrapperKind::Sp, &schedule(), SpCompression::Safe, &p).unwrap();
+        assert!(sp.to_string().contains("sp"));
+    }
+}

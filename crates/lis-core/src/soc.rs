@@ -1,0 +1,534 @@
+//! SoC assembly: patient processes, channels, relay stations, sources
+//! and sinks, composed into a runnable system.
+//!
+//! This is the level at which the LIS methodology operates: IPs are
+//! encapsulated, long wires are segmented with relay stations, and the
+//! resulting system is correct for *any* latency assignment.
+
+use lis_proto::{
+    LisChannel, Pearl, RelayStation, TokenSink, TokenSource, ViolationCounter,
+};
+use lis_sim::{Component, SignalView, SimError, System, Trace};
+use lis_wrappers::{
+    wrap_pearl, wrap_pearl_full_netlist, wrap_pearl_netlist, PatientStats, WrapperKind,
+};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A zero-latency connector: forwards `data`/`void` downstream and
+/// `stop` upstream, combinationally.
+#[derive(Debug)]
+struct Wire {
+    name: String,
+    up: LisChannel,
+    down: LisChannel,
+}
+
+impl Component for Wire {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn eval(&mut self, sigs: &mut SignalView<'_>) {
+        let tok = self.up.read_token(sigs);
+        self.down.write_token(sigs, tok);
+        let stop = self.down.read_stop(sigs);
+        self.up.write_stop(sigs, stop);
+    }
+
+    fn tick(&mut self, _sigs: &SignalView<'_>) {}
+}
+
+/// Handle to an encapsulated IP inside a [`SocBuilder`].
+#[derive(Debug, Clone)]
+pub struct IpHandle {
+    /// Instance name.
+    pub name: String,
+    /// Input channels, in pearl input-port order.
+    pub inputs: Vec<LisChannel>,
+    /// Output channels, in pearl output-port order.
+    pub outputs: Vec<LisChannel>,
+}
+
+/// Incremental SoC constructor.
+#[derive(Debug)]
+pub struct SocBuilder {
+    system: System,
+    violations: ViolationCounter,
+    stats: HashMap<String, PatientStats>,
+    sinks: HashMap<String, Rc<RefCell<Vec<u64>>>>,
+    trace: Trace,
+}
+
+impl Default for SocBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SocBuilder {
+    /// Starts an empty SoC.
+    pub fn new() -> Self {
+        SocBuilder {
+            system: System::new(),
+            violations: ViolationCounter::new(),
+            stats: HashMap::new(),
+            sinks: HashMap::new(),
+            trace: Trace::new(),
+        }
+    }
+
+    /// Records a channel's three wires (`data`/`void`/`stop`) in the
+    /// SoC's waveform trace; see [`Soc::vcd`].
+    pub fn watch_channel(&mut self, label: &str, channel: LisChannel) {
+        self.trace
+            .watch(format!("{label}_data"), &self.system, channel.data);
+        self.trace
+            .watch(format!("{label}_void"), &self.system, channel.void);
+        self.trace
+            .watch(format!("{label}_stop"), &self.system, channel.stop);
+    }
+
+    /// Encapsulates `pearl` behind a behavioural wrapper of the given
+    /// kind and instantiates it.
+    pub fn add_ip(
+        &mut self,
+        name: impl Into<String>,
+        pearl: Box<dyn Pearl>,
+        kind: WrapperKind,
+    ) -> IpHandle {
+        let policy = kind.make_policy(pearl.schedule());
+        self.add_ip_with_policy(name, pearl, policy)
+    }
+
+    /// Encapsulates `pearl` behind an explicit synchronization policy
+    /// (e.g. a [`lis_wrappers::ShiftRegPolicy`] with a hand-computed
+    /// activation pattern).
+    pub fn add_ip_with_policy(
+        &mut self,
+        name: impl Into<String>,
+        pearl: Box<dyn Pearl>,
+        policy: Box<dyn lis_wrappers::SyncPolicy>,
+    ) -> IpHandle {
+        let name = name.into();
+        let (inputs, outputs, stats) =
+            wrap_pearl(&mut self.system, &name, pearl, policy, &self.violations);
+        self.stats.insert(name.clone(), stats);
+        IpHandle {
+            name,
+            inputs,
+            outputs,
+        }
+    }
+
+    /// Encapsulates `pearl` behind the *gate-level* wrapper controller of
+    /// the given kind (hardware-in-the-loop).
+    pub fn add_ip_netlist(
+        &mut self,
+        name: impl Into<String>,
+        pearl: Box<dyn Pearl>,
+        kind: WrapperKind,
+    ) -> IpHandle {
+        let name = name.into();
+        let controller = kind
+            .generate_netlist(pearl.schedule())
+            .expect("wrapper generation failed");
+        let (inputs, outputs) =
+            wrap_pearl_netlist(&mut self.system, &name, pearl, controller, &self.violations);
+        IpHandle {
+            name,
+            inputs,
+            outputs,
+        }
+    }
+
+    /// Encapsulates `pearl` behind the *complete* gate-level shell
+    /// (controller plus port FIFOs, all interpreted gate by gate) —
+    /// the highest-fidelity model of the paper's Figure 2.
+    pub fn add_ip_full_netlist(
+        &mut self,
+        name: impl Into<String>,
+        pearl: Box<dyn Pearl>,
+        kind: WrapperKind,
+    ) -> IpHandle {
+        let name = name.into();
+        let controller = kind
+            .generate_netlist(pearl.schedule())
+            .expect("wrapper generation failed");
+        let (inputs, outputs) = wrap_pearl_full_netlist(
+            &mut self.system,
+            &name,
+            pearl,
+            controller,
+            &self.violations,
+        );
+        IpHandle {
+            name,
+            inputs,
+            outputs,
+        }
+    }
+
+    /// Allocates a free-standing staging channel (useful between a
+    /// source and a relayed link).
+    pub fn channel(&mut self, name: &str, width: u32) -> LisChannel {
+        LisChannel::new(&mut self.system, name, width)
+    }
+
+    /// Connects producer channel `from` to consumer channel `to` through
+    /// `relay_count` relay stations (`0` = a plain wire).
+    pub fn link(&mut self, from: LisChannel, to: LisChannel, relay_count: usize) {
+        let tail = RelayStation::chain(
+            &mut self.system,
+            "link",
+            from,
+            relay_count,
+            &self.violations,
+        );
+        let n = self.system.component_count();
+        self.system.add_component(Wire {
+            name: format!("wire{n}"),
+            up: tail,
+            down: to,
+        });
+    }
+
+    /// Attaches a token source to `channel`.
+    pub fn feed(
+        &mut self,
+        name: impl Into<String>,
+        channel: LisChannel,
+        tokens: impl IntoIterator<Item = u64>,
+        stall_probability: f64,
+        seed: u64,
+    ) {
+        let src = TokenSource::new(name, channel, tokens)
+            .with_stalls(stall_probability, seed);
+        self.system.add_component(src);
+    }
+
+    /// Attaches a recording sink to `channel`; results retrievable by
+    /// name from [`Soc::received`].
+    pub fn capture(
+        &mut self,
+        name: impl Into<String>,
+        channel: LisChannel,
+        stall_probability: f64,
+        seed: u64,
+    ) {
+        let name = name.into();
+        let sink =
+            TokenSink::new(name.clone(), channel).with_stalls(stall_probability, seed);
+        self.sinks.insert(name, sink.received());
+        self.system.add_component(sink);
+    }
+
+    /// Finalizes the SoC.
+    pub fn build(self) -> Soc {
+        Soc {
+            system: self.system,
+            violations: self.violations,
+            stats: self.stats,
+            sinks: self.sinks,
+            trace: self.trace,
+        }
+    }
+}
+
+/// A runnable latency-insensitive system.
+#[derive(Debug)]
+pub struct Soc {
+    system: System,
+    violations: ViolationCounter,
+    stats: HashMap<String, PatientStats>,
+    sinks: HashMap<String, Rc<RefCell<Vec<u64>>>>,
+    trace: Trace,
+}
+
+impl Soc {
+    fn step_traced(&mut self) -> Result<(), SimError> {
+        self.system.settle()?;
+        if !self.trace.is_unwatched() {
+            self.trace.sample(&self.system);
+        }
+        self.system.step()
+    }
+
+    /// Runs `cycles` clock cycles.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] (combinational-loop detection).
+    pub fn run(&mut self, cycles: u64) -> Result<(), SimError> {
+        for _ in 0..cycles {
+            self.step_traced()?;
+        }
+        Ok(())
+    }
+
+    /// Runs until `predicate(self)` holds or `max_cycles` pass; returns
+    /// whether it fired.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`].
+    pub fn run_until(
+        &mut self,
+        max_cycles: u64,
+        mut predicate: impl FnMut(&Soc) -> bool,
+    ) -> Result<bool, SimError> {
+        for _ in 0..max_cycles {
+            self.step_traced()?;
+            if predicate(self) {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Runs until the system makes no progress (no patient process fires
+    /// and no sink receives) for `idle_window` consecutive cycles, or
+    /// `max_cycles` elapse. Returns the number of cycles executed.
+    ///
+    /// A latency-insensitive system that quiesces with unconsumed input
+    /// is deadlocked (e.g. a comb wrapper starving on an idle port);
+    /// this is the diagnostic to catch it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`].
+    pub fn run_until_quiescent(
+        &mut self,
+        max_cycles: u64,
+        idle_window: u64,
+    ) -> Result<u64, SimError> {
+        let mut idle = 0u64;
+        let mut executed = 0u64;
+        let mut last = self.progress();
+        while executed < max_cycles && idle < idle_window {
+            self.step_traced()?;
+            executed += 1;
+            let now = self.progress();
+            if now == last {
+                idle += 1;
+            } else {
+                idle = 0;
+                last = now;
+            }
+        }
+        Ok(executed)
+    }
+
+    /// A monotone progress counter: total fired cycles across
+    /// behavioural patient processes plus total tokens received by
+    /// sinks.
+    pub fn progress(&self) -> u64 {
+        let fired: u64 = self.stats.values().map(PatientStats::fired).sum();
+        let received: u64 = self.sinks.values().map(|s| s.borrow().len() as u64).sum();
+        fired + received
+    }
+
+    /// The recorded waveform as a VCD document (channels registered via
+    /// [`SocBuilder::watch_channel`]).
+    pub fn vcd(&self, top: &str) -> String {
+        self.trace.to_vcd(top)
+    }
+
+    /// Elapsed cycles.
+    pub fn cycle(&self) -> u64 {
+        self.system.cycle()
+    }
+
+    /// The informative stream captured by sink `name` so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no sink has that name.
+    pub fn received(&self, name: &str) -> Vec<u64> {
+        self.sinks
+            .get(name)
+            .unwrap_or_else(|| panic!("no sink named {name}"))
+            .borrow()
+            .clone()
+    }
+
+    /// Protocol violations observed so far (0 in a correct system).
+    pub fn violations(&self) -> u64 {
+        self.violations.count()
+    }
+
+    /// Utilization (fired / total cycles) of the named behavioural IP.
+    pub fn utilization(&self, ip: &str) -> Option<f64> {
+        self.stats.get(ip).map(PatientStats::utilization)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lis_proto::AccumulatorPearl;
+
+    fn accumulator_soc(kind: WrapperKind) -> (Soc, &'static str) {
+        let mut b = SocBuilder::new();
+        let ip = b.add_ip("acc", Box::new(AccumulatorPearl::new("acc", 1, 1, 2)), kind);
+        b.feed("src", ip.inputs[0], 1..=10, 0.0, 1);
+        b.capture("out", ip.outputs[0], 0.0, 2);
+        (b.build(), "out")
+    }
+
+    #[test]
+    fn single_ip_soc_streams_data() {
+        let (mut soc, sink) = accumulator_soc(WrapperKind::Sp);
+        soc.run(100).unwrap();
+        let got = soc.received(sink);
+        let expected: Vec<u64> = (1..=10).scan(0u64, |acc, v| {
+            *acc += v;
+            Some(*acc)
+        })
+        .collect();
+        assert_eq!(got, expected);
+        assert_eq!(soc.violations(), 0);
+        assert!(soc.utilization("acc").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn two_stage_pipeline_with_relays() {
+        let mut b = SocBuilder::new();
+        let first = b.add_ip(
+            "first",
+            Box::new(AccumulatorPearl::new("a1", 1, 1, 1)),
+            WrapperKind::Sp,
+        );
+        let second = b.add_ip(
+            "second",
+            Box::new(AccumulatorPearl::new("a2", 1, 1, 1)),
+            WrapperKind::Fsm(Default::default()),
+        );
+        b.feed("src", first.inputs[0], 1..=8, 0.2, 3);
+        b.link(first.outputs[0], second.inputs[0], 3);
+        b.capture("out", second.outputs[0], 0.1, 4);
+        let mut soc = b.build();
+        soc.run(400).unwrap();
+        // first: running sums of 1..=8; second: running sums of those.
+        let first_sums: Vec<u64> = (1..=8).scan(0u64, |a, v| {
+            *a += v;
+            Some(*a)
+        })
+        .collect();
+        let expected: Vec<u64> = first_sums
+            .iter()
+            .scan(0u64, |a, &v| {
+                *a += v;
+                Some(*a)
+            })
+            .collect();
+        assert_eq!(soc.received("out"), expected);
+        assert_eq!(soc.violations(), 0);
+    }
+
+    #[test]
+    fn netlist_backed_ip_matches_behavioural() {
+        let run_one = |hardware: bool| {
+            let mut b = SocBuilder::new();
+            let pearl = Box::new(AccumulatorPearl::new("acc", 1, 1, 3));
+            let ip = if hardware {
+                b.add_ip_netlist("acc", pearl, WrapperKind::Sp)
+            } else {
+                b.add_ip("acc", pearl, WrapperKind::Sp)
+            };
+            b.feed("src", ip.inputs[0], (1..=12).map(|v| v * 2), 0.3, 9);
+            b.capture("out", ip.outputs[0], 0.2, 10);
+            let mut soc = b.build();
+            soc.run(600).unwrap();
+            assert_eq!(soc.violations(), 0);
+            soc.received("out")
+        };
+        assert_eq!(run_one(false), run_one(true));
+    }
+
+    #[test]
+    fn soc_traces_channels_to_vcd() {
+        let mut b = SocBuilder::new();
+        let ip = b.add_ip(
+            "acc",
+            Box::new(AccumulatorPearl::new("acc", 1, 1, 1)),
+            WrapperKind::Sp,
+        );
+        b.watch_channel("in", ip.inputs[0]);
+        b.watch_channel("out", ip.outputs[0]);
+        b.feed("src", ip.inputs[0], 1..=3, 0.0, 1);
+        b.capture("sink", ip.outputs[0], 0.0, 2);
+        let mut soc = b.build();
+        soc.run(30).unwrap();
+        let vcd = soc.vcd("soc");
+        assert!(vcd.contains("$var wire 32 ! in_data $end"));
+        assert!(vcd.contains("out_void"));
+        assert!(vcd.contains("#29"));
+    }
+
+    #[test]
+    fn quiescence_detects_end_of_stream() {
+        let mut b = SocBuilder::new();
+        let ip = b.add_ip(
+            "acc",
+            Box::new(AccumulatorPearl::new("acc", 1, 1, 1)),
+            WrapperKind::Sp,
+        );
+        b.feed("src", ip.inputs[0], 1..=5, 0.0, 1);
+        b.capture("out", ip.outputs[0], 0.0, 2);
+        let mut soc = b.build();
+        let executed = soc.run_until_quiescent(10_000, 20).unwrap();
+        assert!(executed < 10_000, "must quiesce well before the budget");
+        assert_eq!(soc.received("out").len(), 5, "all work done first");
+        assert!(soc.progress() >= 5);
+    }
+
+    #[test]
+    fn quiescence_exposes_comb_wrapper_deadlock() {
+        // Two-input pearl, but only one port is fed: the comb wrapper
+        // deadlocks immediately; quiescence detection reports it.
+        let mut b = SocBuilder::new();
+        let ip = b.add_ip(
+            "acc",
+            Box::new(AccumulatorPearl::new("acc", 2, 1, 1)),
+            WrapperKind::Comb,
+        );
+        b.feed("src", ip.inputs[0], 1..=100, 0.0, 1);
+        b.capture("out", ip.outputs[0], 0.0, 2);
+        let mut soc = b.build();
+        let executed = soc.run_until_quiescent(5_000, 30).unwrap();
+        assert!(executed < 200, "deadlock should be caught quickly");
+        assert!(soc.received("out").is_empty());
+    }
+
+    #[test]
+    fn latency_insensitivity_across_relay_counts() {
+        let reference: Vec<u64> = {
+            let (mut soc, sink) = accumulator_soc(WrapperKind::Sp);
+            soc.run(200).unwrap();
+            soc.received(sink)
+        };
+        for relays in [1usize, 2, 5, 8] {
+            let mut b = SocBuilder::new();
+            let ip = b.add_ip(
+                "acc",
+                Box::new(AccumulatorPearl::new("acc", 1, 1, 2)),
+                WrapperKind::Sp,
+            );
+            // Source feeds a staging channel linked through relays.
+            let stage = b.channel("stage", 32);
+            b.feed("src", stage, 1..=10, 0.0, 1);
+            b.link(stage, ip.inputs[0], relays);
+            b.capture("out", ip.outputs[0], 0.0, 2);
+            let mut soc = b.build();
+            soc.run(300).unwrap();
+            assert_eq!(
+                soc.received("out"),
+                reference,
+                "{relays} relay stations must not change the informative stream"
+            );
+            assert_eq!(soc.violations(), 0);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # lis-hdl — HDL code generation for synchronization wrappers
+//!
+//! The deliverable of a wrapper-synthesis tool is HDL text. This crate
+//! renders any `lis-netlist` [`lis_netlist::Module`] as:
+//!
+//! * structural **Verilog-2001** ([`emit_verilog`]) in a canonical
+//!   line-oriented shape, with a round-trip parser ([`parse_verilog`])
+//!   proving the text denotes the synthesized netlist;
+//! * **VHDL-93** ([`emit_vhdl`]) — the HDL of the paper's original GAUT
+//!   flow.
+//!
+//! # Examples
+//!
+//! ```
+//! use lis_schedule::ScheduleBuilder;
+//! use lis_wrappers::WrapperKind;
+//! use lis_hdl::{emit_verilog, parse_verilog};
+//! use lis_netlist::NetlistStats;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let schedule = ScheduleBuilder::new(1, 1).read(0).quiet(6).write(0).build()?;
+//! let controller = WrapperKind::Sp.generate_netlist(&schedule)?;
+//! let verilog = emit_verilog(&controller);
+//! let parsed = parse_verilog(&verilog)?;
+//! assert_eq!(NetlistStats::of(&parsed), NetlistStats::of(&controller));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod parse;
+mod testbench;
+mod verilog;
+mod vhdl;
+
+pub use parse::{parse_verilog, ParseError};
+pub use testbench::{capture_golden, emit_testbench, TbCycle};
+pub use verilog::{emit_verilog, CLOCK_PORT};
+pub use vhdl::emit_vhdl;

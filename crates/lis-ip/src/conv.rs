@@ -1,0 +1,119 @@
+//! Rate-1/2, constraint-length-3 convolutional encoder (generators 7, 5
+//! octal) — the channel code the Viterbi decoder IP decodes.
+
+/// Generator polynomial G0 = 111₂ (octal 7).
+pub const G0: u8 = 0b111;
+/// Generator polynomial G1 = 101₂ (octal 5).
+pub const G1: u8 = 0b101;
+/// Constraint length.
+pub const CONSTRAINT: usize = 3;
+/// Number of trellis states (2^(K-1)).
+pub const STATES: usize = 1 << (CONSTRAINT - 1);
+
+/// Streaming convolutional encoder.
+#[derive(Debug, Clone, Default)]
+pub struct ConvEncoder {
+    state: u8,
+}
+
+impl ConvEncoder {
+    /// Creates an encoder in the zero state.
+    pub fn new() -> Self {
+        ConvEncoder::default()
+    }
+
+    /// Encodes one bit, returning the two output bits `(g0, g1)`.
+    pub fn push(&mut self, bit: bool) -> (bool, bool) {
+        let reg = ((u8::from(bit)) << (CONSTRAINT - 1)) | self.state;
+        let g0 = (reg & G0).count_ones() % 2 == 1;
+        let g1 = (reg & G1).count_ones() % 2 == 1;
+        self.state = reg >> 1;
+        (g0, g1)
+    }
+
+    /// Encodes a bit sequence, appending `CONSTRAINT - 1` zero tail bits
+    /// to return the trellis to state 0.
+    pub fn encode_block(bits: &[bool]) -> Vec<(bool, bool)> {
+        let mut enc = ConvEncoder::new();
+        let mut out = Vec::with_capacity(bits.len() + CONSTRAINT - 1);
+        for &b in bits {
+            out.push(enc.push(b));
+        }
+        for _ in 0..CONSTRAINT - 1 {
+            out.push(enc.push(false));
+        }
+        out
+    }
+
+    /// The expected output pair for a transition from `state` on `bit`.
+    pub fn branch_output(state: u8, bit: bool) -> (bool, bool) {
+        let reg = (u8::from(bit) << (CONSTRAINT - 1)) | state;
+        (
+            (reg & G0).count_ones() % 2 == 1,
+            (reg & G1).count_ones() % 2 == 1,
+        )
+    }
+
+    /// The successor state for a transition from `state` on `bit`.
+    pub fn next_state(state: u8, bit: bool) -> u8 {
+        ((u8::from(bit) << (CONSTRAINT - 1)) | state) >> 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vector_encodes_correctly() {
+        // Classic (7,5) test vector: input 1011, starting state 0.
+        let out = ConvEncoder::encode_block(&[true, false, true, true]);
+        // 4 data + 2 tail transitions.
+        assert_eq!(out.len(), 6);
+        // First bit 1 from state 00: reg=100, g0=parity(100&111)=1,
+        // g1=parity(100&101)=1.
+        assert_eq!(out[0], (true, true));
+        // Second bit 0 from state 10: reg=010, g0=1, g1=0.
+        assert_eq!(out[1], (true, false));
+    }
+
+    #[test]
+    fn encoder_returns_to_zero_state_after_tail() {
+        let mut enc = ConvEncoder::new();
+        for &b in &[true, true, false, true, false] {
+            enc.push(b);
+        }
+        for _ in 0..CONSTRAINT - 1 {
+            enc.push(false);
+        }
+        assert_eq!(enc.state, 0);
+    }
+
+    #[test]
+    fn branch_tables_match_encoder() {
+        for state in 0..STATES as u8 {
+            for bit in [false, true] {
+                let mut enc = ConvEncoder { state };
+                let out = enc.push(bit);
+                assert_eq!(out, ConvEncoder::branch_output(state, bit));
+                assert_eq!(enc.state, ConvEncoder::next_state(state, bit));
+            }
+        }
+    }
+
+    #[test]
+    fn all_states_reachable() {
+        let mut seen = std::collections::HashSet::new();
+        let mut frontier = vec![0u8];
+        seen.insert(0u8);
+        while let Some(s) = frontier.pop() {
+            for bit in [false, true] {
+                let n = ConvEncoder::next_state(s, bit);
+                if seen.insert(n) {
+                    frontier.push(n);
+                }
+            }
+        }
+        assert_eq!(seen.len(), STATES);
+    }
+}

@@ -1,0 +1,248 @@
+//! GF(2⁸) arithmetic over the primitive polynomial
+//! x⁸ + x⁴ + x³ + x² + 1 (0x11D), the field of the Reed-Solomon codec.
+
+/// The field size.
+pub const FIELD_SIZE: usize = 256;
+
+/// The primitive polynomial (with the x⁸ term), 0x11D.
+pub const PRIMITIVE_POLY: u16 = 0x11D;
+
+/// GF(2⁸) with precomputed exp/log tables.
+#[derive(Debug, Clone)]
+pub struct Gf256 {
+    exp: [u8; 512],
+    log: [u8; 256],
+}
+
+impl Default for Gf256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Gf256 {
+    /// Builds the field tables (α = 2 as the primitive element).
+    pub fn new() -> Self {
+        let mut exp = [0u8; 512];
+        let mut log = [0u8; 256];
+        let mut x: u16 = 1;
+        for (i, e) in exp.iter_mut().enumerate().take(255) {
+            *e = x as u8;
+            log[x as usize] = i as u8;
+            x <<= 1;
+            if x & 0x100 != 0 {
+                x ^= PRIMITIVE_POLY;
+            }
+        }
+        // Duplicate for wrap-free indexing: exp[i + 255] = exp[i].
+        for i in 255..512 {
+            exp[i] = exp[i - 255];
+        }
+        Gf256 { exp, log }
+    }
+
+    /// Field addition (= subtraction = XOR).
+    #[inline]
+    pub fn add(&self, a: u8, b: u8) -> u8 {
+        a ^ b
+    }
+
+    /// Field multiplication.
+    #[inline]
+    pub fn mul(&self, a: u8, b: u8) -> u8 {
+        if a == 0 || b == 0 {
+            0
+        } else {
+            self.exp[self.log[a as usize] as usize + self.log[b as usize] as usize]
+        }
+    }
+
+    /// Field division.
+    ///
+    /// # Panics
+    ///
+    /// Panics on division by zero.
+    #[inline]
+    pub fn div(&self, a: u8, b: u8) -> u8 {
+        assert!(b != 0, "GF(256) division by zero");
+        if a == 0 {
+            0
+        } else {
+            self.exp
+                [self.log[a as usize] as usize + 255 - self.log[b as usize] as usize]
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics for zero.
+    #[inline]
+    pub fn inv(&self, a: u8) -> u8 {
+        assert!(a != 0, "GF(256) zero has no inverse");
+        self.exp[255 - self.log[a as usize] as usize]
+    }
+
+    /// α^i (the primitive element's powers).
+    #[inline]
+    pub fn alpha_pow(&self, i: usize) -> u8 {
+        self.exp[i % 255]
+    }
+
+    /// log_α(a).
+    ///
+    /// # Panics
+    ///
+    /// Panics for zero.
+    #[inline]
+    pub fn log_of(&self, a: u8) -> usize {
+        assert!(a != 0, "GF(256) log of zero");
+        self.log[a as usize] as usize
+    }
+
+    /// a^n by log/exp arithmetic.
+    pub fn pow(&self, a: u8, n: usize) -> u8 {
+        if a == 0 {
+            return if n == 0 { 1 } else { 0 };
+        }
+        let e = (self.log[a as usize] as usize * n) % 255;
+        self.exp[e]
+    }
+
+    /// Evaluates a polynomial (coefficients LSB-first: `poly[i]` is the
+    /// coefficient of xⁱ) at point `x`, by Horner's rule.
+    pub fn poly_eval(&self, poly: &[u8], x: u8) -> u8 {
+        let mut acc = 0u8;
+        for &c in poly.iter().rev() {
+            acc = self.mul(acc, x) ^ c;
+        }
+        acc
+    }
+
+    /// Multiplies two polynomials (LSB-first coefficients).
+    pub fn poly_mul(&self, a: &[u8], b: &[u8]) -> Vec<u8> {
+        if a.is_empty() || b.is_empty() {
+            return Vec::new();
+        }
+        let mut out = vec![0u8; a.len() + b.len() - 1];
+        for (i, &ai) in a.iter().enumerate() {
+            if ai == 0 {
+                continue;
+            }
+            for (j, &bj) in b.iter().enumerate() {
+                out[i + j] ^= self.mul(ai, bj);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_are_consistent() {
+        let f = Gf256::new();
+        for a in 1..=255u8 {
+            assert_eq!(f.exp[f.log[a as usize] as usize], a);
+        }
+        // α^255 = 1.
+        assert_eq!(f.alpha_pow(255), 1);
+        assert_eq!(f.alpha_pow(0), 1);
+    }
+
+    #[test]
+    fn multiplication_agrees_with_carryless_reference() {
+        // Slow bitwise reference multiply.
+        fn slow_mul(mut a: u16, mut b: u16) -> u8 {
+            let mut acc: u16 = 0;
+            while b != 0 {
+                if b & 1 != 0 {
+                    acc ^= a;
+                }
+                a <<= 1;
+                if a & 0x100 != 0 {
+                    a ^= PRIMITIVE_POLY;
+                }
+                b >>= 1;
+            }
+            acc as u8
+        }
+        let f = Gf256::new();
+        for a in 0..=255u16 {
+            for b in (0..=255u16).step_by(7) {
+                assert_eq!(f.mul(a as u8, b as u8), slow_mul(a, b), "{a}*{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn field_axioms_hold() {
+        let f = Gf256::new();
+        for a in 1..=255u8 {
+            assert_eq!(f.mul(a, f.inv(a)), 1, "a={a}");
+            assert_eq!(f.div(a, a), 1);
+            assert_eq!(f.mul(a, 1), a);
+            assert_eq!(f.mul(a, 0), 0);
+        }
+        // Distributivity spot-check.
+        for a in [3u8, 29, 127, 255] {
+            for b in [5u8, 64, 200] {
+                for c in [7u8, 99, 254] {
+                    assert_eq!(f.mul(a, b ^ c), f.mul(a, b) ^ f.mul(a, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        let f = Gf256::new();
+        for a in [2u8, 3, 19, 201] {
+            let mut acc = 1u8;
+            for n in 0..20 {
+                assert_eq!(f.pow(a, n), acc, "a={a} n={n}");
+                acc = f.mul(acc, a);
+            }
+        }
+        assert_eq!(f.pow(0, 0), 1);
+        assert_eq!(f.pow(0, 5), 0);
+    }
+
+    #[test]
+    fn poly_eval_horner() {
+        let f = Gf256::new();
+        // p(x) = 1 + 2x + 3x²; p(0) = 1.
+        let p = [1u8, 2, 3];
+        assert_eq!(f.poly_eval(&p, 0), 1);
+        // p(1) = 1 ^ 2 ^ 3 = 0.
+        assert_eq!(f.poly_eval(&p, 1), 0);
+        // Against explicit powers at a few points.
+        for x in [2u8, 77, 180] {
+            let expect = 1 ^ f.mul(2, x) ^ f.mul(3, f.mul(x, x));
+            assert_eq!(f.poly_eval(&p, x), expect);
+        }
+    }
+
+    #[test]
+    fn poly_mul_degree_and_identity() {
+        let f = Gf256::new();
+        let a = [1u8, 1]; // 1 + x
+        let b = [1u8, 2, 3];
+        let prod = f.poly_mul(&a, &b);
+        assert_eq!(prod.len(), 4);
+        // Multiplying by [1] is identity.
+        assert_eq!(f.poly_mul(&[1], &b), b.to_vec());
+        // (1+x)(1+x) = 1 + x² over GF(2^m).
+        assert_eq!(f.poly_mul(&a, &a), vec![1, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let f = Gf256::new();
+        let _ = f.div(5, 0);
+    }
+}

@@ -1,0 +1,34 @@
+//! # lis-ip — scheduled IP cores for the wrapper experiments
+//!
+//! Real implementations of the IPs the paper evaluated (synthesized
+//! with GAUT in the original work), plus extra workloads:
+//!
+//! * [`gf256`] — GF(2⁸) arithmetic (primitive polynomial 0x11D);
+//! * [`ReedSolomon`] — RS(255,239) encoder and full decoder (syndromes,
+//!   Berlekamp-Massey, Chien, Forney);
+//! * [`ConvEncoder`] / [`viterbi_decode`] — the (7,5) convolutional code
+//!   and its hard-decision Viterbi decoder;
+//! * [`ViterbiPearl`] / [`RsPearl`] — the two cores wrapped as LIS
+//!   pearls with the exact Table 1 scenarios (5 ports/4 ops/run 198 and
+//!   4 ports/~2958 ops/run 1);
+//! * [`FirPearl`] — an extra streaming workload for examples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod conv;
+mod crc;
+mod generic;
+pub mod gf256;
+mod pearls;
+mod rs;
+mod viterbi;
+
+pub use conv::{ConvEncoder, CONSTRAINT, G0, G1, STATES};
+pub use crc::{crc32, CrcPearl, CRC32_POLY, CRC_FRAME_BYTES};
+pub use generic::{DataflowPearl, MatMulPearl, MATMUL_DIM};
+pub use pearls::{
+    FirPearl, RsPearl, ViterbiPearl, RS_PERIOD, VITERBI_FRAME_BITS, VITERBI_FRAME_SYMBOLS,
+};
+pub use rs::{DecodeOutcome, ReedSolomon, K, N, PARITY, T};
+pub use viterbi::viterbi_decode;

@@ -1,0 +1,356 @@
+//! Reed-Solomon RS(255,239) codec over GF(2⁸) — the second IP core of
+//! the paper's Table 1.
+//!
+//! Systematic encoder (16 parity symbols, t = 8 correctable errors) and
+//! a full hard-decision decoder: syndrome computation, Berlekamp-Massey,
+//! Chien search and Forney's algorithm.
+
+use crate::gf256::Gf256;
+
+/// Codeword length n.
+pub const N: usize = 255;
+/// Message length k.
+pub const K: usize = 239;
+/// Parity symbols (n - k).
+pub const PARITY: usize = N - K;
+/// Correctable errors t = (n - k) / 2.
+pub const T: usize = PARITY / 2;
+
+/// Outcome of decoding one codeword.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeOutcome {
+    /// The codeword was already clean.
+    Clean,
+    /// `corrected` errors were found and fixed.
+    Corrected {
+        /// Number of symbol errors repaired.
+        corrected: usize,
+    },
+    /// More than `T` errors: decoding failed (codeword returned as-is).
+    Failure,
+}
+
+/// RS(255,239) encoder/decoder.
+#[derive(Debug, Clone)]
+pub struct ReedSolomon {
+    field: Gf256,
+    /// Generator polynomial g(x) = Π_{i=0}^{15} (x - α^i), LSB-first.
+    generator: Vec<u8>,
+}
+
+impl Default for ReedSolomon {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ReedSolomon {
+    /// Builds the codec (generator roots α⁰…α¹⁵).
+    pub fn new() -> Self {
+        let field = Gf256::new();
+        let mut generator = vec![1u8];
+        for i in 0..PARITY {
+            let root = field.alpha_pow(i);
+            // g *= (x + root)   (— and + coincide in GF(2^m))
+            generator = field.poly_mul(&generator, &[root, 1]);
+        }
+        ReedSolomon { field, generator }
+    }
+
+    /// The field used by the codec.
+    pub fn field(&self) -> &Gf256 {
+        &self.field
+    }
+
+    /// Systematically encodes a `K`-symbol message into an `N`-symbol
+    /// codeword: `[message | parity]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `message.len() != K`.
+    pub fn encode(&self, message: &[u8]) -> Vec<u8> {
+        assert_eq!(message.len(), K, "message must be {K} symbols");
+        // Polynomial view: codeword = m(x)·x^PARITY + (m(x)·x^PARITY mod g(x)),
+        // computed with an LFSR-style long division.
+        let mut parity = vec![0u8; PARITY];
+        for &m in message {
+            let feedback = m ^ parity[PARITY - 1];
+            for j in (1..PARITY).rev() {
+                parity[j] =
+                    parity[j - 1] ^ self.field.mul(feedback, self.generator[j]);
+            }
+            parity[0] = self.field.mul(feedback, self.generator[0]);
+        }
+        let mut codeword = message.to_vec();
+        // Highest-degree parity first so that codeword index i carries
+        // the coefficient of x^(N-1-i).
+        parity.reverse();
+        codeword.extend_from_slice(&parity);
+        codeword
+    }
+
+    /// Computes the `PARITY` syndromes of a received word.
+    ///
+    /// All-zero syndromes ⇔ the word is a codeword.
+    pub fn syndromes(&self, received: &[u8]) -> Vec<u8> {
+        assert_eq!(received.len(), N, "received word must be {N} symbols");
+        (0..PARITY)
+            .map(|i| {
+                // S_i = r(α^i); received[0] is the x^(N-1) coefficient.
+                let x = self.field.alpha_pow(i);
+                received
+                    .iter()
+                    .fold(0u8, |acc, &r| self.field.mul(acc, x) ^ r)
+            })
+            .collect()
+    }
+
+    /// Decodes in place; returns what happened.
+    pub fn decode(&self, received: &mut [u8]) -> DecodeOutcome {
+        let syndromes = self.syndromes(received);
+        if syndromes.iter().all(|&s| s == 0) {
+            return DecodeOutcome::Clean;
+        }
+
+        // Berlekamp-Massey: find the error locator Λ(x).
+        let lambda = self.berlekamp_massey(&syndromes);
+        let errors = lambda.len() - 1;
+        if errors == 0 || errors > T {
+            return DecodeOutcome::Failure;
+        }
+
+        // Chien search: roots of Λ give error positions.
+        let positions = self.chien_search(&lambda);
+        if positions.len() != errors {
+            return DecodeOutcome::Failure;
+        }
+
+        // Forney: error magnitudes. With syndromes S_i = r(α^i) starting
+        // at i = 0, the magnitude at locator X is
+        // e = X · Ω(X⁻¹) / Λ'(X⁻¹).
+        let omega = self.error_evaluator(&syndromes, &lambda);
+        let lambda_prime = self.lambda_derivative(&lambda);
+        for &pos in &positions {
+            // Position pos corresponds to locator X = α^(N-1-pos).
+            let x_log = (N - 1 - pos) % 255;
+            let x = self.field.alpha_pow(x_log);
+            let x_inv = self.field.alpha_pow(255 - x_log);
+            let num = self.field.poly_eval(&omega, x_inv);
+            let den = self.field.poly_eval(&lambda_prime, x_inv);
+            if den == 0 {
+                return DecodeOutcome::Failure;
+            }
+            let magnitude = self.field.mul(x, self.field.div(num, den));
+            received[pos] ^= magnitude;
+        }
+
+        // Verify.
+        if self.syndromes(received).iter().all(|&s| s == 0) {
+            DecodeOutcome::Corrected {
+                corrected: positions.len(),
+            }
+        } else {
+            DecodeOutcome::Failure
+        }
+    }
+
+    /// Berlekamp-Massey over the syndrome sequence; returns Λ(x)
+    /// (LSB-first, Λ(0) = 1).
+    fn berlekamp_massey(&self, syndromes: &[u8]) -> Vec<u8> {
+        let f = &self.field;
+        let mut lambda = vec![1u8];
+        let mut prev = vec![1u8];
+        let mut l = 0usize;
+        let mut m = 1usize;
+        let mut b = 1u8;
+        for n in 0..PARITY {
+            // Discrepancy δ = Σ_{i=0}^{l} Λ_i · S_{n-i}.
+            let mut delta = 0u8;
+            for i in 0..=l.min(lambda.len() - 1) {
+                delta ^= f.mul(lambda[i], syndromes[n - i]);
+            }
+            if delta == 0 {
+                m += 1;
+            } else if 2 * l <= n {
+                let temp = lambda.clone();
+                let scale = f.div(delta, b);
+                lambda = poly_sub_scaled_shift(f, &lambda, &prev, scale, m);
+                prev = temp;
+                l = n + 1 - l;
+                b = delta;
+                m = 1;
+            } else {
+                let scale = f.div(delta, b);
+                lambda = poly_sub_scaled_shift(f, &lambda, &prev, scale, m);
+                m += 1;
+            }
+        }
+        // Trim trailing zeros.
+        while lambda.len() > 1 && *lambda.last().expect("non-empty") == 0 {
+            lambda.pop();
+        }
+        lambda
+    }
+
+    /// Chien search: positions (codeword indices) where Λ(X⁻¹) = 0.
+    fn chien_search(&self, lambda: &[u8]) -> Vec<usize> {
+        let f = &self.field;
+        let mut positions = Vec::new();
+        for pos in 0..N {
+            let x_log = (N - 1 - pos) % 255;
+            let x_inv = f.alpha_pow(255 - x_log);
+            if f.poly_eval(lambda, x_inv) == 0 {
+                positions.push(pos);
+            }
+        }
+        positions
+    }
+
+    /// Ω(x) = S(x)·Λ(x) mod x^PARITY.
+    fn error_evaluator(&self, syndromes: &[u8], lambda: &[u8]) -> Vec<u8> {
+        let mut omega = self.field.poly_mul(syndromes, lambda);
+        omega.truncate(PARITY);
+        omega
+    }
+
+    /// Formal derivative of Λ (odd-power coefficients survive).
+    fn lambda_derivative(&self, lambda: &[u8]) -> Vec<u8> {
+        let mut d = Vec::with_capacity(lambda.len().saturating_sub(1));
+        for (i, &c) in lambda.iter().enumerate().skip(1) {
+            d.push(if i % 2 == 1 { c } else { 0 });
+        }
+        if d.is_empty() {
+            d.push(0);
+        }
+        d
+    }
+}
+
+/// λ' = λ + scale · x^shift · prev (GF(2^m): + is XOR).
+fn poly_sub_scaled_shift(f: &Gf256, lambda: &[u8], prev: &[u8], scale: u8, shift: usize) -> Vec<u8> {
+    let mut out = lambda.to_vec();
+    let needed = prev.len() + shift;
+    if out.len() < needed {
+        out.resize(needed, 0);
+    }
+    for (i, &p) in prev.iter().enumerate() {
+        out[i + shift] ^= f.mul(scale, p);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_message(rng: &mut StdRng) -> Vec<u8> {
+        (0..K).map(|_| rng.random()).collect()
+    }
+
+    #[test]
+    fn encode_produces_zero_syndromes() {
+        let rs = ReedSolomon::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..5 {
+            let msg = random_message(&mut rng);
+            let cw = rs.encode(&msg);
+            assert_eq!(cw.len(), N);
+            assert_eq!(&cw[..K], &msg[..], "systematic prefix");
+            assert!(rs.syndromes(&cw).iter().all(|&s| s == 0));
+        }
+    }
+
+    #[test]
+    fn clean_codeword_decodes_clean() {
+        let rs = ReedSolomon::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let msg = random_message(&mut rng);
+        let mut cw = rs.encode(&msg);
+        assert_eq!(rs.decode(&mut cw), DecodeOutcome::Clean);
+        assert_eq!(&cw[..K], &msg[..]);
+    }
+
+    #[test]
+    fn corrects_up_to_t_errors() {
+        let rs = ReedSolomon::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        for n_errors in 1..=T {
+            let msg = random_message(&mut rng);
+            let clean = rs.encode(&msg);
+            let mut noisy = clean.clone();
+            // Inject n distinct symbol errors.
+            let mut hit = std::collections::HashSet::new();
+            while hit.len() < n_errors {
+                let pos = rng.random_range(0..N);
+                if hit.insert(pos) {
+                    let e: u8 = rng.random_range(1..=255) as u8;
+                    noisy[pos] ^= e;
+                }
+            }
+            let outcome = rs.decode(&mut noisy);
+            assert_eq!(
+                outcome,
+                DecodeOutcome::Corrected { corrected: n_errors },
+                "n_errors={n_errors}"
+            );
+            assert_eq!(noisy, clean, "n_errors={n_errors}");
+        }
+    }
+
+    #[test]
+    fn detects_more_than_t_errors_usually() {
+        let rs = ReedSolomon::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let msg = random_message(&mut rng);
+        let clean = rs.encode(&msg);
+        let mut noisy = clean.clone();
+        // t+2 errors: decoding must not silently "correct" to the
+        // original (either Failure or a miscorrection to another
+        // codeword — but never the original).
+        let mut hit = std::collections::HashSet::new();
+        while hit.len() < T + 2 {
+            let pos = rng.random_range(0..N);
+            if hit.insert(pos) {
+                noisy[pos] ^= 0x55;
+            }
+        }
+        let outcome = rs.decode(&mut noisy);
+        if outcome != DecodeOutcome::Failure {
+            assert_ne!(noisy, clean, "cannot recover from t+2 errors");
+        }
+    }
+
+    #[test]
+    fn generator_polynomial_has_degree_parity() {
+        let rs = ReedSolomon::new();
+        assert_eq!(rs.generator.len(), PARITY + 1);
+        assert_eq!(*rs.generator.last().unwrap(), 1, "monic");
+        // Every α^i (i < PARITY) is a root.
+        for i in 0..PARITY {
+            let root = rs.field.alpha_pow(i);
+            assert_eq!(rs.field.poly_eval(&rs.generator, root), 0, "root {i}");
+        }
+    }
+
+    #[test]
+    fn burst_error_at_block_edges_corrects() {
+        let rs = ReedSolomon::new();
+        let msg = vec![7u8; K];
+        let clean = rs.encode(&msg);
+        let mut noisy = clean.clone();
+        // Corrupt the first and last T/2 symbols.
+        for item in noisy.iter_mut().take(T / 2) {
+            *item ^= 0xFF;
+        }
+        for item in noisy.iter_mut().rev().take(T / 2) {
+            *item ^= 0xAA;
+        }
+        assert_eq!(
+            rs.decode(&mut noisy),
+            DecodeOutcome::Corrected { corrected: T }
+        );
+        assert_eq!(noisy, clean);
+    }
+}

@@ -1,0 +1,60 @@
+//! Property tests for the codec substrates: any message round-trips
+//! through encode → inject ≤ t errors → decode.
+
+use lis_ip::{viterbi_decode, ConvEncoder, DecodeOutcome, ReedSolomon, K, N, T};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// RS(255,239) corrects any pattern of up to T symbol errors.
+    #[test]
+    fn rs_round_trip_with_errors(
+        msg in prop::collection::vec(any::<u8>(), K),
+        error_spec in prop::collection::btree_map(0usize..N, 1u8..=255, 0..=T),
+    ) {
+        let rs = ReedSolomon::new();
+        let clean = rs.encode(&msg);
+        let mut noisy = clean.clone();
+        for (&pos, &val) in &error_spec {
+            noisy[pos] ^= val;
+        }
+        let outcome = rs.decode(&mut noisy);
+        prop_assert_eq!(noisy, clean);
+        if error_spec.is_empty() {
+            prop_assert_eq!(outcome, DecodeOutcome::Clean);
+        } else {
+            prop_assert_eq!(outcome, DecodeOutcome::Corrected { corrected: error_spec.len() });
+        }
+    }
+
+    /// The Viterbi decoder inverts the convolutional encoder on a clean
+    /// channel for any message.
+    #[test]
+    fn viterbi_clean_round_trip(bits in prop::collection::vec(any::<bool>(), 1..300)) {
+        let coded = ConvEncoder::encode_block(&bits);
+        let (decoded, metric) = viterbi_decode(&coded);
+        prop_assert_eq!(decoded, bits);
+        prop_assert_eq!(metric, 0);
+    }
+
+    /// Single isolated channel-bit errors are always corrected (free
+    /// distance 5 ⇒ up to 2 errors per constraint span).
+    #[test]
+    fn viterbi_corrects_one_error(
+        bits in prop::collection::vec(any::<bool>(), 10..120),
+        err_pos_frac in 0.0f64..1.0,
+        which in any::<bool>(),
+    ) {
+        let mut coded = ConvEncoder::encode_block(&bits);
+        let pos = ((coded.len() - 1) as f64 * err_pos_frac) as usize;
+        if which {
+            coded[pos].0 = !coded[pos].0;
+        } else {
+            coded[pos].1 = !coded[pos].1;
+        }
+        let (decoded, metric) = viterbi_decode(&coded);
+        prop_assert_eq!(decoded, bits);
+        prop_assert_eq!(metric, 1);
+    }
+}

@@ -1,0 +1,254 @@
+//! Cell library: the primitive gates a module is built from.
+//!
+//! The library is deliberately small — two-input logic, an inverter, a
+//! 2:1 multiplexer, a D flip-flop with clock-enable and synchronous reset,
+//! and constants. Everything a synchronization wrapper needs lowers onto
+//! these primitives, and the technology mapper in `lis-synth` understands
+//! exactly this set.
+
+use crate::id::NetId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The operation performed by a [`Cell`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CellKind {
+    /// Two-input AND. Pins: `[a, b]`.
+    And,
+    /// Two-input OR. Pins: `[a, b]`.
+    Or,
+    /// Two-input XOR. Pins: `[a, b]`.
+    Xor,
+    /// Two-input NAND. Pins: `[a, b]`.
+    Nand,
+    /// Two-input NOR. Pins: `[a, b]`.
+    Nor,
+    /// Two-input XNOR. Pins: `[a, b]`.
+    Xnor,
+    /// Inverter. Pins: `[a]`.
+    Not,
+    /// Buffer (identity). Pins: `[a]`. Used to alias nets at port
+    /// boundaries; the mapper collapses buffers for free.
+    Buf,
+    /// 2:1 multiplexer. Pins: `[sel, a, b]`; output is `a` when `sel` is
+    /// low, `b` when `sel` is high.
+    Mux,
+    /// D flip-flop with clock enable and synchronous reset.
+    ///
+    /// Pins: `[d, en, rst]`. On every clock edge:
+    /// `q' = if rst { reset_value } else if en { d } else { q }`.
+    /// `reset_value` is also the power-up value.
+    Dff {
+        /// Power-up and synchronous-reset value.
+        reset_value: bool,
+    },
+    /// Constant driver. Pins: `[]`.
+    Const(bool),
+}
+
+impl CellKind {
+    /// Number of input pins this kind of cell requires.
+    pub fn arity(self) -> usize {
+        match self {
+            CellKind::And
+            | CellKind::Or
+            | CellKind::Xor
+            | CellKind::Nand
+            | CellKind::Nor
+            | CellKind::Xnor => 2,
+            CellKind::Not | CellKind::Buf => 1,
+            CellKind::Mux => 3,
+            CellKind::Dff { .. } => 3,
+            CellKind::Const(_) => 0,
+        }
+    }
+
+    /// Whether the cell is sequential (clocked).
+    pub fn is_sequential(self) -> bool {
+        matches!(self, CellKind::Dff { .. })
+    }
+
+    /// Whether the cell contributes combinational logic that the
+    /// technology mapper must cover with LUTs.
+    ///
+    /// Constants and buffers are absorbed for free; flip-flops map to
+    /// slice registers.
+    pub fn is_combinational_logic(self) -> bool {
+        !matches!(
+            self,
+            CellKind::Dff { .. } | CellKind::Const(_) | CellKind::Buf
+        )
+    }
+
+    /// Evaluates the combinational function of this cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a sequential cell ([`CellKind::Dff`]) or if
+    /// `inputs.len() != self.arity()`.
+    pub fn eval(self, inputs: &[bool]) -> bool {
+        assert_eq!(
+            inputs.len(),
+            self.arity(),
+            "cell {self:?} expects {} inputs, got {}",
+            self.arity(),
+            inputs.len()
+        );
+        match self {
+            CellKind::And => inputs[0] & inputs[1],
+            CellKind::Or => inputs[0] | inputs[1],
+            CellKind::Xor => inputs[0] ^ inputs[1],
+            CellKind::Nand => !(inputs[0] & inputs[1]),
+            CellKind::Nor => !(inputs[0] | inputs[1]),
+            CellKind::Xnor => !(inputs[0] ^ inputs[1]),
+            CellKind::Not => !inputs[0],
+            CellKind::Buf => inputs[0],
+            CellKind::Mux => {
+                if inputs[0] {
+                    inputs[2]
+                } else {
+                    inputs[1]
+                }
+            }
+            CellKind::Dff { .. } => panic!("Dff has no combinational function"),
+            CellKind::Const(v) => v,
+        }
+    }
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellKind::And => write!(f, "and"),
+            CellKind::Or => write!(f, "or"),
+            CellKind::Xor => write!(f, "xor"),
+            CellKind::Nand => write!(f, "nand"),
+            CellKind::Nor => write!(f, "nor"),
+            CellKind::Xnor => write!(f, "xnor"),
+            CellKind::Not => write!(f, "not"),
+            CellKind::Buf => write!(f, "buf"),
+            CellKind::Mux => write!(f, "mux"),
+            CellKind::Dff { reset_value } => write!(f, "dff(rst={})", u8::from(*reset_value)),
+            CellKind::Const(v) => write!(f, "const({})", u8::from(*v)),
+        }
+    }
+}
+
+/// One instantiated primitive inside a [`crate::Module`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cell {
+    /// The operation this cell performs.
+    pub kind: CellKind,
+    /// Input nets, in pin order (see [`CellKind`] pin documentation).
+    pub inputs: Vec<NetId>,
+    /// The single net driven by this cell.
+    pub output: NetId,
+}
+
+impl Cell {
+    /// Creates a cell after checking the pin count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != kind.arity()`.
+    pub fn new(kind: CellKind, inputs: Vec<NetId>, output: NetId) -> Self {
+        assert_eq!(
+            inputs.len(),
+            kind.arity(),
+            "cell {kind} expects {} inputs, got {}",
+            kind.arity(),
+            inputs.len()
+        );
+        Cell {
+            kind,
+            inputs,
+            output,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NetId {
+        NetId::from_index(i)
+    }
+
+    #[test]
+    fn arity_matches_pin_documentation() {
+        assert_eq!(CellKind::And.arity(), 2);
+        assert_eq!(CellKind::Not.arity(), 1);
+        assert_eq!(CellKind::Mux.arity(), 3);
+        assert_eq!(CellKind::Dff { reset_value: false }.arity(), 3);
+        assert_eq!(CellKind::Const(true).arity(), 0);
+    }
+
+    #[test]
+    fn eval_truth_tables() {
+        use CellKind::*;
+        for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+            assert_eq!(And.eval(&[a, b]), a & b);
+            assert_eq!(Or.eval(&[a, b]), a | b);
+            assert_eq!(Xor.eval(&[a, b]), a ^ b);
+            assert_eq!(Nand.eval(&[a, b]), !(a & b));
+            assert_eq!(Nor.eval(&[a, b]), !(a | b));
+            assert_eq!(Xnor.eval(&[a, b]), !(a ^ b));
+        }
+        assert!(Not.eval(&[false]));
+        assert!(!Not.eval(&[true]));
+        assert!(Buf.eval(&[true]));
+        assert!(Const(true).eval(&[]));
+        assert!(!Const(false).eval(&[]));
+    }
+
+    #[test]
+    fn mux_selects_second_input_when_high() {
+        // sel=0 -> a, sel=1 -> b
+        assert!(!CellKind::Mux.eval(&[false, false, true]));
+        assert!(CellKind::Mux.eval(&[true, false, true]));
+        assert!(CellKind::Mux.eval(&[false, true, false]));
+        assert!(!CellKind::Mux.eval(&[true, true, false]));
+    }
+
+    #[test]
+    #[should_panic(expected = "no combinational function")]
+    fn eval_rejects_dff() {
+        CellKind::Dff { reset_value: false }.eval(&[false, false, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 2 inputs")]
+    fn eval_rejects_wrong_arity() {
+        CellKind::And.eval(&[true]);
+    }
+
+    #[test]
+    fn cell_new_validates_arity() {
+        let c = Cell::new(CellKind::And, vec![n(0), n(1)], n(2));
+        assert_eq!(c.kind, CellKind::And);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 3 inputs")]
+    fn cell_new_rejects_bad_arity() {
+        let _ = Cell::new(CellKind::Mux, vec![n(0), n(1)], n(2));
+    }
+
+    #[test]
+    fn sequential_and_logic_classification() {
+        assert!(CellKind::Dff { reset_value: true }.is_sequential());
+        assert!(!CellKind::And.is_sequential());
+        assert!(CellKind::And.is_combinational_logic());
+        assert!(!CellKind::Buf.is_combinational_logic());
+        assert!(!CellKind::Const(false).is_combinational_logic());
+        assert!(!CellKind::Dff { reset_value: false }.is_combinational_logic());
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(CellKind::And.to_string(), "and");
+        assert_eq!(CellKind::Dff { reset_value: true }.to_string(), "dff(rst=1)");
+        assert_eq!(CellKind::Const(false).to_string(), "const(0)");
+    }
+}

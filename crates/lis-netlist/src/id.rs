@@ -1,0 +1,116 @@
+//! Typed identifiers for netlist entities.
+//!
+//! Nets and cells are stored in arenas inside a [`crate::Module`]; these
+//! newtypes are indices into those arenas. Using distinct types prevents a
+//! net index from being confused with a cell index (C-NEWTYPE).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a single-bit net inside one [`crate::Module`].
+///
+/// A `NetId` is only meaningful for the module that created it; mixing ids
+/// across modules is caught by [`crate::Module::validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NetId(u32);
+
+impl NetId {
+    /// Creates a `NetId` from a raw arena index.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        NetId(u32::try_from(index).expect("netlist exceeds u32::MAX nets"))
+    }
+
+    /// Returns the raw arena index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a cell (gate, flip-flop or constant) inside one
+/// [`crate::Module`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CellId(u32);
+
+impl CellId {
+    /// Creates a `CellId` from a raw arena index.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        CellId(u32::try_from(index).expect("netlist exceeds u32::MAX cells"))
+    }
+
+    /// Returns the raw arena index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Identifier of a read-only memory block inside one [`crate::Module`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RomId(u32);
+
+impl RomId {
+    /// Creates a `RomId` from a raw arena index.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        RomId(u32::try_from(index).expect("netlist exceeds u32::MAX roms"))
+    }
+
+    /// Returns the raw arena index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RomId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rom{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn net_id_round_trips_index() {
+        let id = NetId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.to_string(), "n42");
+    }
+
+    #[test]
+    fn cell_id_round_trips_index() {
+        let id = CellId::from_index(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id.to_string(), "c7");
+    }
+
+    #[test]
+    fn rom_id_round_trips_index() {
+        let id = RomId::from_index(3);
+        assert_eq!(id.index(), 3);
+        assert_eq!(id.to_string(), "rom3");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(NetId::from_index(1) < NetId::from_index(2));
+        assert!(CellId::from_index(0) < CellId::from_index(9));
+    }
+}

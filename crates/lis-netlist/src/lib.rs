@@ -1,0 +1,52 @@
+//! # lis-netlist — gate-level IR for synchronization-wrapper synthesis
+//!
+//! This crate is the hardware intermediate representation underneath the
+//! reproduction of Bomel, Martin & Boutillon, *"Synchronization Processor
+//! Synthesis for Latency Insensitive Systems"* (DATE 2005). Wrapper
+//! generators in `lis-wrappers` build [`Module`]s through
+//! [`ModuleBuilder`]; `lis-synth` maps them onto FPGA slices; `lis-sim`
+//! interprets them cycle-accurately; `lis-hdl` prints them as Verilog or
+//! VHDL.
+//!
+//! The IR is deliberately minimal: flat modules over single-bit nets, a
+//! small cell library ([`CellKind`]), multi-bit ports, and asynchronous
+//! [`Rom`]s (the storage that makes the synchronization processor's logic
+//! complexity independent of schedule length).
+//!
+//! # Examples
+//!
+//! ```
+//! use lis_netlist::{ModuleBuilder, NetlistStats};
+//!
+//! # fn main() -> Result<(), lis_netlist::NetlistError> {
+//! // A 4-bit modulo-10 counter with an enable input.
+//! let mut b = ModuleBuilder::new("bcd_counter");
+//! let en = b.input("en", 1).bit(0);
+//! let rst = b.input("rst", 1).bit(0);
+//! let count = b.counter_mod(4, en, rst, 10);
+//! b.output("count", &count);
+//! let module = b.finish()?;
+//! assert_eq!(module.ff_count(), 4);
+//! println!("{}", NetlistStats::of(&module));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod cell;
+mod error;
+mod id;
+mod module;
+mod stats;
+mod validate;
+
+pub use builder::{Bus, ModuleBuilder};
+pub use cell::{Cell, CellKind};
+pub use error::NetlistError;
+pub use id::{CellId, NetId, RomId};
+pub use module::{Driver, Module, Net, Port, Rom};
+pub use stats::NetlistStats;
+pub use validate::{topo_order, validate, CombNode};

@@ -1,0 +1,319 @@
+//! The flat gate-level module: arenas of nets, cells and ROMs plus a port
+//! interface.
+
+use crate::cell::{Cell, CellKind};
+use crate::id::{CellId, NetId, RomId};
+use serde::{Deserialize, Serialize};
+
+/// What drives a net. Computed and cached by [`Module::rebuild_drivers`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Driver {
+    /// Driven by the output pin of a cell.
+    Cell(CellId),
+    /// Driven by bit `bit` of the data bus of a ROM.
+    Rom(RomId, usize),
+    /// Driven from outside the module: bit `bit` of input port `port`.
+    Input {
+        /// Index into [`Module::inputs`].
+        port: usize,
+        /// Bit position within the port.
+        bit: usize,
+    },
+}
+
+/// A single-bit wire.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Net {
+    /// Optional debug name (kept through synthesis and HDL emission).
+    pub name: Option<String>,
+}
+
+/// A named, possibly multi-bit boundary port. Bit 0 is the least
+/// significant bit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Port {
+    /// Port name, unique within the module and direction.
+    pub name: String,
+    /// The nets carrying each bit, LSB first.
+    pub bits: Vec<NetId>,
+}
+
+impl Port {
+    /// Port width in bits.
+    pub fn width(&self) -> usize {
+        self.bits.len()
+    }
+}
+
+/// An asynchronous read-only memory: `data = contents[addr]`.
+///
+/// The synchronization processor of Bomel et al. stores its operation
+/// program in exactly such a memory ("the memory is an asynchronous ROM, or
+/// SRAM with FPGAs"); its interface is reduced to an address bus and a data
+/// bus. The technology mapper accounts ROM bits separately from logic
+/// slices, which is the structural reason the SP's slice count is
+/// independent of schedule length.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rom {
+    /// Debug name.
+    pub name: String,
+    /// Address bus (LSB first). Width `a` addresses `2^a` words, but
+    /// `contents.len()` may be smaller; reads past the end return 0.
+    pub addr: Vec<NetId>,
+    /// Data bus (LSB first).
+    pub data: Vec<NetId>,
+    /// Word contents, LSB-first packing in each `u64`.
+    pub contents: Vec<u64>,
+}
+
+impl Rom {
+    /// Number of storage bits (words × data width).
+    pub fn bits(&self) -> usize {
+        self.contents.len() * self.data.len()
+    }
+
+    /// Reads word `index`, returning 0 beyond the populated contents.
+    pub fn read(&self, index: usize) -> u64 {
+        self.contents.get(index).copied().unwrap_or(0)
+    }
+}
+
+/// A flat gate-level module.
+///
+/// Invariants (checked by [`Module::validate`]):
+/// * every net is driven exactly once (by a cell, a ROM data bit, or an
+///   input port bit);
+/// * combinational paths are acyclic (flip-flops break cycles);
+/// * all referenced ids are in range.
+///
+/// Construct modules through [`crate::ModuleBuilder`], which maintains the
+/// invariants; the fields stay public so analyses (mapping, timing,
+/// emission) can walk the structure directly, in the passive-data spirit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Module {
+    /// Module name (used by HDL emission).
+    pub name: String,
+    /// Net arena.
+    pub nets: Vec<Net>,
+    /// Cell arena.
+    pub cells: Vec<Cell>,
+    /// ROM arena.
+    pub roms: Vec<Rom>,
+    /// Input ports.
+    pub inputs: Vec<Port>,
+    /// Output ports.
+    pub outputs: Vec<Port>,
+}
+
+impl Module {
+    /// Creates an empty module. Prefer [`crate::ModuleBuilder`].
+    pub fn new(name: impl Into<String>) -> Self {
+        Module {
+            name: name.into(),
+            nets: Vec::new(),
+            cells: Vec::new(),
+            roms: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Number of nets.
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Number of cells.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of flip-flops.
+    pub fn ff_count(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| c.kind.is_sequential())
+            .count()
+    }
+
+    /// Total ROM storage bits.
+    pub fn rom_bits(&self) -> usize {
+        self.roms.iter().map(Rom::bits).sum()
+    }
+
+    /// Returns the cell with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id.index()]
+    }
+
+    /// Returns the ROM with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn rom(&self, id: RomId) -> &Rom {
+        &self.roms[id.index()]
+    }
+
+    /// Looks up an input port by name.
+    pub fn input(&self, name: &str) -> Option<&Port> {
+        self.inputs.iter().find(|p| p.name == name)
+    }
+
+    /// Looks up an output port by name.
+    pub fn output(&self, name: &str) -> Option<&Port> {
+        self.outputs.iter().find(|p| p.name == name)
+    }
+
+    /// Computes, for every net, what drives it.
+    ///
+    /// Returns `None` entries for undriven nets and reports *only the
+    /// first* driver when a net is multiply driven — use
+    /// [`Module::validate`](crate::validate) for full diagnostics.
+    pub fn rebuild_drivers(&self) -> Vec<Option<Driver>> {
+        let mut drivers: Vec<Option<Driver>> = vec![None; self.nets.len()];
+        for (pi, port) in self.inputs.iter().enumerate() {
+            for (bi, net) in port.bits.iter().enumerate() {
+                if net.index() < drivers.len() && drivers[net.index()].is_none() {
+                    drivers[net.index()] = Some(Driver::Input { port: pi, bit: bi });
+                }
+            }
+        }
+        for (ci, cell) in self.cells.iter().enumerate() {
+            let out = cell.output;
+            if out.index() < drivers.len() && drivers[out.index()].is_none() {
+                drivers[out.index()] = Some(Driver::Cell(CellId::from_index(ci)));
+            }
+        }
+        for (ri, rom) in self.roms.iter().enumerate() {
+            for (bi, net) in rom.data.iter().enumerate() {
+                if net.index() < drivers.len() && drivers[net.index()].is_none() {
+                    drivers[net.index()] = Some(Driver::Rom(RomId::from_index(ri), bi));
+                }
+            }
+        }
+        drivers
+    }
+
+    /// Computes per-net fanout (number of cell/ROM/output-port pins each
+    /// net feeds). Used by the wire-load timing model.
+    pub fn fanout(&self) -> Vec<usize> {
+        let mut fanout = vec![0usize; self.nets.len()];
+        for cell in &self.cells {
+            for input in &cell.inputs {
+                if input.index() < fanout.len() {
+                    fanout[input.index()] += 1;
+                }
+            }
+        }
+        for rom in &self.roms {
+            for a in &rom.addr {
+                if a.index() < fanout.len() {
+                    fanout[a.index()] += 1;
+                }
+            }
+        }
+        for port in &self.outputs {
+            for bit in &port.bits {
+                if bit.index() < fanout.len() {
+                    fanout[bit.index()] += 1;
+                }
+            }
+        }
+        fanout
+    }
+
+    /// Iterates over cells together with their ids.
+    pub fn iter_cells(&self) -> impl Iterator<Item = (CellId, &Cell)> {
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (CellId::from_index(i), c))
+    }
+
+    /// Counts cells of one kind.
+    pub fn count_kind(&self, kind: CellKind) -> usize {
+        self.cells.iter().filter(|c| c.kind == kind).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellKind;
+
+    fn tiny_module() -> Module {
+        // in a, in b -> and -> out y
+        let mut m = Module::new("tiny");
+        m.nets = vec![Net::default(), Net::default(), Net::default()];
+        m.inputs = vec![
+            Port {
+                name: "a".into(),
+                bits: vec![NetId::from_index(0)],
+            },
+            Port {
+                name: "b".into(),
+                bits: vec![NetId::from_index(1)],
+            },
+        ];
+        m.cells = vec![Cell::new(
+            CellKind::And,
+            vec![NetId::from_index(0), NetId::from_index(1)],
+            NetId::from_index(2),
+        )];
+        m.outputs = vec![Port {
+            name: "y".into(),
+            bits: vec![NetId::from_index(2)],
+        }];
+        m
+    }
+
+    #[test]
+    fn counts_and_lookups() {
+        let m = tiny_module();
+        assert_eq!(m.net_count(), 3);
+        assert_eq!(m.cell_count(), 1);
+        assert_eq!(m.ff_count(), 0);
+        assert_eq!(m.rom_bits(), 0);
+        assert_eq!(m.input("a").unwrap().width(), 1);
+        assert!(m.input("z").is_none());
+        assert_eq!(m.output("y").unwrap().width(), 1);
+        assert_eq!(m.count_kind(CellKind::And), 1);
+    }
+
+    #[test]
+    fn drivers_identify_inputs_and_cells() {
+        let m = tiny_module();
+        let d = m.rebuild_drivers();
+        assert_eq!(d[0], Some(Driver::Input { port: 0, bit: 0 }));
+        assert_eq!(d[1], Some(Driver::Input { port: 1, bit: 0 }));
+        assert_eq!(d[2], Some(Driver::Cell(CellId::from_index(0))));
+    }
+
+    #[test]
+    fn fanout_counts_cell_and_port_loads() {
+        let m = tiny_module();
+        let f = m.fanout();
+        assert_eq!(f[0], 1); // feeds the and gate
+        assert_eq!(f[1], 1);
+        assert_eq!(f[2], 1); // feeds output port
+    }
+
+    #[test]
+    fn rom_read_returns_zero_past_end() {
+        let rom = Rom {
+            name: "ops".into(),
+            addr: vec![NetId::from_index(0)],
+            data: vec![NetId::from_index(1), NetId::from_index(2)],
+            contents: vec![0b01, 0b10],
+        };
+        assert_eq!(rom.read(0), 0b01);
+        assert_eq!(rom.read(1), 0b10);
+        assert_eq!(rom.read(5), 0);
+        assert_eq!(rom.bits(), 4);
+    }
+}

@@ -1,0 +1,132 @@
+//! Aggregate structural statistics of a module.
+
+use crate::cell::CellKind;
+use crate::module::Module;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Cell/net/ROM census of a [`Module`], used by reports and by the
+/// figure-reproduction binaries to describe wrapper structure.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetlistStats {
+    /// Total nets.
+    pub nets: usize,
+    /// Total cells of any kind.
+    pub cells: usize,
+    /// Two-input logic gates (and/or/xor/nand/nor/xnor).
+    pub gates2: usize,
+    /// Inverters.
+    pub inverters: usize,
+    /// Buffers.
+    pub buffers: usize,
+    /// 2:1 multiplexers.
+    pub muxes: usize,
+    /// Flip-flops.
+    pub flip_flops: usize,
+    /// Constant drivers.
+    pub constants: usize,
+    /// ROM instances.
+    pub roms: usize,
+    /// Total ROM storage bits.
+    pub rom_bits: usize,
+    /// Input ports (bits).
+    pub input_bits: usize,
+    /// Output ports (bits).
+    pub output_bits: usize,
+}
+
+impl NetlistStats {
+    /// Computes statistics for a module.
+    pub fn of(module: &Module) -> Self {
+        let mut s = NetlistStats {
+            nets: module.net_count(),
+            cells: module.cell_count(),
+            roms: module.roms.len(),
+            rom_bits: module.rom_bits(),
+            input_bits: module.inputs.iter().map(|p| p.width()).sum(),
+            output_bits: module.outputs.iter().map(|p| p.width()).sum(),
+            ..NetlistStats::default()
+        };
+        for cell in &module.cells {
+            match cell.kind {
+                CellKind::And
+                | CellKind::Or
+                | CellKind::Xor
+                | CellKind::Nand
+                | CellKind::Nor
+                | CellKind::Xnor => s.gates2 += 1,
+                CellKind::Not => s.inverters += 1,
+                CellKind::Buf => s.buffers += 1,
+                CellKind::Mux => s.muxes += 1,
+                CellKind::Dff { .. } => s.flip_flops += 1,
+                CellKind::Const(_) => s.constants += 1,
+            }
+        }
+        s
+    }
+
+    /// Combinational nodes the LUT mapper must cover.
+    pub fn logic_nodes(&self) -> usize {
+        self.gates2 + self.inverters + self.muxes
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "nets={} cells={} (gates2={} inv={} mux={} buf={} ff={} const={}) roms={} rom_bits={} io={}/{}",
+            self.nets,
+            self.cells,
+            self.gates2,
+            self.inverters,
+            self.muxes,
+            self.buffers,
+            self.flip_flops,
+            self.constants,
+            self.roms,
+            self.rom_bits,
+            self.input_bits,
+            self.output_bits,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+
+    #[test]
+    fn stats_census_matches_structure() {
+        let mut b = ModuleBuilder::new("s");
+        let a = b.input("a", 4);
+        let en = b.constant(true);
+        let rst = b.constant(false);
+        let n = b.not(a.bit(0));
+        let g = b.and(n, a.bit(1));
+        let m = b.mux(g, a.bit(2), a.bit(3));
+        let q = b.dff(m, en, rst, false);
+        b.output_bit("q", q);
+        let module = b.finish().unwrap();
+        let s = NetlistStats::of(&module);
+        assert_eq!(s.gates2, 1);
+        assert_eq!(s.inverters, 1);
+        assert_eq!(s.muxes, 1);
+        assert_eq!(s.flip_flops, 1);
+        assert_eq!(s.constants, 2);
+        assert_eq!(s.input_bits, 4);
+        assert_eq!(s.output_bits, 1);
+        assert_eq!(s.logic_nodes(), 3);
+        assert_eq!(s.cells, module.cell_count());
+    }
+
+    #[test]
+    fn display_mentions_all_fields() {
+        let b = ModuleBuilder::new("empty");
+        let m = b.finish_unchecked();
+        let text = NetlistStats::of(&m).to_string();
+        assert!(text.contains("nets=0"));
+        assert!(text.contains("rom_bits=0"));
+    }
+}

@@ -1,0 +1,353 @@
+//! Structural validation and combinational topological ordering.
+//!
+//! Both the simulator (`lis-sim`) and the technology mapper (`lis-synth`)
+//! need a provably acyclic evaluation order of the combinational nodes;
+//! [`topo_order`] computes it and doubles as the cycle check used by
+//! [`validate`].
+
+use crate::error::NetlistError;
+use crate::id::{CellId, NetId, RomId};
+use crate::module::Module;
+use std::collections::VecDeque;
+
+/// A combinationally evaluated node: a logic cell or an asynchronous ROM
+/// read port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CombNode {
+    /// A combinational cell (gate, mux, buffer, constant).
+    Cell(CellId),
+    /// A ROM (data bus depends combinationally on the address bus).
+    Rom(RomId),
+}
+
+/// Checks every structural invariant of a module.
+///
+/// # Errors
+///
+/// Returns the first violation found:
+/// * duplicate or dangling port names/nets,
+/// * nets with zero or multiple drivers,
+/// * cells referencing out-of-range nets,
+/// * ROM geometry mismatches,
+/// * combinational cycles.
+pub fn validate(module: &Module) -> Result<(), NetlistError> {
+    let net_count = module.nets.len();
+    let in_range = |net: NetId| net.index() < net_count;
+
+    // Port sanity.
+    let mut seen = std::collections::HashSet::new();
+    for port in module.inputs.iter().chain(module.outputs.iter()) {
+        if !seen.insert(&port.name) {
+            return Err(NetlistError::DuplicatePort {
+                port: port.name.clone(),
+            });
+        }
+        for &bit in &port.bits {
+            if !in_range(bit) {
+                return Err(NetlistError::DanglingPort {
+                    port: port.name.clone(),
+                    net: bit,
+                });
+            }
+        }
+    }
+
+    // Cell pin sanity.
+    for (ci, cell) in module.iter_cells() {
+        for &net in cell.inputs.iter().chain(std::iter::once(&cell.output)) {
+            if !in_range(net) {
+                return Err(NetlistError::DanglingNet { cell: ci, net });
+            }
+        }
+    }
+
+    // ROM geometry.
+    for (ri, rom) in module.roms.iter().enumerate() {
+        let rid = RomId::from_index(ri);
+        for &net in rom.addr.iter().chain(rom.data.iter()) {
+            if !in_range(net) {
+                return Err(NetlistError::RomGeometry {
+                    rom: rid,
+                    detail: format!("references out-of-range net {net}"),
+                });
+            }
+        }
+        if rom.data.is_empty() {
+            return Err(NetlistError::RomGeometry {
+                rom: rid,
+                detail: "zero data width".to_owned(),
+            });
+        }
+        if rom.data.len() > 64 {
+            return Err(NetlistError::RomGeometry {
+                rom: rid,
+                detail: format!("data width {} exceeds 64", rom.data.len()),
+            });
+        }
+        let capacity = 1usize
+            .checked_shl(rom.addr.len() as u32)
+            .unwrap_or(usize::MAX);
+        if rom.contents.len() > capacity {
+            return Err(NetlistError::RomGeometry {
+                rom: rid,
+                detail: format!(
+                    "{} words exceed the {} addressable by {} address bits",
+                    rom.contents.len(),
+                    capacity,
+                    rom.addr.len()
+                ),
+            });
+        }
+        let width = rom.data.len();
+        for (i, &word) in rom.contents.iter().enumerate() {
+            if width < 64 && word >= (1u64 << width) {
+                return Err(NetlistError::RomGeometry {
+                    rom: rid,
+                    detail: format!("word {i} ({word:#x}) exceeds data width {width}"),
+                });
+            }
+        }
+    }
+
+    // Exactly one driver per net.
+    let mut driver_count = vec![0u8; net_count];
+    for port in &module.inputs {
+        for &bit in &port.bits {
+            driver_count[bit.index()] = driver_count[bit.index()].saturating_add(1);
+        }
+    }
+    for cell in &module.cells {
+        let i = cell.output.index();
+        driver_count[i] = driver_count[i].saturating_add(1);
+    }
+    for rom in &module.roms {
+        for &bit in &rom.data {
+            driver_count[bit.index()] = driver_count[bit.index()].saturating_add(1);
+        }
+    }
+    for (i, &count) in driver_count.iter().enumerate() {
+        let net = NetId::from_index(i);
+        if count == 0 {
+            return Err(NetlistError::UndrivenNet {
+                net,
+                name: module.nets[i].name.clone(),
+            });
+        }
+        if count > 1 {
+            return Err(NetlistError::MultipleDrivers { net });
+        }
+    }
+
+    // Acyclicity.
+    topo_order(module)?;
+    Ok(())
+}
+
+/// Computes a topological evaluation order of all combinational nodes.
+///
+/// Flip-flop outputs, module inputs and constants are sources; every
+/// combinational cell and ROM appears after all nodes driving its input
+/// nets.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalCycle`] when the combinational
+/// subgraph is cyclic.
+pub fn topo_order(module: &Module) -> Result<Vec<CombNode>, NetlistError> {
+    // Map each net to the combinational node driving it, if any.
+    #[derive(Clone, Copy, PartialEq)]
+    enum NetSrc {
+        Free,           // input port, DFF output: ready at time 0
+        Node(usize),    // index into `nodes`
+    }
+
+    let mut nodes: Vec<CombNode> = Vec::new();
+    let mut net_src = vec![NetSrc::Free; module.nets.len()];
+
+    for (ci, cell) in module.iter_cells() {
+        if cell.kind.is_sequential() {
+            continue;
+        }
+        let node_idx = nodes.len();
+        nodes.push(CombNode::Cell(ci));
+        net_src[cell.output.index()] = NetSrc::Node(node_idx);
+    }
+    for (ri, rom) in module.roms.iter().enumerate() {
+        let node_idx = nodes.len();
+        nodes.push(CombNode::Rom(RomId::from_index(ri)));
+        for &bit in &rom.data {
+            net_src[bit.index()] = NetSrc::Node(node_idx);
+        }
+    }
+
+    // Build dependency edges node -> dependents, count in-degrees.
+    let node_inputs = |node: CombNode| -> &[NetId] {
+        match node {
+            CombNode::Cell(c) => &module.cell(c).inputs,
+            CombNode::Rom(r) => &module.rom(r).addr,
+        }
+    };
+
+    let mut indegree = vec![0usize; nodes.len()];
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for (i, &node) in nodes.iter().enumerate() {
+        for &input in node_inputs(node) {
+            if let NetSrc::Node(src) = net_src[input.index()] {
+                indegree[i] += 1;
+                dependents[src].push(i);
+            }
+        }
+    }
+
+    let mut queue: VecDeque<usize> = (0..nodes.len()).filter(|&i| indegree[i] == 0).collect();
+    let mut order = Vec::with_capacity(nodes.len());
+    while let Some(i) = queue.pop_front() {
+        order.push(nodes[i]);
+        for &dep in &dependents[i] {
+            indegree[dep] -= 1;
+            if indegree[dep] == 0 {
+                queue.push_back(dep);
+            }
+        }
+    }
+
+    if order.len() != nodes.len() {
+        // Some node is on a cycle; report one of its output nets.
+        let on_cycle = (0..nodes.len()).find(|&i| indegree[i] > 0).expect("cycle");
+        let net = match nodes[on_cycle] {
+            CombNode::Cell(c) => module.cell(c).output,
+            CombNode::Rom(r) => module.rom(r).data[0],
+        };
+        return Err(NetlistError::CombinationalCycle { net });
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::cell::{Cell, CellKind};
+
+    #[test]
+    fn valid_combinational_module_passes() {
+        let mut b = ModuleBuilder::new("ok");
+        let a = b.input("a", 2);
+        let y = b.and(a.bit(0), a.bit(1));
+        b.output_bit("y", y);
+        let m = b.finish_unchecked();
+        assert!(validate(&m).is_ok());
+    }
+
+    #[test]
+    fn detects_combinational_cycle() {
+        let mut b = ModuleBuilder::new("cyc");
+        let a = b.input("a", 1).bit(0);
+        // Manufacture a cycle by hand: x = and(a, y); y = buf(x).
+        let x = b.fresh();
+        let y = b.fresh();
+        let m = {
+            let mut m = b.finish_unchecked();
+            m.cells.push(Cell::new(CellKind::And, vec![a, y], x));
+            m.cells.push(Cell::new(CellKind::Buf, vec![x], y));
+            m
+        };
+        let err = validate(&m).unwrap_err();
+        assert!(matches!(err, NetlistError::CombinationalCycle { .. }));
+    }
+
+    #[test]
+    fn dff_breaks_cycles() {
+        let mut b = ModuleBuilder::new("reg_loop");
+        let en = b.constant(true);
+        let rst = b.constant(false);
+        // q = dff(not q): a toggler. Legal because the DFF breaks the loop.
+        let q_net = b.fresh();
+        let nq = b.not(q_net);
+        let q = b.dff(nq, en, rst, false);
+        // alias q -> q_net
+        let mut m = b.finish_unchecked();
+        m.cells.push(Cell::new(CellKind::Buf, vec![q], q_net));
+        assert!(validate(&m).is_ok());
+    }
+
+    #[test]
+    fn rejects_multiple_drivers() {
+        let mut b = ModuleBuilder::new("multi");
+        let a = b.input("a", 1).bit(0);
+        let mut m = b.finish_unchecked();
+        // Drive the input net again from a constant cell.
+        let c = Cell::new(CellKind::Const(false), vec![], a);
+        m.cells.push(c);
+        assert!(matches!(
+            validate(&m),
+            Err(NetlistError::MultipleDrivers { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_port_names() {
+        let mut b = ModuleBuilder::new("dup");
+        let a = b.input("p", 1);
+        b.output("p", &a);
+        assert!(matches!(
+            b.finish(),
+            Err(NetlistError::DuplicatePort { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_rom_with_too_many_words() {
+        let mut b = ModuleBuilder::new("romchk");
+        let addr = b.input("addr", 1);
+        let data = b.rom("r", &addr, 4, vec![1, 2]);
+        b.output("d", &data);
+        let mut m = b.finish().expect("2 words fit 1 address bit");
+        m.roms[0].contents.push(3); // now 3 words on 1 address bit
+        assert!(matches!(
+            validate(&m),
+            Err(NetlistError::RomGeometry { .. })
+        ));
+    }
+
+    #[test]
+    fn topo_order_respects_dependencies() {
+        let mut b = ModuleBuilder::new("topo");
+        let a = b.input("a", 1).bit(0);
+        let x = b.not(a); // cell 0
+        let y = b.not(x); // cell 1 depends on cell 0
+        b.output_bit("y", y);
+        let m = b.finish().unwrap();
+        let order = topo_order(&m).unwrap();
+        let pos = |target: CombNode| order.iter().position(|&n| n == target).unwrap();
+        assert!(
+            pos(CombNode::Cell(CellId::from_index(0)))
+                < pos(CombNode::Cell(CellId::from_index(1)))
+        );
+    }
+
+    #[test]
+    fn topo_order_includes_roms_after_addr_logic() {
+        let mut b = ModuleBuilder::new("romtopo");
+        let a = b.input("a", 2);
+        let n0 = b.not(a.bit(0));
+        let addr = bus_from(vec![n0, a.bit(1)]);
+        let data = b.rom("r", &addr, 3, vec![1, 2, 3, 4]);
+        b.output("d", &data);
+        let m = b.finish().unwrap();
+        let order = topo_order(&m).unwrap();
+        let rom_pos = order
+            .iter()
+            .position(|n| matches!(n, CombNode::Rom(_)))
+            .unwrap();
+        let not_pos = order
+            .iter()
+            .position(|n| matches!(n, CombNode::Cell(_)))
+            .unwrap();
+        assert!(not_pos < rom_pos);
+    }
+
+    fn bus_from(nets: Vec<crate::id::NetId>) -> crate::builder::Bus {
+        crate::builder::Bus::from_nets(nets)
+    }
+}

@@ -1,0 +1,36 @@
+//! Serde round-trip: modules (the artifacts a flow would cache on disk)
+//! must serialize and deserialize losslessly.
+
+use lis_netlist::{Module, ModuleBuilder, NetlistStats};
+
+fn representative_module() -> Module {
+    let mut b = ModuleBuilder::new("roundtrip");
+    let a = b.input("a", 4);
+    let en = b.input("en", 1).bit(0);
+    let rst = b.input("rst", 1).bit(0);
+    let count = b.counter_mod(4, en, rst, 12);
+    let (sum, cout) = b.add(&a, &count);
+    let data = b.rom("lut", &sum, 8, vec![1, 2, 3, 250]);
+    let q = b.dff_bus(&data, en, rst, 0xA5);
+    b.output("q", &q);
+    b.output_bit("cout", cout);
+    b.finish().unwrap()
+}
+
+#[test]
+fn module_survives_json_round_trip() {
+    let m = representative_module();
+    let json = serde_json::to_string(&m).expect("serialize");
+    let back: Module = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back, m);
+    assert_eq!(NetlistStats::of(&back), NetlistStats::of(&m));
+    lis_netlist::validate(&back).expect("deserialized module still valid");
+}
+
+#[test]
+fn stats_survive_json_round_trip() {
+    let s = NetlistStats::of(&representative_module());
+    let json = serde_json::to_string(&s).unwrap();
+    let back: NetlistStats = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, s);
+}

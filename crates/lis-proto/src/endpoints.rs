@@ -1,0 +1,214 @@
+//! Test-bench endpoints: token sources and sinks with configurable
+//! irregularity.
+//!
+//! LIS correctness must hold for *any* pattern of stalls; the endpoints
+//! here inject them deterministically (per seed) so experiments and
+//! property tests can sweep the space of data-stream irregularities the
+//! paper's §2 discusses.
+
+use crate::channel::LisChannel;
+use crate::token::Token;
+use lis_sim::{Component, SignalView};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// A producer driving a predefined token sequence onto a channel,
+/// honouring back-pressure, optionally skipping cycles (emitting void)
+/// with probability `stall_probability`.
+#[derive(Debug)]
+pub struct TokenSource {
+    name: String,
+    channel: LisChannel,
+    pending: VecDeque<u64>,
+    stall_probability: f64,
+    rng: StdRng,
+    /// Whether this cycle is a self-inflicted stall (decided per cycle).
+    stalling: bool,
+    sent: Rc<RefCell<Vec<u64>>>,
+}
+
+impl TokenSource {
+    /// Creates a source that will emit `tokens` in order.
+    pub fn new(
+        name: impl Into<String>,
+        channel: LisChannel,
+        tokens: impl IntoIterator<Item = u64>,
+    ) -> Self {
+        TokenSource {
+            name: name.into(),
+            channel,
+            pending: tokens.into_iter().collect(),
+            stall_probability: 0.0,
+            rng: StdRng::seed_from_u64(0),
+            stalling: false,
+            sent: Rc::new(RefCell::new(Vec::new())),
+        }
+    }
+
+    /// Makes the source skip cycles with the given probability
+    /// (deterministic per `seed`).
+    #[must_use]
+    pub fn with_stalls(mut self, probability: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&probability));
+        self.stall_probability = probability;
+        self.rng = StdRng::seed_from_u64(seed);
+        self
+    }
+
+    /// Handle to the list of tokens actually sent (in order).
+    pub fn sent(&self) -> Rc<RefCell<Vec<u64>>> {
+        Rc::clone(&self.sent)
+    }
+
+    /// Tokens not yet emitted.
+    pub fn remaining(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+impl Component for TokenSource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn eval(&mut self, sigs: &mut SignalView<'_>) {
+        let tok = if self.stalling {
+            Token::Void
+        } else {
+            self.pending
+                .front()
+                .map_or(Token::Void, |&v| Token::Data(v))
+        };
+        self.channel.write_token(sigs, tok);
+    }
+
+    fn tick(&mut self, sigs: &SignalView<'_>) {
+        if !self.stalling && !self.channel.read_stop(sigs) {
+            if let Some(v) = self.pending.pop_front() {
+                self.sent.borrow_mut().push(v);
+            }
+        }
+        // Decide next cycle's stall.
+        self.stalling =
+            self.stall_probability > 0.0 && self.rng.random_bool(self.stall_probability);
+    }
+}
+
+/// A consumer recording the informative stream from a channel,
+/// optionally asserting `stop` with probability `stall_probability`.
+#[derive(Debug)]
+pub struct TokenSink {
+    name: String,
+    channel: LisChannel,
+    stall_probability: f64,
+    rng: StdRng,
+    stalling: bool,
+    received: Rc<RefCell<Vec<u64>>>,
+    cycles_busy: u64,
+    cycles_total: u64,
+}
+
+impl TokenSink {
+    /// Creates a sink on `channel`.
+    pub fn new(name: impl Into<String>, channel: LisChannel) -> Self {
+        TokenSink {
+            name: name.into(),
+            channel,
+            stall_probability: 0.0,
+            rng: StdRng::seed_from_u64(0),
+            stalling: false,
+            received: Rc::new(RefCell::new(Vec::new())),
+            cycles_busy: 0,
+            cycles_total: 0,
+        }
+    }
+
+    /// Makes the sink refuse tokens with the given probability
+    /// (deterministic per `seed`).
+    #[must_use]
+    pub fn with_stalls(mut self, probability: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&probability));
+        self.stall_probability = probability;
+        self.rng = StdRng::seed_from_u64(seed);
+        self
+    }
+
+    /// Handle to the informative tokens received (in order).
+    pub fn received(&self) -> Rc<RefCell<Vec<u64>>> {
+        Rc::clone(&self.received)
+    }
+}
+
+impl Component for TokenSink {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn eval(&mut self, sigs: &mut SignalView<'_>) {
+        self.channel.write_stop(sigs, self.stalling);
+    }
+
+    fn tick(&mut self, sigs: &SignalView<'_>) {
+        self.cycles_total += 1;
+        if !self.stalling {
+            if let Token::Data(v) = self.channel.read_token(sigs) {
+                self.received.borrow_mut().push(v);
+                self.cycles_busy += 1;
+            }
+        }
+        self.stalling =
+            self.stall_probability > 0.0 && self.rng.random_bool(self.stall_probability);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relay::{RelayStation, ViolationCounter};
+    use lis_sim::System;
+
+    #[test]
+    fn source_to_sink_direct() {
+        let mut sys = System::new();
+        let ch = LisChannel::new(&mut sys, "c", 16);
+        let src = TokenSource::new("src", ch, 1..=5);
+        let sink = TokenSink::new("sink", ch);
+        let got = sink.received();
+        sys.add_component(src);
+        sys.add_component(sink);
+        sys.run(10).unwrap();
+        assert_eq!(*got.borrow(), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn stream_survives_stalls_on_both_ends_and_relays() {
+        let mut sys = System::new();
+        let violations = ViolationCounter::new();
+        let a = LisChannel::new(&mut sys, "a", 16);
+        let src = TokenSource::new("src", a, 1..=50).with_stalls(0.3, 11);
+        sys.add_component(src);
+        let out = RelayStation::chain(&mut sys, "link", a, 4, &violations);
+        let sink = TokenSink::new("sink", out).with_stalls(0.4, 23);
+        let got = sink.received();
+        sys.add_component(sink);
+        sys.run(400).unwrap();
+        assert_eq!(*got.borrow(), (1..=50).collect::<Vec<u64>>());
+        assert_eq!(violations.count(), 0);
+    }
+
+    #[test]
+    fn source_reports_progress() {
+        let mut sys = System::new();
+        let ch = LisChannel::new(&mut sys, "c", 8);
+        let src = TokenSource::new("src", ch, vec![9, 8]);
+        let sent = src.sent();
+        assert_eq!(src.remaining(), 2);
+        sys.add_component(src);
+        sys.add_component(TokenSink::new("sink", ch));
+        sys.run(5).unwrap();
+        assert_eq!(*sent.borrow(), vec![9, 8]);
+    }
+}

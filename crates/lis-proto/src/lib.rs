@@ -1,0 +1,40 @@
+//! # lis-proto — the latency-insensitive protocol layer
+//!
+//! Behavioural building blocks of a latency-insensitive system, after
+//! Carloni, McMillan & Sangiovanni-Vincentelli:
+//!
+//! * [`Token`] — informative data vs. the void event `τ`;
+//!   [`latency_equivalent`] compares streams modulo stalling, the
+//!   correctness criterion of the whole methodology.
+//! * [`LisChannel`] — the `data`/`void`/`stop` wire bundle.
+//! * [`RelayStation`] — the 2-place buffered repeater that legalizes
+//!   wire pipelining; [`PlainRegisterStage`] is Casu & Macchiarulo's
+//!   protocol-free flip-flop alternative (correct only for perfectly
+//!   regular streams).
+//! * [`InputPort`] / [`OutputPort`] — the FIFO port adapters of the
+//!   paper's Figure 2 (`pop`/`not_empty`, `push`/`not_full`).
+//! * [`Pearl`] — the suspendable-IP trait every wrapper encapsulates;
+//!   [`AccumulatorPearl`] is a minimal example implementation.
+//! * [`TokenSource`] / [`TokenSink`] — test-bench endpoints with seeded
+//!   stall injection.
+//!
+//! All components plug into the two-phase simulator of [`lis_sim`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adapter;
+mod channel;
+mod endpoints;
+mod fifo;
+mod pearl;
+mod relay;
+mod token;
+
+pub use adapter::{Deserializer, Serializer};
+pub use channel::LisChannel;
+pub use endpoints::{TokenSink, TokenSource};
+pub use fifo::{InputPort, InputPortFace, OutputPort, OutputPortFace, PORT_QUEUE_CAPACITY};
+pub use pearl::{AccumulatorPearl, Pearl, PortValues};
+pub use relay::{PlainRegisterStage, RelayStation, ViolationCounter};
+pub use token::{informative, latency_equivalent, Token};

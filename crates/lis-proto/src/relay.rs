@@ -1,0 +1,311 @@
+//! Relay stations: the buffered repeaters that segment long wires.
+//!
+//! A relay station is a 2-place buffer speaking the LIS protocol
+//! (Carloni et al.): one main register on the through path and one
+//! auxiliary register that absorbs the single token which may still be in
+//! flight when back-pressure is asserted (the `stop` wire is registered,
+//! so upstream learns about a stall one cycle late). Inserting `k` relay
+//! stations on a channel gives it `k` cycles of latency — the physical
+//!-wire-pipelining move the whole LIS methodology exists to legalize.
+
+use crate::channel::LisChannel;
+use crate::token::Token;
+use lis_sim::{Component, SignalView, System};
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Shared flag counting protocol violations (token overflow) observed by
+/// relay stations and port adapters. A correct system never increments
+/// it; tests assert it stays zero.
+#[derive(Debug, Clone, Default)]
+pub struct ViolationCounter(Rc<Cell<u64>>);
+
+impl ViolationCounter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current violation count.
+    pub fn count(&self) -> u64 {
+        self.0.get()
+    }
+
+    /// Records one violation.
+    pub fn record(&self) {
+        self.0.set(self.0.get() + 1);
+    }
+}
+
+/// A 2-place relay station between an upstream and a downstream channel
+/// segment.
+#[derive(Debug)]
+pub struct RelayStation {
+    name: String,
+    upstream: LisChannel,
+    downstream: LisChannel,
+    /// Through register (drives the downstream segment).
+    main: Option<u64>,
+    /// Overflow register (absorbs the in-flight token during a stall).
+    aux: Option<u64>,
+    /// Registered back-pressure towards upstream.
+    stop_up: bool,
+    violations: ViolationCounter,
+}
+
+impl RelayStation {
+    /// Creates a relay station forwarding `upstream` to `downstream`.
+    pub fn new(
+        name: impl Into<String>,
+        upstream: LisChannel,
+        downstream: LisChannel,
+        violations: ViolationCounter,
+    ) -> Self {
+        RelayStation {
+            name: name.into(),
+            upstream,
+            downstream,
+            main: None,
+            aux: None,
+            stop_up: false,
+            violations,
+        }
+    }
+
+    /// Inserts `count` relay stations between `from` and `to` in
+    /// `system`, returning the channel that now plays the role of `to`'s
+    /// source.
+    ///
+    /// With `count == 0` the two channels are distinct wires; the caller
+    /// should simply use `from` directly instead.
+    pub fn chain(
+        system: &mut System,
+        name: &str,
+        from: LisChannel,
+        count: usize,
+        violations: &ViolationCounter,
+    ) -> LisChannel {
+        let mut current = from;
+        for i in 0..count {
+            let next = LisChannel::new(system, &format!("{name}_seg{i}"), from.width);
+            system.add_component(RelayStation::new(
+                format!("{name}_rs{i}"),
+                current,
+                next,
+                violations.clone(),
+            ));
+            current = next;
+        }
+        current
+    }
+
+    /// Number of tokens currently buffered (0..=2), for diagnostics.
+    pub fn occupancy(&self) -> usize {
+        usize::from(self.main.is_some()) + usize::from(self.aux.is_some())
+    }
+}
+
+impl Component for RelayStation {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn eval(&mut self, sigs: &mut SignalView<'_>) {
+        // Downstream sees the main register; upstream sees registered stop.
+        let out = match self.main {
+            Some(v) => Token::Data(v),
+            None => Token::Void,
+        };
+        self.downstream.write_token(sigs, out);
+        self.upstream.write_stop(sigs, self.stop_up);
+    }
+
+    fn tick(&mut self, sigs: &SignalView<'_>) {
+        // A token transfers only on cycles where we presented stop = 0;
+        // while stop is up the producer re-presents the same token, which
+        // must not be absorbed twice.
+        let incoming = if self.stop_up {
+            None
+        } else {
+            self.upstream.read_token(sigs).data()
+        };
+        let stalled = self.downstream.read_stop(sigs);
+
+        // 1. Downstream consumes main unless it stalls.
+        if !stalled && self.main.is_some() {
+            self.main = None;
+        }
+        // 2. Aux backfills the through register.
+        if self.main.is_none() {
+            self.main = self.aux.take();
+        }
+        // 3. Absorb the incoming token.
+        if let Some(v) = incoming {
+            if self.main.is_none() {
+                self.main = Some(v);
+            } else if self.aux.is_none() {
+                self.aux = Some(v);
+            } else {
+                // Upstream ignored our stop: token lost.
+                self.violations.record();
+            }
+        }
+        // 4. Back-pressure upstream while the overflow slot is in use.
+        self.stop_up = self.aux.is_some();
+    }
+}
+
+/// The degenerate "relay station" of Casu & Macchiarulo's approach: a
+/// plain flip-flop with no protocol wires. Forwards `data`/`void`
+/// verbatim with one cycle of delay and **ignores back-pressure** —
+/// correct only under a perfectly regular static schedule, which is
+/// exactly the limitation the ablation experiment (E6) demonstrates.
+#[derive(Debug)]
+pub struct PlainRegisterStage {
+    name: String,
+    upstream: LisChannel,
+    downstream: LisChannel,
+    held: Token,
+}
+
+impl PlainRegisterStage {
+    /// Creates a register stage forwarding `upstream` to `downstream`.
+    pub fn new(name: impl Into<String>, upstream: LisChannel, downstream: LisChannel) -> Self {
+        PlainRegisterStage {
+            name: name.into(),
+            upstream,
+            downstream,
+            held: Token::Void,
+        }
+    }
+}
+
+impl Component for PlainRegisterStage {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn eval(&mut self, sigs: &mut SignalView<'_>) {
+        self.downstream.write_token(sigs, self.held);
+        // Never back-pressures upstream.
+        self.upstream.write_stop(sigs, false);
+    }
+
+    fn tick(&mut self, sigs: &SignalView<'_>) {
+        self.held = self.upstream.read_token(sigs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lis_sim::FnComponent;
+
+    /// Drives a fixed token sequence, respecting stop.
+    fn add_source(sys: &mut System, ch: LisChannel, tokens: Vec<u64>) {
+        let queue = Rc::new(std::cell::RefCell::new(tokens));
+        let q2 = Rc::clone(&queue);
+        sys.add_component(FnComponent::new(
+            "src",
+            move |sigs: &mut SignalView<'_>| {
+                let q = q2.borrow();
+                let tok = q.first().map_or(Token::Void, |&v| Token::Data(v));
+                ch.write_token(sigs, tok);
+            },
+            move |sigs: &SignalView<'_>| {
+                if !ch.read_stop(sigs) && !queue.borrow().is_empty() {
+                    queue.borrow_mut().remove(0);
+                }
+            },
+        ));
+    }
+
+    /// Collects informative tokens; stalls (asserts stop) on cycles given
+    /// by `stall_pattern` (cyclic).
+    fn add_sink(
+        sys: &mut System,
+        ch: LisChannel,
+        stall_pattern: Vec<bool>,
+    ) -> Rc<std::cell::RefCell<Vec<u64>>> {
+        let got = Rc::new(std::cell::RefCell::new(Vec::new()));
+        let got2 = Rc::clone(&got);
+        let t = Rc::new(Cell::new(0usize));
+        let t2 = Rc::clone(&t);
+        let pattern = stall_pattern.clone();
+        sys.add_component(FnComponent::new(
+            "sink",
+            move |sigs: &mut SignalView<'_>| {
+                let stall = pattern[t2.get() % pattern.len()];
+                ch.write_stop(sigs, stall);
+            },
+            move |sigs: &SignalView<'_>| {
+                let stall = stall_pattern[t.get() % stall_pattern.len()];
+                if !stall {
+                    if let Token::Data(v) = ch.read_token(sigs) {
+                        got2.borrow_mut().push(v);
+                    }
+                }
+                t.set(t.get() + 1);
+            },
+        ));
+        got
+    }
+
+    #[test]
+    fn relay_station_forwards_with_one_cycle_latency() {
+        let mut sys = System::new();
+        let violations = ViolationCounter::new();
+        let a = LisChannel::new(&mut sys, "a", 8);
+        let b = LisChannel::new(&mut sys, "b", 8);
+        add_source(&mut sys, a, vec![1, 2, 3]);
+        sys.add_component(RelayStation::new("rs", a, b, violations.clone()));
+        let got = add_sink(&mut sys, b, vec![false]);
+        sys.run(10).unwrap();
+        assert_eq!(*got.borrow(), vec![1, 2, 3]);
+        assert_eq!(violations.count(), 0);
+    }
+
+    #[test]
+    fn chain_of_relays_preserves_stream() {
+        let mut sys = System::new();
+        let violations = ViolationCounter::new();
+        let a = LisChannel::new(&mut sys, "a", 8);
+        add_source(&mut sys, a, (1..=20).collect());
+        let out = RelayStation::chain(&mut sys, "ch", a, 5, &violations);
+        let got = add_sink(&mut sys, out, vec![false]);
+        sys.run(40).unwrap();
+        assert_eq!(*got.borrow(), (1..=20).collect::<Vec<u64>>());
+        assert_eq!(violations.count(), 0);
+    }
+
+    #[test]
+    fn relay_station_survives_heavy_backpressure() {
+        let mut sys = System::new();
+        let violations = ViolationCounter::new();
+        let a = LisChannel::new(&mut sys, "a", 8);
+        add_source(&mut sys, a, (1..=30).collect());
+        let out = RelayStation::chain(&mut sys, "ch", a, 3, &violations);
+        // Sink stalls 2 of every 3 cycles.
+        let got = add_sink(&mut sys, out, vec![true, true, false]);
+        sys.run(200).unwrap();
+        assert_eq!(*got.borrow(), (1..=30).collect::<Vec<u64>>());
+        assert_eq!(violations.count(), 0, "no token may ever be dropped");
+    }
+
+    #[test]
+    fn plain_register_stage_drops_tokens_under_backpressure() {
+        let mut sys = System::new();
+        let a = LisChannel::new(&mut sys, "a", 8);
+        let b = LisChannel::new(&mut sys, "b", 8);
+        add_source(&mut sys, a, (1..=10).collect());
+        sys.add_component(PlainRegisterStage::new("ff", a, b));
+        let got = add_sink(&mut sys, b, vec![false, true]);
+        sys.run(40).unwrap();
+        // The flip-flop ignores stop; the stalled sink misses tokens.
+        assert!(
+            got.borrow().len() < 10,
+            "plain register must lose tokens under irregular consumption, got {:?}",
+            got.borrow()
+        );
+    }
+}

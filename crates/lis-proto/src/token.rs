@@ -1,0 +1,117 @@
+//! Tokens: the items travelling on latency-insensitive channels.
+
+use std::fmt;
+
+/// One cycle's worth of traffic on a LIS channel: either an informative
+/// datum or the void token `τ` (a stalling move in Carloni's theory).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Token {
+    /// An informative event carrying a datum.
+    Data(u64),
+    /// The non-informative (void / τ) event.
+    Void,
+}
+
+impl Token {
+    /// Whether the token is informative.
+    pub fn is_data(self) -> bool {
+        matches!(self, Token::Data(_))
+    }
+
+    /// Whether the token is void.
+    pub fn is_void(self) -> bool {
+        matches!(self, Token::Void)
+    }
+
+    /// The datum, if informative.
+    pub fn data(self) -> Option<u64> {
+        match self {
+            Token::Data(v) => Some(v),
+            Token::Void => None,
+        }
+    }
+
+    /// Encodes as `(data_value, void_flag)` signal values.
+    pub fn to_wires(self) -> (u64, bool) {
+        match self {
+            Token::Data(v) => (v, false),
+            Token::Void => (0, true),
+        }
+    }
+
+    /// Decodes from `(data_value, void_flag)` signal values.
+    pub fn from_wires(data: u64, void: bool) -> Self {
+        if void {
+            Token::Void
+        } else {
+            Token::Data(data)
+        }
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Data(v) => write!(f, "{v}"),
+            Token::Void => write!(f, "τ"),
+        }
+    }
+}
+
+impl From<u64> for Token {
+    fn from(v: u64) -> Self {
+        Token::Data(v)
+    }
+}
+
+/// Extracts the informative subsequence of a token stream — the basis of
+/// *latency equivalence*: two streams are latency-equivalent iff their
+/// informative subsequences are equal (Carloni et al., 2001).
+pub fn informative(stream: impl IntoIterator<Item = Token>) -> Vec<u64> {
+    stream.into_iter().filter_map(Token::data).collect()
+}
+
+/// Whether two token streams are latency-equivalent.
+pub fn latency_equivalent(
+    a: impl IntoIterator<Item = Token>,
+    b: impl IntoIterator<Item = Token>,
+) -> bool {
+    informative(a) == informative(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_round_trip() {
+        assert_eq!(Token::from_wires(7, false), Token::Data(7));
+        assert_eq!(Token::from_wires(7, true), Token::Void);
+        assert_eq!(Token::Data(9).to_wires(), (9, false));
+        assert_eq!(Token::Void.to_wires(), (0, true));
+    }
+
+    #[test]
+    fn informative_filters_voids() {
+        let s = vec![Token::Void, Token::Data(1), Token::Void, Token::Data(2)];
+        assert_eq!(informative(s), vec![1, 2]);
+    }
+
+    #[test]
+    fn latency_equivalence_ignores_stalls() {
+        let a = vec![Token::Data(1), Token::Void, Token::Data(2)];
+        let b = vec![Token::Void, Token::Void, Token::Data(1), Token::Data(2)];
+        let c = vec![Token::Data(1), Token::Data(3)];
+        assert!(latency_equivalent(a.clone(), b));
+        assert!(!latency_equivalent(a, c));
+    }
+
+    #[test]
+    fn display_and_accessors() {
+        assert_eq!(Token::Data(5).to_string(), "5");
+        assert_eq!(Token::Void.to_string(), "τ");
+        assert!(Token::Data(0).is_data());
+        assert!(Token::Void.is_void());
+        assert_eq!(Token::from(4u64).data(), Some(4));
+    }
+}

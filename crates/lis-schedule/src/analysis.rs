@@ -1,0 +1,217 @@
+//! Schedule analysis: port rates and the buffer-depth requirements of
+//! burst-mode synchronization.
+//!
+//! Burst operations ([`crate::compress_bursty`]) check port status only
+//! at synchronization points and let the IP stream I/O unchecked through
+//! the run. That is safe only if each port's FIFO can cover the worst
+//! case — all of a run's traffic with no help from the environment.
+//! [`burst_buffer_requirements`] computes exactly that bound, turning
+//! the paper's implicit "the environment streams regularly" assumption
+//! into a checkable interface contract.
+
+use crate::schedule::IoSchedule;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Per-port traffic rates of a schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PortRates {
+    /// Tokens consumed per cycle, per input port.
+    pub input_rate: Vec<f64>,
+    /// Tokens produced per cycle, per output port.
+    pub output_rate: Vec<f64>,
+}
+
+/// Computes steady-state token rates (tokens per enabled cycle).
+pub fn port_rates(schedule: &IoSchedule) -> PortRates {
+    let period = schedule.period() as f64;
+    PortRates {
+        input_rate: (0..schedule.n_inputs())
+            .map(|p| schedule.reads_per_period(p) as f64 / period)
+            .collect(),
+        output_rate: (0..schedule.n_outputs())
+            .map(|p| schedule.writes_per_period(p) as f64 / period)
+            .collect(),
+    }
+}
+
+/// Buffer-depth requirements for burst-mode synchronization.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BurstAnalysis {
+    /// Worst-case tokens consumed from each input port within a single
+    /// burst operation (the port FIFO must hold at least this much at
+    /// the preceding synchronization point).
+    pub input_depth: Vec<usize>,
+    /// Worst-case tokens produced into each output port within a single
+    /// burst operation.
+    pub output_depth: Vec<usize>,
+}
+
+impl BurstAnalysis {
+    /// The deepest FIFO any port needs.
+    pub fn max_depth(&self) -> usize {
+        self.input_depth
+            .iter()
+            .chain(self.output_depth.iter())
+            .copied()
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Whether burst mode is safe with FIFOs of the given depth
+    /// *without* relying on in-run arrivals/departures.
+    pub fn safe_with(&self, depth: usize) -> bool {
+        self.max_depth() <= depth
+    }
+}
+
+impl fmt::Display for BurstAnalysis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "burst buffers: in={:?} out={:?} (max {})",
+            self.input_depth,
+            self.output_depth,
+            self.max_depth()
+        )
+    }
+}
+
+/// Computes the worst-case per-port traffic inside one burst operation,
+/// using the same segmentation rule as [`crate::compress_bursty`].
+pub fn burst_buffer_requirements(schedule: &IoSchedule) -> BurstAnalysis {
+    let mut input_depth = vec![0usize; schedule.n_inputs()];
+    let mut output_depth = vec![0usize; schedule.n_outputs()];
+
+    // Current segment masks and per-port counts.
+    let mut seg_reads = crate::ports::PortSet::EMPTY;
+    let mut seg_writes = crate::ports::PortSet::EMPTY;
+    let mut started = false;
+    let mut in_counts = vec![0usize; schedule.n_inputs()];
+    let mut out_counts = vec![0usize; schedule.n_outputs()];
+
+    let flush = |in_counts: &mut Vec<usize>,
+                     out_counts: &mut Vec<usize>,
+                     input_depth: &mut Vec<usize>,
+                     output_depth: &mut Vec<usize>| {
+        for (d, c) in input_depth.iter_mut().zip(in_counts.iter_mut()) {
+            *d = (*d).max(*c);
+            *c = 0;
+        }
+        for (d, c) in output_depth.iter_mut().zip(out_counts.iter_mut()) {
+            *d = (*d).max(*c);
+            *c = 0;
+        }
+    };
+
+    for &step in schedule.steps() {
+        let fits = started
+            && step.reads.is_subset_of(seg_reads)
+            && step.writes.is_subset_of(seg_writes);
+        if !fits {
+            flush(
+                &mut in_counts,
+                &mut out_counts,
+                &mut input_depth,
+                &mut output_depth,
+            );
+            seg_reads = step.reads;
+            seg_writes = step.writes;
+            started = true;
+        }
+        for p in step.reads.iter() {
+            in_counts[p] += 1;
+        }
+        for p in step.writes.iter() {
+            out_counts[p] += 1;
+        }
+    }
+    flush(
+        &mut in_counts,
+        &mut out_counts,
+        &mut input_depth,
+        &mut output_depth,
+    );
+
+    BurstAnalysis {
+        input_depth,
+        output_depth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::ScheduleBuilder;
+
+    #[test]
+    fn rates_count_tokens_per_cycle() {
+        let s = ScheduleBuilder::new(2, 1)
+            .read(0)
+            .read(0)
+            .read(1)
+            .quiet(1)
+            .write(0)
+            .build()
+            .unwrap();
+        let r = port_rates(&s);
+        assert!((r.input_rate[0] - 0.4).abs() < 1e-12);
+        assert!((r.input_rate[1] - 0.2).abs() < 1e-12);
+        assert!((r.output_rate[0] - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn safe_mode_schedules_need_depth_one() {
+        // One op per I/O cycle: bursts never span more than one token.
+        let s = ScheduleBuilder::new(1, 1)
+            .read(0)
+            .quiet(3)
+            .write(0)
+            .build()
+            .unwrap();
+        let a = burst_buffer_requirements(&s);
+        assert_eq!(a.input_depth, vec![1]);
+        assert_eq!(a.output_depth, vec![1]);
+        assert!(a.safe_with(2));
+    }
+
+    #[test]
+    fn streaming_bursts_need_deep_buffers() {
+        // The Viterbi shape: 99 consecutive reads fold into one op.
+        let s = ScheduleBuilder::new(2, 1)
+            .read(0)
+            .repeat_io([1], [], 99)
+            .quiet(99)
+            .write(0)
+            .build()
+            .unwrap();
+        let a = burst_buffer_requirements(&s);
+        assert_eq!(a.input_depth, vec![1, 99]);
+        assert_eq!(a.output_depth, vec![1]);
+        assert_eq!(a.max_depth(), 99);
+        assert!(!a.safe_with(2), "2-deep ports cannot cover a 99-read run");
+        assert!(a.safe_with(99));
+    }
+
+    #[test]
+    fn segmentation_matches_burst_compression() {
+        // A schedule whose burst ops are {read0 ×3}, {write0 ×2}.
+        let s = ScheduleBuilder::new(1, 1)
+            .repeat_io([0], [], 3)
+            .repeat_io([], [0], 2)
+            .build()
+            .unwrap();
+        let program = crate::compress::compress_bursty(&s);
+        assert_eq!(program.len(), 2);
+        let a = burst_buffer_requirements(&s);
+        assert_eq!(a.input_depth, vec![3]);
+        assert_eq!(a.output_depth, vec![2]);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = ScheduleBuilder::new(1, 1).read(0).write(0).build().unwrap();
+        let text = burst_buffer_requirements(&s).to_string();
+        assert!(text.contains("burst buffers"));
+    }
+}

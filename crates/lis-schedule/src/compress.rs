@@ -1,0 +1,236 @@
+//! Schedule compression: the synthesis step that turns a cycle-by-cycle
+//! I/O schedule into a synchronization-processor program.
+//!
+//! This is the paper's key code-generation move. An FSM wrapper needs one
+//! state per *cycle* of the schedule; the SP needs one ROM word per
+//! *synchronization point*, with quiet (compute-only) cycles folded into
+//! the preceding operation's run counter. The compression below is exact:
+//! [`compress`] followed by [`SpProgram::expand`] reproduces the input
+//! schedule cycle for cycle.
+
+use crate::ops::{SpProgram, SyncOp};
+use crate::schedule::IoSchedule;
+
+/// Compresses a schedule into the minimal SP program.
+///
+/// Every cycle performing I/O becomes a synchronization operation; every
+/// maximal run of quiet cycles following it increments that operation's
+/// run counter. Quiet cycles *before* the first synchronization point
+/// become a leading unconditional operation (empty masks).
+///
+/// The result satisfies `compress(s).expand() == s`.
+pub fn compress(schedule: &IoSchedule) -> SpProgram {
+    let mut ops: Vec<SyncOp> = Vec::new();
+    for &step in schedule.steps() {
+        if step.is_quiet() {
+            match ops.last_mut() {
+                Some(last) => last.run_cycles += 1,
+                None => ops.push(SyncOp::new(
+                    crate::ports::PortSet::EMPTY,
+                    crate::ports::PortSet::EMPTY,
+                    1,
+                )),
+            }
+        } else {
+            ops.push(SyncOp::new(step.reads, step.writes, 1));
+        }
+    }
+    SpProgram::new(schedule.n_inputs(), schedule.n_outputs(), ops)
+        .expect("compression of a valid schedule yields a valid program")
+}
+
+/// Compresses a schedule into a *burst* SP program: consecutive cycles
+/// whose I/O is a subset of the operation's masks fold into its run.
+///
+/// This is how the paper's Viterbi scenario becomes 4 operations over a
+/// 202-cycle period with runs up to 198: the wrapper synchronizes once
+/// on the masked ports, then the IP streams I/O unchecked for the whole
+/// run ("the number of clock cycles the IP can execute until next
+/// synchronization point", §3). Burst mode trades the per-cycle checks
+/// of [`compress`] for ROM compression; it is safe when the environment
+/// streams regularly between synchronization points (deep-enough FIFOs
+/// or rate-matched producers/consumers).
+pub fn compress_bursty(schedule: &IoSchedule) -> SpProgram {
+    let mut ops: Vec<SyncOp> = Vec::new();
+    for &step in schedule.steps() {
+        let fits_last = ops.last().is_some_and(|op| {
+            step.reads.is_subset_of(op.input_mask) && step.writes.is_subset_of(op.output_mask)
+        });
+        if fits_last {
+            ops.last_mut().expect("checked").run_cycles += 1;
+        } else if step.is_quiet() {
+            // Leading quiet cycles (no op yet to fold into).
+            ops.push(SyncOp::new(
+                crate::ports::PortSet::EMPTY,
+                crate::ports::PortSet::EMPTY,
+                1,
+            ));
+        } else {
+            ops.push(SyncOp::new(step.reads, step.writes, 1));
+        }
+    }
+    SpProgram::new(schedule.n_inputs(), schedule.n_outputs(), ops)
+        .expect("burst compression of a valid schedule yields a valid program")
+}
+
+/// The compression ratio achieved for a schedule: FSM states required
+/// (one per cycle) divided by SP operations required.
+///
+/// This single number predicts the paper's area gains: the Viterbi
+/// decoder compresses 202 cycles into 4 operations (~50×); the RS decoder
+/// does not compress (run = 1 everywhere) yet still wins because its
+/// schedule moves from logic into ROM.
+pub fn compression_ratio(schedule: &IoSchedule) -> f64 {
+    let program = compress(schedule);
+    schedule.period() as f64 / program.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ports::PortSet;
+    use crate::schedule::CycleIo;
+
+    fn io(reads: &[usize], writes: &[usize]) -> CycleIo {
+        CycleIo::new(
+            PortSet::from_indices(reads.iter().copied()),
+            PortSet::from_indices(writes.iter().copied()),
+        )
+    }
+
+    #[test]
+    fn compress_folds_quiet_cycles_into_runs() {
+        let s = IoSchedule::new(
+            2,
+            1,
+            vec![
+                io(&[0], &[]),
+                CycleIo::QUIET,
+                CycleIo::QUIET,
+                io(&[1], &[0]),
+                CycleIo::QUIET,
+            ],
+        )
+        .unwrap();
+        let p = compress(&s);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.ops()[0].run_cycles, 3);
+        assert_eq!(p.ops()[1].run_cycles, 2);
+        assert_eq!(p.period(), s.period());
+    }
+
+    #[test]
+    fn leading_quiet_cycles_become_unconditional_op() {
+        let s = IoSchedule::new(
+            1,
+            1,
+            vec![CycleIo::QUIET, CycleIo::QUIET, io(&[0], &[0])],
+        )
+        .unwrap();
+        let p = compress(&s);
+        assert_eq!(p.len(), 2);
+        assert!(p.ops()[0].is_unconditional());
+        assert_eq!(p.ops()[0].run_cycles, 2);
+        assert_eq!(p.ops()[1].run_cycles, 1);
+    }
+
+    #[test]
+    fn expand_inverts_compress_exactly() {
+        let s = IoSchedule::new(
+            3,
+            2,
+            vec![
+                CycleIo::QUIET,
+                io(&[0, 1], &[]),
+                CycleIo::QUIET,
+                io(&[2], &[1]),
+                io(&[0], &[0]),
+                CycleIo::QUIET,
+                CycleIo::QUIET,
+            ],
+        )
+        .unwrap();
+        assert_eq!(compress(&s).expand(), s);
+    }
+
+    #[test]
+    fn all_sync_schedule_does_not_compress() {
+        // The RS decoder case: I/O every cycle, run = 1 everywhere.
+        let steps = vec![io(&[0], &[0]); 100];
+        let s = IoSchedule::new(1, 1, steps).unwrap();
+        let p = compress(&s);
+        assert_eq!(p.len(), 100);
+        assert!(p.ops().iter().all(|op| op.run_cycles == 1));
+        assert!((compression_ratio(&s) - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn mostly_quiet_schedule_compresses_strongly() {
+        // The Viterbi case: few sync points, long compute runs.
+        let mut steps = vec![io(&[0], &[]), io(&[1], &[])];
+        steps.extend(vec![CycleIo::QUIET; 198]);
+        steps.push(io(&[], &[0]));
+        steps.push(io(&[], &[0]));
+        let s = IoSchedule::new(2, 1, steps).unwrap();
+        let p = compress(&s);
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.period(), 202);
+        assert!(compression_ratio(&s) > 50.0);
+    }
+
+    #[test]
+    fn bursty_compression_folds_streaming_reads() {
+        // The Viterbi shape: 1 ctrl read, 99 streaming reads, 99 compute,
+        // 2 data writes, 1 status write.
+        let mut steps = vec![io(&[0], &[])];
+        steps.extend(vec![io(&[1], &[]); 99]);
+        steps.extend(vec![CycleIo::QUIET; 99]);
+        steps.extend(vec![io(&[], &[0]); 2]);
+        steps.push(io(&[], &[1]));
+        let s = IoSchedule::new(2, 2, steps).unwrap();
+        let p = compress_bursty(&s);
+        assert_eq!(p.len(), 4, "{p}");
+        assert_eq!(p.ops()[0].run_cycles, 1);
+        assert_eq!(p.ops()[1].run_cycles, 198, "99 reads + 99 quiet fold");
+        assert_eq!(p.ops()[2].run_cycles, 2);
+        assert_eq!(p.ops()[3].run_cycles, 1);
+        assert_eq!(p.period(), s.period());
+        // Safe compression needs one op per I/O cycle instead.
+        assert_eq!(compress(&s).len(), 103);
+    }
+
+    #[test]
+    fn bursty_equals_safe_when_every_cycle_differs() {
+        let steps = vec![io(&[0], &[]), io(&[1], &[]), io(&[0], &[0])];
+        let s = IoSchedule::new(2, 1, steps).unwrap();
+        assert_eq!(compress_bursty(&s), compress(&s));
+    }
+
+    #[test]
+    fn bursty_leading_quiet_cycles_form_unconditional_op() {
+        let s = IoSchedule::new(1, 1, vec![CycleIo::QUIET, io(&[0], &[0])]).unwrap();
+        let p = compress_bursty(&s);
+        assert_eq!(p.len(), 2);
+        assert!(p.ops()[0].is_unconditional());
+    }
+
+    #[test]
+    fn normalize_is_idempotent_and_preserves_expansion() {
+        let p = SpProgram::new(
+            1,
+            1,
+            vec![
+                SyncOp::new(PortSet::single(0), PortSet::EMPTY, 2),
+                // A redundant unconditional op that should fold into the
+                // previous run.
+                SyncOp::new(PortSet::EMPTY, PortSet::EMPTY, 3),
+            ],
+        )
+        .unwrap();
+        let n = p.normalize();
+        assert_eq!(n.len(), 1);
+        assert_eq!(n.ops()[0].run_cycles, 5);
+        assert_eq!(n.expand(), p.expand());
+        assert_eq!(n.normalize(), n);
+    }
+}

@@ -1,0 +1,213 @@
+//! A miniature high-level-synthesis front end.
+//!
+//! The paper's schedules come out of GAUT, the authors' HLS tool: a
+//! behavioural description is scheduled into a cyclic I/O scenario plus a
+//! datapath. This module models that flow: a [`DataflowProgram`] —
+//! reads, writes, compute delays and counted loops — lowers to the flat
+//! [`IoSchedule`] the wrapper generators consume.
+//!
+//! # Examples
+//!
+//! A block decoder that loads `n` symbols, computes, then emits `k`
+//! results:
+//!
+//! ```
+//! use lis_schedule::dataflow::{DataflowOp, DataflowProgram};
+//!
+//! # fn main() -> Result<(), lis_schedule::ScheduleError> {
+//! let program = DataflowProgram::new(1, 1, vec![
+//!     DataflowOp::repeat(8, vec![DataflowOp::read(0)]),
+//!     DataflowOp::compute(100),
+//!     DataflowOp::repeat(4, vec![DataflowOp::write(0)]),
+//! ]);
+//! let schedule = program.lower()?;
+//! assert_eq!(schedule.period(), 8 + 100 + 4);
+//! assert_eq!(schedule.sync_points(), 12);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::ScheduleError;
+use crate::ports::PortSet;
+use crate::schedule::{CycleIo, IoSchedule};
+
+/// One operation of a dataflow program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataflowOp {
+    /// Consume one token from each listed input port and produce one on
+    /// each listed output port, all in the same cycle.
+    Io {
+        /// Input ports read this cycle.
+        reads: PortSet,
+        /// Output ports written this cycle.
+        writes: PortSet,
+    },
+    /// Compute for `cycles` cycles with no I/O.
+    Compute {
+        /// Number of quiet cycles.
+        cycles: usize,
+    },
+    /// Execute `body` `times` times (a counted loop, fully unrolled at
+    /// lowering — schedules are static in the LIS methodology).
+    Repeat {
+        /// Iteration count.
+        times: usize,
+        /// Loop body.
+        body: Vec<DataflowOp>,
+    },
+}
+
+impl DataflowOp {
+    /// A single-port read cycle.
+    pub fn read(port: usize) -> Self {
+        DataflowOp::Io {
+            reads: PortSet::single(port),
+            writes: PortSet::EMPTY,
+        }
+    }
+
+    /// A single-port write cycle.
+    pub fn write(port: usize) -> Self {
+        DataflowOp::Io {
+            reads: PortSet::EMPTY,
+            writes: PortSet::single(port),
+        }
+    }
+
+    /// A simultaneous read/write cycle.
+    pub fn io(
+        reads: impl IntoIterator<Item = usize>,
+        writes: impl IntoIterator<Item = usize>,
+    ) -> Self {
+        DataflowOp::Io {
+            reads: PortSet::from_indices(reads),
+            writes: PortSet::from_indices(writes),
+        }
+    }
+
+    /// A compute delay.
+    pub fn compute(cycles: usize) -> Self {
+        DataflowOp::Compute { cycles }
+    }
+
+    /// A counted loop.
+    pub fn repeat(times: usize, body: Vec<DataflowOp>) -> Self {
+        DataflowOp::Repeat { times, body }
+    }
+}
+
+/// A loop-nest program over an IP interface, lowered to a flat schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataflowProgram {
+    n_inputs: usize,
+    n_outputs: usize,
+    body: Vec<DataflowOp>,
+}
+
+impl DataflowProgram {
+    /// Creates a program over `n_inputs`/`n_outputs` ports.
+    pub fn new(n_inputs: usize, n_outputs: usize, body: Vec<DataflowOp>) -> Self {
+        DataflowProgram {
+            n_inputs,
+            n_outputs,
+            body,
+        }
+    }
+
+    /// The schedule length this program will lower to.
+    pub fn cycle_count(&self) -> usize {
+        fn count(ops: &[DataflowOp]) -> usize {
+            ops.iter()
+                .map(|op| match op {
+                    DataflowOp::Io { .. } => 1,
+                    DataflowOp::Compute { cycles } => *cycles,
+                    DataflowOp::Repeat { times, body } => times * count(body),
+                })
+                .sum()
+        }
+        count(&self.body)
+    }
+
+    /// Lowers the program to a cycle-by-cycle schedule.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::EmptySchedule`] when the program contains no
+    /// cycles, or port-range errors if an I/O op addresses a port outside
+    /// the interface.
+    pub fn lower(&self) -> Result<IoSchedule, ScheduleError> {
+        let mut steps = Vec::with_capacity(self.cycle_count());
+        fn emit(ops: &[DataflowOp], steps: &mut Vec<CycleIo>) {
+            for op in ops {
+                match op {
+                    DataflowOp::Io { reads, writes } => {
+                        steps.push(CycleIo::new(*reads, *writes));
+                    }
+                    DataflowOp::Compute { cycles } => {
+                        steps.extend(std::iter::repeat_n(CycleIo::QUIET, *cycles));
+                    }
+                    DataflowOp::Repeat { times, body } => {
+                        for _ in 0..*times {
+                            emit(body, steps);
+                        }
+                    }
+                }
+            }
+        }
+        emit(&self.body, &mut steps);
+        IoSchedule::new(self.n_inputs, self.n_outputs, steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_loops_unroll() {
+        let p = DataflowProgram::new(
+            1,
+            1,
+            vec![DataflowOp::repeat(
+                3,
+                vec![
+                    DataflowOp::read(0),
+                    DataflowOp::repeat(2, vec![DataflowOp::compute(2)]),
+                    DataflowOp::write(0),
+                ],
+            )],
+        );
+        assert_eq!(p.cycle_count(), 3 * (1 + 4 + 1));
+        let s = p.lower().unwrap();
+        assert_eq!(s.period(), 18);
+        assert_eq!(s.sync_points(), 6);
+    }
+
+    #[test]
+    fn empty_program_is_rejected() {
+        let p = DataflowProgram::new(1, 1, vec![]);
+        assert!(matches!(p.lower(), Err(ScheduleError::EmptySchedule)));
+    }
+
+    #[test]
+    fn out_of_range_port_is_rejected_at_lowering() {
+        let p = DataflowProgram::new(1, 1, vec![DataflowOp::read(5)]);
+        assert!(p.lower().is_err());
+    }
+
+    #[test]
+    fn simultaneous_io_is_one_cycle() {
+        let p = DataflowProgram::new(2, 1, vec![DataflowOp::io([0, 1], [0])]);
+        let s = p.lower().unwrap();
+        assert_eq!(s.period(), 1);
+        assert_eq!(s.at(0).reads.len(), 2);
+        assert_eq!(s.at(0).writes.len(), 1);
+    }
+
+    #[test]
+    fn compute_zero_emits_nothing() {
+        let p = DataflowProgram::new(1, 0, vec![DataflowOp::read(0), DataflowOp::compute(0)]);
+        let s = p.lower().unwrap();
+        assert_eq!(s.period(), 1);
+    }
+}

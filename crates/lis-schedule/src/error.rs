@@ -1,0 +1,100 @@
+//! Error type for schedule construction and validation.
+
+use std::fmt;
+
+/// An error found while validating an I/O schedule or SP program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// The schedule has no steps.
+    EmptySchedule,
+    /// A step references an input port index outside the interface.
+    InputPortOutOfRange {
+        /// The offending step.
+        step: usize,
+        /// The offending port index.
+        port: usize,
+        /// Number of input ports available.
+        available: usize,
+    },
+    /// A step references an output port index outside the interface.
+    OutputPortOutOfRange {
+        /// The offending step.
+        step: usize,
+        /// The offending port index.
+        port: usize,
+        /// Number of output ports available.
+        available: usize,
+    },
+    /// An operation has zero run cycles (the SP free-runs at least the
+    /// synchronization cycle itself).
+    ZeroRunCycles {
+        /// The offending operation index.
+        op: usize,
+    },
+    /// A program has no operations.
+    EmptyProgram,
+    /// An operation word does not fit the requested encoding geometry.
+    WordOverflow {
+        /// The offending operation index.
+        op: usize,
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::EmptySchedule => write!(f, "schedule has no steps"),
+            ScheduleError::InputPortOutOfRange {
+                step,
+                port,
+                available,
+            } => write!(
+                f,
+                "step {step} reads input port {port} but only {available} exist"
+            ),
+            ScheduleError::OutputPortOutOfRange {
+                step,
+                port,
+                available,
+            } => write!(
+                f,
+                "step {step} writes output port {port} but only {available} exist"
+            ),
+            ScheduleError::ZeroRunCycles { op } => {
+                write!(f, "operation {op} has zero run cycles")
+            }
+            ScheduleError::EmptyProgram => write!(f, "program has no operations"),
+            ScheduleError::WordOverflow { op, detail } => {
+                write!(f, "operation {op} does not fit encoding: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = ScheduleError::InputPortOutOfRange {
+            step: 3,
+            port: 7,
+            available: 4,
+        };
+        assert_eq!(
+            e.to_string(),
+            "step 3 reads input port 7 but only 4 exist"
+        );
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<ScheduleError>();
+    }
+}

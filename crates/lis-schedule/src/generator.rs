@@ -1,0 +1,267 @@
+//! Schedule construction helpers: a fluent builder for hand-written
+//! schedules and a seeded random generator for sweeps and property tests.
+
+use crate::error::ScheduleError;
+use crate::ports::PortSet;
+use crate::schedule::{CycleIo, IoSchedule};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Fluent builder for hand-authored schedules.
+///
+/// # Examples
+///
+/// ```
+/// use lis_schedule::ScheduleBuilder;
+///
+/// # fn main() -> Result<(), lis_schedule::ScheduleError> {
+/// // Read ports 0 and 1, compute for 10 cycles, write port 0.
+/// let schedule = ScheduleBuilder::new(2, 1)
+///     .read(0)
+///     .read(1)
+///     .quiet(10)
+///     .write(0)
+///     .build()?;
+/// assert_eq!(schedule.period(), 13);
+/// assert_eq!(schedule.sync_points(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScheduleBuilder {
+    n_inputs: usize,
+    n_outputs: usize,
+    steps: Vec<CycleIo>,
+}
+
+impl ScheduleBuilder {
+    /// Starts a schedule over the given interface size.
+    pub fn new(n_inputs: usize, n_outputs: usize) -> Self {
+        ScheduleBuilder {
+            n_inputs,
+            n_outputs,
+            steps: Vec::new(),
+        }
+    }
+
+    /// Appends one cycle reading a single input port.
+    pub fn read(mut self, port: usize) -> Self {
+        self.steps
+            .push(CycleIo::new(PortSet::single(port), PortSet::EMPTY));
+        self
+    }
+
+    /// Appends one cycle writing a single output port.
+    pub fn write(mut self, port: usize) -> Self {
+        self.steps
+            .push(CycleIo::new(PortSet::EMPTY, PortSet::single(port)));
+        self
+    }
+
+    /// Appends one cycle with arbitrary simultaneous reads and writes.
+    pub fn io(
+        mut self,
+        reads: impl IntoIterator<Item = usize>,
+        writes: impl IntoIterator<Item = usize>,
+    ) -> Self {
+        self.steps.push(CycleIo::new(
+            PortSet::from_indices(reads),
+            PortSet::from_indices(writes),
+        ));
+        self
+    }
+
+    /// Appends `n` compute-only cycles.
+    pub fn quiet(mut self, n: usize) -> Self {
+        for _ in 0..n {
+            self.steps.push(CycleIo::QUIET);
+        }
+        self
+    }
+
+    /// Appends `times` repetitions of one cycle's I/O.
+    pub fn repeat_io(
+        mut self,
+        reads: impl IntoIterator<Item = usize>,
+        writes: impl IntoIterator<Item = usize>,
+        times: usize,
+    ) -> Self {
+        let step = CycleIo::new(PortSet::from_indices(reads), PortSet::from_indices(writes));
+        for _ in 0..times {
+            self.steps.push(step);
+        }
+        self
+    }
+
+    /// Validates and returns the schedule.
+    ///
+    /// # Errors
+    ///
+    /// See [`IoSchedule::new`].
+    pub fn build(self) -> Result<IoSchedule, ScheduleError> {
+        IoSchedule::new(self.n_inputs, self.n_outputs, self.steps)
+    }
+}
+
+/// Parameters for [`random_schedule`].
+#[derive(Debug, Clone, Copy)]
+pub struct RandomScheduleParams {
+    /// Input port count (1..=64).
+    pub n_inputs: usize,
+    /// Output port count (1..=64).
+    pub n_outputs: usize,
+    /// Period length in cycles (>= 1).
+    pub period: usize,
+    /// Probability that a cycle is a synchronization point (has I/O).
+    pub sync_density: f64,
+    /// Probability that each individual port participates in a
+    /// synchronization cycle's masks.
+    pub port_density: f64,
+}
+
+impl Default for RandomScheduleParams {
+    fn default() -> Self {
+        RandomScheduleParams {
+            n_inputs: 2,
+            n_outputs: 2,
+            period: 64,
+            sync_density: 0.25,
+            port_density: 0.5,
+        }
+    }
+}
+
+/// Generates a pseudo-random schedule (deterministic per seed).
+///
+/// At least one synchronization point with a non-empty mask is
+/// guaranteed, so the schedule always exercises the wait logic of every
+/// wrapper model.
+///
+/// # Panics
+///
+/// Panics if the parameters are out of range (zero period or port
+/// counts, densities outside `[0, 1]`).
+pub fn random_schedule(seed: u64, params: RandomScheduleParams) -> IoSchedule {
+    assert!(params.period >= 1, "period must be at least 1");
+    assert!(
+        (1..=64).contains(&params.n_inputs) && (1..=64).contains(&params.n_outputs),
+        "port counts must be in 1..=64"
+    );
+    assert!(
+        (0.0..=1.0).contains(&params.sync_density) && (0.0..=1.0).contains(&params.port_density),
+        "densities must be within [0, 1]"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut steps = Vec::with_capacity(params.period);
+    for _ in 0..params.period {
+        if rng.random_bool(params.sync_density) {
+            steps.push(random_io_cycle(&mut rng, params));
+        } else {
+            steps.push(CycleIo::QUIET);
+        }
+    }
+    // Guarantee at least one real synchronization point.
+    if steps.iter().all(|s| s.is_quiet()) {
+        let slot = rng.random_range(0..params.period);
+        steps[slot] = random_io_cycle(&mut rng, params);
+    }
+    IoSchedule::new(params.n_inputs, params.n_outputs, steps)
+        .expect("generated schedule is valid by construction")
+}
+
+fn random_io_cycle(rng: &mut StdRng, params: RandomScheduleParams) -> CycleIo {
+    let mut reads = PortSet::EMPTY;
+    let mut writes = PortSet::EMPTY;
+    for i in 0..params.n_inputs {
+        if rng.random_bool(params.port_density) {
+            reads.insert(i);
+        }
+    }
+    for i in 0..params.n_outputs {
+        if rng.random_bool(params.port_density) {
+            writes.insert(i);
+        }
+    }
+    if reads.is_empty() && writes.is_empty() {
+        // Force at least one port so the cycle is a true sync point.
+        if rng.random_bool(0.5) {
+            reads.insert(rng.random_range(0..params.n_inputs));
+        } else {
+            writes.insert(rng.random_range(0..params.n_outputs));
+        }
+    }
+    CycleIo::new(reads, writes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_expected_shape() {
+        let s = ScheduleBuilder::new(2, 1)
+            .io([0, 1], [])
+            .quiet(5)
+            .write(0)
+            .build()
+            .unwrap();
+        assert_eq!(s.period(), 7);
+        assert_eq!(s.sync_points(), 2);
+        assert_eq!(s.max_quiet_run(), 5);
+    }
+
+    #[test]
+    fn builder_repeat_io_repeats() {
+        let s = ScheduleBuilder::new(1, 1)
+            .repeat_io([0], [0], 10)
+            .build()
+            .unwrap();
+        assert_eq!(s.period(), 10);
+        assert_eq!(s.sync_points(), 10);
+    }
+
+    #[test]
+    fn builder_rejects_out_of_range_ports() {
+        let r = ScheduleBuilder::new(1, 1).read(3).build();
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn random_schedule_is_deterministic_per_seed() {
+        let p = RandomScheduleParams::default();
+        let a = random_schedule(7, p);
+        let b = random_schedule(7, p);
+        let c = random_schedule(8, p);
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seeds should differ for these params");
+    }
+
+    #[test]
+    fn random_schedule_always_has_a_sync_point() {
+        let p = RandomScheduleParams {
+            sync_density: 0.0,
+            ..RandomScheduleParams::default()
+        };
+        for seed in 0..20 {
+            let s = random_schedule(seed, p);
+            assert!(s.sync_points() >= 1, "seed {seed} produced no sync points");
+        }
+    }
+
+    #[test]
+    fn random_schedule_respects_period_and_ports() {
+        let p = RandomScheduleParams {
+            n_inputs: 5,
+            n_outputs: 3,
+            period: 111,
+            sync_density: 0.9,
+            port_density: 0.3,
+        };
+        let s = random_schedule(42, p);
+        assert_eq!(s.period(), 111);
+        assert_eq!(s.n_inputs(), 5);
+        assert_eq!(s.n_outputs(), 3);
+        assert!(s.all_reads().max_index().map_or(true, |m| m < 5));
+        assert!(s.all_writes().max_index().map_or(true, |m| m < 3));
+    }
+}

@@ -1,0 +1,64 @@
+//! # lis-schedule — I/O schedules and synchronization-processor programs
+//!
+//! The data model at the heart of the Bomel et al. (DATE 2005)
+//! reproduction:
+//!
+//! * [`IoSchedule`] — the statically known, cyclic I/O behaviour of a
+//!   suspendable IP: which ports it reads/writes at each enabled cycle.
+//!   This is what a high-level synthesis tool (GAUT in the paper)
+//!   exports alongside the datapath.
+//! * [`SyncOp`] / [`SpProgram`] — the synchronization processor's
+//!   instruction set: `(input-mask, output-mask, run-cycles)` words
+//!   executed cyclically from a ROM.
+//! * [`compress`] — the synthesis step mapping a schedule to the minimal
+//!   SP program (quiet cycles fold into run counters). Exact inverse of
+//!   [`SpProgram::expand`].
+//! * [`ScheduleBuilder`] / [`random_schedule`] — hand-authoring and
+//!   seeded random generation for sweeps and property tests.
+//! * [`dataflow`] — a miniature HLS front end lowering loop-nest
+//!   programs to schedules, modelling how the paper's Viterbi and RS
+//!   schedules were obtained.
+//!
+//! # Examples
+//!
+//! ```
+//! use lis_schedule::{ScheduleBuilder, compress};
+//!
+//! # fn main() -> Result<(), lis_schedule::ScheduleError> {
+//! // Viterbi-like scenario: two reads, a long compute, two writes.
+//! let schedule = ScheduleBuilder::new(2, 1)
+//!     .read(0)
+//!     .read(1)
+//!     .quiet(198)
+//!     .write(0)
+//!     .write(0)
+//!     .build()?;
+//! let program = compress(&schedule);
+//! assert_eq!(program.len(), 4);          // 4 ROM words…
+//! assert_eq!(program.period(), 202);     // …cover 202 cycles
+//! assert_eq!(program.expand(), schedule); // losslessly
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+mod compress;
+pub mod dataflow;
+mod error;
+mod generator;
+mod ops;
+mod ports;
+mod schedule;
+mod transform;
+
+pub use analysis::{burst_buffer_requirements, port_rates, BurstAnalysis, PortRates};
+pub use compress::{compress, compress_bursty, compression_ratio};
+pub use transform::{concat, repeat, rotate};
+pub use error::ScheduleError;
+pub use generator::{random_schedule, RandomScheduleParams, ScheduleBuilder};
+pub use ops::{OpEncoding, SpProgram, SyncOp};
+pub use ports::{Interface, PortDir, PortSet, PortSpec};
+pub use schedule::{CycleIo, IoSchedule, ScheduleStats};

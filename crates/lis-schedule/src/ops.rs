@@ -1,0 +1,453 @@
+//! Synchronization-processor operations and programs.
+//!
+//! The paper specifies: *"Operation's format is the concatenation of an
+//! input-mask, an output-mask and a free-run cycles number. The masks
+//! specify respectively the input and output ports the FSM is sensible
+//! to. The run cycles number represents the number of clock cycles the IP
+//! can execute until next synchronization point."* — §3.
+
+use crate::error::ScheduleError;
+use crate::ports::PortSet;
+use crate::schedule::{CycleIo, IoSchedule};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One operation of a synchronization-processor program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SyncOp {
+    /// Input ports that must hold a valid token before the IP may run.
+    pub input_mask: PortSet,
+    /// Output ports that must have space before the IP may run.
+    pub output_mask: PortSet,
+    /// Enabled cycles the IP executes once the masks are satisfied,
+    /// including the synchronization cycle itself. Always `>= 1`.
+    pub run_cycles: u32,
+}
+
+impl SyncOp {
+    /// Creates an operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `run_cycles == 0`.
+    pub fn new(input_mask: PortSet, output_mask: PortSet, run_cycles: u32) -> Self {
+        assert!(run_cycles >= 1, "run_cycles must be at least 1");
+        SyncOp {
+            input_mask,
+            output_mask,
+            run_cycles,
+        }
+    }
+
+    /// Whether this operation waits on nothing (pure free-run).
+    pub fn is_unconditional(self) -> bool {
+        self.input_mask.is_empty() && self.output_mask.is_empty()
+    }
+}
+
+impl fmt::Display for SyncOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "wait(in={}, out={}) run {}",
+            self.input_mask, self.output_mask, self.run_cycles
+        )
+    }
+}
+
+/// Geometry of the packed operation word stored in the SP's ROM.
+///
+/// The word is the concatenation (LSB first) of the input mask
+/// (`n_inputs` bits), the output mask (`n_outputs` bits) and the run
+/// field (`run_bits` bits, storing `run_cycles - 1` so the full range
+/// encodes valid operations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpEncoding {
+    /// Input-mask field width.
+    pub n_inputs: usize,
+    /// Output-mask field width.
+    pub n_outputs: usize,
+    /// Run-count field width.
+    pub run_bits: usize,
+}
+
+impl OpEncoding {
+    /// Chooses the minimal encoding for a program: mask fields sized by
+    /// the interface, run field sized by the largest run count.
+    pub fn minimal_for(program: &SpProgram) -> Self {
+        let max_run = program.max_run().max(1);
+        let run_bits = (64 - u64::from(max_run - 1).leading_zeros()).max(1) as usize;
+        OpEncoding {
+            n_inputs: program.n_inputs(),
+            n_outputs: program.n_outputs(),
+            run_bits,
+        }
+    }
+
+    /// Total packed word width in bits.
+    pub fn word_width(self) -> usize {
+        self.n_inputs + self.n_outputs + self.run_bits
+    }
+
+    /// Packs an operation into a word.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::WordOverflow`] if a mask or the run count does not
+    /// fit its field, or the word exceeds 64 bits.
+    pub fn encode(self, index: usize, op: SyncOp) -> Result<u64, ScheduleError> {
+        if self.word_width() > 64 {
+            return Err(ScheduleError::WordOverflow {
+                op: index,
+                detail: format!("word width {} exceeds 64", self.word_width()),
+            });
+        }
+        let overflow = |detail: String| ScheduleError::WordOverflow { op: index, detail };
+        if let Some(max) = op.input_mask.max_index() {
+            if max >= self.n_inputs {
+                return Err(overflow(format!(
+                    "input mask uses port {max}, field width {}",
+                    self.n_inputs
+                )));
+            }
+        }
+        if let Some(max) = op.output_mask.max_index() {
+            if max >= self.n_outputs {
+                return Err(overflow(format!(
+                    "output mask uses port {max}, field width {}",
+                    self.n_outputs
+                )));
+            }
+        }
+        let run_field = u64::from(op.run_cycles - 1);
+        if self.run_bits < 64 && run_field >= (1u64 << self.run_bits) {
+            return Err(overflow(format!(
+                "run count {} needs more than {} bits",
+                op.run_cycles, self.run_bits
+            )));
+        }
+        Ok(op.input_mask.mask()
+            | (op.output_mask.mask() << self.n_inputs)
+            | (run_field << (self.n_inputs + self.n_outputs)))
+    }
+
+    /// Unpacks a word into an operation.
+    pub fn decode(self, word: u64) -> SyncOp {
+        let in_mask = word & mask_bits(self.n_inputs);
+        let out_mask = (word >> self.n_inputs) & mask_bits(self.n_outputs);
+        let run = (word >> (self.n_inputs + self.n_outputs)) & mask_bits(self.run_bits);
+        SyncOp {
+            input_mask: PortSet::from_mask(in_mask),
+            output_mask: PortSet::from_mask(out_mask),
+            run_cycles: run as u32 + 1,
+        }
+    }
+}
+
+fn mask_bits(n: usize) -> u64 {
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// A complete synchronization-processor program: the cyclic operation
+/// sequence stored in the wrapper's ROM.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpProgram {
+    n_inputs: usize,
+    n_outputs: usize,
+    ops: Vec<SyncOp>,
+}
+
+impl SpProgram {
+    /// Creates and validates a program.
+    ///
+    /// # Errors
+    ///
+    /// * [`ScheduleError::EmptyProgram`] for an empty operation list;
+    /// * [`ScheduleError::ZeroRunCycles`] if any operation free-runs for
+    ///   zero cycles;
+    /// * port-range errors when a mask addresses a port outside the
+    ///   interface.
+    pub fn new(
+        n_inputs: usize,
+        n_outputs: usize,
+        ops: Vec<SyncOp>,
+    ) -> Result<Self, ScheduleError> {
+        if ops.is_empty() {
+            return Err(ScheduleError::EmptyProgram);
+        }
+        for (i, op) in ops.iter().enumerate() {
+            if op.run_cycles == 0 {
+                return Err(ScheduleError::ZeroRunCycles { op: i });
+            }
+            if let Some(max) = op.input_mask.max_index() {
+                if max >= n_inputs {
+                    return Err(ScheduleError::InputPortOutOfRange {
+                        step: i,
+                        port: max,
+                        available: n_inputs,
+                    });
+                }
+            }
+            if let Some(max) = op.output_mask.max_index() {
+                if max >= n_outputs {
+                    return Err(ScheduleError::OutputPortOutOfRange {
+                        step: i,
+                        port: max,
+                        available: n_outputs,
+                    });
+                }
+            }
+        }
+        Ok(SpProgram {
+            n_inputs,
+            n_outputs,
+            ops,
+        })
+    }
+
+    /// Number of input ports addressed by the masks.
+    pub fn n_inputs(&self) -> usize {
+        self.n_inputs
+    }
+
+    /// Number of output ports addressed by the masks.
+    pub fn n_outputs(&self) -> usize {
+        self.n_outputs
+    }
+
+    /// The operations in execution order.
+    pub fn ops(&self) -> &[SyncOp] {
+        &self.ops
+    }
+
+    /// Number of operations (the ROM depth).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the program is empty (never true for validated programs).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Total enabled cycles per period (sum of run counts).
+    pub fn period(&self) -> usize {
+        self.ops.iter().map(|op| op.run_cycles as usize).sum()
+    }
+
+    /// The largest run count in the program.
+    pub fn max_run(&self) -> u32 {
+        self.ops.iter().map(|op| op.run_cycles).max().unwrap_or(1)
+    }
+
+    /// Expands the program back into a cycle-by-cycle schedule: each
+    /// operation contributes one synchronization cycle carrying its masks
+    /// followed by `run_cycles - 1` quiet cycles.
+    ///
+    /// An unconditional operation contributes `run_cycles` quiet cycles.
+    pub fn expand(&self) -> IoSchedule {
+        let mut steps = Vec::with_capacity(self.period());
+        for op in &self.ops {
+            if op.is_unconditional() {
+                for _ in 0..op.run_cycles {
+                    steps.push(CycleIo::QUIET);
+                }
+            } else {
+                steps.push(CycleIo::new(op.input_mask, op.output_mask));
+                for _ in 1..op.run_cycles {
+                    steps.push(CycleIo::QUIET);
+                }
+            }
+        }
+        IoSchedule::new(self.n_inputs, self.n_outputs, steps)
+            .expect("expansion of a valid program is a valid schedule")
+    }
+
+    /// Canonical form: quiet segments folded into the preceding
+    /// operation's run count wherever possible (idempotent).
+    pub fn normalize(&self) -> SpProgram {
+        crate::compress::compress(&self.expand())
+    }
+
+    /// Packs every operation into ROM words under `encoding`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ScheduleError::WordOverflow`] from encoding.
+    pub fn encode_words(&self, encoding: OpEncoding) -> Result<Vec<u64>, ScheduleError> {
+        self.ops
+            .iter()
+            .enumerate()
+            .map(|(i, &op)| encoding.encode(i, op))
+            .collect()
+    }
+
+    /// Number of *distinct* operations — the dictionary size a
+    /// two-level (index ROM + word table) operations memory would need.
+    pub fn unique_ops(&self) -> usize {
+        let mut set: Vec<SyncOp> = Vec::new();
+        for &op in &self.ops {
+            if !set.contains(&op) {
+                set.push(op);
+            }
+        }
+        set.len()
+    }
+
+    /// ROM bits with the paper's direct encoding: one full operation
+    /// word per program slot.
+    pub fn rom_bits_direct(&self) -> usize {
+        self.len() * OpEncoding::minimal_for(self).word_width()
+    }
+
+    /// ROM bits with dictionary encoding: per-slot indices into a table
+    /// of distinct operation words. Highly repetitive programs (the RS
+    /// decoder: 2958 slots, 2 distinct words) compress dramatically —
+    /// an optimization the paper's constant-logic architecture admits
+    /// without touching the processor itself.
+    pub fn rom_bits_dictionary(&self) -> usize {
+        let unique = self.unique_ops().max(1);
+        let index_bits = (usize::BITS - (unique - 1).max(1).leading_zeros()) as usize;
+        let word_width = OpEncoding::minimal_for(self).word_width();
+        self.len() * index_bits + unique * word_width
+    }
+}
+
+impl fmt::Display for SpProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "program[{} ops, period {}, {} in, {} out]",
+            self.len(),
+            self.period(),
+            self.n_inputs,
+            self.n_outputs
+        )?;
+        for (i, op) in self.ops.iter().enumerate() {
+            writeln!(f, "  {i:4}: {op}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(ins: &[usize], outs: &[usize], run: u32) -> SyncOp {
+        SyncOp::new(
+            PortSet::from_indices(ins.iter().copied()),
+            PortSet::from_indices(outs.iter().copied()),
+            run,
+        )
+    }
+
+    #[test]
+    fn program_period_sums_runs() {
+        let p = SpProgram::new(2, 1, vec![op(&[0], &[], 3), op(&[1], &[0], 199)]).unwrap();
+        assert_eq!(p.period(), 202);
+        assert_eq!(p.max_run(), 199);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn program_rejects_bad_masks() {
+        assert!(matches!(
+            SpProgram::new(1, 1, vec![op(&[1], &[], 1)]),
+            Err(ScheduleError::InputPortOutOfRange { .. })
+        ));
+        assert!(matches!(
+            SpProgram::new(1, 1, vec![op(&[], &[3], 1)]),
+            Err(ScheduleError::OutputPortOutOfRange { .. })
+        ));
+        assert!(matches!(
+            SpProgram::new(1, 1, vec![]),
+            Err(ScheduleError::EmptyProgram)
+        ));
+    }
+
+    #[test]
+    fn encoding_round_trips() {
+        let p = SpProgram::new(3, 2, vec![op(&[0, 2], &[1], 7), op(&[], &[], 200)]).unwrap();
+        let enc = OpEncoding::minimal_for(&p);
+        assert_eq!(enc.n_inputs, 3);
+        assert_eq!(enc.n_outputs, 2);
+        assert_eq!(enc.run_bits, 8); // 199 needs 8 bits
+        assert_eq!(enc.word_width(), 13);
+        let words = p.encode_words(enc).unwrap();
+        for (w, &original) in words.iter().zip(p.ops()) {
+            assert_eq!(enc.decode(*w), original);
+        }
+    }
+
+    #[test]
+    fn encoding_rejects_overflow() {
+        let p = SpProgram::new(2, 2, vec![op(&[0], &[0], 300)]).unwrap();
+        let enc = OpEncoding {
+            n_inputs: 2,
+            n_outputs: 2,
+            run_bits: 4,
+        };
+        assert!(matches!(
+            p.encode_words(enc),
+            Err(ScheduleError::WordOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn expand_produces_sync_then_quiet() {
+        let p = SpProgram::new(1, 1, vec![op(&[0], &[0], 3)]).unwrap();
+        let s = p.expand();
+        assert_eq!(s.period(), 3);
+        assert!(!s.at(0).is_quiet());
+        assert!(s.at(1).is_quiet());
+        assert!(s.at(2).is_quiet());
+    }
+
+    #[test]
+    fn unconditional_op_expands_to_quiet_cycles() {
+        let p = SpProgram::new(1, 1, vec![op(&[], &[], 2), op(&[0], &[], 1)]).unwrap();
+        let s = p.expand();
+        assert_eq!(s.period(), 3);
+        assert!(s.at(0).is_quiet());
+        assert!(s.at(1).is_quiet());
+        assert!(!s.at(2).is_quiet());
+    }
+
+    #[test]
+    fn dictionary_compression_wins_on_repetitive_programs() {
+        // RS-like: many identical ops.
+        let p = SpProgram::new(1, 1, vec![op(&[0], &[0], 1); 1000]).unwrap();
+        assert_eq!(p.unique_ops(), 1);
+        assert!(p.rom_bits_dictionary() < p.rom_bits_direct() / 2);
+
+        // Diverse programs gain nothing (indices + table ≥ direct).
+        let diverse = SpProgram::new(
+            2,
+            2,
+            vec![op(&[0], &[], 1), op(&[1], &[0], 2), op(&[], &[1], 3)],
+        )
+        .unwrap();
+        assert_eq!(diverse.unique_ops(), 3);
+        assert!(diverse.rom_bits_dictionary() >= diverse.rom_bits_direct() / 2);
+    }
+
+    #[test]
+    fn display_lists_ops() {
+        let p = SpProgram::new(1, 1, vec![op(&[0], &[0], 5)]).unwrap();
+        let text = p.to_string();
+        assert!(text.contains("program[1 ops, period 5"));
+        assert!(text.contains("wait(in={0}, out={0}) run 5"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn sync_op_rejects_zero_run() {
+        let _ = SyncOp::new(PortSet::EMPTY, PortSet::EMPTY, 0);
+    }
+}

@@ -1,0 +1,301 @@
+//! Port descriptions and port sets (the masks of the SP operation word).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Direction of an IP port, as seen from the IP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PortDir {
+    /// The IP consumes tokens from this port.
+    Input,
+    /// The IP produces tokens on this port.
+    Output,
+}
+
+/// One data port of a pearl's LIS-visible interface.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PortSpec {
+    /// Port name.
+    pub name: String,
+    /// Direction.
+    pub dir: PortDir,
+    /// Data width in bits (1..=64).
+    pub width: u32,
+}
+
+impl PortSpec {
+    /// Convenience constructor for an input port.
+    pub fn input(name: impl Into<String>, width: u32) -> Self {
+        PortSpec {
+            name: name.into(),
+            dir: PortDir::Input,
+            width,
+        }
+    }
+
+    /// Convenience constructor for an output port.
+    pub fn output(name: impl Into<String>, width: u32) -> Self {
+        PortSpec {
+            name: name.into(),
+            dir: PortDir::Output,
+            width,
+        }
+    }
+}
+
+/// The LIS-visible interface of an IP: its named, directed data ports.
+///
+/// Input ports and output ports are indexed independently (the SP operation
+/// word holds one mask per direction); indices are assignment order.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Interface {
+    ports: Vec<PortSpec>,
+}
+
+impl Interface {
+    /// Creates an interface from a port list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 64 ports of one direction are given (masks are
+    /// 64-bit) or a width is outside 1..=64.
+    pub fn new(ports: Vec<PortSpec>) -> Self {
+        let iface = Interface { ports };
+        assert!(iface.input_count() <= 64, "more than 64 input ports");
+        assert!(iface.output_count() <= 64, "more than 64 output ports");
+        for p in &iface.ports {
+            assert!(
+                (1..=64).contains(&p.width),
+                "port {} width {} outside 1..=64",
+                p.name,
+                p.width
+            );
+        }
+        iface
+    }
+
+    /// All ports in declaration order.
+    pub fn ports(&self) -> &[PortSpec] {
+        &self.ports
+    }
+
+    /// Total number of ports, both directions.
+    pub fn port_count(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Input ports in index order.
+    pub fn inputs(&self) -> impl Iterator<Item = &PortSpec> {
+        self.ports.iter().filter(|p| p.dir == PortDir::Input)
+    }
+
+    /// Output ports in index order.
+    pub fn outputs(&self) -> impl Iterator<Item = &PortSpec> {
+        self.ports.iter().filter(|p| p.dir == PortDir::Output)
+    }
+
+    /// Number of input ports.
+    pub fn input_count(&self) -> usize {
+        self.inputs().count()
+    }
+
+    /// Number of output ports.
+    pub fn output_count(&self) -> usize {
+        self.outputs().count()
+    }
+
+    /// Index of the named input port within the input direction.
+    pub fn input_index(&self, name: &str) -> Option<usize> {
+        self.inputs().position(|p| p.name == name)
+    }
+
+    /// Index of the named output port within the output direction.
+    pub fn output_index(&self, name: &str) -> Option<usize> {
+        self.outputs().position(|p| p.name == name)
+    }
+}
+
+/// A set of port indices of one direction, stored as a 64-bit mask —
+/// exactly the input-mask / output-mask field of the paper's operation
+/// word.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct PortSet(u64);
+
+impl PortSet {
+    /// The empty set.
+    pub const EMPTY: PortSet = PortSet(0);
+
+    /// Creates a set from a raw mask.
+    pub fn from_mask(mask: u64) -> Self {
+        PortSet(mask)
+    }
+
+    /// Creates a set holding the single port `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 64`.
+    pub fn single(index: usize) -> Self {
+        assert!(index < 64, "port index {index} out of mask range");
+        PortSet(1 << index)
+    }
+
+    /// Creates a set from port indices.
+    pub fn from_indices(indices: impl IntoIterator<Item = usize>) -> Self {
+        let mut s = PortSet::EMPTY;
+        for i in indices {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// The raw mask value.
+    pub fn mask(self) -> u64 {
+        self.0
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of ports in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether port `index` is in the set.
+    pub fn contains(self, index: usize) -> bool {
+        index < 64 && (self.0 >> index) & 1 == 1
+    }
+
+    /// Adds port `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 64`.
+    pub fn insert(&mut self, index: usize) {
+        assert!(index < 64, "port index {index} out of mask range");
+        self.0 |= 1 << index;
+    }
+
+    /// Set union.
+    #[must_use]
+    pub fn union(self, other: PortSet) -> PortSet {
+        PortSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[must_use]
+    pub fn intersection(self, other: PortSet) -> PortSet {
+        PortSet(self.0 & other.0)
+    }
+
+    /// Whether all ports in `self` also appear in `other`.
+    pub fn is_subset_of(self, other: PortSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Iterates over the member indices in ascending order.
+    pub fn iter(self) -> impl Iterator<Item = usize> {
+        (0..64).filter(move |&i| self.contains(i))
+    }
+
+    /// The highest member index, or `None` when empty.
+    pub fn max_index(self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(63 - self.0.leading_zeros() as usize)
+        }
+    }
+}
+
+impl fmt::Display for PortSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for i in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{i}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<usize> for PortSet {
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        PortSet::from_indices(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interface_indexing_is_per_direction() {
+        let iface = Interface::new(vec![
+            PortSpec::input("a", 8),
+            PortSpec::output("y", 8),
+            PortSpec::input("b", 4),
+            PortSpec::output("z", 1),
+        ]);
+        assert_eq!(iface.input_count(), 2);
+        assert_eq!(iface.output_count(), 2);
+        assert_eq!(iface.input_index("a"), Some(0));
+        assert_eq!(iface.input_index("b"), Some(1));
+        assert_eq!(iface.output_index("y"), Some(0));
+        assert_eq!(iface.output_index("z"), Some(1));
+        assert_eq!(iface.input_index("y"), None);
+        assert_eq!(iface.port_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn interface_rejects_zero_width() {
+        let _ = Interface::new(vec![PortSpec::input("a", 0)]);
+    }
+
+    #[test]
+    fn port_set_operations() {
+        let s = PortSet::from_indices([0, 3, 5]);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(3));
+        assert!(!s.contains(1));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 3, 5]);
+        assert_eq!(s.max_index(), Some(5));
+        assert_eq!(s.to_string(), "{0,3,5}");
+        assert!(PortSet::EMPTY.is_empty());
+        assert_eq!(PortSet::EMPTY.max_index(), None);
+    }
+
+    #[test]
+    fn subset_and_union() {
+        let a = PortSet::from_indices([1, 2]);
+        let b = PortSet::from_indices([1, 2, 4]);
+        assert!(a.is_subset_of(b));
+        assert!(!b.is_subset_of(a));
+        assert_eq!(a.union(b), b);
+        assert_eq!(a.intersection(b), a);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let s: PortSet = [0usize, 63].into_iter().collect();
+        assert!(s.contains(63));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of mask range")]
+    fn insert_rejects_large_index() {
+        let mut s = PortSet::EMPTY;
+        s.insert(64);
+    }
+}

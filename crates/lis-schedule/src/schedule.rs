@@ -1,0 +1,288 @@
+//! Cycle-by-cycle I/O schedules.
+//!
+//! An [`IoSchedule`] is the statically known communication behaviour of a
+//! suspendable IP: for every *enabled* clock cycle of one period, which
+//! input ports it consumes and which output ports it produces. This is
+//! the artifact a high-level synthesis tool (GAUT, in the paper) exports
+//! alongside the datapath, and the input to every wrapper generator.
+
+use crate::error::ScheduleError;
+use crate::ports::PortSet;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The port activity of one enabled cycle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CycleIo {
+    /// Input ports consumed this cycle.
+    pub reads: PortSet,
+    /// Output ports produced this cycle.
+    pub writes: PortSet,
+}
+
+impl CycleIo {
+    /// A cycle with no I/O (pure computation).
+    pub const QUIET: CycleIo = CycleIo {
+        reads: PortSet::EMPTY,
+        writes: PortSet::EMPTY,
+    };
+
+    /// Creates a cycle performing the given reads and writes.
+    pub fn new(reads: PortSet, writes: PortSet) -> Self {
+        CycleIo { reads, writes }
+    }
+
+    /// Whether this cycle performs any I/O.
+    pub fn is_quiet(self) -> bool {
+        self.reads.is_empty() && self.writes.is_empty()
+    }
+}
+
+/// One period of an IP's cyclic I/O behaviour.
+///
+/// Cycle indices count *enabled* cycles (the pearl's own clock); the
+/// wrapper stretches them over real time by stalling.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoSchedule {
+    n_inputs: usize,
+    n_outputs: usize,
+    steps: Vec<CycleIo>,
+}
+
+impl IoSchedule {
+    /// Creates and validates a schedule over `n_inputs`/`n_outputs` ports.
+    ///
+    /// # Errors
+    ///
+    /// * [`ScheduleError::EmptySchedule`] if `steps` is empty;
+    /// * [`ScheduleError::InputPortOutOfRange`] /
+    ///   [`ScheduleError::OutputPortOutOfRange`] if a step touches a port
+    ///   index `>= n_inputs` (resp. `n_outputs`).
+    pub fn new(
+        n_inputs: usize,
+        n_outputs: usize,
+        steps: Vec<CycleIo>,
+    ) -> Result<Self, ScheduleError> {
+        if steps.is_empty() {
+            return Err(ScheduleError::EmptySchedule);
+        }
+        for (i, step) in steps.iter().enumerate() {
+            if let Some(max) = step.reads.max_index() {
+                if max >= n_inputs {
+                    return Err(ScheduleError::InputPortOutOfRange {
+                        step: i,
+                        port: max,
+                        available: n_inputs,
+                    });
+                }
+            }
+            if let Some(max) = step.writes.max_index() {
+                if max >= n_outputs {
+                    return Err(ScheduleError::OutputPortOutOfRange {
+                        step: i,
+                        port: max,
+                        available: n_outputs,
+                    });
+                }
+            }
+        }
+        Ok(IoSchedule {
+            n_inputs,
+            n_outputs,
+            steps,
+        })
+    }
+
+    /// Number of input ports of the interface this schedule addresses.
+    pub fn n_inputs(&self) -> usize {
+        self.n_inputs
+    }
+
+    /// Number of output ports of the interface this schedule addresses.
+    pub fn n_outputs(&self) -> usize {
+        self.n_outputs
+    }
+
+    /// The period length in enabled cycles.
+    pub fn period(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// The per-cycle steps.
+    pub fn steps(&self) -> &[CycleIo] {
+        &self.steps
+    }
+
+    /// The I/O of enabled cycle `t mod period`.
+    pub fn at(&self, t: usize) -> CycleIo {
+        self.steps[t % self.steps.len()]
+    }
+
+    /// Number of cycles that perform I/O (the wrapper's synchronization
+    /// points).
+    pub fn sync_points(&self) -> usize {
+        self.steps.iter().filter(|s| !s.is_quiet()).count()
+    }
+
+    /// Longest run of consecutive cycles with no I/O.
+    pub fn max_quiet_run(&self) -> usize {
+        let mut best = 0;
+        let mut current = 0;
+        for s in &self.steps {
+            if s.is_quiet() {
+                current += 1;
+                best = best.max(current);
+            } else {
+                current = 0;
+            }
+        }
+        best
+    }
+
+    /// Union of all ports read anywhere in the period.
+    pub fn all_reads(&self) -> PortSet {
+        self.steps
+            .iter()
+            .fold(PortSet::EMPTY, |acc, s| acc.union(s.reads))
+    }
+
+    /// Union of all ports written anywhere in the period.
+    pub fn all_writes(&self) -> PortSet {
+        self.steps
+            .iter()
+            .fold(PortSet::EMPTY, |acc, s| acc.union(s.writes))
+    }
+
+    /// Tokens consumed per period on input port `port`.
+    pub fn reads_per_period(&self, port: usize) -> usize {
+        self.steps.iter().filter(|s| s.reads.contains(port)).count()
+    }
+
+    /// Tokens produced per period on output port `port`.
+    pub fn writes_per_period(&self, port: usize) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| s.writes.contains(port))
+            .count()
+    }
+}
+
+impl fmt::Display for IoSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "schedule[{} in, {} out, period {}, {} sync points]",
+            self.n_inputs,
+            self.n_outputs,
+            self.period(),
+            self.sync_points()
+        )
+    }
+}
+
+/// Summary statistics of a schedule, for reports and experiment tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduleStats {
+    /// Period in enabled cycles.
+    pub period: usize,
+    /// Cycles with I/O.
+    pub sync_points: usize,
+    /// Longest quiet (compute-only) run.
+    pub max_quiet_run: usize,
+    /// Input ports.
+    pub n_inputs: usize,
+    /// Output ports.
+    pub n_outputs: usize,
+}
+
+impl ScheduleStats {
+    /// Computes the statistics of `schedule`.
+    pub fn of(schedule: &IoSchedule) -> Self {
+        ScheduleStats {
+            period: schedule.period(),
+            sync_points: schedule.sync_points(),
+            max_quiet_run: schedule.max_quiet_run(),
+            n_inputs: schedule.n_inputs(),
+            n_outputs: schedule.n_outputs(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rw(reads: &[usize], writes: &[usize]) -> CycleIo {
+        CycleIo::new(
+            PortSet::from_indices(reads.iter().copied()),
+            PortSet::from_indices(writes.iter().copied()),
+        )
+    }
+
+    #[test]
+    fn schedule_validates_port_ranges() {
+        let ok = IoSchedule::new(2, 1, vec![rw(&[0, 1], &[0])]);
+        assert!(ok.is_ok());
+        let bad_in = IoSchedule::new(2, 1, vec![rw(&[2], &[])]);
+        assert!(matches!(
+            bad_in,
+            Err(ScheduleError::InputPortOutOfRange { port: 2, .. })
+        ));
+        let bad_out = IoSchedule::new(2, 1, vec![rw(&[], &[1])]);
+        assert!(matches!(
+            bad_out,
+            Err(ScheduleError::OutputPortOutOfRange { port: 1, .. })
+        ));
+        assert!(matches!(
+            IoSchedule::new(1, 1, vec![]),
+            Err(ScheduleError::EmptySchedule)
+        ));
+    }
+
+    #[test]
+    fn statistics_count_sync_points_and_runs() {
+        let s = IoSchedule::new(
+            1,
+            1,
+            vec![
+                rw(&[0], &[]),
+                CycleIo::QUIET,
+                CycleIo::QUIET,
+                CycleIo::QUIET,
+                rw(&[], &[0]),
+                CycleIo::QUIET,
+            ],
+        )
+        .unwrap();
+        assert_eq!(s.period(), 6);
+        assert_eq!(s.sync_points(), 2);
+        assert_eq!(s.max_quiet_run(), 3);
+        assert_eq!(s.reads_per_period(0), 1);
+        assert_eq!(s.writes_per_period(0), 1);
+        let stats = ScheduleStats::of(&s);
+        assert_eq!(stats.period, 6);
+        assert_eq!(stats.sync_points, 2);
+    }
+
+    #[test]
+    fn at_wraps_around_the_period() {
+        let s = IoSchedule::new(1, 0, vec![rw(&[0], &[]), CycleIo::QUIET]).unwrap();
+        assert_eq!(s.at(0), s.at(2));
+        assert_eq!(s.at(1), s.at(3));
+        assert!(!s.at(0).is_quiet());
+        assert!(s.at(1).is_quiet());
+    }
+
+    #[test]
+    fn all_reads_and_writes_union() {
+        let s = IoSchedule::new(3, 2, vec![rw(&[0], &[1]), rw(&[2], &[0])]).unwrap();
+        assert_eq!(s.all_reads(), PortSet::from_indices([0, 2]));
+        assert_eq!(s.all_writes(), PortSet::from_indices([0, 1]));
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let s = IoSchedule::new(1, 1, vec![rw(&[0], &[0])]).unwrap();
+        assert_eq!(s.to_string(), "schedule[1 in, 1 out, period 1, 1 sync points]");
+    }
+}

@@ -1,0 +1,137 @@
+//! Schedule transformations: rotation, repetition and concatenation.
+//!
+//! Scenario engineering tools: rotate a schedule to start the period at
+//! a different phase (e.g. to align a static wrapper with pipeline
+//! fill), repeat it to build super-frames (how the RS pearl's 2958-cycle
+//! scenario relates to its 255-symbol block), or concatenate distinct
+//! phases into one period.
+
+use crate::error::ScheduleError;
+use crate::schedule::IoSchedule;
+
+/// Rotates the period left by `offset` cycles: the cycle at index
+/// `offset` becomes cycle 0. Rotation by the period is the identity.
+pub fn rotate(schedule: &IoSchedule, offset: usize) -> IoSchedule {
+    let period = schedule.period();
+    let offset = offset % period;
+    let mut steps = Vec::with_capacity(period);
+    for t in 0..period {
+        steps.push(schedule.at(t + offset));
+    }
+    IoSchedule::new(schedule.n_inputs(), schedule.n_outputs(), steps)
+        .expect("rotation preserves validity")
+}
+
+/// Repeats the period `times` times into one longer period.
+///
+/// # Errors
+///
+/// [`ScheduleError::EmptySchedule`] when `times == 0`.
+pub fn repeat(schedule: &IoSchedule, times: usize) -> Result<IoSchedule, ScheduleError> {
+    if times == 0 {
+        return Err(ScheduleError::EmptySchedule);
+    }
+    let mut steps = Vec::with_capacity(schedule.period() * times);
+    for _ in 0..times {
+        steps.extend_from_slice(schedule.steps());
+    }
+    IoSchedule::new(schedule.n_inputs(), schedule.n_outputs(), steps)
+}
+
+/// Concatenates two schedules over the same interface into one period
+/// (`a` then `b`).
+///
+/// # Errors
+///
+/// [`ScheduleError::InputPortOutOfRange`] /
+/// [`ScheduleError::OutputPortOutOfRange`] if the interfaces disagree
+/// (the wider interface wins; the narrower schedule must fit it).
+pub fn concat(a: &IoSchedule, b: &IoSchedule) -> Result<IoSchedule, ScheduleError> {
+    let n_inputs = a.n_inputs().max(b.n_inputs());
+    let n_outputs = a.n_outputs().max(b.n_outputs());
+    let mut steps = Vec::with_capacity(a.period() + b.period());
+    steps.extend_from_slice(a.steps());
+    steps.extend_from_slice(b.steps());
+    IoSchedule::new(n_inputs, n_outputs, steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress::compress;
+    use crate::generator::ScheduleBuilder;
+
+    fn demo() -> IoSchedule {
+        ScheduleBuilder::new(2, 1)
+            .read(0)
+            .quiet(2)
+            .write(0)
+            .read(1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn rotate_by_period_is_identity() {
+        let s = demo();
+        assert_eq!(rotate(&s, s.period()), s);
+        assert_eq!(rotate(&s, 0), s);
+    }
+
+    #[test]
+    fn rotate_composes_additively() {
+        let s = demo();
+        let once_twice = rotate(&rotate(&s, 1), 2);
+        let direct = rotate(&s, 3);
+        assert_eq!(once_twice, direct);
+    }
+
+    #[test]
+    fn rotate_preserves_census() {
+        let s = demo();
+        for k in 0..s.period() {
+            let r = rotate(&s, k);
+            assert_eq!(r.period(), s.period());
+            assert_eq!(r.sync_points(), s.sync_points());
+            assert_eq!(r.all_reads(), s.all_reads());
+            assert_eq!(r.all_writes(), s.all_writes());
+        }
+    }
+
+    #[test]
+    fn repeat_multiplies_period_and_ops() {
+        let s = demo();
+        let r3 = repeat(&s, 3).unwrap();
+        assert_eq!(r3.period(), 3 * s.period());
+        assert_eq!(r3.sync_points(), 3 * s.sync_points());
+        // Safe compression of a repeat = repeated programs (same op
+        // count per copy).
+        assert_eq!(compress(&r3).len(), 3 * compress(&s).len());
+        assert!(repeat(&s, 0).is_err());
+    }
+
+    #[test]
+    fn concat_joins_phases() {
+        let header = ScheduleBuilder::new(1, 1).read(0).build().unwrap();
+        let body = ScheduleBuilder::new(1, 1)
+            .quiet(4)
+            .write(0)
+            .build()
+            .unwrap();
+        let joined = concat(&header, &body).unwrap();
+        assert_eq!(joined.period(), 6);
+        assert_eq!(joined.sync_points(), 2);
+        assert!(!joined.at(0).is_quiet());
+        assert!(joined.at(1).is_quiet());
+    }
+
+    #[test]
+    fn concat_widens_to_the_larger_interface() {
+        let narrow = ScheduleBuilder::new(1, 1).read(0).build().unwrap();
+        let wide = ScheduleBuilder::new(3, 2).read(2).write(1).build().unwrap();
+        let joined = concat(&narrow, &wide).unwrap();
+        assert_eq!(joined.n_inputs(), 3);
+        assert_eq!(joined.n_outputs(), 2);
+        assert_eq!(joined.period(), 3);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the schedule/program algebra.
+
+use lis_schedule::{
+    compress, random_schedule, CycleIo, IoSchedule, OpEncoding, PortSet, RandomScheduleParams,
+    SpProgram, SyncOp,
+};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary CycleIo over the given port counts.
+fn cycle_io(n_in: usize, n_out: usize) -> impl Strategy<Value = CycleIo> {
+    let in_mask = if n_in >= 64 { u64::MAX } else { (1u64 << n_in) - 1 };
+    let out_mask = if n_out >= 64 { u64::MAX } else { (1u64 << n_out) - 1 };
+    (any::<u64>(), any::<u64>()).prop_map(move |(r, w)| {
+        CycleIo::new(
+            PortSet::from_mask(r & in_mask),
+            PortSet::from_mask(w & out_mask),
+        )
+    })
+}
+
+fn schedule_strategy() -> impl Strategy<Value = IoSchedule> {
+    (1usize..=8, 1usize..=8).prop_flat_map(|(n_in, n_out)| {
+        prop::collection::vec(cycle_io(n_in, n_out), 1..200)
+            .prop_map(move |steps| IoSchedule::new(n_in, n_out, steps).unwrap())
+    })
+}
+
+fn program_strategy() -> impl Strategy<Value = SpProgram> {
+    (1usize..=6, 1usize..=6).prop_flat_map(|(n_in, n_out)| {
+        let in_mask = (1u64 << n_in) - 1;
+        let out_mask = (1u64 << n_out) - 1;
+        prop::collection::vec((any::<u64>(), any::<u64>(), 1u32..500), 1..50).prop_map(
+            move |ops| {
+                let ops = ops
+                    .into_iter()
+                    .map(|(r, w, run)| {
+                        SyncOp::new(
+                            PortSet::from_mask(r & in_mask),
+                            PortSet::from_mask(w & out_mask),
+                            run,
+                        )
+                    })
+                    .collect();
+                SpProgram::new(n_in, n_out, ops).unwrap()
+            },
+        )
+    })
+}
+
+proptest! {
+    /// compress is the exact inverse of expand on any schedule.
+    #[test]
+    fn compress_expand_round_trip(s in schedule_strategy()) {
+        let p = compress(&s);
+        prop_assert_eq!(p.expand(), s);
+    }
+
+    /// The compressed program never has more ops than the schedule has
+    /// cycles, and covers exactly the period.
+    #[test]
+    fn compression_never_grows(s in schedule_strategy()) {
+        let p = compress(&s);
+        prop_assert!(p.len() <= s.period());
+        prop_assert_eq!(p.period(), s.period());
+        // Number of ops = sync points, plus possibly one leading
+        // unconditional op.
+        let expected = s.sync_points()
+            + usize::from(s.steps().first().is_some_and(|c| c.is_quiet()));
+        prop_assert_eq!(p.len(), expected.max(1));
+    }
+
+    /// Word encoding round-trips every operation of any program.
+    #[test]
+    fn op_word_encoding_round_trip(p in program_strategy()) {
+        let enc = OpEncoding::minimal_for(&p);
+        prop_assume!(enc.word_width() <= 64);
+        let words = p.encode_words(enc).unwrap();
+        for (w, &op) in words.iter().zip(p.ops()) {
+            prop_assert_eq!(enc.decode(*w), op);
+        }
+    }
+
+    /// normalize is idempotent and expansion-preserving.
+    #[test]
+    fn normalize_idempotent(p in program_strategy()) {
+        let n = p.normalize();
+        prop_assert_eq!(n.expand(), p.expand());
+        prop_assert_eq!(n.normalize(), n);
+    }
+
+    /// Random schedules respect their parameters.
+    #[test]
+    fn random_schedule_well_formed(seed in any::<u64>(), period in 1usize..300) {
+        let params = RandomScheduleParams { period, ..Default::default() };
+        let s = random_schedule(seed, params);
+        prop_assert_eq!(s.period(), period);
+        prop_assert!(s.sync_points() >= 1);
+    }
+}

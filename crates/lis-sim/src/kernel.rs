@@ -1,0 +1,435 @@
+//! The two-phase synchronous simulation kernel.
+//!
+//! A [`System`] owns signals and components. Every clock cycle has two
+//! phases:
+//!
+//! 1. **settle** — components' [`Component::eval`] run repeatedly until no
+//!    signal changes (a combinational fixpoint; LIS `stop` back-pressure
+//!    wires legitimately ripple upstream through several shells in one
+//!    cycle);
+//! 2. **tick** — every component samples the settled signals and commits
+//!    its sequential state.
+//!
+//! Non-convergence of the settle loop (a combinational cycle, e.g. a
+//! `stop` loop without a relay station) is reported as
+//! [`SimError::NoConvergence`] rather than silently producing garbage.
+
+use crate::signal::{Signal, SignalId, SignalView};
+use std::fmt;
+
+/// A synchronous hardware component.
+///
+/// Implementations hold their signal ids (obtained from
+/// [`System::add_signal`]) and internal registers.
+pub trait Component {
+    /// Instance name, for diagnostics and traces.
+    fn name(&self) -> &str;
+
+    /// Combinational evaluation: compute output signals from input
+    /// signals and internal (registered) state. May be invoked several
+    /// times per cycle; must be idempotent for fixed inputs.
+    fn eval(&mut self, sigs: &mut SignalView<'_>);
+
+    /// Clock edge: sample the settled signals and update internal state.
+    /// Must not write signals.
+    fn tick(&mut self, sigs: &SignalView<'_>);
+}
+
+/// Errors produced by the simulation kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The combinational settle loop did not reach a fixpoint — a
+    /// combinational cycle between components.
+    NoConvergence {
+        /// The cycle index at which the failure occurred.
+        cycle: u64,
+        /// Number of sweeps attempted.
+        sweeps: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NoConvergence { cycle, sweeps } => write!(
+                f,
+                "combinational settle did not converge at cycle {cycle} after {sweeps} sweeps \
+                 (combinational loop between components?)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// A synchronous system: signal arena plus component list.
+///
+/// # Examples
+///
+/// ```
+/// use lis_sim::{System, FnComponent};
+///
+/// # fn main() -> Result<(), lis_sim::SimError> {
+/// let mut sys = System::new();
+/// let a = sys.add_signal("a", 8);
+/// let b = sys.add_signal("b", 8);
+/// // A combinational doubler: b = 2*a.
+/// sys.add_component(FnComponent::new(
+///     "doubler",
+///     move |sigs| {
+///         let v = sigs.get(a);
+///         sigs.set(b, v * 2);
+///     },
+///     |_| {},
+/// ));
+/// sys.poke(a, 21);
+/// sys.step()?;
+/// assert_eq!(sys.peek(b), 42);
+/// # Ok(())
+/// # }
+/// ```
+pub struct System {
+    signals: Vec<Signal>,
+    components: Vec<Box<dyn Component>>,
+    cycle: u64,
+    /// Extra settle sweeps allowed beyond the component count.
+    settle_margin: usize,
+}
+
+impl fmt::Debug for System {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("System")
+            .field("signals", &self.signals.len())
+            .field("components", &self.components.len())
+            .field("cycle", &self.cycle)
+            .finish()
+    }
+}
+
+impl Default for System {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl System {
+    /// Creates an empty system.
+    pub fn new() -> Self {
+        System {
+            signals: Vec::new(),
+            components: Vec::new(),
+            cycle: 0,
+            settle_margin: 8,
+        }
+    }
+
+    /// Declares a signal of `width` bits (1..=64) initialized to 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds 64.
+    pub fn add_signal(&mut self, name: impl Into<String>, width: u32) -> SignalId {
+        assert!((1..=64).contains(&width), "signal width must be in 1..=64");
+        let id = SignalId(u32::try_from(self.signals.len()).expect("too many signals"));
+        self.signals.push(Signal {
+            name: name.into(),
+            width,
+            value: 0,
+        });
+        id
+    }
+
+    /// Adds a component; evaluation order follows insertion order (the
+    /// settle loop makes the result order-independent).
+    pub fn add_component(&mut self, component: impl Component + 'static) {
+        self.components.push(Box::new(component));
+    }
+
+    /// Number of elapsed clock cycles.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Number of signals.
+    pub fn signal_count(&self) -> usize {
+        self.signals.len()
+    }
+
+    /// Number of components.
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Signal metadata (name, width).
+    pub fn signal(&self, id: SignalId) -> &Signal {
+        &self.signals[id.index()]
+    }
+
+    /// Reads a signal value directly (outside component evaluation).
+    pub fn peek(&self, id: SignalId) -> u64 {
+        self.signals[id.index()].value
+    }
+
+    /// Reads bit 0 of a signal.
+    pub fn peek_bool(&self, id: SignalId) -> bool {
+        self.peek(id) & 1 == 1
+    }
+
+    /// Forces a signal value (used for top-level stimuli).
+    pub fn poke(&mut self, id: SignalId, value: u64) {
+        let mask = self.signals[id.index()].mask();
+        self.signals[id.index()].value = value & mask;
+    }
+
+    /// Forces a boolean signal value.
+    pub fn poke_bool(&mut self, id: SignalId, value: bool) {
+        self.poke(id, u64::from(value));
+    }
+
+    /// Runs component evaluation to a combinational fixpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NoConvergence`] if the signals keep changing after
+    /// `components + margin` sweeps.
+    pub fn settle(&mut self) -> Result<(), SimError> {
+        let max_sweeps = self.components.len() + self.settle_margin;
+        for _ in 0..max_sweeps {
+            let mut view = SignalView {
+                signals: &mut self.signals,
+                changed: false,
+            };
+            for comp in &mut self.components {
+                comp.eval(&mut view);
+            }
+            if !view.changed {
+                return Ok(());
+            }
+        }
+        Err(SimError::NoConvergence {
+            cycle: self.cycle,
+            sweeps: max_sweeps,
+        })
+    }
+
+    /// One full clock cycle: settle, then commit sequential state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError::NoConvergence`] from [`System::settle`].
+    pub fn step(&mut self) -> Result<(), SimError> {
+        self.settle()?;
+        let view = SignalView {
+            signals: &mut self.signals,
+            changed: false,
+        };
+        for comp in &mut self.components {
+            comp.tick(&view);
+        }
+        self.cycle += 1;
+        Ok(())
+    }
+
+    /// Runs `n` clock cycles.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first [`SimError`].
+    pub fn run(&mut self, n: u64) -> Result<(), SimError> {
+        for _ in 0..n {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// Runs until `predicate` returns true (checked after each settled
+    /// cycle) or `max_cycles` elapse. Returns whether the predicate fired.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from stepping.
+    pub fn run_until(
+        &mut self,
+        max_cycles: u64,
+        mut predicate: impl FnMut(&System) -> bool,
+    ) -> Result<bool, SimError> {
+        for _ in 0..max_cycles {
+            self.step()?;
+            if predicate(self) {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+}
+
+/// Adapter turning a pair of closures into a [`Component`] — convenient
+/// for sources, sinks and test scaffolding.
+pub struct FnComponent<E, T> {
+    name: String,
+    eval_fn: E,
+    tick_fn: T,
+}
+
+impl<E, T> fmt::Debug for FnComponent<E, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FnComponent").field("name", &self.name).finish()
+    }
+}
+
+impl<E, T> FnComponent<E, T>
+where
+    E: FnMut(&mut SignalView<'_>),
+    T: FnMut(&SignalView<'_>),
+{
+    /// Wraps `eval` and `tick` closures as a component.
+    pub fn new(name: impl Into<String>, eval_fn: E, tick_fn: T) -> Self {
+        FnComponent {
+            name: name.into(),
+            eval_fn,
+            tick_fn,
+        }
+    }
+}
+
+impl<E, T> Component for FnComponent<E, T>
+where
+    E: FnMut(&mut SignalView<'_>),
+    T: FnMut(&SignalView<'_>),
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn eval(&mut self, sigs: &mut SignalView<'_>) {
+        (self.eval_fn)(sigs);
+    }
+
+    fn tick(&mut self, sigs: &SignalView<'_>) {
+        (self.tick_fn)(sigs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell as StdCell;
+    use std::rc::Rc;
+
+    /// A registered incrementer: q' = q + 1, output = q.
+    struct Counter {
+        out: SignalId,
+        state: u64,
+    }
+
+    impl Component for Counter {
+        fn name(&self) -> &str {
+            "counter"
+        }
+        fn eval(&mut self, sigs: &mut SignalView<'_>) {
+            sigs.set(self.out, self.state);
+        }
+        fn tick(&mut self, _sigs: &SignalView<'_>) {
+            self.state += 1;
+        }
+    }
+
+    #[test]
+    fn counter_advances_once_per_step() {
+        let mut sys = System::new();
+        let out = sys.add_signal("count", 16);
+        sys.add_component(Counter { out, state: 0 });
+        sys.step().unwrap();
+        assert_eq!(sys.peek(out), 0); // output shows pre-edge state
+        sys.step().unwrap();
+        sys.settle().unwrap();
+        assert_eq!(sys.peek(out), 2);
+        assert_eq!(sys.cycle(), 2);
+    }
+
+    #[test]
+    fn settle_propagates_through_component_chains_out_of_order() {
+        // c = b+1 added BEFORE b = a+1: requires a second sweep.
+        let mut sys = System::new();
+        let a = sys.add_signal("a", 8);
+        let b = sys.add_signal("b", 8);
+        let c = sys.add_signal("c", 8);
+        sys.add_component(FnComponent::new(
+            "second",
+            move |s: &mut SignalView<'_>| {
+                let v = s.get(b);
+                s.set(c, v + 1);
+            },
+            |_| {},
+        ));
+        sys.add_component(FnComponent::new(
+            "first",
+            move |s: &mut SignalView<'_>| {
+                let v = s.get(a);
+                s.set(b, v + 1);
+            },
+            |_| {},
+        ));
+        sys.poke(a, 10);
+        sys.settle().unwrap();
+        assert_eq!(sys.peek(c), 12);
+    }
+
+    #[test]
+    fn combinational_loop_is_detected() {
+        let mut sys = System::new();
+        let x = sys.add_signal("x", 8);
+        // x = x + 1 combinationally: never settles.
+        sys.add_component(FnComponent::new(
+            "osc",
+            move |s: &mut SignalView<'_>| {
+                let v = s.get(x);
+                s.set(x, v.wrapping_add(1));
+            },
+            |_| {},
+        ));
+        let err = sys.settle().unwrap_err();
+        assert!(matches!(err, SimError::NoConvergence { .. }));
+        assert!(err.to_string().contains("did not converge"));
+    }
+
+    #[test]
+    fn run_until_stops_on_predicate() {
+        let mut sys = System::new();
+        let out = sys.add_signal("count", 16);
+        sys.add_component(Counter { out, state: 0 });
+        let hit = sys
+            .run_until(100, |s| s.peek(out) == 5)
+            .unwrap();
+        assert!(hit);
+        assert!(sys.cycle() <= 7);
+    }
+
+    #[test]
+    fn run_until_gives_up_after_budget() {
+        let mut sys = System::new();
+        let out = sys.add_signal("count", 4);
+        sys.add_component(Counter { out, state: 0 });
+        let hit = sys.run_until(3, |s| s.peek(out) == 100).unwrap();
+        assert!(!hit);
+        assert_eq!(sys.cycle(), 3);
+    }
+
+    #[test]
+    fn tick_sees_settled_values() {
+        let mut sys = System::new();
+        let a = sys.add_signal("a", 8);
+        let sampled = Rc::new(StdCell::new(0u64));
+        let sampled2 = Rc::clone(&sampled);
+        sys.add_component(FnComponent::new(
+            "sampler",
+            |_: &mut SignalView<'_>| {},
+            move |s: &SignalView<'_>| {
+                sampled2.set(s.get(a));
+            },
+        ));
+        sys.poke(a, 33);
+        sys.step().unwrap();
+        assert_eq!(sampled.get(), 33);
+    }
+}

@@ -1,0 +1,50 @@
+//! # lis-sim — synchronous simulation for latency-insensitive systems
+//!
+//! Two executors with identical two-phase clock semantics:
+//!
+//! * [`System`] — a component-level simulator. Components implement
+//!   [`Component`]; each cycle the kernel **settles** combinational
+//!   outputs to a fixpoint (LIS `stop`/`void` wires ripple through
+//!   several shells within one cycle) and then **ticks** sequential
+//!   state. Combinational loops are detected and reported.
+//! * [`NetlistSim`] — a gate-level interpreter for
+//!   [`lis_netlist::Module`]s, used as the reference executor for
+//!   generated wrapper hardware. [`NetlistComponent`] drops a netlist
+//!   into a component system for co-simulation against behavioural
+//!   models.
+//!
+//! [`Trace`] records signals per cycle and renders standard VCD.
+//!
+//! # Examples
+//!
+//! ```
+//! use lis_sim::{System, FnComponent};
+//!
+//! # fn main() -> Result<(), lis_sim::SimError> {
+//! let mut sys = System::new();
+//! let x = sys.add_signal("x", 8);
+//! let y = sys.add_signal("y", 8);
+//! sys.add_component(FnComponent::new(
+//!     "inc",
+//!     move |s| { let v = s.get(x); s.set(y, v + 1); },
+//!     |_| {},
+//! ));
+//! sys.poke(x, 9);
+//! sys.settle()?;
+//! assert_eq!(sys.peek(y), 10);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod kernel;
+mod netlist_sim;
+mod signal;
+mod trace;
+
+pub use kernel::{Component, FnComponent, SimError, System};
+pub use netlist_sim::{NetlistComponent, NetlistSim};
+pub use signal::{Signal, SignalId, SignalView};
+pub use trace::Trace;

@@ -1,0 +1,369 @@
+//! Cycle-accurate interpretation of gate-level [`Module`]s.
+//!
+//! [`NetlistSim`] is the reference executor for generated wrapper
+//! hardware: `lis-wrappers` proves each wrapper netlist equivalent to its
+//! behavioural model by co-simulating both on random stimuli.
+
+use crate::kernel::Component;
+use crate::signal::{SignalId, SignalView};
+use lis_netlist::{topo_order, CellKind, CombNode, Module, NetlistError};
+
+/// An interpreter for one [`Module`], with two-phase semantics matching
+/// [`crate::System`]: [`NetlistSim::eval`] settles combinational logic,
+/// [`NetlistSim::step`] additionally commits flip-flops.
+#[derive(Debug, Clone)]
+pub struct NetlistSim {
+    module: Module,
+    order: Vec<CombNode>,
+    /// Current value of every net.
+    values: Vec<bool>,
+    /// Registered state, indexed like `module.cells` (non-DFF entries
+    /// unused).
+    ff_state: Vec<bool>,
+    /// Indices of sequential cells, for fast commit.
+    seq_cells: Vec<usize>,
+}
+
+impl NetlistSim {
+    /// Builds an interpreter for `module`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any [`NetlistError`] found while validating the module
+    /// (interpretation requires the module invariants to hold).
+    pub fn new(module: Module) -> Result<Self, NetlistError> {
+        lis_netlist::validate(&module)?;
+        let order = topo_order(&module)?;
+        let values = vec![false; module.net_count()];
+        let mut ff_state = vec![false; module.cell_count()];
+        let mut seq_cells = Vec::new();
+        for (i, cell) in module.cells.iter().enumerate() {
+            if let CellKind::Dff { reset_value } = cell.kind {
+                ff_state[i] = reset_value;
+                seq_cells.push(i);
+            }
+        }
+        Ok(NetlistSim {
+            module,
+            order,
+            values,
+            ff_state,
+            seq_cells,
+        })
+    }
+
+    /// The module being interpreted.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// Resets all flip-flops to their power-up values.
+    pub fn reset_state(&mut self) {
+        for &i in &self.seq_cells {
+            if let CellKind::Dff { reset_value } = self.module.cells[i].kind {
+                self.ff_state[i] = reset_value;
+            }
+        }
+    }
+
+    /// Drives an input port with `value` (LSB-first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no input port has that name.
+    pub fn set_input(&mut self, port: &str, value: u64) {
+        let port = self
+            .module
+            .input(port)
+            .unwrap_or_else(|| panic!("no input port named {port}"))
+            .clone();
+        for (i, bit) in port.bits.iter().enumerate() {
+            self.values[bit.index()] = (value >> i) & 1 == 1;
+        }
+    }
+
+    /// Reads an output port (valid after [`NetlistSim::eval`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no output port has that name.
+    pub fn get_output(&self, port: &str) -> u64 {
+        let port = self
+            .module
+            .output(port)
+            .unwrap_or_else(|| panic!("no output port named {port}"));
+        let mut v = 0u64;
+        for (i, bit) in port.bits.iter().enumerate() {
+            if self.values[bit.index()] {
+                v |= 1 << i;
+            }
+        }
+        v
+    }
+
+    /// Reads the current value of an arbitrary net (for debugging).
+    pub fn net_value(&self, net: lis_netlist::NetId) -> bool {
+        self.values[net.index()]
+    }
+
+    /// Settles combinational logic: flip-flop outputs take their stored
+    /// state, then every gate and ROM evaluates in topological order.
+    pub fn eval(&mut self) {
+        // Phase 1: present registered state on DFF output nets.
+        for &i in &self.seq_cells {
+            let out = self.module.cells[i].output;
+            self.values[out.index()] = self.ff_state[i];
+        }
+        // Phase 2: combinational propagation.
+        for &node in &self.order {
+            match node {
+                CombNode::Cell(cid) => {
+                    let cell = self.module.cell(cid);
+                    let inputs: Vec<bool> = cell
+                        .inputs
+                        .iter()
+                        .map(|n| self.values[n.index()])
+                        .collect();
+                    self.values[cell.output.index()] = cell.kind.eval(&inputs);
+                }
+                CombNode::Rom(rid) => {
+                    let rom = self.module.rom(rid);
+                    let mut addr = 0usize;
+                    for (i, a) in rom.addr.iter().enumerate() {
+                        if self.values[a.index()] {
+                            addr |= 1 << i;
+                        }
+                    }
+                    let word = rom.read(addr);
+                    for (i, d) in rom.data.iter().enumerate() {
+                        self.values[d.index()] = (word >> i) & 1 == 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// One clock cycle: [`NetlistSim::eval`] then commit every flip-flop
+    /// (`q' = rst ? reset_value : (en ? d : q)`).
+    pub fn step(&mut self) {
+        self.eval();
+        for &i in &self.seq_cells {
+            let cell = &self.module.cells[i];
+            let CellKind::Dff { reset_value } = cell.kind else {
+                unreachable!("seq_cells holds only DFFs");
+            };
+            let d = self.values[cell.inputs[0].index()];
+            let en = self.values[cell.inputs[1].index()];
+            let rst = self.values[cell.inputs[2].index()];
+            self.ff_state[i] = if rst {
+                reset_value
+            } else if en {
+                d
+            } else {
+                self.ff_state[i]
+            };
+        }
+    }
+}
+
+/// Bridges a [`NetlistSim`] into a component [`crate::System`], mapping
+/// module ports to system signals by position.
+///
+/// This enables *co-simulation*: a gate-level wrapper netlist can be
+/// dropped into a behavioural SoC in place of its behavioural model, and
+/// the surrounding components cannot tell the difference.
+#[derive(Debug)]
+pub struct NetlistComponent {
+    name: String,
+    sim: NetlistSim,
+    /// `(port name, signal)` pairs for module inputs.
+    input_map: Vec<(String, SignalId)>,
+    /// `(port name, signal)` pairs for module outputs.
+    output_map: Vec<(String, SignalId)>,
+}
+
+impl NetlistComponent {
+    /// Wraps `sim`, connecting input and output ports to signals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a named port does not exist on the module.
+    pub fn new(
+        name: impl Into<String>,
+        sim: NetlistSim,
+        inputs: Vec<(String, SignalId)>,
+        outputs: Vec<(String, SignalId)>,
+    ) -> Self {
+        for (p, _) in &inputs {
+            assert!(
+                sim.module().input(p).is_some(),
+                "module has no input port {p}"
+            );
+        }
+        for (p, _) in &outputs {
+            assert!(
+                sim.module().output(p).is_some(),
+                "module has no output port {p}"
+            );
+        }
+        NetlistComponent {
+            name: name.into(),
+            sim,
+            input_map: inputs,
+            output_map: outputs,
+        }
+    }
+
+    /// Access to the wrapped interpreter.
+    pub fn sim(&self) -> &NetlistSim {
+        &self.sim
+    }
+
+    fn load_inputs(&mut self, sigs: &SignalView<'_>) {
+        for (port, sig) in &self.input_map {
+            self.sim.set_input(port, sigs.get(*sig));
+        }
+    }
+}
+
+impl Component for NetlistComponent {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn eval(&mut self, sigs: &mut SignalView<'_>) {
+        self.load_inputs(sigs);
+        self.sim.eval();
+        for (port, sig) in &self.output_map {
+            let v = self.sim.get_output(port);
+            sigs.set(*sig, v);
+        }
+    }
+
+    fn tick(&mut self, sigs: &SignalView<'_>) {
+        self.load_inputs(sigs);
+        self.sim.step();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::System;
+    use lis_netlist::ModuleBuilder;
+
+    fn adder_module() -> Module {
+        let mut b = ModuleBuilder::new("add4");
+        let x = b.input("x", 4);
+        let y = b.input("y", 4);
+        let (sum, cout) = b.add(&x, &y);
+        b.output("sum", &sum);
+        b.output_bit("cout", cout);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn combinational_adder_is_exhaustively_correct() {
+        let mut sim = NetlistSim::new(adder_module()).unwrap();
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                sim.set_input("x", x);
+                sim.set_input("y", y);
+                sim.eval();
+                assert_eq!(sim.get_output("sum"), (x + y) & 0xF, "x={x} y={y}");
+                assert_eq!(sim.get_output("cout"), (x + y) >> 4, "x={x} y={y}");
+            }
+        }
+    }
+
+    #[test]
+    fn counter_module_counts_modulo() {
+        let mut b = ModuleBuilder::new("cnt");
+        let en = b.input("en", 1).bit(0);
+        let rst = b.input("rst", 1).bit(0);
+        let count = b.counter_mod(4, en, rst, 10);
+        b.output("count", &count);
+        let m = b.finish().unwrap();
+        let mut sim = NetlistSim::new(m).unwrap();
+
+        sim.set_input("en", 1);
+        sim.set_input("rst", 0);
+        for expect in 0..25u64 {
+            sim.eval();
+            assert_eq!(sim.get_output("count"), expect % 10);
+            sim.step();
+        }
+        // Hold: en=0 freezes the count.
+        sim.set_input("en", 0);
+        let frozen = {
+            sim.eval();
+            sim.get_output("count")
+        };
+        for _ in 0..5 {
+            sim.step();
+            sim.eval();
+            assert_eq!(sim.get_output("count"), frozen);
+        }
+        // Synchronous reset.
+        sim.set_input("rst", 1);
+        sim.step();
+        sim.set_input("rst", 0);
+        sim.eval();
+        assert_eq!(sim.get_output("count"), 0);
+    }
+
+    #[test]
+    fn rom_reads_through_interpreter() {
+        let mut b = ModuleBuilder::new("romtest");
+        let addr = b.input("addr", 3);
+        let data = b.rom("r", &addr, 8, vec![10, 20, 30, 40, 50]);
+        b.output("data", &data);
+        let m = b.finish().unwrap();
+        let mut sim = NetlistSim::new(m).unwrap();
+        for (a, expect) in [(0, 10), (1, 20), (4, 50), (6, 0)] {
+            sim.set_input("addr", a);
+            sim.eval();
+            assert_eq!(sim.get_output("data"), expect);
+        }
+    }
+
+    #[test]
+    fn reset_state_restores_power_up_values() {
+        let mut b = ModuleBuilder::new("ff");
+        let d = b.input("d", 1).bit(0);
+        let one = b.constant(true);
+        let zero = b.constant(false);
+        let q = b.dff(d, one, zero, true);
+        b.output_bit("q", q);
+        let m = b.finish().unwrap();
+        let mut sim = NetlistSim::new(m).unwrap();
+        sim.eval();
+        assert_eq!(sim.get_output("q"), 1, "power-up value");
+        sim.set_input("d", 0);
+        sim.step();
+        sim.eval();
+        assert_eq!(sim.get_output("q"), 0);
+        sim.reset_state();
+        sim.eval();
+        assert_eq!(sim.get_output("q"), 1);
+    }
+
+    #[test]
+    fn netlist_component_cosimulates_in_system() {
+        let mut sys = System::new();
+        let x = sys.add_signal("x", 4);
+        let y = sys.add_signal("y", 4);
+        let sum = sys.add_signal("sum", 4);
+        let sim = NetlistSim::new(adder_module()).unwrap();
+        sys.add_component(NetlistComponent::new(
+            "adder",
+            sim,
+            vec![("x".into(), x), ("y".into(), y)],
+            vec![("sum".into(), sum)],
+        ));
+        sys.poke(x, 7);
+        sys.poke(y, 8);
+        sys.settle().unwrap();
+        assert_eq!(sys.peek(sum), 15);
+    }
+}

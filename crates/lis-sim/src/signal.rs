@@ -1,0 +1,139 @@
+//! Signals: the wires of a component-level simulation.
+
+use std::fmt;
+
+/// Identifier of a signal inside one [`crate::System`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SignalId(pub(crate) u32);
+
+impl SignalId {
+    /// Raw index into the system's signal arena.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SignalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A named multi-bit wire (up to 64 bits).
+#[derive(Debug, Clone)]
+pub struct Signal {
+    /// Debug name (also used for trace output).
+    pub name: String,
+    /// Width in bits, 1..=64.
+    pub width: u32,
+    pub(crate) value: u64,
+}
+
+impl Signal {
+    /// Mask selecting the valid bits of this signal.
+    pub fn mask(&self) -> u64 {
+        if self.width >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        }
+    }
+}
+
+/// Mutable view over the signal values, handed to components during
+/// evaluation. Tracks whether any write changed a value, which drives the
+/// fixpoint loop in [`crate::System::settle`].
+#[derive(Debug)]
+pub struct SignalView<'a> {
+    pub(crate) signals: &'a mut [Signal],
+    pub(crate) changed: bool,
+}
+
+impl SignalView<'_> {
+    /// Reads a signal value.
+    pub fn get(&self, id: SignalId) -> u64 {
+        self.signals[id.index()].value
+    }
+
+    /// Reads a signal as a boolean (bit 0).
+    pub fn get_bool(&self, id: SignalId) -> bool {
+        self.get(id) & 1 == 1
+    }
+
+    /// Writes a signal value (masked to the signal's width).
+    pub fn set(&mut self, id: SignalId, value: u64) {
+        let sig = &mut self.signals[id.index()];
+        let masked = value & sig.mask();
+        if sig.value != masked {
+            sig.value = masked;
+            self.changed = true;
+        }
+    }
+
+    /// Writes a boolean signal.
+    pub fn set_bool(&mut self, id: SignalId, value: bool) {
+        self.set(id, u64::from(value));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masking_clips_to_width() {
+        let mut signals = vec![Signal {
+            name: "s".into(),
+            width: 4,
+            value: 0,
+        }];
+        let mut view = SignalView {
+            signals: &mut signals,
+            changed: false,
+        };
+        let id = SignalId(0);
+        view.set(id, 0xFF);
+        assert_eq!(view.get(id), 0x0F);
+        assert!(view.changed);
+    }
+
+    #[test]
+    fn rewriting_same_value_does_not_mark_changed() {
+        let mut signals = vec![Signal {
+            name: "s".into(),
+            width: 8,
+            value: 7,
+        }];
+        let mut view = SignalView {
+            signals: &mut signals,
+            changed: false,
+        };
+        view.set(SignalId(0), 7);
+        assert!(!view.changed);
+    }
+
+    #[test]
+    fn width_64_mask_is_full() {
+        let s = Signal {
+            name: "w".into(),
+            width: 64,
+            value: 0,
+        };
+        assert_eq!(s.mask(), u64::MAX);
+    }
+
+    #[test]
+    fn bool_accessors_use_bit_zero() {
+        let mut signals = vec![Signal {
+            name: "b".into(),
+            width: 1,
+            value: 0,
+        }];
+        let mut view = SignalView {
+            signals: &mut signals,
+            changed: false,
+        };
+        view.set_bool(SignalId(0), true);
+        assert!(view.get_bool(SignalId(0)));
+    }
+}

@@ -1,0 +1,35 @@
+//! # lis-synth — the "physical synthesis" cost model
+//!
+//! Substitutes for the vendor FPGA flow the paper used to fill Table 1:
+//!
+//! 1. [`optimize`] — constant propagation, buffer sweeping, dead-code
+//!    elimination (behaviour-preserving, verified by co-simulation);
+//! 2. [`map_luts`] — depth-oriented covering with 4-input LUTs;
+//! 3. [`pack`] — slice packing (2 LUT + 2 FF per slice) and memory
+//!    assignment: small ROMs → distributed LUT-RAM, large ROMs → block
+//!    RAM. *This split is why the synchronization processor's slice
+//!    count is independent of schedule length: its operation program is
+//!    memory bits, not logic.*
+//! 4. [`analyze_timing`] — static timing with a fanout-based wire-load
+//!    model; reports the critical path and fmax.
+//!
+//! [`synthesize`] chains all four and returns a [`SynthReport`].
+//! [`TechParams`] models a 130 nm Virtex-II-class device by default (the
+//! technology of the paper's results).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod lutmap;
+mod optimize;
+mod pack;
+mod params;
+mod report;
+mod timing;
+
+pub use lutmap::{map_luts, map_luts_k, Lut, Mapping, LUT_INPUTS};
+pub use optimize::optimize;
+pub use pack::{pack, AreaReport};
+pub use params::TechParams;
+pub use report::{synthesize, SynthReport};
+pub use timing::{analyze_timing, TimingReport};

@@ -1,0 +1,418 @@
+//! Technology mapping onto K-input lookup tables.
+//!
+//! Classic bounded cut enumeration: every combinational node keeps a
+//! small set of candidate cuts (≤ [`LUT_INPUTS`] leaves each), built as
+//! products of its fanins' cut sets and pruned by (depth, size). The
+//! best cut labels the node with its mapped depth; the network is then
+//! covered backwards from the sequential/port boundary, instantiating
+//! one LUT per required cone root. Constants cost nothing; buffers are
+//! wires; ROMs stay ROMs (they map to memory resources, not LUTs — the
+//! structural fact behind the SP's constant slice count).
+
+use lis_netlist::{topo_order, CellKind, CombNode, Module, NetId, NetlistError};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Number of inputs of the target LUT (Virtex-II-era fabric).
+pub const LUT_INPUTS: usize = 4;
+
+/// Cuts kept per node during enumeration.
+const CUTS_PER_NODE: usize = 8;
+
+/// One mapped lookup table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lut {
+    /// The net this LUT drives.
+    pub root: NetId,
+    /// The (≤ K) nets feeding the LUT.
+    pub leaves: Vec<NetId>,
+    /// Mapped logic depth of this LUT (1 = fed only by sources).
+    pub level: usize,
+}
+
+/// The result of technology mapping.
+#[derive(Debug, Clone, Default)]
+pub struct Mapping {
+    /// Instantiated LUTs.
+    pub luts: Vec<Lut>,
+    /// Maximum LUT level (combinational logic depth in LUTs).
+    pub depth: usize,
+}
+
+impl Mapping {
+    /// Number of LUTs used.
+    pub fn lut_count(&self) -> usize {
+        self.luts.len()
+    }
+
+    /// Looks up the LUT driving `net`, if any.
+    pub fn lut_driving(&self, net: NetId) -> Option<&Lut> {
+        self.luts.iter().find(|l| l.root == net)
+    }
+}
+
+/// A candidate cut: sorted leaf set plus the mapped depth it implies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Cut {
+    leaves: Vec<NetId>,
+    level: usize,
+}
+
+/// Maps the combinational logic of `module` onto [`LUT_INPUTS`]-input
+/// LUTs.
+///
+/// The module should already be optimized ([`crate::optimize`]); buffers
+/// and constants are tolerated (buffers map through, constants are
+/// dropped from cuts) but waste no LUTs either way.
+///
+/// # Errors
+///
+/// Returns a [`NetlistError`] if the module fails validation.
+pub fn map_luts(module: &Module) -> Result<Mapping, NetlistError> {
+    map_luts_k(module, LUT_INPUTS)
+}
+
+/// As [`map_luts`] with an explicit LUT input count `k` (2..=6) — for
+/// fabric ablations (4-LUT Virtex-II era vs modern 6-LUT devices).
+///
+/// # Errors
+///
+/// Returns a [`NetlistError`] if the module fails validation.
+///
+/// # Panics
+///
+/// Panics if `k` is outside `2..=6`.
+pub fn map_luts_k(module: &Module, k: usize) -> Result<Mapping, NetlistError> {
+    assert!((2..=6).contains(&k), "LUT input count must be in 2..=6");
+    let order = topo_order(module)?;
+
+    let mut is_const = vec![false; module.nets.len()];
+    let mut alias: HashMap<usize, NetId> = HashMap::new(); // buffer chains
+    // Cut sets exist only for combinational cell outputs.
+    let mut cutsets: HashMap<usize, Vec<Cut>> = HashMap::new();
+    // Node label = level of its best cut.
+    let mut label: HashMap<usize, usize> = HashMap::new();
+
+    let resolve = |alias: &HashMap<usize, NetId>, mut n: NetId| -> NetId {
+        while let Some(&t) = alias.get(&n.index()) {
+            n = t;
+        }
+        n
+    };
+
+    for &node in &order {
+        let CombNode::Cell(cid) = node else {
+            continue; // ROM data nets are sources for mapping purposes
+        };
+        let cell = module.cell(cid);
+        match cell.kind {
+            CellKind::Const(_) => {
+                is_const[cell.output.index()] = true;
+            }
+            CellKind::Buf => {
+                let src = resolve(&alias, cell.inputs[0]);
+                if is_const[src.index()] {
+                    is_const[cell.output.index()] = true;
+                } else {
+                    alias.insert(cell.output.index(), src);
+                }
+            }
+            CellKind::Dff { .. } => {}
+            _ => {
+                // Operands, aliased through buffers, constants removed.
+                let operands: Vec<NetId> = cell
+                    .inputs
+                    .iter()
+                    .map(|&n| resolve(&alias, n))
+                    .filter(|n| !is_const[n.index()])
+                    .collect();
+
+                // A cut's mapped depth is 1 + the worst *leaf* label — it
+                // must be recomputed from the final leaf set, never
+                // carried over from an absorbed sub-cut.
+                let level_of = |leaves: &[NetId], label: &HashMap<usize, usize>| -> usize {
+                    1 + leaves
+                        .iter()
+                        .map(|l| *label.get(&l.index()).unwrap_or(&0))
+                        .max()
+                        .unwrap_or(0)
+                };
+
+                // Child cut choices: either the operand itself as a leaf,
+                // or any of the operand's own cuts' leaf sets.
+                let choices: Vec<Vec<Vec<NetId>>> = operands
+                    .iter()
+                    .map(|&op| {
+                        let mut v = vec![vec![op]];
+                        if let Some(sub) = cutsets.get(&op.index()) {
+                            v.extend(sub.iter().map(|c| c.leaves.clone()));
+                        }
+                        v
+                    })
+                    .collect();
+
+                // Cross product of the per-operand choices.
+                let mut candidates: Vec<Cut> = vec![Cut {
+                    leaves: Vec::new(),
+                    level: 1,
+                }];
+                for choice in &choices {
+                    let mut next = Vec::new();
+                    for partial in &candidates {
+                        for option in choice {
+                            let mut leaves = partial.leaves.clone();
+                            for &l in option {
+                                if !leaves.contains(&l) {
+                                    leaves.push(l);
+                                }
+                            }
+                            if leaves.len() > k {
+                                continue;
+                            }
+                            let level = level_of(&leaves, &label);
+                            next.push(Cut { leaves, level });
+                        }
+                    }
+                    // Prune as we go to bound the product.
+                    prune(&mut next);
+                    candidates = next;
+                    if candidates.is_empty() {
+                        break;
+                    }
+                }
+                if candidates.is_empty() {
+                    // More operands than LUT inputs can ever absorb (e.g.
+                    // a mux over wide cones): fall back to the trivial
+                    // cut on raw operands.
+                    let level = level_of(&operands, &label);
+                    candidates = vec![Cut {
+                        leaves: operands.clone(),
+                        level,
+                    }];
+                }
+                label.insert(cell.output.index(), candidates[0].level);
+                cutsets.insert(cell.output.index(), candidates);
+            }
+        }
+    }
+
+    // Cover from the boundary backwards.
+    let mut sinks: Vec<NetId> = Vec::new();
+    for cell in &module.cells {
+        if cell.kind.is_sequential() {
+            sinks.extend(cell.inputs.iter().copied());
+        }
+    }
+    for rom in &module.roms {
+        sinks.extend(rom.addr.iter().copied());
+    }
+    for port in &module.outputs {
+        sinks.extend(port.bits.iter().copied());
+    }
+
+    let mut required: VecDeque<NetId> = sinks
+        .into_iter()
+        .map(|n| resolve(&alias, n))
+        .filter(|n| cutsets.contains_key(&n.index()))
+        .collect();
+    let mut instantiated: HashSet<usize> = HashSet::new();
+    let mut luts = Vec::new();
+    let mut depth = 0;
+    while let Some(net) = required.pop_front() {
+        if !instantiated.insert(net.index()) {
+            continue;
+        }
+        let best = &cutsets[&net.index()][0];
+        depth = depth.max(best.level);
+        luts.push(Lut {
+            root: net,
+            leaves: best.leaves.clone(),
+            level: best.level,
+        });
+        for &leaf in &best.leaves {
+            if cutsets.contains_key(&leaf.index()) {
+                required.push_back(leaf);
+            }
+        }
+    }
+
+    Ok(Mapping { luts, depth })
+}
+
+/// Keeps the best [`CUTS_PER_NODE`] cuts by (level, size), deduplicated.
+fn prune(cuts: &mut Vec<Cut>) {
+    for c in cuts.iter_mut() {
+        c.leaves.sort_unstable();
+    }
+    cuts.sort_by(|a, b| {
+        a.level
+            .cmp(&b.level)
+            .then(a.leaves.len().cmp(&b.leaves.len()))
+            .then(a.leaves.cmp(&b.leaves))
+    });
+    cuts.dedup_by(|a, b| a.leaves == b.leaves);
+    cuts.truncate(CUTS_PER_NODE);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lis_netlist::ModuleBuilder;
+
+    #[test]
+    fn four_input_and_tree_maps_to_one_lut() {
+        let mut b = ModuleBuilder::new("and4");
+        let a = b.input("a", 4);
+        let r = b.reduce_and(a.bits());
+        b.output_bit("y", r);
+        let m = b.finish().unwrap();
+        let map = map_luts(&m).unwrap();
+        assert_eq!(map.lut_count(), 1, "{:?}", map.luts);
+        assert_eq!(map.depth, 1);
+        assert_eq!(map.luts[0].leaves.len(), 4);
+    }
+
+    #[test]
+    fn eight_input_tree_needs_three_luts_two_levels() {
+        let mut b = ModuleBuilder::new("and8");
+        let a = b.input("a", 8);
+        let r = b.reduce_and(a.bits());
+        b.output_bit("y", r);
+        let m = b.finish().unwrap();
+        let map = map_luts(&m).unwrap();
+        assert_eq!(map.depth, 2);
+        assert!(
+            (3..=4).contains(&map.lut_count()),
+            "expected 3-4 LUTs, got {}",
+            map.lut_count()
+        );
+    }
+
+    #[test]
+    fn sixteen_input_tree_is_depth_two() {
+        // 16 inputs fit 4 LUT4 + 1 LUT4 = 5 LUTs, depth 2.
+        let mut b = ModuleBuilder::new("and16");
+        let a = b.input("a", 16);
+        let r = b.reduce_and(a.bits());
+        b.output_bit("y", r);
+        let m = b.finish().unwrap();
+        let map = map_luts(&m).unwrap();
+        assert_eq!(map.depth, 2);
+        assert_eq!(map.lut_count(), 5);
+    }
+
+    #[test]
+    fn ff_boundaries_cut_cones() {
+        let mut b = ModuleBuilder::new("pipe");
+        let a = b.input("a", 2);
+        let en = b.constant(true);
+        let rst = b.constant(false);
+        let x = b.and(a.bit(0), a.bit(1));
+        let q = b.dff(x, en, rst, false);
+        let y = b.not(q);
+        b.output_bit("y", y);
+        let m = b.finish().unwrap();
+        let map = map_luts(&m).unwrap();
+        // One LUT before the FF (and), one after (not).
+        assert_eq!(map.lut_count(), 2);
+        assert_eq!(map.depth, 1);
+    }
+
+    #[test]
+    fn constants_use_no_lut_pins() {
+        let mut b = ModuleBuilder::new("constpin");
+        let a = b.input("a", 3);
+        let one = b.constant(true);
+        let t = b.and(a.bit(0), one);
+        let t2 = b.and(t, a.bit(1));
+        let t3 = b.and(t2, a.bit(2));
+        b.output_bit("y", t3);
+        let m = b.finish().unwrap();
+        let map = map_luts(&m).unwrap();
+        assert_eq!(map.lut_count(), 1);
+        assert_eq!(map.luts[0].leaves.len(), 3);
+    }
+
+    #[test]
+    fn shared_logic_feeding_multiple_sinks_maps_once_per_root() {
+        let mut b = ModuleBuilder::new("shared");
+        let a = b.input("a", 4);
+        let shared = b.reduce_and(a.bits());
+        let n1 = b.not(shared);
+        let n2 = b.xor(shared, a.bit(0));
+        b.output_bit("y1", n1);
+        b.output_bit("y2", n2);
+        let m = b.finish().unwrap();
+        let map = map_luts(&m).unwrap();
+        // n1 absorbs the whole 4-leaf cone (5 pins? no: not(shared) over
+        // {a0..a3} = 4 leaves, one LUT). n2 = xor(shared, a0) can also
+        // absorb: leaves {a0..a3} = 4. Two LUTs, no shared root needed.
+        assert!(
+            (2..=3).contains(&map.lut_count()),
+            "expected 2-3 LUTs, got {:?}",
+            map.luts
+        );
+    }
+
+    #[test]
+    fn rom_addr_and_data_are_mapping_boundaries() {
+        let mut b = ModuleBuilder::new("romb");
+        let a = b.input("a", 2);
+        let addr_bit = b.and(a.bit(0), a.bit(1));
+        let addr = lis_netlist::Bus::from_nets(vec![addr_bit]);
+        let data = b.rom("r", &addr, 2, vec![1, 2]);
+        let y = b.xor(data.bit(0), data.bit(1));
+        b.output_bit("y", y);
+        let m = b.finish().unwrap();
+        let map = map_luts(&m).unwrap();
+        assert_eq!(map.lut_count(), 2, "one LUT per side of the ROM");
+    }
+
+    #[test]
+    fn six_lut_fabric_uses_fewer_shallower_luts() {
+        let mut b = ModuleBuilder::new("wide");
+        let a = b.input("a", 24);
+        let r = b.reduce_and(a.bits());
+        b.output_bit("y", r);
+        let m = b.finish().unwrap();
+        let k4 = map_luts_k(&m, 4).unwrap();
+        let k6 = map_luts_k(&m, 6).unwrap();
+        assert!(k6.lut_count() < k4.lut_count(), "{} vs {}", k6.lut_count(), k4.lut_count());
+        assert!(k6.depth <= k4.depth);
+        for lut in &k6.luts {
+            assert!(lut.leaves.len() <= 6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "2..=6")]
+    fn map_luts_k_rejects_wild_k() {
+        let b = ModuleBuilder::new("x");
+        let m = b.finish_unchecked();
+        let _ = map_luts_k(&m, 9);
+    }
+
+    #[test]
+    fn wide_mux_chain_maps_within_pin_budget() {
+        let mut b = ModuleBuilder::new("muxchain");
+        let a = b.input("a", 8);
+        let sel = b.input("sel", 3);
+        // 8:1 mux as a tree of 2:1 muxes.
+        let mut layer: Vec<_> = a.bits().to_vec();
+        for s in 0..3 {
+            let mut next = Vec::new();
+            for pair in layer.chunks(2) {
+                next.push(b.mux(sel.bit(s), pair[0], pair[1]));
+            }
+            layer = next;
+        }
+        b.output_bit("y", layer[0]);
+        let m = b.finish().unwrap();
+        let map = map_luts(&m).unwrap();
+        for lut in &map.luts {
+            assert!(lut.leaves.len() <= LUT_INPUTS);
+        }
+        // 8:1 mux with 3 selects = 11 pins -> at least 3 LUT4s.
+        assert!(map.lut_count() >= 3);
+        assert!(map.depth <= 3);
+    }
+}

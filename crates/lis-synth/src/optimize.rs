@@ -1,0 +1,477 @@
+//! Pre-mapping netlist optimization: constant propagation, buffer
+//! sweeping and dead-code elimination.
+//!
+//! Wrapper generators are allowed to emit naive structures (constant
+//! operands, alias buffers, unused logic); this pass performs the
+//! clean-up every real synthesis flow would, so that area numbers reflect
+//! the architecture rather than generator verbosity.
+
+use lis_netlist::{
+    topo_order, Cell, CellKind, CombNode, Module, Net, NetId, NetlistError, Port, Rom,
+};
+use std::collections::HashMap;
+
+/// What an original net turned out to be after folding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fold {
+    /// Keeps its own (possibly simplified) driver.
+    Keep,
+    /// Identical to another net.
+    Alias(NetId),
+    /// A known constant.
+    Const(bool),
+}
+
+/// Runs constant propagation, buffer sweeping and dead-code elimination,
+/// returning an equivalent, usually smaller module.
+///
+/// Equivalence is behavioural: for any input sequence the optimized
+/// module produces the same output sequence (verified by randomized
+/// co-simulation in the test-suite).
+///
+/// # Errors
+///
+/// Returns a [`NetlistError`] if the input module fails validation.
+pub fn optimize(module: &Module) -> Result<Module, NetlistError> {
+    lis_netlist::validate(module)?;
+    let order = topo_order(module)?;
+
+    // ---- Pass 1: fold. ------------------------------------------------
+    let mut fold = vec![Fold::Keep; module.nets.len()];
+    // Resolve an operand through aliases/constants.
+    fn resolve(fold: &[Fold], mut net: NetId) -> Result<NetId, bool> {
+        loop {
+            match fold[net.index()] {
+                Fold::Keep => return Ok(net),
+                Fold::Alias(n) => net = n,
+                Fold::Const(c) => return Err(c),
+            }
+        }
+    }
+
+    for &node in &order {
+        let CombNode::Cell(cid) = node else { continue };
+        let cell = module.cell(cid);
+        let out = cell.output.index();
+        // Resolved operands: Ok(net) or Err(constant).
+        let ops: Vec<Result<NetId, bool>> = cell
+            .inputs
+            .iter()
+            .map(|&n| resolve(&fold, n))
+            .collect();
+        let folded = match cell.kind {
+            CellKind::Buf => Some(match ops[0] {
+                Ok(n) => Fold::Alias(n),
+                Err(c) => Fold::Const(c),
+            }),
+            CellKind::Const(c) => Some(Fold::Const(c)),
+            CellKind::Not => match ops[0] {
+                Err(c) => Some(Fold::Const(!c)),
+                Ok(_) => None,
+            },
+            CellKind::And => fold_and_or(&ops, false),
+            CellKind::Or => fold_and_or(&ops, true),
+            // Inverting gates only fold when the underlying AND/OR folds
+            // to a constant; an alias result would drop the inversion.
+            CellKind::Nand => fold_and_or(&ops, false).and_then(invert_const_fold),
+            CellKind::Nor => fold_and_or(&ops, true).and_then(invert_const_fold),
+            CellKind::Xor => fold_xor(&ops, false),
+            CellKind::Xnor => fold_xor(&ops, true),
+            CellKind::Mux => match (ops[0], ops[1], ops[2]) {
+                (Err(false), a, _) => Some(to_fold(a)),
+                (Err(true), _, b) => Some(to_fold(b)),
+                (Ok(_), a, b) if a == b => Some(to_fold(a)),
+                _ => None,
+            },
+            CellKind::Dff { .. } => None,
+        };
+        if let Some(f) = folded {
+            fold[out] = f;
+        }
+    }
+
+    // ---- Pass 2: liveness (backwards from ports). ----------------------
+    // A cell is live when its (non-folded) output net is needed.
+    let driver_cell: HashMap<usize, usize> = module
+        .cells
+        .iter()
+        .enumerate()
+        .map(|(ci, c)| (c.output.index(), ci))
+        .collect();
+    let rom_of_net: HashMap<usize, usize> = module
+        .roms
+        .iter()
+        .enumerate()
+        .flat_map(|(ri, r)| r.data.iter().map(move |d| (d.index(), ri)))
+        .collect();
+
+    let mut live_net = vec![false; module.nets.len()];
+    let mut stack: Vec<NetId> = Vec::new();
+    let require = |net: NetId, fold: &[Fold], stack: &mut Vec<NetId>| {
+        if let Ok(n) = resolve(fold, net) {
+            stack.push(n);
+        }
+    };
+    for port in &module.outputs {
+        for &bit in &port.bits {
+            require(bit, &fold, &mut stack);
+        }
+    }
+    let mut live_rom = vec![false; module.roms.len()];
+    while let Some(net) = stack.pop() {
+        if live_net[net.index()] {
+            continue;
+        }
+        live_net[net.index()] = true;
+        if let Some(&ci) = driver_cell.get(&net.index()) {
+            for &inp in &module.cells[ci].inputs {
+                require(inp, &fold, &mut stack);
+            }
+        } else if let Some(&ri) = rom_of_net.get(&net.index()) {
+            if !live_rom[ri] {
+                live_rom[ri] = true;
+                for &a in &module.roms[ri].addr {
+                    require(a, &fold, &mut stack);
+                }
+            }
+        }
+    }
+    // All data bits of a live ROM stay driven (the ROM exists as a unit).
+    for (ri, rom) in module.roms.iter().enumerate() {
+        if live_rom[ri] {
+            for &d in &rom.data {
+                live_net[d.index()] = true;
+            }
+        }
+    }
+
+    // ---- Pass 3: rebuild. ----------------------------------------------
+    let mut out = Module::new(module.name.clone());
+    let mut net_map: HashMap<usize, NetId> = HashMap::new();
+    let mut const_nets: [Option<NetId>; 2] = [None, None];
+
+    // Materialize the net carrying a resolved operand.
+    fn materialize(
+        operand: Result<NetId, bool>,
+        out: &mut Module,
+        net_map: &mut HashMap<usize, NetId>,
+        const_nets: &mut [Option<NetId>; 2],
+        nets: &[Net],
+    ) -> NetId {
+        match operand {
+            Ok(n) => *net_map.entry(n.index()).or_insert_with(|| {
+                let id = NetId::from_index(out.nets.len());
+                out.nets.push(Net {
+                    name: nets[n.index()].name.clone(),
+                });
+                id
+            }),
+            Err(c) => {
+                let slot = usize::from(c);
+                if let Some(id) = const_nets[slot] {
+                    id
+                } else {
+                    let id = NetId::from_index(out.nets.len());
+                    out.nets.push(Net {
+                        name: Some(format!("const{}", u8::from(c))),
+                    });
+                    out.cells.push(Cell::new(CellKind::Const(c), vec![], id));
+                    const_nets[slot] = Some(id);
+                    id
+                }
+            }
+        }
+    }
+
+    // Input ports first (their nets stay live as drivers even if unused).
+    for port in &module.inputs {
+        let bits = port
+            .bits
+            .iter()
+            .map(|&b| {
+                materialize(
+                    Ok(b),
+                    &mut out,
+                    &mut net_map,
+                    &mut const_nets,
+                    &module.nets,
+                )
+            })
+            .collect();
+        out.inputs.push(Port {
+            name: port.name.clone(),
+            bits,
+        });
+    }
+
+    // Live cells, in original order (keeps determinism). Constant cells
+    // always fold, so they are recreated on demand by materialize() and
+    // never copied here.
+    for cell in &module.cells {
+        let oi = cell.output.index();
+        if fold[oi] != Fold::Keep || !live_net[oi] {
+            continue;
+        }
+        let inputs: Vec<NetId> = cell
+            .inputs
+            .iter()
+            .map(|&n| {
+                materialize(
+                    resolve(&fold, n),
+                    &mut out,
+                    &mut net_map,
+                    &mut const_nets,
+                    &module.nets,
+                )
+            })
+            .collect();
+        let output = materialize(
+            Ok(cell.output),
+            &mut out,
+            &mut net_map,
+            &mut const_nets,
+            &module.nets,
+        );
+        out.cells.push(Cell::new(cell.kind, inputs, output));
+    }
+
+    // Live ROMs.
+    for (ri, rom) in module.roms.iter().enumerate() {
+        if !live_rom[ri] {
+            continue;
+        }
+        let addr = rom
+            .addr
+            .iter()
+            .map(|&n| {
+                materialize(
+                    resolve(&fold, n),
+                    &mut out,
+                    &mut net_map,
+                    &mut const_nets,
+                    &module.nets,
+                )
+            })
+            .collect();
+        let data = rom
+            .data
+            .iter()
+            .map(|&n| {
+                materialize(
+                    Ok(n),
+                    &mut out,
+                    &mut net_map,
+                    &mut const_nets,
+                    &module.nets,
+                )
+            })
+            .collect();
+        out.roms.push(Rom {
+            name: rom.name.clone(),
+            addr,
+            data,
+            contents: rom.contents.clone(),
+        });
+    }
+
+    // Output ports (materializing folds as constants where needed).
+    for port in &module.outputs {
+        let bits = port
+            .bits
+            .iter()
+            .map(|&b| {
+                materialize(
+                    resolve(&fold, b),
+                    &mut out,
+                    &mut net_map,
+                    &mut const_nets,
+                    &module.nets,
+                )
+            })
+            .collect();
+        out.outputs.push(Port {
+            name: port.name.clone(),
+            bits,
+        });
+    }
+
+    lis_netlist::validate(&out)?;
+    Ok(out)
+}
+
+fn to_fold(op: Result<NetId, bool>) -> Fold {
+    match op {
+        Ok(n) => Fold::Alias(n),
+        Err(c) => Fold::Const(c),
+    }
+}
+
+fn invert_const_fold(f: Fold) -> Option<Fold> {
+    match f {
+        Fold::Const(c) => Some(Fold::Const(!c)),
+        // An aliased NAND/NOR operand still needs its inverter; keep the
+        // cell.
+        _ => None,
+    }
+}
+
+/// Folding for AND (identity = true) and OR (identity = false) families.
+/// `dominant` is the value that forces the output (false for AND, true
+/// for OR).
+fn fold_and_or(ops: &[Result<NetId, bool>], dominant: bool) -> Option<Fold> {
+    match (ops[0], ops[1]) {
+        (Err(c), other) | (other, Err(c)) => {
+            if c == dominant {
+                Some(Fold::Const(dominant))
+            } else {
+                Some(to_fold(other))
+            }
+        }
+        (Ok(a), Ok(b)) if a == b => Some(Fold::Alias(a)),
+        _ => None,
+    }
+}
+
+/// Folding for XOR (`invert = false`) and XNOR (`invert = true`).
+fn fold_xor(ops: &[Result<NetId, bool>], invert: bool) -> Option<Fold> {
+    match (ops[0], ops[1]) {
+        (Err(a), Err(b)) => Some(Fold::Const((a ^ b) ^ invert)),
+        (Err(false), Ok(n)) | (Ok(n), Err(false)) if !invert => Some(Fold::Alias(n)),
+        (Err(true), Ok(n)) | (Ok(n), Err(true)) if invert => Some(Fold::Alias(n)),
+        (Ok(a), Ok(b)) if a == b => Some(Fold::Const(invert)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lis_netlist::ModuleBuilder;
+
+    #[test]
+    fn folds_constants_through_gates() {
+        let mut b = ModuleBuilder::new("fold");
+        let a = b.input("a", 1).bit(0);
+        let one = b.constant(true);
+        let zero = b.constant(false);
+        let x = b.and(a, one); // = a
+        let y = b.or(x, zero); // = a
+        let z = b.xor(y, zero); // = a
+        let w = b.and(z, zero); // = 0
+        let out = b.or(z, w); // = a
+        b.output_bit("y", out);
+        let m = b.finish().unwrap();
+        let opt = optimize(&m).unwrap();
+        assert_eq!(
+            opt.cell_count(),
+            0,
+            "everything folds to a wire: {:?}",
+            opt.cells
+        );
+        // Output is wired straight to the input net.
+        assert_eq!(opt.output("y").unwrap().bits[0], opt.input("a").unwrap().bits[0]);
+    }
+
+    #[test]
+    fn sweeps_buffers() {
+        let mut b = ModuleBuilder::new("bufs");
+        let a = b.input("a", 1).bit(0);
+        let b1 = b.buf(a);
+        let b2 = b.buf(b1);
+        let n = b.not(b2);
+        b.output_bit("y", n);
+        let m = b.finish().unwrap();
+        let opt = optimize(&m).unwrap();
+        assert_eq!(opt.cell_count(), 1);
+        assert_eq!(opt.cells[0].kind, CellKind::Not);
+    }
+
+    #[test]
+    fn removes_dead_logic() {
+        let mut b = ModuleBuilder::new("dead");
+        let a = b.input("a", 2);
+        let _unused = b.and(a.bit(0), a.bit(1));
+        let used = b.or(a.bit(0), a.bit(1));
+        b.output_bit("y", used);
+        let m = b.finish().unwrap();
+        let opt = optimize(&m).unwrap();
+        assert_eq!(opt.cell_count(), 1);
+        assert_eq!(opt.cells[0].kind, CellKind::Or);
+    }
+
+    #[test]
+    fn mux_with_constant_select_folds() {
+        let mut b = ModuleBuilder::new("muxfold");
+        let a = b.input("a", 1).bit(0);
+        let c = b.input("b", 1).bit(0);
+        let one = b.constant(true);
+        let m1 = b.mux(one, a, c); // = c
+        b.output_bit("y", m1);
+        let m = b.finish().unwrap();
+        let opt = optimize(&m).unwrap();
+        assert_eq!(opt.cell_count(), 0);
+        assert_eq!(
+            opt.output("y").unwrap().bits[0],
+            opt.input("b").unwrap().bits[0]
+        );
+    }
+
+    #[test]
+    fn constant_output_port_gets_const_cell() {
+        let mut b = ModuleBuilder::new("constout");
+        let a = b.input("a", 1).bit(0);
+        let na = b.not(a);
+        let never = b.and(a, na); // a & !a — not folded (ops differ), stays.
+        let zero = b.constant(false);
+        let z = b.or(zero, zero); // folds to const 0
+        b.output_bit("x", never);
+        b.output_bit("z", z);
+        let m = b.finish().unwrap();
+        let opt = optimize(&m).unwrap();
+        // z must be a constant cell output; x remains and+not.
+        assert!(opt.cell_count() >= 3);
+        assert!(opt
+            .cells
+            .iter()
+            .any(|c| matches!(c.kind, CellKind::Const(false))));
+    }
+
+    #[test]
+    fn dff_and_rom_survive_when_live() {
+        let mut b = ModuleBuilder::new("seq");
+        let en = b.constant(true);
+        let rst = b.constant(false);
+        let cnt = b.counter_mod(3, en, rst, 8);
+        let data = b.rom("r", &cnt, 4, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        b.output("d", &data);
+        let m = b.finish().unwrap();
+        let opt = optimize(&m).unwrap();
+        assert_eq!(opt.ff_count(), 3);
+        assert_eq!(opt.roms.len(), 1);
+        assert_eq!(opt.rom_bits(), 32);
+    }
+
+    #[test]
+    fn dead_rom_is_removed() {
+        let mut b = ModuleBuilder::new("deadrom");
+        let a = b.input("a", 2);
+        let _data = b.rom("r", &a, 4, vec![1, 2, 3]);
+        let y = b.and(a.bit(0), a.bit(1));
+        b.output_bit("y", y);
+        let m = b.finish().unwrap();
+        let opt = optimize(&m).unwrap();
+        assert!(opt.roms.is_empty());
+    }
+
+    #[test]
+    fn xor_of_same_net_is_zero() {
+        let mut b = ModuleBuilder::new("xorself");
+        let a = b.input("a", 1).bit(0);
+        let z = b.xor(a, a);
+        b.output_bit("y", z);
+        let m = b.finish().unwrap();
+        let opt = optimize(&m).unwrap();
+        assert_eq!(opt.cell_count(), 1);
+        assert!(matches!(opt.cells[0].kind, CellKind::Const(false)));
+    }
+}

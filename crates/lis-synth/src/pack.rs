@@ -1,0 +1,155 @@
+//! Slice packing and memory-resource assignment.
+
+use crate::lutmap::Mapping;
+use crate::params::TechParams;
+use lis_netlist::Module;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Area results of packing a mapped module into slices and memories.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct AreaReport {
+    /// Logic LUTs (from technology mapping).
+    pub logic_luts: usize,
+    /// LUTs consumed as distributed LUT-RAM by small ROMs.
+    pub lutram_luts: usize,
+    /// Flip-flops.
+    pub ffs: usize,
+    /// Occupied slices (logic + LUT-RAM + registers).
+    pub slices: usize,
+    /// Block RAMs consumed by large ROMs.
+    pub bram_blocks: usize,
+    /// ROM bits stored in block RAM.
+    pub rom_bits_bram: usize,
+    /// ROM bits stored in distributed LUT-RAM.
+    pub rom_bits_lutram: usize,
+}
+
+impl AreaReport {
+    /// All LUTs, logic plus memory.
+    pub fn total_luts(&self) -> usize {
+        self.logic_luts + self.lutram_luts
+    }
+}
+
+impl fmt::Display for AreaReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} slices ({} LUTs + {} LUT-RAM, {} FFs), {} BRAM ({} bits)",
+            self.slices,
+            self.logic_luts,
+            self.lutram_luts,
+            self.ffs,
+            self.bram_blocks,
+            self.rom_bits_bram
+        )
+    }
+}
+
+/// Packs a mapped module into slices, assigning each ROM to distributed
+/// LUT-RAM (small) or block RAM (large) per [`TechParams`].
+///
+/// The slice estimate is `max(LUT slices, FF slices)` derated by the
+/// packing efficiency: LUT/FF pairs share slices when possible, as
+/// vendor packers achieve for register-rich synchronization logic.
+pub fn pack(module: &Module, mapping: &Mapping, params: &TechParams) -> AreaReport {
+    let mut report = AreaReport {
+        logic_luts: mapping.lut_count(),
+        ffs: module.ff_count(),
+        ..AreaReport::default()
+    };
+
+    for rom in &module.roms {
+        let bits = rom.bits();
+        if bits == 0 {
+            continue;
+        }
+        if bits <= params.lutram_threshold_bits {
+            // Distributed ROM: one LUT per 16 bits per output column.
+            let words = rom.contents.len().max(1);
+            let depth_luts = words.div_ceil(params.lutram_bits_per_lut);
+            report.lutram_luts += depth_luts * rom.data.len();
+            report.rom_bits_lutram += bits;
+        } else {
+            report.bram_blocks += bits.div_ceil(params.bram_bits);
+            report.rom_bits_bram += bits;
+        }
+    }
+
+    let lut_slices = report.total_luts().div_ceil(params.luts_per_slice);
+    let ff_slices = report.ffs.div_ceil(params.ffs_per_slice);
+    let ideal = lut_slices.max(ff_slices);
+    report.slices = ((ideal as f64) / params.packing_efficiency).ceil() as usize;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lutmap::map_luts;
+    use lis_netlist::ModuleBuilder;
+
+    #[test]
+    fn logic_only_module_packs_luts() {
+        let mut b = ModuleBuilder::new("logic");
+        let a = b.input("a", 16);
+        let r = b.reduce_and(a.bits());
+        b.output_bit("y", r);
+        let m = b.finish().unwrap();
+        let map = map_luts(&m).unwrap();
+        let area = pack(&m, &map, &TechParams::default());
+        assert_eq!(area.logic_luts, 5);
+        assert_eq!(area.ffs, 0);
+        assert_eq!(area.slices, 4); // ceil(ceil(5/2) / 0.88) = ceil(3.41) = 4
+    }
+
+    #[test]
+    fn small_rom_maps_to_lutram() {
+        let mut b = ModuleBuilder::new("smallrom");
+        let addr = b.input("addr", 4);
+        let data = b.rom("r", &addr, 8, vec![0; 16]); // 128 bits
+        b.output("d", &data);
+        let m = b.finish().unwrap();
+        let map = map_luts(&m).unwrap();
+        let area = pack(&m, &map, &TechParams::default());
+        assert_eq!(area.bram_blocks, 0);
+        assert_eq!(area.rom_bits_lutram, 128);
+        assert_eq!(area.lutram_luts, 8); // 16 words -> 1 depth-LUT × 8 columns
+    }
+
+    #[test]
+    fn large_rom_maps_to_bram_not_slices() {
+        let mut b = ModuleBuilder::new("bigrom");
+        let addr = b.input("addr", 12);
+        let data = b.rom("r", &addr, 13, vec![0; 2958]); // the RS case
+        b.output("d", &data);
+        let m = b.finish().unwrap();
+        let map = map_luts(&m).unwrap();
+        let area = pack(&m, &map, &TechParams::default());
+        assert!(area.bram_blocks >= 1);
+        assert_eq!(area.lutram_luts, 0);
+        assert_eq!(area.rom_bits_bram, 2958 * 13);
+        assert_eq!(
+            area.slices, 0,
+            "a pure-BRAM module occupies no slices: {area}"
+        );
+    }
+
+    #[test]
+    fn register_rich_module_is_ff_bound() {
+        let mut b = ModuleBuilder::new("regs");
+        let d = b.input("d", 32);
+        let en = b.constant(true);
+        let rst = b.constant(false);
+        let q = b.dff_bus(&d, en, rst, 0);
+        b.output("q", &q);
+        let m = b.finish().unwrap();
+        let map = map_luts(&m).unwrap();
+        let area = pack(&m, &map, &TechParams::default());
+        assert_eq!(area.logic_luts, 0);
+        assert_eq!(area.ffs, 32);
+        // ceil(ceil(32/2) / 0.88) = ceil(16/0.88) = 19
+        assert_eq!(area.slices, 19);
+    }
+}

@@ -1,0 +1,113 @@
+//! Technology parameters of the target FPGA fabric.
+//!
+//! The defaults model a 130 nm, Virtex-II-class device — the technology
+//! the paper's 2005 synthesis results were obtained on. Absolute numbers
+//! are calibrated so a small synchronization processor lands near the
+//! paper's ~105 MHz; what the experiments rely on is the *relative*
+//! behaviour (logic depth, fanout loading, slice capacity), which is
+//! structural.
+
+use serde::{Deserialize, Serialize};
+
+/// Delay, capacity and packing parameters of the synthesis cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TechParams {
+    /// LUT propagation delay (ns).
+    pub t_lut_ns: f64,
+    /// Flip-flop clock-to-output delay (ns).
+    pub t_clk2q_ns: f64,
+    /// Flip-flop setup time (ns).
+    pub t_setup_ns: f64,
+    /// Asynchronous ROM access time (ns), address valid to data valid.
+    pub t_rom_ns: f64,
+    /// Base routing delay of any net (ns).
+    pub t_net_base_ns: f64,
+    /// Additional routing delay per doubling of fanout (ns): a net with
+    /// fanout `f` costs `t_net_base + t_net_fanout * log2(1 + f)`.
+    pub t_net_fanout_ns: f64,
+    /// LUT input count (2..=6): 4 for the paper's Virtex-II era, 6 for
+    /// modern fabrics.
+    pub lut_inputs: usize,
+    /// LUTs per slice.
+    pub luts_per_slice: usize,
+    /// Flip-flops per slice.
+    pub ffs_per_slice: usize,
+    /// Fraction of theoretical slice capacity the packer achieves.
+    pub packing_efficiency: f64,
+    /// ROMs up to this many bits map to distributed LUT-RAM; larger ones
+    /// go to block RAM.
+    pub lutram_threshold_bits: usize,
+    /// Bits per block RAM.
+    pub bram_bits: usize,
+    /// LUT-RAM bits that fit in one LUT (16×1 for 4-input LUTs).
+    pub lutram_bits_per_lut: usize,
+}
+
+impl Default for TechParams {
+    fn default() -> Self {
+        // Calibrated so a small synchronization processor (4-5 ports)
+        // synthesizes to ~24-31 slices at ~105 MHz, the paper's Table 1
+        // operating point on its 130 nm device.
+        TechParams {
+            t_lut_ns: 0.65,
+            t_clk2q_ns: 0.5,
+            t_setup_ns: 0.45,
+            t_rom_ns: 1.5,
+            t_net_base_ns: 0.35,
+            t_net_fanout_ns: 0.30,
+            lut_inputs: 4,
+            luts_per_slice: 2,
+            ffs_per_slice: 2,
+            packing_efficiency: 0.88,
+            lutram_threshold_bits: 256,
+            bram_bits: 18 * 1024,
+            lutram_bits_per_lut: 16,
+        }
+    }
+}
+
+impl TechParams {
+    /// Routing delay of a net with the given fanout.
+    pub fn net_delay_ns(&self, fanout: usize) -> f64 {
+        self.t_net_base_ns + self.t_net_fanout_ns * ((1 + fanout) as f64).log2()
+    }
+
+    /// A modern 6-input-LUT fabric (for ablations): wider LUTs, slightly
+    /// slower per LUT, 4 LUT/FF pairs per CLB-like slice.
+    pub fn modern_6lut() -> Self {
+        TechParams {
+            lut_inputs: 6,
+            t_lut_ns: 0.45,
+            t_net_base_ns: 0.25,
+            t_net_fanout_ns: 0.20,
+            t_rom_ns: 1.0,
+            luts_per_slice: 4,
+            ffs_per_slice: 8,
+            ..TechParams::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn net_delay_grows_with_fanout() {
+        let p = TechParams::default();
+        let d1 = p.net_delay_ns(1);
+        let d10 = p.net_delay_ns(10);
+        let d1000 = p.net_delay_ns(1000);
+        assert!(d1 < d10 && d10 < d1000);
+        // Sub-linear: a 100× fanout increase costs far less than 100×.
+        assert!(d1000 < d10 * 5.0);
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let p = TechParams::default();
+        assert!(p.t_lut_ns > 0.0);
+        assert!(p.packing_efficiency > 0.0 && p.packing_efficiency <= 1.0);
+        assert_eq!(p.luts_per_slice, 2);
+    }
+}

@@ -1,0 +1,127 @@
+//! The end-to-end synthesis flow and its combined report.
+
+use crate::optimize::optimize;
+use crate::pack::{pack, AreaReport};
+use crate::params::TechParams;
+use crate::timing::{analyze_timing, TimingReport};
+use lis_netlist::{Module, NetlistError, NetlistStats};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Complete synthesis results for one module.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SynthReport {
+    /// Module name.
+    pub name: String,
+    /// Netlist census after optimization.
+    pub stats: NetlistStats,
+    /// Area results.
+    pub area: AreaReport,
+    /// Timing results.
+    pub timing: TimingReport,
+}
+
+impl fmt::Display for SynthReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} | {} | {}",
+            self.name, self.stats, self.area, self.timing
+        )
+    }
+}
+
+/// Runs the full flow — optimize, map, pack, time — on `module`.
+///
+/// # Errors
+///
+/// Returns a [`NetlistError`] if the module fails validation.
+///
+/// # Examples
+///
+/// ```
+/// use lis_netlist::ModuleBuilder;
+/// use lis_synth::{synthesize, TechParams};
+///
+/// # fn main() -> Result<(), lis_netlist::NetlistError> {
+/// let mut b = ModuleBuilder::new("counter");
+/// let en = b.input("en", 1).bit(0);
+/// let rst = b.input("rst", 1).bit(0);
+/// let count = b.counter_mod(8, en, rst, 200);
+/// b.output("count", &count);
+/// let module = b.finish()?;
+///
+/// let report = synthesize(&module, &TechParams::default())?;
+/// assert_eq!(report.area.ffs, 8);
+/// assert!(report.timing.fmax_mhz > 10.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn synthesize(module: &Module, params: &TechParams) -> Result<SynthReport, NetlistError> {
+    let optimized = optimize(module)?;
+    let mapping = crate::lutmap::map_luts_k(&optimized, params.lut_inputs)?;
+    let area = pack(&optimized, &mapping, params);
+    let timing = analyze_timing(&optimized, &mapping, params)?;
+    Ok(SynthReport {
+        name: optimized.name.clone(),
+        stats: NetlistStats::of(&optimized),
+        area,
+        timing,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lis_netlist::ModuleBuilder;
+
+    #[test]
+    fn synthesize_counter_end_to_end() {
+        let mut b = ModuleBuilder::new("cnt");
+        let en = b.input("en", 1).bit(0);
+        let rst = b.input("rst", 1).bit(0);
+        let c = b.counter_mod(10, en, rst, 1000);
+        b.output("count", &c);
+        let m = b.finish().unwrap();
+        let r = synthesize(&m, &TechParams::default()).unwrap();
+        assert_eq!(r.area.ffs, 10);
+        assert!(r.area.slices >= 5);
+        assert!(r.timing.critical_path_ns > 1.0);
+        let text = r.to_string();
+        assert!(text.contains("cnt"));
+        assert!(text.contains("MHz"));
+    }
+
+    #[test]
+    fn modern_fabric_needs_fewer_slices() {
+        let mut b = ModuleBuilder::new("wide");
+        let a = b.input("a", 48);
+        let en = b.constant(true);
+        let rst = b.constant(false);
+        let r = b.reduce_and(a.bits());
+        let q = b.dff(r, en, rst, false);
+        b.output_bit("q", q);
+        let m = b.finish().unwrap();
+        let era2005 = synthesize(&m, &TechParams::default()).unwrap();
+        let modern = synthesize(&m, &TechParams::modern_6lut()).unwrap();
+        assert!(modern.area.total_luts() < era2005.area.total_luts());
+        assert!(modern.area.slices < era2005.area.slices);
+        assert!(modern.timing.fmax_mhz > era2005.timing.fmax_mhz);
+    }
+
+    #[test]
+    fn optimization_shrinks_before_mapping() {
+        // A module with lots of foldable logic.
+        let mut b = ModuleBuilder::new("waste");
+        let a = b.input("a", 1).bit(0);
+        let one = b.constant(true);
+        let mut x = a;
+        for _ in 0..50 {
+            x = b.and(x, one);
+        }
+        b.output_bit("y", x);
+        let m = b.finish().unwrap();
+        let r = synthesize(&m, &TechParams::default()).unwrap();
+        assert_eq!(r.area.logic_luts, 0, "all AND-with-1 gates fold away");
+    }
+}

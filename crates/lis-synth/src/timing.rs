@@ -1,0 +1,218 @@
+//! Static timing analysis over the mapped network.
+//!
+//! Arrival times propagate through LUTs and ROM access paths with a
+//! fanout-dependent wire-load model; the critical path is the longest
+//! register/port-to-register/port path, and `fmax` its reciprocal.
+
+use crate::lutmap::Mapping;
+use crate::params::TechParams;
+use lis_netlist::{topo_order, CellKind, CombNode, Module, NetId, NetlistError};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Timing results.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingReport {
+    /// Longest register-to-register (or port) path, ns.
+    pub critical_path_ns: f64,
+    /// Maximum clock frequency, MHz.
+    pub fmax_mhz: f64,
+    /// Combinational depth in LUT levels.
+    pub logic_levels: usize,
+}
+
+impl fmt::Display for TimingReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.2} ns critical path ({:.1} MHz, {} LUT levels)",
+            self.critical_path_ns, self.fmax_mhz, self.logic_levels
+        )
+    }
+}
+
+/// Computes the critical path and fmax of a mapped module.
+///
+/// # Errors
+///
+/// Returns a [`NetlistError`] if the module fails validation.
+pub fn analyze_timing(
+    module: &Module,
+    mapping: &Mapping,
+    params: &TechParams,
+) -> Result<TimingReport, NetlistError> {
+    let order = topo_order(module)?;
+    let fanout = module.fanout();
+    let lut_of: HashMap<usize, usize> = mapping
+        .luts
+        .iter()
+        .enumerate()
+        .map(|(i, l)| (l.root.index(), i))
+        .collect();
+
+    // Arrival time per net. Defaults to 0 (input ports, constants).
+    let mut arrival = vec![0.0f64; module.nets.len()];
+
+    // Flip-flop outputs launch at clk-to-q.
+    for cell in &module.cells {
+        if cell.kind.is_sequential() {
+            arrival[cell.output.index()] = params.t_clk2q_ns;
+        }
+    }
+
+    let leaf_arrival = |arrival: &[f64], net: NetId| -> f64 {
+        arrival[net.index()] + params.net_delay_ns(fanout[net.index()])
+    };
+
+    // Propagate in combinational topological order. Only LUT roots and
+    // ROM data nets carry mapped delays; interior cell outputs inherit
+    // (they exist inside a LUT and never feed anything else — except
+    // buffers, which are wires).
+    for &node in &order {
+        match node {
+            CombNode::Cell(cid) => {
+                let cell = module.cell(cid);
+                match cell.kind {
+                    CellKind::Buf => {
+                        arrival[cell.output.index()] = arrival[cell.inputs[0].index()];
+                    }
+                    CellKind::Const(_) => {}
+                    _ => {
+                        if let Some(&li) = lut_of.get(&cell.output.index()) {
+                            let lut = &mapping.luts[li];
+                            let worst = lut
+                                .leaves
+                                .iter()
+                                .map(|&l| leaf_arrival(&arrival, l))
+                                .fold(0.0, f64::max);
+                            arrival[cell.output.index()] = worst + params.t_lut_ns;
+                        }
+                        // Interior nodes: no timing arc of their own.
+                    }
+                }
+            }
+            CombNode::Rom(rid) => {
+                let rom = module.rom(rid);
+                let worst = rom
+                    .addr
+                    .iter()
+                    .map(|&a| leaf_arrival(&arrival, a))
+                    .fold(0.0, f64::max);
+                for &d in &rom.data {
+                    arrival[d.index()] = worst + params.t_rom_ns;
+                }
+            }
+        }
+    }
+
+    // Endpoints: FF data/enable/reset pins and output ports.
+    let mut critical: f64 = 0.0;
+    for cell in &module.cells {
+        if cell.kind.is_sequential() {
+            for &pin in &cell.inputs {
+                critical = critical.max(leaf_arrival(&arrival, pin) + params.t_setup_ns);
+            }
+        }
+    }
+    for port in &module.outputs {
+        for &bit in &port.bits {
+            critical = critical.max(leaf_arrival(&arrival, bit) + params.t_setup_ns);
+        }
+    }
+    // A module with no endpoints (degenerate) still has a positive period.
+    let critical = critical.max(params.t_clk2q_ns + params.t_setup_ns);
+
+    Ok(TimingReport {
+        critical_path_ns: critical,
+        fmax_mhz: 1000.0 / critical,
+        logic_levels: mapping.depth,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lutmap::map_luts;
+    use lis_netlist::ModuleBuilder;
+
+    fn timing_of(m: &Module) -> TimingReport {
+        let map = map_luts(m).unwrap();
+        analyze_timing(m, &map, &TechParams::default()).unwrap()
+    }
+
+    #[test]
+    fn deeper_logic_is_slower() {
+        let mk = |width: usize| {
+            let mut b = ModuleBuilder::new("tree");
+            let a = b.input("a", width);
+            let en = b.constant(true);
+            let rst = b.constant(false);
+            let r = b.reduce_and(a.bits());
+            let q = b.dff(r, en, rst, false);
+            b.output_bit("q", q);
+            b.finish().unwrap()
+        };
+        let shallow = timing_of(&mk(4));
+        let deep = timing_of(&mk(64));
+        assert!(deep.critical_path_ns > shallow.critical_path_ns);
+        assert!(deep.fmax_mhz < shallow.fmax_mhz);
+        assert!(deep.logic_levels > shallow.logic_levels);
+    }
+
+    #[test]
+    fn rom_access_is_on_the_path() {
+        let mut b = ModuleBuilder::new("rompath");
+        let en = b.constant(true);
+        let rst = b.constant(false);
+        let cnt = b.counter_mod(4, en, rst, 16);
+        let data = b.rom("r", &cnt, 8, vec![0; 16]);
+        let q = b.dff_bus(&data, en, rst, 0);
+        b.output("q", &q);
+        let m = b.finish().unwrap();
+        let t = timing_of(&m);
+        let p = TechParams::default();
+        assert!(
+            t.critical_path_ns >= p.t_clk2q_ns + p.t_rom_ns + p.t_setup_ns,
+            "{t}"
+        );
+    }
+
+    #[test]
+    fn fanout_loading_slows_the_clock() {
+        // One FF driving N consumers.
+        let mk = |loads: usize| {
+            let mut b = ModuleBuilder::new("fan");
+            let d = b.input("d", 1).bit(0);
+            let en = b.constant(true);
+            let rst = b.constant(false);
+            let q = b.dff(d, en, rst, false);
+            let outs: Vec<_> = (0..loads)
+                .map(|i| {
+                    let x = b.input(format!("x{i}"), 1).bit(0);
+                    b.and(q, x)
+                })
+                .collect();
+            let mut qs = Vec::new();
+            for o in outs {
+                qs.push(b.dff(o, en, rst, false));
+            }
+            let bus = lis_netlist::Bus::from_nets(qs);
+            b.output("y", &bus);
+            b.finish().unwrap()
+        };
+        let light = timing_of(&mk(2));
+        let heavy = timing_of(&mk(200));
+        assert!(heavy.critical_path_ns > light.critical_path_ns);
+    }
+
+    #[test]
+    fn empty_module_has_floor_period() {
+        let mut b = ModuleBuilder::new("empty");
+        let a = b.input("a", 1);
+        b.output("y", &a);
+        let m = b.finish().unwrap();
+        let t = timing_of(&m);
+        assert!(t.fmax_mhz > 0.0 && t.fmax_mhz.is_finite());
+    }
+}

@@ -1,0 +1,88 @@
+//! Gate-level synthesis of Carloni's combinational wrapper (the paper's
+//! Figure 1).
+//!
+//! "The decision to drive or not the IP's clock is implemented very
+//! efficiently with combinatorial logic" (§2): the IP is enabled exactly
+//! when **all** inputs hold a token and **all** outputs can accept one.
+//! No state, no schedule — and therefore no sensitivity to I/O subsets,
+//! which is the limitation motivating the FSM and SP wrappers.
+//!
+//! The pure model assumes the pearl performs I/O on every port every
+//! enabled cycle, so `pop`/`push` simply mirror `enable`.
+
+use lis_netlist::{Bus, Module, ModuleBuilder, NetId, NetlistError};
+
+/// Generates the combinational wrapper controller for an interface with
+/// `n_in` input and `n_out` output ports.
+///
+/// Interface: inputs `rst` (unused, kept for drop-in compatibility),
+/// `ne[n_in]`, `nf[n_out]`; outputs `enable`, `pop[n_in]`,
+/// `push[n_out]`.
+///
+/// # Errors
+///
+/// Propagates netlist validation errors.
+pub fn generate_comb(n_in: usize, n_out: usize) -> Result<Module, NetlistError> {
+    let mut b = ModuleBuilder::new("comb_wrapper");
+    let _rst = b.input("rst", 1);
+    let ne = b.input("ne", n_in);
+    let nf = b.input("nf", n_out);
+
+    let mut terms: Vec<NetId> = Vec::with_capacity(n_in + n_out);
+    terms.extend(ne.bits());
+    terms.extend(nf.bits());
+    let enable = b.reduce_and(&terms);
+    b.name_net(enable, "enable");
+
+    b.output_bit("enable", enable);
+    let pops: Vec<NetId> = (0..n_in).map(|_| b.buf(enable)).collect();
+    b.output("pop", &Bus::from_nets(pops));
+    let pushes: Vec<NetId> = (0..n_out).map(|_| b.buf(enable)).collect();
+    b.output("push", &Bus::from_nets(pushes));
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lis_sim::NetlistSim;
+
+    #[test]
+    fn enable_requires_every_port() {
+        let m = generate_comb(3, 2).unwrap();
+        let mut sim = NetlistSim::new(m).unwrap();
+        sim.set_input("rst", 0);
+        for ne in 0..8u64 {
+            for nf in 0..4u64 {
+                sim.set_input("ne", ne);
+                sim.set_input("nf", nf);
+                sim.eval();
+                let expect = u64::from(ne == 0b111 && nf == 0b11);
+                assert_eq!(sim.get_output("enable"), expect, "ne={ne:b} nf={nf:b}");
+                assert_eq!(
+                    sim.get_output("pop"),
+                    if expect == 1 { 0b111 } else { 0 }
+                );
+                assert_eq!(
+                    sim.get_output("push"),
+                    if expect == 1 { 0b11 } else { 0 }
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wrapper_is_stateless() {
+        let m = generate_comb(4, 4).unwrap();
+        assert_eq!(m.ff_count(), 0);
+        assert!(m.roms.is_empty());
+    }
+
+    #[test]
+    fn size_depends_only_on_port_count() {
+        let small = generate_comb(2, 2).unwrap();
+        let large = generate_comb(8, 8).unwrap();
+        // Grows linearly in ports (AND tree), nothing else.
+        assert!(large.cell_count() < small.cell_count() * 8);
+    }
+}

@@ -1,0 +1,318 @@
+//! Gate-level synthesis of the Singh & Theobald Mealy-FSM wrapper — the
+//! baseline the paper's Table 1 compares against.
+//!
+//! One FSM state per *cycle* of the expanded schedule: a sync state
+//! waits (self-loops) until the ports its masks name are ready; a quiet
+//! state advances unconditionally. All per-state conditions, the pop and
+//! push decoders, and the state-advance network are synthesized logic —
+//! so area grows with schedule length, and the `fire` wire fans out to
+//! every state register. This is precisely the scaling the SP avoids.
+
+use lis_netlist::{Bus, Module, ModuleBuilder, NetId, NetlistError};
+use lis_schedule::IoSchedule;
+
+/// State-register encoding of the FSM baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsmEncoding {
+    /// One flip-flop per state, shift-ring advance (the FPGA-friendly
+    /// default of 2005-era synthesis).
+    #[default]
+    OneHot,
+    /// log2-width state register with per-state comparators (ablation).
+    Binary,
+}
+
+/// Generates the FSM wrapper controller for `schedule`.
+///
+/// Interface: inputs `rst`, `ne[n_in]`, `nf[n_out]`; outputs `enable`,
+/// `pop[n_in]`, `push[n_out]` — identical to the SP wrapper, so the two
+/// are drop-in interchangeable.
+///
+/// # Errors
+///
+/// Propagates netlist validation errors.
+pub fn generate_fsm(schedule: &IoSchedule, encoding: FsmEncoding) -> Result<Module, NetlistError> {
+    match encoding {
+        FsmEncoding::OneHot => generate_one_hot(schedule),
+        FsmEncoding::Binary => generate_binary(schedule),
+    }
+}
+
+fn ready_condition(
+    b: &mut ModuleBuilder,
+    io: lis_schedule::CycleIo,
+    ne: &Bus,
+    nf: &Bus,
+) -> NetId {
+    let mut terms = Vec::new();
+    for i in io.reads.iter() {
+        terms.push(ne.bit(i));
+    }
+    for o in io.writes.iter() {
+        terms.push(nf.bit(o));
+    }
+    b.reduce_and(&terms) // empty => const 1 (quiet states always ready)
+}
+
+fn generate_one_hot(schedule: &IoSchedule) -> Result<Module, NetlistError> {
+    let n_in = schedule.n_inputs();
+    let n_out = schedule.n_outputs();
+    let period = schedule.period();
+
+    let mut b = ModuleBuilder::new("fsm_wrapper_onehot");
+    let rst = b.input("rst", 1).bit(0);
+    let ne = b.input("ne", n_in);
+    let nf = b.input("nf", n_out);
+
+    // One-hot ring: hot[k] high while the wrapper sits in schedule
+    // cycle k. Advance is gated by `fire` via the clock-enable pin.
+    let hot_nets: Vec<NetId> = (0..period)
+        .map(|k| b.fresh_named(format!("hot{k}")))
+        .collect();
+
+    // fire = OR_k (hot_k ∧ ready_k); quiet states contribute hot_k
+    // directly.
+    let mut fire_terms = Vec::with_capacity(period);
+    let mut ready_of: Vec<Option<NetId>> = Vec::with_capacity(period);
+    for (k, &step) in schedule.steps().iter().enumerate() {
+        if step.is_quiet() {
+            ready_of.push(None);
+            fire_terms.push(hot_nets[k]);
+        } else {
+            let ready = ready_condition(&mut b, step, &ne, &nf);
+            ready_of.push(Some(ready));
+            let t = b.and(hot_nets[k], ready);
+            fire_terms.push(t);
+        }
+    }
+    let fire = b.reduce_or(&fire_terms);
+    b.name_net(fire, "fire");
+
+    // Ring registers: hot_k' = fire ? hot_{k-1} : hot_k.
+    for k in 0..period {
+        let prev = hot_nets[(k + period - 1) % period];
+        let q = b.dff(prev, fire, rst, k == 0);
+        b.drive(hot_nets[k], q);
+    }
+
+    // pop_i = fire ∧ OR(hot_k : cycle k reads i); dually for push.
+    let mut pop_bits = Vec::with_capacity(n_in);
+    for i in 0..n_in {
+        let hots: Vec<NetId> = schedule
+            .steps()
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.reads.contains(i))
+            .map(|(k, _)| hot_nets[k])
+            .collect();
+        let any = b.reduce_or(&hots);
+        pop_bits.push(b.and(fire, any));
+    }
+    let mut push_bits = Vec::with_capacity(n_out);
+    for o in 0..n_out {
+        let hots: Vec<NetId> = schedule
+            .steps()
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.writes.contains(o))
+            .map(|(k, _)| hot_nets[k])
+            .collect();
+        let any = b.reduce_or(&hots);
+        push_bits.push(b.and(fire, any));
+    }
+
+    b.output_bit("enable", fire);
+    b.output("pop", &Bus::from_nets(pop_bits));
+    b.output("push", &Bus::from_nets(push_bits));
+    b.finish()
+}
+
+fn generate_binary(schedule: &IoSchedule) -> Result<Module, NetlistError> {
+    let n_in = schedule.n_inputs();
+    let n_out = schedule.n_outputs();
+    let period = schedule.period();
+    let sw = (usize::BITS - (period.max(2) - 1).leading_zeros()) as usize;
+
+    let mut b = ModuleBuilder::new("fsm_wrapper_binary");
+    let rst = b.input("rst", 1).bit(0);
+    let ne = b.input("ne", n_in);
+    let nf = b.input("nf", n_out);
+
+    let state_nets: Vec<NetId> = (0..sw).map(|_| b.fresh()).collect();
+    let state = Bus::from_nets(state_nets);
+
+    // Per-state decode: hit_k = (state == k); fire accumulates
+    // hit_k ∧ ready_k.
+    let mut fire_terms = Vec::with_capacity(period);
+    let mut hits = Vec::with_capacity(period);
+    for (k, &step) in schedule.steps().iter().enumerate() {
+        let hit = b.eq_const(&state, k as u64);
+        hits.push(hit);
+        if step.is_quiet() {
+            fire_terms.push(hit);
+        } else {
+            let ready = ready_condition(&mut b, step, &ne, &nf);
+            fire_terms.push(b.and(hit, ready));
+        }
+    }
+    let fire = b.reduce_or(&fire_terms);
+    b.name_net(fire, "fire");
+
+    // state' = fire ? (state == period-1 ? 0 : state + 1) : state.
+    let (inc, _) = b.incr(&state);
+    let wrap = b.eq_const(&state, (period - 1) as u64);
+    let zero = b.constant_bus(0, sw);
+    let next = b.mux_bus(wrap, &inc, &zero);
+    let q = b.dff_bus(&next, fire, rst, 0);
+    for i in 0..sw {
+        b.drive(state.bit(i), q.bit(i));
+    }
+
+    let mut pop_bits = Vec::with_capacity(n_in);
+    for i in 0..n_in {
+        let terms: Vec<NetId> = schedule
+            .steps()
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.reads.contains(i))
+            .map(|(k, _)| hits[k])
+            .collect();
+        let any = b.reduce_or(&terms);
+        pop_bits.push(b.and(fire, any));
+    }
+    let mut push_bits = Vec::with_capacity(n_out);
+    for o in 0..n_out {
+        let terms: Vec<NetId> = schedule
+            .steps()
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.writes.contains(o))
+            .map(|(k, _)| hits[k])
+            .collect();
+        let any = b.reduce_or(&terms);
+        push_bits.push(b.and(fire, any));
+    }
+
+    b.output_bit("enable", fire);
+    b.output("pop", &Bus::from_nets(pop_bits));
+    b.output("push", &Bus::from_nets(push_bits));
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lis_schedule::ScheduleBuilder;
+    use lis_sim::NetlistSim;
+
+    fn demo_schedule() -> IoSchedule {
+        ScheduleBuilder::new(2, 1)
+            .read(0)
+            .read(1)
+            .quiet(3)
+            .write(0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn both_encodings_validate() {
+        let s = demo_schedule();
+        for enc in [FsmEncoding::OneHot, FsmEncoding::Binary] {
+            let m = generate_fsm(&s, enc).unwrap();
+            assert!(m.output("enable").is_some(), "{enc:?}");
+            assert_eq!(m.input("ne").unwrap().width(), 2);
+            assert_eq!(m.output("push").unwrap().width(), 1);
+        }
+    }
+
+    #[test]
+    fn one_hot_has_one_ff_per_state() {
+        let s = demo_schedule();
+        let m = generate_fsm(&s, FsmEncoding::OneHot).unwrap();
+        assert_eq!(m.ff_count(), s.period());
+        let mb = generate_fsm(&s, FsmEncoding::Binary).unwrap();
+        assert_eq!(mb.ff_count(), 3); // ceil(log2 6)
+    }
+
+    fn step_through(encoding: FsmEncoding) {
+        let s = demo_schedule();
+        let m = generate_fsm(&s, encoding).unwrap();
+        let mut sim = NetlistSim::new(m).unwrap();
+        sim.set_input("rst", 0);
+        // State 0 reads port 0; nothing available -> stall.
+        sim.set_input("ne", 0b00);
+        sim.set_input("nf", 0b1);
+        sim.eval();
+        assert_eq!(sim.get_output("enable"), 0, "{encoding:?}");
+        // Token on port 0 -> fire, pop port 0.
+        sim.set_input("ne", 0b01);
+        sim.eval();
+        assert_eq!(sim.get_output("enable"), 1);
+        assert_eq!(sim.get_output("pop"), 0b01);
+        sim.step();
+        // State 1 reads port 1; only port 0 has data -> stall (subset
+        // sensitivity: port 0 irrelevant now).
+        sim.eval();
+        assert_eq!(sim.get_output("enable"), 0);
+        sim.set_input("ne", 0b10);
+        sim.eval();
+        assert_eq!(sim.get_output("enable"), 1);
+        assert_eq!(sim.get_output("pop"), 0b10);
+        sim.step();
+        // Three quiet states: fire regardless of ports.
+        sim.set_input("ne", 0b00);
+        sim.set_input("nf", 0b0);
+        for k in 0..3 {
+            sim.eval();
+            assert_eq!(sim.get_output("enable"), 1, "quiet state {k}");
+            assert_eq!(sim.get_output("pop"), 0);
+            assert_eq!(sim.get_output("push"), 0);
+            sim.step();
+        }
+        // Write state: waits for nf.
+        sim.eval();
+        assert_eq!(sim.get_output("enable"), 0);
+        sim.set_input("nf", 0b1);
+        sim.eval();
+        assert_eq!(sim.get_output("enable"), 1);
+        assert_eq!(sim.get_output("push"), 0b1);
+        sim.step();
+        // Wrapped around to state 0.
+        sim.set_input("ne", 0b01);
+        sim.eval();
+        assert_eq!(sim.get_output("pop"), 0b01);
+    }
+
+    #[test]
+    fn one_hot_walks_the_schedule() {
+        step_through(FsmEncoding::OneHot);
+    }
+
+    #[test]
+    fn binary_walks_the_schedule() {
+        step_through(FsmEncoding::Binary);
+    }
+
+    #[test]
+    fn fsm_size_scales_with_schedule_length() {
+        let mk = |quiet: usize| {
+            ScheduleBuilder::new(2, 1)
+                .read(0)
+                .read(1)
+                .quiet(quiet)
+                .write(0)
+                .build()
+                .unwrap()
+        };
+        let small = generate_fsm(&mk(8), FsmEncoding::OneHot).unwrap();
+        let large = generate_fsm(&mk(512), FsmEncoding::OneHot).unwrap();
+        assert!(
+            large.cell_count() > small.cell_count() * 8,
+            "small={} large={}",
+            small.cell_count(),
+            large.cell_count()
+        );
+        assert!(large.ff_count() > small.ff_count() * 8);
+    }
+}

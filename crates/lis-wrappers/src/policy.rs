@@ -1,0 +1,529 @@
+//! Synchronization policies: the *behavioural* semantics of each wrapper
+//! model.
+//!
+//! A policy decides, cycle by cycle, whether the encapsulated pearl's
+//! clock fires and which ports it touches, given the FIFO status of the
+//! wrapper's ports. The four implementations correspond to the four
+//! wrapper families the paper discusses:
+//!
+//! | Policy | Paper §2/§3 | Senses | Hardware cost driver |
+//! |---|---|---|---|
+//! | [`CombPolicy`] | Carloni et al. | **all** ports, every cycle | O(ports) gates |
+//! | [`FsmPolicy`] | Singh & Theobald | scheduled subset | O(schedule *cycles*) states |
+//! | [`ShiftRegPolicy`] | Casu & Macchiarulo | nothing (static) | O(schedule cycles) flip-flops |
+//! | [`SpPolicy`] | **Bomel et al. (this paper)** | scheduled subset | O(ports) logic + ROM bits |
+//!
+//! `FsmPolicy` and `SpPolicy` are *functionally equivalent by
+//! construction* (the SP is introduced as "functionally equivalent to
+//! the FSMs", §3); the property tests in this crate verify their firing
+//! traces are identical cycle for cycle.
+
+use lis_schedule::{compress, IoSchedule, PortSet, SpProgram};
+use std::fmt;
+
+/// One cycle's synchronization decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decision {
+    /// Whether the pearl's clock is enabled this cycle.
+    pub fire: bool,
+    /// Input ports popped this cycle (valid when `fire`).
+    pub reads: PortSet,
+    /// Output ports pushed this cycle (valid when `fire`).
+    pub writes: PortSet,
+}
+
+impl Decision {
+    /// The stalled decision.
+    pub const STALL: Decision = Decision {
+        fire: false,
+        reads: PortSet::EMPTY,
+        writes: PortSet::EMPTY,
+    };
+}
+
+/// A synchronization policy: the control behaviour of one wrapper model.
+pub trait SyncPolicy: fmt::Debug {
+    /// Decides this cycle's action from the ports' FIFO status
+    /// (`not_empty` per input port, `not_full` per output port).
+    ///
+    /// Must be pure with respect to internal state: the simulator may
+    /// call it several times per cycle while signals settle.
+    fn decide(&self, not_empty: &[bool], not_full: &[bool]) -> Decision;
+
+    /// Commits the cycle at the clock edge. `fired` is the decision's
+    /// `fire` field at settle time.
+    fn commit(&mut self, fired: bool);
+
+    /// Returns to the power-up state.
+    fn reset(&mut self);
+
+    /// Short model name for reports.
+    fn model_name(&self) -> &'static str;
+}
+
+fn masks_ready(reads: PortSet, writes: PortSet, not_empty: &[bool], not_full: &[bool]) -> bool {
+    reads.iter().all(|i| not_empty[i]) && writes.iter().all(|o| not_full[o])
+}
+
+// ---------------------------------------------------------------------
+// Carloni: combinational, senses every port every cycle.
+// ---------------------------------------------------------------------
+
+/// The original LIS wrapper: fire iff *all* inputs are valid and *all*
+/// outputs can accept — regardless of which ports the pearl actually
+/// touches this cycle ("an IP is activated only if all its inputs are
+/// valid and all its outputs are able to store a result", §1).
+///
+/// Functionally correct but over-synchronized: traffic on an irrelevant
+/// port stalls the whole pearl. Port pops/pushes still follow the
+/// pearl's schedule (the pearl samples what it needs).
+#[derive(Debug, Clone)]
+pub struct CombPolicy {
+    schedule: IoSchedule,
+    step: usize,
+}
+
+impl CombPolicy {
+    /// Creates the policy for a pearl with the given schedule.
+    pub fn new(schedule: IoSchedule) -> Self {
+        CombPolicy { schedule, step: 0 }
+    }
+}
+
+impl SyncPolicy for CombPolicy {
+    fn decide(&self, not_empty: &[bool], not_full: &[bool]) -> Decision {
+        let all_ready = not_empty.iter().all(|&b| b) && not_full.iter().all(|&b| b);
+        if !all_ready {
+            return Decision::STALL;
+        }
+        let io = self.schedule.at(self.step);
+        Decision {
+            fire: true,
+            reads: io.reads,
+            writes: io.writes,
+        }
+    }
+
+    fn commit(&mut self, fired: bool) {
+        if fired {
+            self.step = (self.step + 1) % self.schedule.period();
+        }
+    }
+
+    fn reset(&mut self) {
+        self.step = 0;
+    }
+
+    fn model_name(&self) -> &'static str {
+        "comb"
+    }
+}
+
+// ---------------------------------------------------------------------
+// Singh & Theobald: Mealy FSM over the expanded schedule.
+// ---------------------------------------------------------------------
+
+/// The generalized-LIS wrapper: one FSM state per schedule cycle, each
+/// sensitive only to the ports scheduled in that cycle.
+#[derive(Debug, Clone)]
+pub struct FsmPolicy {
+    schedule: IoSchedule,
+    step: usize,
+}
+
+impl FsmPolicy {
+    /// Creates the policy for a pearl with the given schedule.
+    pub fn new(schedule: IoSchedule) -> Self {
+        FsmPolicy { schedule, step: 0 }
+    }
+}
+
+impl SyncPolicy for FsmPolicy {
+    fn decide(&self, not_empty: &[bool], not_full: &[bool]) -> Decision {
+        let io = self.schedule.at(self.step);
+        if masks_ready(io.reads, io.writes, not_empty, not_full) {
+            Decision {
+                fire: true,
+                reads: io.reads,
+                writes: io.writes,
+            }
+        } else {
+            Decision::STALL
+        }
+    }
+
+    fn commit(&mut self, fired: bool) {
+        if fired {
+            self.step = (self.step + 1) % self.schedule.period();
+        }
+    }
+
+    fn reset(&mut self) {
+        self.step = 0;
+    }
+
+    fn model_name(&self) -> &'static str {
+        "fsm"
+    }
+}
+
+// ---------------------------------------------------------------------
+// Casu & Macchiarulo: static activation, senses nothing.
+// ---------------------------------------------------------------------
+
+/// The static-scheduling wrapper: a precomputed activation pattern
+/// drives the clock; the protocol wires are gone. Correct **only** when
+/// the environment delivers tokens exactly on the static schedule — the
+/// ablation experiment (E6) shows it corrupting data under irregular
+/// streams, which is why it cannot replace the SP in general.
+#[derive(Debug, Clone)]
+pub struct ShiftRegPolicy {
+    schedule: IoSchedule,
+    /// Activation pattern; the wrapper fires on cycles where
+    /// `pattern[t mod len]` is set. The *schedule* step only advances on
+    /// firing cycles.
+    pattern: Vec<bool>,
+    pos: usize,
+    step: usize,
+}
+
+impl ShiftRegPolicy {
+    /// Creates the policy with an all-ones activation pattern (the IP
+    /// free-runs at full rate, as in a perfectly balanced static SoC).
+    pub fn full_rate(schedule: IoSchedule) -> Self {
+        let period = schedule.period();
+        Self::with_pattern(schedule, vec![true; period])
+    }
+
+    /// Creates the policy with an explicit activation pattern (a ring of
+    /// `pattern.len()` flip-flops in hardware).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern is empty.
+    pub fn with_pattern(schedule: IoSchedule, pattern: Vec<bool>) -> Self {
+        assert!(!pattern.is_empty(), "activation pattern must be non-empty");
+        ShiftRegPolicy {
+            schedule,
+            pattern,
+            pos: 0,
+            step: 0,
+        }
+    }
+
+    /// The activation pattern length (= shift-register length).
+    pub fn pattern_len(&self) -> usize {
+        self.pattern.len()
+    }
+}
+
+impl SyncPolicy for ShiftRegPolicy {
+    fn decide(&self, _not_empty: &[bool], _not_full: &[bool]) -> Decision {
+        if self.pattern[self.pos] {
+            let io = self.schedule.at(self.step);
+            Decision {
+                fire: true,
+                reads: io.reads,
+                writes: io.writes,
+            }
+        } else {
+            Decision::STALL
+        }
+    }
+
+    fn commit(&mut self, fired: bool) {
+        self.pos = (self.pos + 1) % self.pattern.len();
+        if fired {
+            self.step = (self.step + 1) % self.schedule.period();
+        }
+    }
+
+    fn reset(&mut self) {
+        self.pos = 0;
+        self.step = 0;
+    }
+
+    fn model_name(&self) -> &'static str {
+        "shiftreg"
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bomel et al.: the synchronization processor.
+// ---------------------------------------------------------------------
+
+/// Execution mode of the SP's three-state controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SpMode {
+    /// Power-up state: one dead cycle while the ROM address settles
+    /// (the paper's "reset state at power up").
+    Reset,
+    /// Waiting at a synchronization point (the "operation-read state").
+    AtSync,
+    /// Free-running through an operation's run cycles.
+    Running,
+}
+
+/// The synchronization processor: cyclically executes
+/// `(input-mask, output-mask, run-cycles)` operations from a program
+/// memory. Functionally equivalent to [`FsmPolicy`] over the expanded
+/// schedule, at O(ports) hardware cost.
+#[derive(Debug, Clone)]
+pub struct SpPolicy {
+    program: SpProgram,
+    mode: SpMode,
+    op_idx: usize,
+    /// Cycles left in the current operation's run (valid in `Running`).
+    remaining: u32,
+}
+
+impl SpPolicy {
+    /// Creates the policy for a compiled SP program.
+    pub fn new(program: SpProgram) -> Self {
+        SpPolicy {
+            program,
+            mode: SpMode::Reset,
+            op_idx: 0,
+            remaining: 0,
+        }
+    }
+
+    /// Compiles a schedule (via [`compress`]) and creates the policy.
+    pub fn from_schedule(schedule: &IoSchedule) -> Self {
+        Self::new(compress(schedule))
+    }
+
+    /// Compiles a schedule with burst operations
+    /// ([`lis_schedule::compress_bursty`]): synchronization happens only
+    /// where the I/O pattern changes, and the pearl streams I/O
+    /// unchecked through each run — the paper's Viterbi configuration
+    /// (4 operations covering a 202-cycle period).
+    pub fn from_schedule_bursty(schedule: &IoSchedule) -> Self {
+        Self::new(lis_schedule::compress_bursty(schedule))
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &SpProgram {
+        &self.program
+    }
+}
+
+impl SyncPolicy for SpPolicy {
+    fn decide(&self, not_empty: &[bool], not_full: &[bool]) -> Decision {
+        match self.mode {
+            SpMode::Reset => Decision::STALL,
+            SpMode::AtSync => {
+                let op = self.program.ops()[self.op_idx];
+                if masks_ready(op.input_mask, op.output_mask, not_empty, not_full) {
+                    Decision {
+                        fire: true,
+                        reads: op.input_mask,
+                        writes: op.output_mask,
+                    }
+                } else {
+                    Decision::STALL
+                }
+            }
+            SpMode::Running => Decision {
+                fire: true,
+                reads: PortSet::EMPTY,
+                writes: PortSet::EMPTY,
+            },
+        }
+    }
+
+    fn commit(&mut self, fired: bool) {
+        match self.mode {
+            SpMode::Reset => {
+                self.mode = SpMode::AtSync;
+            }
+            SpMode::AtSync => {
+                if fired {
+                    let run = self.program.ops()[self.op_idx].run_cycles;
+                    if run == 1 {
+                        self.op_idx = (self.op_idx + 1) % self.program.len();
+                    } else {
+                        self.mode = SpMode::Running;
+                        self.remaining = run - 1;
+                    }
+                }
+            }
+            SpMode::Running => {
+                self.remaining -= 1;
+                if self.remaining == 0 {
+                    self.op_idx = (self.op_idx + 1) % self.program.len();
+                    self.mode = SpMode::AtSync;
+                }
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.mode = SpMode::Reset;
+        self.op_idx = 0;
+        self.remaining = 0;
+    }
+
+    fn model_name(&self) -> &'static str {
+        "sp"
+    }
+}
+
+/// Replays a policy against scripted port statuses, returning the
+/// decision taken each cycle — the backbone of the FSM-vs-SP equivalence
+/// tests.
+pub fn firing_trace(
+    policy: &mut dyn SyncPolicy,
+    statuses: &[(Vec<bool>, Vec<bool>)],
+) -> Vec<Decision> {
+    let mut out = Vec::with_capacity(statuses.len());
+    for (ne, nf) in statuses {
+        let d = policy.decide(ne, nf);
+        policy.commit(d.fire);
+        out.push(d);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lis_schedule::ScheduleBuilder;
+
+    fn demo_schedule() -> IoSchedule {
+        // read 0; read 1; 3 quiet; write 0
+        ScheduleBuilder::new(2, 1)
+            .read(0)
+            .read(1)
+            .quiet(3)
+            .write(0)
+            .build()
+            .unwrap()
+    }
+
+    fn always_ready(n_in: usize, n_out: usize, cycles: usize) -> Vec<(Vec<bool>, Vec<bool>)> {
+        vec![(vec![true; n_in], vec![true; n_out]); cycles]
+    }
+
+    #[test]
+    fn fsm_fires_through_schedule_when_ready() {
+        let mut p = FsmPolicy::new(demo_schedule());
+        let trace = firing_trace(&mut p, &always_ready(2, 1, 6));
+        assert!(trace.iter().all(|d| d.fire));
+        assert_eq!(trace[0].reads, PortSet::single(0));
+        assert_eq!(trace[1].reads, PortSet::single(1));
+        assert!(trace[2].reads.is_empty());
+        assert_eq!(trace[5].writes, PortSet::single(0));
+    }
+
+    #[test]
+    fn fsm_waits_on_scheduled_port_only() {
+        let mut p = FsmPolicy::new(demo_schedule());
+        // Port 0 empty, port 1 full of data: step 0 reads port 0 -> stall.
+        let d = p.decide(&[false, true], &[true]);
+        assert!(!d.fire);
+        p.commit(d.fire);
+        // Data arrives on port 0 -> fires.
+        let d = p.decide(&[true, false], &[true]);
+        assert!(d.fire, "port 1 emptiness is irrelevant at step 0");
+    }
+
+    #[test]
+    fn comb_waits_on_every_port() {
+        let p = CombPolicy::new(demo_schedule());
+        // Step 0 only needs port 0, but comb requires all.
+        let d = p.decide(&[true, false], &[true]);
+        assert!(!d.fire, "comb policy stalls on ANY empty input");
+        let d = p.decide(&[true, true], &[false]);
+        assert!(!d.fire, "comb policy stalls on ANY full output");
+        let d = p.decide(&[true, true], &[true]);
+        assert!(d.fire);
+    }
+
+    #[test]
+    fn sp_equals_fsm_on_ideal_streams() {
+        let schedule = demo_schedule();
+        let mut fsm = FsmPolicy::new(schedule.clone());
+        let mut sp = SpPolicy::from_schedule(&schedule);
+        let statuses = always_ready(2, 1, 13);
+        let t_fsm = firing_trace(&mut fsm, &statuses);
+        let t_sp = firing_trace(&mut sp, &statuses);
+        // The SP spends one extra power-up cycle in Reset.
+        assert!(!t_sp[0].fire);
+        assert_eq!(&t_sp[1..], &t_fsm[..12]);
+    }
+
+    #[test]
+    fn sp_runs_unconditionally_between_sync_points() {
+        let schedule = demo_schedule();
+        let mut sp = SpPolicy::from_schedule(&schedule);
+        sp.commit(false); // leave Reset
+        // Fire the two reads.
+        for _ in 0..2 {
+            let d = sp.decide(&[true, true], &[true]);
+            assert!(d.fire);
+            sp.commit(true);
+        }
+        // Quiet cycles fire even with nothing available anywhere.
+        for _ in 0..3 {
+            let d = sp.decide(&[false, false], &[false]);
+            assert!(d.fire, "free-run must not sense ports");
+            assert!(d.reads.is_empty() && d.writes.is_empty());
+            sp.commit(true);
+        }
+        // Back at a sync point (the write): now it waits again.
+        let d = sp.decide(&[false, false], &[false]);
+        assert!(!d.fire);
+    }
+
+    #[test]
+    fn shiftreg_ignores_port_status() {
+        let mut p = ShiftRegPolicy::full_rate(demo_schedule());
+        let d = p.decide(&[false, false], &[false]);
+        assert!(d.fire, "static wrapper fires blindly");
+        assert_eq!(d.reads, PortSet::single(0));
+        p.commit(true);
+        assert_eq!(p.pattern_len(), 6);
+    }
+
+    #[test]
+    fn shiftreg_pattern_gates_firing() {
+        let mut p =
+            ShiftRegPolicy::with_pattern(demo_schedule(), vec![true, false]);
+        let d0 = p.decide(&[true, true], &[true]);
+        p.commit(d0.fire);
+        let d1 = p.decide(&[true, true], &[true]);
+        p.commit(d1.fire);
+        assert!(d0.fire);
+        assert!(!d1.fire);
+    }
+
+    #[test]
+    fn policies_reset_to_cycle_zero() {
+        let schedule = demo_schedule();
+        for policy in [
+            &mut FsmPolicy::new(schedule.clone()) as &mut dyn SyncPolicy,
+            &mut SpPolicy::from_schedule(&schedule),
+            &mut CombPolicy::new(schedule.clone()),
+            &mut ShiftRegPolicy::full_rate(schedule.clone()),
+        ] {
+            let before = firing_trace(policy, &always_ready(2, 1, 4));
+            policy.reset();
+            let after = firing_trace(policy, &always_ready(2, 1, 4));
+            assert_eq!(before, after, "{}", policy.model_name());
+        }
+    }
+
+    #[test]
+    fn model_names_are_distinct() {
+        let s = demo_schedule();
+        let names = [
+            CombPolicy::new(s.clone()).model_name(),
+            FsmPolicy::new(s.clone()).model_name(),
+            ShiftRegPolicy::full_rate(s.clone()).model_name(),
+            SpPolicy::from_schedule(&s).model_name(),
+        ];
+        let unique: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(unique.len(), 4);
+    }
+}

@@ -1,0 +1,93 @@
+//! Gate-level synthesis of the Casu & Macchiarulo shift-register
+//! activation wrapper.
+//!
+//! "The IP activation static schedule is implemented with shift
+//! registers which contents drive the IP's clock" (§2): a ring of
+//! flip-flops holds the precomputed activation pattern; the tap at
+//! position 0 is the clock enable. There are no protocol ports at all —
+//! the scheme removed them by construction, which is also why it cannot
+//! absorb stream irregularities.
+
+use lis_netlist::{Module, ModuleBuilder, NetId, NetlistError};
+
+/// Generates the shift-register wrapper for a static activation
+/// `pattern` (one bit per cycle of the global schedule period).
+///
+/// Interface: input `rst`; output `enable`.
+///
+/// # Errors
+///
+/// Propagates netlist validation errors.
+///
+/// # Panics
+///
+/// Panics if `pattern` is empty.
+pub fn generate_shiftreg(pattern: &[bool]) -> Result<Module, NetlistError> {
+    assert!(!pattern.is_empty(), "activation pattern must be non-empty");
+    let mut b = ModuleBuilder::new("shiftreg_wrapper");
+    let rst = b.input("rst", 1).bit(0);
+    let one = b.constant(true);
+
+    let len = pattern.len();
+    let taps: Vec<NetId> = (0..len)
+        .map(|k| b.fresh_named(format!("sr{k}")))
+        .collect();
+    for k in 0..len {
+        // Rotate towards tap 0: tap k loads tap k+1; the pattern is the
+        // power-up/reset contents.
+        let next = taps[(k + 1) % len];
+        let q = b.dff(next, one, rst, pattern[k]);
+        b.drive(taps[k], q);
+    }
+    b.output_bit("enable", taps[0]);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lis_sim::NetlistSim;
+
+    #[test]
+    fn ring_replays_the_pattern_cyclically() {
+        let pattern = [true, false, true, true, false];
+        let m = generate_shiftreg(&pattern).unwrap();
+        let mut sim = NetlistSim::new(m).unwrap();
+        sim.set_input("rst", 0);
+        for t in 0..15 {
+            sim.eval();
+            assert_eq!(
+                sim.get_output("enable"),
+                u64::from(pattern[t % pattern.len()]),
+                "cycle {t}"
+            );
+            sim.step();
+        }
+    }
+
+    #[test]
+    fn area_is_one_ff_per_pattern_bit_and_no_logic() {
+        let m = generate_shiftreg(&vec![true; 128]).unwrap();
+        assert_eq!(m.ff_count(), 128);
+        let logic = m
+            .cells
+            .iter()
+            .filter(|c| c.kind.is_combinational_logic())
+            .count();
+        assert_eq!(logic, 0, "pure shift register has no gates");
+    }
+
+    #[test]
+    fn reset_reloads_the_pattern() {
+        let pattern = [true, false];
+        let m = generate_shiftreg(&pattern).unwrap();
+        let mut sim = NetlistSim::new(m).unwrap();
+        sim.set_input("rst", 0);
+        sim.step(); // now at pattern position 1
+        sim.set_input("rst", 1);
+        sim.step();
+        sim.set_input("rst", 0);
+        sim.eval();
+        assert_eq!(sim.get_output("enable"), 1, "back to position 0");
+    }
+}

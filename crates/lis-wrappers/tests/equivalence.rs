@@ -1,0 +1,144 @@
+//! Property tests: the synchronization processor is functionally
+//! equivalent to the Mealy-FSM wrapper (the paper's §3 claim, "The
+//! solution we suggest is functionally equivalent to the FSMs"), and the
+//! gate-level SP controller matches its behavioural model on random
+//! schedules under random port traffic.
+
+use lis_schedule::{compress, random_schedule, RandomScheduleParams};
+use lis_sim::NetlistSim;
+use lis_wrappers::{firing_trace, FsmPolicy, SpPolicy, SyncPolicy};
+use proptest::prelude::*;
+
+fn statuses_strategy(
+    n_in: usize,
+    n_out: usize,
+    len: usize,
+) -> impl Strategy<Value = Vec<(Vec<bool>, Vec<bool>)>> {
+    prop::collection::vec(
+        (
+            prop::collection::vec(any::<bool>(), n_in),
+            prop::collection::vec(any::<bool>(), n_out),
+        ),
+        len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// FSM and SP produce identical firing traces (modulo the SP's one
+    /// power-up cycle) for any schedule and any port-status history.
+    #[test]
+    fn sp_policy_equals_fsm_policy(
+        seed in any::<u64>(),
+        period in 1usize..120,
+        statuses in statuses_strategy(3, 2, 150),
+    ) {
+        let schedule = random_schedule(seed, RandomScheduleParams {
+            n_inputs: 3,
+            n_outputs: 2,
+            period,
+            sync_density: 0.4,
+            port_density: 0.5,
+        });
+        let mut fsm = FsmPolicy::new(schedule.clone());
+        let mut sp = SpPolicy::from_schedule(&schedule);
+
+        // Warm the SP through its reset cycle.
+        sp.commit(false);
+        let t_fsm = firing_trace(&mut fsm, &statuses);
+        let t_sp = firing_trace(&mut sp, &statuses);
+        prop_assert_eq!(t_fsm, t_sp);
+    }
+
+    /// The gate-level SP controller fires exactly like the behavioural
+    /// SpPolicy under arbitrary port traffic.
+    #[test]
+    fn sp_netlist_equals_sp_policy(
+        seed in any::<u64>(),
+        period in 1usize..60,
+        statuses in statuses_strategy(2, 2, 100),
+    ) {
+        let schedule = random_schedule(seed, RandomScheduleParams {
+            n_inputs: 2,
+            n_outputs: 2,
+            period,
+            sync_density: 0.5,
+            port_density: 0.5,
+        });
+        let program = compress(&schedule);
+        let module = lis_wrappers::generate_sp(&program).unwrap();
+        let mut sim = NetlistSim::new(module).unwrap();
+        let mut policy = SpPolicy::new(program);
+
+        sim.set_input("rst", 0);
+        for (cycle, (ne, nf)) in statuses.iter().enumerate() {
+            let ne_mask = ne.iter().enumerate().fold(0u64, |m, (i, &b)| m | (u64::from(b) << i));
+            let nf_mask = nf.iter().enumerate().fold(0u64, |m, (i, &b)| m | (u64::from(b) << i));
+            sim.set_input("ne", ne_mask);
+            sim.set_input("nf", nf_mask);
+            sim.eval();
+
+            let d = policy.decide(ne, nf);
+            prop_assert_eq!(
+                sim.get_output("enable") == 1,
+                d.fire,
+                "cycle {}: enable mismatch", cycle
+            );
+            if d.fire {
+                prop_assert_eq!(sim.get_output("pop"), d.reads.mask(), "cycle {}", cycle);
+                prop_assert_eq!(sim.get_output("push"), d.writes.mask(), "cycle {}", cycle);
+            }
+            policy.commit(d.fire);
+            sim.step();
+        }
+    }
+
+    /// The gate-level FSM controller fires exactly like the behavioural
+    /// FsmPolicy under arbitrary port traffic (both encodings).
+    #[test]
+    fn fsm_netlist_equals_fsm_policy(
+        seed in any::<u64>(),
+        period in 1usize..40,
+        statuses in statuses_strategy(2, 1, 80),
+        one_hot in any::<bool>(),
+    ) {
+        let schedule = random_schedule(seed, RandomScheduleParams {
+            n_inputs: 2,
+            n_outputs: 1,
+            period,
+            sync_density: 0.5,
+            port_density: 0.5,
+        });
+        let encoding = if one_hot {
+            lis_wrappers::FsmEncoding::OneHot
+        } else {
+            lis_wrappers::FsmEncoding::Binary
+        };
+        let module = lis_wrappers::generate_fsm(&schedule, encoding).unwrap();
+        let mut sim = NetlistSim::new(module).unwrap();
+        let mut policy = FsmPolicy::new(schedule);
+
+        sim.set_input("rst", 0);
+        for (cycle, (ne, nf)) in statuses.iter().enumerate() {
+            let ne_mask = ne.iter().enumerate().fold(0u64, |m, (i, &b)| m | (u64::from(b) << i));
+            let nf_mask = nf.iter().enumerate().fold(0u64, |m, (i, &b)| m | (u64::from(b) << i));
+            sim.set_input("ne", ne_mask);
+            sim.set_input("nf", nf_mask);
+            sim.eval();
+
+            let d = policy.decide(ne, nf);
+            prop_assert_eq!(
+                sim.get_output("enable") == 1,
+                d.fire,
+                "cycle {} ({:?})", cycle, encoding
+            );
+            if d.fire {
+                prop_assert_eq!(sim.get_output("pop"), d.reads.mask(), "cycle {}", cycle);
+                prop_assert_eq!(sim.get_output("push"), d.writes.mask(), "cycle {}", cycle);
+            }
+            policy.commit(d.fire);
+            sim.step();
+        }
+    }
+}

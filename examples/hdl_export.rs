@@ -1,0 +1,66 @@
+//! Export the synchronization-processor wrapper of the paper's Viterbi
+//! scenario as synthesizable Verilog and VHDL — the artifact a SoC team
+//! would drop into their flow — and prove the Verilog round-trips.
+//!
+//! Run with: `cargo run --example hdl_export`
+//! Files land in `target/hdl_export/`.
+
+use latency_insensitive::hdl::{
+    capture_golden, emit_testbench, emit_verilog, emit_vhdl, parse_verilog,
+};
+use latency_insensitive::ip::ViterbiPearl;
+use latency_insensitive::netlist::NetlistStats;
+use latency_insensitive::proto::Pearl;
+use latency_insensitive::schedule::compress_bursty;
+use latency_insensitive::wrappers::generate_sp;
+use std::fs;
+use std::path::Path;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let pearl = ViterbiPearl::new("viterbi");
+    let program = compress_bursty(pearl.schedule());
+    println!("SP program for the Viterbi scenario:\n{program}");
+
+    let module = generate_sp(&program)?;
+    println!("controller netlist: {}", NetlistStats::of(&module));
+
+    let dir = Path::new("target/hdl_export");
+    fs::create_dir_all(dir)?;
+
+    let verilog = emit_verilog(&module);
+    let vhdl = emit_vhdl(&module);
+    fs::write(dir.join("sp_wrapper.v"), &verilog)?;
+    fs::write(dir.join("sp_wrapper.vhd"), &vhdl)?;
+    println!(
+        "wrote {} ({} lines) and {} ({} lines)",
+        dir.join("sp_wrapper.v").display(),
+        verilog.lines().count(),
+        dir.join("sp_wrapper.vhd").display(),
+        vhdl.lines().count(),
+    );
+
+    // Round-trip sanity: the text denotes the synthesized netlist.
+    let parsed = parse_verilog(&verilog)?;
+    assert_eq!(NetlistStats::of(&parsed), NetlistStats::of(&module));
+    println!("Verilog round-trip: OK (census identical)");
+
+    // A self-checking testbench with golden outputs captured from the
+    // reference interpreter: boot, then walk the first two operations.
+    let stimuli: Vec<Vec<u64>> = (0..24)
+        .map(|t| {
+            let rst = u64::from(t == 0);
+            let ne = 0b11u64; // both inputs always ready
+            let nf = 0b111u64; // all outputs ready
+            vec![rst, ne, nf]
+        })
+        .collect();
+    let cycles = capture_golden(&module, &stimuli);
+    let tb = emit_testbench(&module, &cycles);
+    fs::write(dir.join("sp_wrapper_tb.v"), &tb)?;
+    println!(
+        "wrote {} ({} checked cycles) — run it with any Verilog simulator",
+        dir.join("sp_wrapper_tb.v").display(),
+        cycles.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,88 @@
+//! The GAUT-like path end to end: describe an IP's behaviour as a
+//! dataflow program, lower it to an I/O schedule, analyze its burst
+//! buffer requirements, build a working pearl from a compute function,
+//! and run it behind the synchronization processor — the complete
+//! "HLS → schedule → wrapper synthesis" story of the paper's §4.
+//!
+//! Run with: `cargo run --release --example hls_flow`
+
+use latency_insensitive::core::{synthesize_wrapper, SocBuilder, SpCompression};
+use latency_insensitive::ip::{DataflowPearl, MatMulPearl};
+use latency_insensitive::proto::Pearl;
+use latency_insensitive::schedule::dataflow::{DataflowOp, DataflowProgram};
+use latency_insensitive::schedule::{
+    burst_buffer_requirements, compress, compress_bursty, PortSpec,
+};
+use latency_insensitive::synth::TechParams;
+use latency_insensitive::wrappers::WrapperKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Behavioural description: an 8-point moving-average block.
+    //    Read 8 samples, compute 4 cycles, emit 1 average.
+    let program = DataflowProgram::new(
+        1,
+        1,
+        vec![
+            DataflowOp::repeat(8, vec![DataflowOp::read(0)]),
+            DataflowOp::compute(4),
+            DataflowOp::write(0),
+        ],
+    );
+    let schedule = program.lower()?;
+    println!("schedule: {schedule}");
+    println!(
+        "programs: safe = {} ops, burst = {} ops",
+        compress(&schedule).len(),
+        compress_bursty(&schedule).len()
+    );
+
+    // 2. Interface contract for burst mode.
+    let req = burst_buffer_requirements(&schedule);
+    println!("{req}");
+    println!(
+        "burst mode with 2-deep ports: {}",
+        if req.safe_with(2) {
+            "safe"
+        } else {
+            "UNSAFE — needs regular streams or deeper FIFOs (use safe mode)"
+        }
+    );
+
+    // 3. A working pearl from the description plus a compute function.
+    let pearl = DataflowPearl::new(
+        "avg8",
+        vec![PortSpec::input("x", 32), PortSpec::output("y", 32)],
+        &program,
+        |collected| {
+            let xs = &collected[0];
+            let avg = xs.iter().sum::<u64>() / xs.len() as u64;
+            vec![vec![avg]]
+        },
+    )?;
+
+    // 4. Encapsulate (safe mode, per the analysis) and run.
+    let mut b = SocBuilder::new();
+    let ip = b.add_ip("avg8", Box::new(pearl), WrapperKind::Sp);
+    b.feed("samples", ip.inputs[0], (1..=64).map(|v| v * 10), 0.2, 5);
+    b.capture("avgs", ip.outputs[0], 0.0, 6);
+    let mut soc = b.build();
+    soc.run_until_quiescent(10_000, 50)?;
+    println!("averages: {:?}", soc.received("avgs"));
+    assert_eq!(soc.received("avgs").len(), 8);
+    assert_eq!(soc.violations(), 0);
+
+    // 5. Cost of the wrapper for this scenario.
+    let report = synthesize_wrapper(
+        WrapperKind::Sp,
+        &schedule,
+        SpCompression::Safe,
+        &TechParams::default(),
+    )?;
+    println!("wrapper synthesis: {report}");
+
+    // Bonus: the matrix-multiply kernel, same flow, burstier schedule.
+    let mm = MatMulPearl::new("mm");
+    let req = burst_buffer_requirements(mm.schedule());
+    println!("\nmatmul schedule: {} | {req}", mm.schedule());
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Compare all four wrapper models — Carloni's combinational shell, the
+//! Singh-Theobald FSM (both encodings), the Casu-Macchiarulo shift
+//! register and the Bomel synchronization processor — on one schedule:
+//! synthesis cost side by side, plus the SP's ROM program.
+//!
+//! Run with: `cargo run --release --example wrapper_explorer -- [period]`
+
+use latency_insensitive::core::{synthesize_wrapper, SpCompression};
+use latency_insensitive::schedule::{compress, compress_bursty, ScheduleBuilder};
+use latency_insensitive::synth::TechParams;
+use latency_insensitive::wrappers::{FsmEncoding, WrapperKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let quiet: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(100);
+
+    // A DSP-flavoured scenario: read coefficients, stream samples,
+    // compute, write results.
+    let schedule = ScheduleBuilder::new(2, 2)
+        .read(0)
+        .repeat_io([1], [], 16)
+        .quiet(quiet)
+        .repeat_io([], [0], 8)
+        .io([], [1])
+        .build()?;
+    println!("schedule: {schedule}");
+    println!(
+        "safe program: {} ops | burst program: {} ops\n",
+        compress(&schedule).len(),
+        compress_bursty(&schedule).len()
+    );
+
+    let params = TechParams::default();
+    println!(
+        "{:14} {:>8} {:>8} {:>10} {:>10}",
+        "model", "slices", "fmax", "ROM bits", "ops"
+    );
+    for (kind, compression) in [
+        (WrapperKind::Comb, SpCompression::Safe),
+        (WrapperKind::Fsm(FsmEncoding::OneHot), SpCompression::Safe),
+        (WrapperKind::Fsm(FsmEncoding::Binary), SpCompression::Safe),
+        (WrapperKind::ShiftReg, SpCompression::Safe),
+        (WrapperKind::Sp, SpCompression::Safe),
+        (WrapperKind::Sp, SpCompression::Burst),
+    ] {
+        let w = synthesize_wrapper(kind, &schedule, compression, &params)?;
+        let label = match (kind, compression) {
+            (WrapperKind::Sp, SpCompression::Burst) => "sp (burst)".to_owned(),
+            _ => w.model.clone(),
+        };
+        println!(
+            "{:14} {:>8} {:>8.1} {:>10} {:>10}",
+            label,
+            w.report.area.slices,
+            w.report.timing.fmax_mhz,
+            w.report.area.rom_bits_bram + w.report.area.rom_bits_lutram,
+            w.sp_ops.map_or("-".to_owned(), |n| n.to_string()),
+        );
+    }
+
+    println!("\nburst SP program listing:");
+    print!("{}", compress_bursty(&schedule));
+    Ok(())
+}

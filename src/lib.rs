@@ -1,0 +1,56 @@
+//! # latency-insensitive — umbrella crate
+//!
+//! A reproduction of Pierre Bomel, Eric Martin & Emmanuel Boutillon,
+//! *"Synchronization Processor Synthesis for Latency Insensitive
+//! Systems"* (DATE 2005), as a production-quality Rust workspace.
+//!
+//! This facade re-exports every subsystem:
+//!
+//! * [`netlist`] — gate-level IR and builders;
+//! * [`sim`] — two-phase synchronous simulation (components + netlists);
+//! * [`schedule`] — I/O schedules, SP operation programs, compression;
+//! * [`proto`] — LIS tokens, channels, relay stations, FIFO ports, pearls;
+//! * [`synth`] — LUT mapping, slice packing, static timing (the FPGA
+//!   cost model standing in for the paper's vendor flow);
+//! * [`wrappers`] — the four synchronization-wrapper generators,
+//!   behavioural and gate-level;
+//! * [`ip`] — Viterbi and Reed-Solomon decoder cores with the paper's
+//!   Table 1 scenarios;
+//! * [`hdl`] — Verilog/VHDL emission with round-trip parsing;
+//! * [`core`] — SoC assembly, synthesis flow, experiment drivers.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use latency_insensitive::core::SocBuilder;
+//! use latency_insensitive::proto::AccumulatorPearl;
+//! use latency_insensitive::wrappers::WrapperKind;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = SocBuilder::new();
+//! let ip = b.add_ip(
+//!     "acc",
+//!     Box::new(AccumulatorPearl::new("acc", 1, 1, 2)),
+//!     WrapperKind::Sp,
+//! );
+//! b.feed("src", ip.inputs[0], 1..=4, 0.0, 7);
+//! b.capture("out", ip.outputs[0], 0.0, 8);
+//! let mut soc = b.build();
+//! soc.run(50)?;
+//! assert_eq!(soc.received("out"), vec![1, 3, 6, 10]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use lis_core as core;
+pub use lis_hdl as hdl;
+pub use lis_ip as ip;
+pub use lis_netlist as netlist;
+pub use lis_proto as proto;
+pub use lis_schedule as schedule;
+pub use lis_sim as sim;
+pub use lis_synth as synth;
+pub use lis_wrappers as wrappers;
