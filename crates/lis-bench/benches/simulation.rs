@@ -42,7 +42,9 @@ fn bench_simulation(c: &mut Criterion) {
     group.bench_function("behavioural_soc_1000_cycles", |b| {
         b.iter(behavioural_soc_1000_cycles)
     });
-    group.bench_function("netlist_soc_1000_cycles", |b| b.iter(netlist_soc_1000_cycles));
+    group.bench_function("netlist_soc_1000_cycles", |b| {
+        b.iter(netlist_soc_1000_cycles)
+    });
     group.finish();
 }
 

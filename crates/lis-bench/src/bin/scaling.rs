@@ -23,8 +23,7 @@ fn main() {
 
     if what == "both" || what == "length" {
         section("E3 — area & fmax vs schedule length (2 in / 2 out ports)");
-        let rows =
-            scaling_by_length(&[16, 64, 256, 1024, 4096], &params).expect("length sweep");
+        let rows = scaling_by_length(&[16, 64, 256, 1024, 4096], &params).expect("length sweep");
         print_rows(&rows);
         section("E3 — slices, charted");
         let max = rows.iter().map(|r| r.slices).max().unwrap_or(1) as f64;

@@ -14,15 +14,37 @@
 use lis_bench::section;
 use lis_core::experiment::table1;
 use lis_synth::TechParams;
+use std::time::Instant;
 
 fn main() {
+    // `--json <path>` additionally snapshots the rows (plus the flow's
+    // wall time) as a machine-readable baseline, e.g. BENCH_table1.json.
+    let json_path = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--json")
+            .map(|i| args.get(i + 1).expect("--json needs a path").clone())
+    };
+
     let params = TechParams::default();
     section("Table 1 — Applicative Results (reproduction)");
     println!(
         "{:8} {:>14} | {:>10} {:>8} | {:>10} {:>8} | {:>9} {:>9} | paper",
         "IP", "port/wait/run", "FSM slices", "FSM MHz", "SP slices", "SP MHz", "Δslices", "ΔMHz"
     );
+    let flow_start = Instant::now();
     let rows = table1(&params).expect("table 1 synthesis");
+    let flow_ms = flow_start.elapsed().as_secs_f64() * 1e3;
+    if let Some(path) = &json_path {
+        use serde::{Serialize, Value};
+        let baseline = Value::Object(vec![
+            ("table1_flow_wall_ms".into(), Value::Float(flow_ms)),
+            ("rows".into(), rows.to_value()),
+        ]);
+        let json = serde_json::to_string_pretty(&baseline).expect("serialize table 1 rows");
+        std::fs::write(path, json + "\n").expect("write JSON baseline");
+        eprintln!("wrote {path}");
+    }
     for r in &rows {
         println!(
             "{:8} {:>5}/{:<4}/{:<3} | {:>10} {:>8.1} | {:>10} {:>8.1} | {:>8.1}% {:>8.1}% | {:+.0}% / {:+.0}%",

@@ -5,9 +5,7 @@ use crate::flow::{synthesize_wrapper, SpCompression, WrapperSynthesis};
 use crate::soc::SocBuilder;
 use lis_ip::{RsPearl, ViterbiPearl};
 use lis_proto::{AccumulatorPearl, Pearl};
-use lis_schedule::{
-    compress, compress_bursty, random_schedule, IoSchedule, RandomScheduleParams,
-};
+use lis_schedule::{compress, compress_bursty, random_schedule, IoSchedule, RandomScheduleParams};
 use lis_synth::TechParams;
 use lis_wrappers::{FsmEncoding, WrapperKind};
 use serde::{Deserialize, Serialize};
@@ -78,8 +76,7 @@ impl Table1Row {
 
     /// The paper's area gain for this row.
     pub fn paper_slice_gain_pct(&self) -> f64 {
-        (self.paper.sp_slices as f64 - self.paper.fsm_slices as f64)
-            / self.paper.fsm_slices as f64
+        (self.paper.sp_slices as f64 - self.paper.fsm_slices as f64) / self.paper.fsm_slices as f64
             * 100.0
     }
 
@@ -296,11 +293,7 @@ impl fmt::Display for ThroughputRow {
 
 /// E5: throughput and correctness of a relayed accumulator pipeline
 /// under every wrapper model, across link latencies and stall rates.
-pub fn throughput_sweep(
-    latencies: &[usize],
-    stalls: &[f64],
-    cycles: u64,
-) -> Vec<ThroughputRow> {
+pub fn throughput_sweep(latencies: &[usize], stalls: &[f64], cycles: u64) -> Vec<ThroughputRow> {
     let mut rows = Vec::new();
     let kinds = [
         WrapperKind::Comb,
@@ -320,11 +313,7 @@ pub fn throughput_sweep(
         for &latency in latencies {
             for &stall in stalls {
                 let mut b = SocBuilder::new();
-                let ip = b.add_ip(
-                    "acc",
-                    Box::new(AccumulatorPearl::new("acc", 1, 1, 0)),
-                    kind,
-                );
+                let ip = b.add_ip("acc", Box::new(AccumulatorPearl::new("acc", 1, 1, 0)), kind);
                 let stage = b.channel("stage", 32);
                 b.feed("src", stage, 1..=1_000_000, stall, 17);
                 b.link(stage, ip.inputs[0], latency);
@@ -464,9 +453,8 @@ pub fn ablation(params: &TechParams) -> Result<Vec<AblationRow>, lis_netlist::Ne
                 Some(*acc)
             })
             .collect();
-        let intact = !got.is_empty()
-            && got.len() <= reference.len()
-            && got[..] == reference[..got.len()];
+        let intact =
+            !got.is_empty() && got.len() <= reference.len() && got[..] == reference[..got.len()];
         rows.push(AblationRow {
             variant: "shiftreg stream".to_owned(),
             slices: 0,

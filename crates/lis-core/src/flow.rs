@@ -143,8 +143,8 @@ mod tests {
             .write(0)
             .build()
             .unwrap();
-        let sp = synthesize_wrapper(WrapperKind::Sp, &long_schedule, SpCompression::Safe, &p)
-            .unwrap();
+        let sp =
+            synthesize_wrapper(WrapperKind::Sp, &long_schedule, SpCompression::Safe, &p).unwrap();
         let fsm = synthesize_wrapper(
             WrapperKind::Fsm(Default::default()),
             &long_schedule,
@@ -183,8 +183,7 @@ mod tests {
     #[test]
     fn display_includes_model_name() {
         let p = TechParams::default();
-        let sp =
-            synthesize_wrapper(WrapperKind::Sp, &schedule(), SpCompression::Safe, &p).unwrap();
+        let sp = synthesize_wrapper(WrapperKind::Sp, &schedule(), SpCompression::Safe, &p).unwrap();
         assert!(sp.to_string().contains("sp"));
     }
 }

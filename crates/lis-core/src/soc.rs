@@ -5,9 +5,7 @@
 //! encapsulated, long wires are segmented with relay stations, and the
 //! resulting system is correct for *any* latency assignment.
 
-use lis_proto::{
-    LisChannel, Pearl, RelayStation, TokenSink, TokenSource, ViolationCounter,
-};
+use lis_proto::{LisChannel, Pearl, RelayStation, TokenSink, TokenSource, ViolationCounter};
 use lis_sim::{Component, SignalView, SimError, System, Trace};
 use lis_wrappers::{
     wrap_pearl, wrap_pearl_full_netlist, wrap_pearl_netlist, PatientStats, WrapperKind,
@@ -156,13 +154,8 @@ impl SocBuilder {
         let controller = kind
             .generate_netlist(pearl.schedule())
             .expect("wrapper generation failed");
-        let (inputs, outputs) = wrap_pearl_full_netlist(
-            &mut self.system,
-            &name,
-            pearl,
-            controller,
-            &self.violations,
-        );
+        let (inputs, outputs) =
+            wrap_pearl_full_netlist(&mut self.system, &name, pearl, controller, &self.violations);
         IpHandle {
             name,
             inputs,
@@ -203,8 +196,7 @@ impl SocBuilder {
         stall_probability: f64,
         seed: u64,
     ) {
-        let src = TokenSource::new(name, channel, tokens)
-            .with_stalls(stall_probability, seed);
+        let src = TokenSource::new(name, channel, tokens).with_stalls(stall_probability, seed);
         self.system.add_component(src);
     }
 
@@ -218,8 +210,7 @@ impl SocBuilder {
         seed: u64,
     ) {
         let name = name.into();
-        let sink =
-            TokenSink::new(name.clone(), channel).with_stalls(stall_probability, seed);
+        let sink = TokenSink::new(name.clone(), channel).with_stalls(stall_probability, seed);
         self.sinks.insert(name, sink.received());
         self.system.add_component(sink);
     }
@@ -382,11 +373,12 @@ mod tests {
         let (mut soc, sink) = accumulator_soc(WrapperKind::Sp);
         soc.run(100).unwrap();
         let got = soc.received(sink);
-        let expected: Vec<u64> = (1..=10).scan(0u64, |acc, v| {
-            *acc += v;
-            Some(*acc)
-        })
-        .collect();
+        let expected: Vec<u64> = (1..=10)
+            .scan(0u64, |acc, v| {
+                *acc += v;
+                Some(*acc)
+            })
+            .collect();
         assert_eq!(got, expected);
         assert_eq!(soc.violations(), 0);
         assert!(soc.utilization("acc").unwrap() > 0.0);
@@ -411,11 +403,12 @@ mod tests {
         let mut soc = b.build();
         soc.run(400).unwrap();
         // first: running sums of 1..=8; second: running sums of those.
-        let first_sums: Vec<u64> = (1..=8).scan(0u64, |a, v| {
-            *a += v;
-            Some(*a)
-        })
-        .collect();
+        let first_sums: Vec<u64> = (1..=8)
+            .scan(0u64, |a, v| {
+                *a += v;
+                Some(*a)
+            })
+            .collect();
         let expected: Vec<u64> = first_sums
             .iter()
             .scan(0u64, |a, &v| {

@@ -20,7 +20,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "verilog parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "verilog parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -85,15 +89,15 @@ pub fn parse_verilog(text: &str) -> Result<Module, ParseError> {
             if rest == crate::verilog::CLOCK_PORT {
                 continue;
             }
-            let (width, name) = parse_ranged_name(rest)
-                .ok_or_else(|| err(line_no, "bad input declaration"))?;
+            let (width, name) =
+                parse_ranged_name(rest).ok_or_else(|| err(line_no, "bad input declaration"))?;
             in_bits.insert(name.clone(), vec![None; width]);
             input_ports.push((name, width));
             continue;
         }
         if let Some(rest) = line.strip_prefix("output wire ") {
-            let (width, name) = parse_ranged_name(rest)
-                .ok_or_else(|| err(line_no, "bad output declaration"))?;
+            let (width, name) =
+                parse_ranged_name(rest).ok_or_else(|| err(line_no, "bad output declaration"))?;
             out_bits.insert(name.clone(), vec![None; width]);
             output_ports.push((name, width));
             continue;
@@ -108,11 +112,7 @@ pub fn parse_verilog(text: &str) -> Result<Module, ParseError> {
             if rest.starts_with('[') {
                 // ROM address/data helper wires.
                 if let Some((lhs, rhs)) = rest.split_once('=') {
-                    let lhs_name = lhs
-                        .rsplit(' ')
-                        .find(|s| !s.is_empty())
-                        .unwrap_or("")
-                        .trim();
+                    let lhs_name = lhs.rsplit(' ').find(|s| !s.is_empty()).unwrap_or("").trim();
                     if let Some(rom_name) = lhs_name.strip_suffix("_addr") {
                         // {nMSB, ..., nLSB}
                         let inner = rhs
@@ -151,8 +151,8 @@ pub fn parse_verilog(text: &str) -> Result<Module, ParseError> {
                 let mut parts = rest.split_whitespace();
                 let range = parts.next().ok_or_else(|| err(line_no, "bad rom reg"))?;
                 let name = parts.next().ok_or_else(|| err(line_no, "bad rom reg"))?;
-                let width = parse_range_width(range)
-                    .ok_or_else(|| err(line_no, "bad rom width"))?;
+                let width =
+                    parse_range_width(range).ok_or_else(|| err(line_no, "bad rom width"))?;
                 roms.insert(
                     name.to_owned(),
                     Rom {
@@ -188,9 +188,7 @@ pub fn parse_verilog(text: &str) -> Result<Module, ParseError> {
             let reg = current_dff
                 .clone()
                 .ok_or_else(|| err(line_no, "if outside dff block"))?;
-            let (cond, _) = rest
-                .split_once(')')
-                .ok_or_else(|| err(line_no, "bad if"))?;
+            let (cond, _) = rest.split_once(')').ok_or_else(|| err(line_no, "bad if"))?;
             let d = dffs.get_mut(&reg).expect("registered");
             d.rst = Some(cond.trim().to_owned());
             continue;
@@ -250,8 +248,7 @@ pub fn parse_verilog(text: &str) -> Result<Module, ParseError> {
             if dffs.contains_key(rhs) {
                 let d = dffs.get_mut(rhs).expect("checked");
                 // Build the cell now that all pins are known.
-                let (Some(rst), Some(en), Some(data)) =
-                    (d.rst.clone(), d.en.clone(), d.d.clone())
+                let (Some(rst), Some(en), Some(data)) = (d.rst.clone(), d.en.clone(), d.d.clone())
                 else {
                     return Err(err(line_no, "incomplete dff"));
                 };
@@ -339,11 +336,7 @@ enum Expr {
     Mux(NetId, NetId, NetId),
 }
 
-fn parse_expr(
-    rhs: &str,
-    nets: &HashMap<String, NetId>,
-    line: usize,
-) -> Result<Expr, ParseError> {
+fn parse_expr(rhs: &str, nets: &HashMap<String, NetId>, line: usize) -> Result<Expr, ParseError> {
     let err = |message: String| ParseError { line, message };
     let net = |name: &str| {
         nets.get(name.trim())

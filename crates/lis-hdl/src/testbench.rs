@@ -95,12 +95,19 @@ pub fn emit_testbench(module: &Module, cycles: &[TbCycle]) -> String {
         }
         let _ = writeln!(out, "    #4;"); // settle before the rising edge at #5
         for (port, &v) in module.outputs.iter().zip(&cycle.expected) {
-            let _ = writeln!(out, "    check({}, 64'd{}, \"{}\");", port.name, v, port.name);
+            let _ = writeln!(
+                out,
+                "    check({}, 64'd{}, \"{}\");",
+                port.name, v, port.name
+            );
         }
         let _ = writeln!(out, "    #6;"); // through the edge to the next cycle
     }
     let _ = writeln!(out, "    if (errors == 0) $display(\"TESTBENCH PASSED\");");
-    let _ = writeln!(out, "    else $display(\"TESTBENCH FAILED: %0d errors\", errors);");
+    let _ = writeln!(
+        out,
+        "    else $display(\"TESTBENCH FAILED: %0d errors\", errors);"
+    );
     let _ = writeln!(out, "    $finish;");
     let _ = writeln!(out, "  end");
     let _ = writeln!(out, "endmodule");

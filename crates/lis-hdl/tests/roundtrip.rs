@@ -33,8 +33,7 @@ fn every_wrapper_kind_round_trips_through_verilog() {
     for kind in all_kinds() {
         let module = kind.generate_netlist(&schedule).unwrap();
         let text = emit_verilog(&module);
-        let parsed =
-            parse_verilog(&text).unwrap_or_else(|e| panic!("{kind}: {e}\n{text}"));
+        let parsed = parse_verilog(&text).unwrap_or_else(|e| panic!("{kind}: {e}\n{text}"));
         assert_eq!(
             NetlistStats::of(&parsed),
             NetlistStats::of(&module),
@@ -47,11 +46,19 @@ fn every_wrapper_kind_round_trips_through_verilog() {
 
 #[test]
 fn every_wrapper_kind_emits_vhdl() {
-    let schedule = ScheduleBuilder::new(1, 1).read(0).quiet(3).write(0).build().unwrap();
+    let schedule = ScheduleBuilder::new(1, 1)
+        .read(0)
+        .quiet(3)
+        .write(0)
+        .build()
+        .unwrap();
     for kind in all_kinds() {
         let module = kind.generate_netlist(&schedule).unwrap();
         let text = emit_vhdl(&module);
-        assert!(text.contains(&format!("entity {} is", module.name)), "{kind}");
+        assert!(
+            text.contains(&format!("entity {} is", module.name)),
+            "{kind}"
+        );
         assert!(text.contains("end architecture rtl;"), "{kind}");
     }
 }

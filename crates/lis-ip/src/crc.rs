@@ -126,7 +126,9 @@ mod tests {
     #[test]
     fn pearl_matches_reference_per_frame() {
         let mut pearl = CrcPearl::new("crc");
-        let data: Vec<u8> = (0..2 * CRC_FRAME_BYTES as u32).map(|i| (i * 7) as u8).collect();
+        let data: Vec<u8> = (0..2 * CRC_FRAME_BYTES as u32)
+            .map(|i| (i * 7) as u8)
+            .collect();
         let mut outs = Vec::new();
         for (i, &byte) in data.iter().enumerate() {
             let mut ins = PortValues::empty(1);

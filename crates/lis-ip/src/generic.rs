@@ -243,7 +243,11 @@ mod tests {
     use super::*;
     use lis_schedule::dataflow::DataflowOp;
 
-    fn drive(pearl: &mut dyn Pearl, periods: usize, mut input_for: impl FnMut(usize, usize) -> u64) -> Vec<Vec<u64>> {
+    fn drive(
+        pearl: &mut dyn Pearl,
+        periods: usize,
+        mut input_for: impl FnMut(usize, usize) -> u64,
+    ) -> Vec<Vec<u64>> {
         let n_in = pearl.interface().input_count();
         let n_out = pearl.interface().output_count();
         let mut seen = vec![0usize; n_in];
@@ -295,11 +299,7 @@ mod tests {
 
     #[test]
     fn dataflow_pearl_reset_clears_state() {
-        let program = DataflowProgram::new(
-            1,
-            1,
-            vec![DataflowOp::read(0), DataflowOp::write(0)],
-        );
+        let program = DataflowProgram::new(1, 1, vec![DataflowOp::read(0), DataflowOp::write(0)]);
         let mut pearl = DataflowPearl::new(
             "echo",
             vec![PortSpec::input("x", 8), PortSpec::output("y", 8)],

@@ -68,8 +68,7 @@ impl Gf256 {
         if a == 0 {
             0
         } else {
-            self.exp
-                [self.log[a as usize] as usize + 255 - self.log[b as usize] as usize]
+            self.exp[self.log[a as usize] as usize + 255 - self.log[b as usize] as usize]
         }
     }
 

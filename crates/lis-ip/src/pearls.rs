@@ -278,10 +278,7 @@ impl FirPearl {
     /// Panics if `taps` is empty.
     pub fn new(name: impl Into<String>, taps: Vec<i32>) -> Self {
         assert!(!taps.is_empty(), "FIR needs at least one tap");
-        let interface = Interface::new(vec![
-            PortSpec::input("x", 16),
-            PortSpec::output("y", 32),
-        ]);
+        let interface = Interface::new(vec![PortSpec::input("x", 16), PortSpec::output("y", 32)]);
         let schedule = ScheduleBuilder::new(1, 1)
             .read(0)
             .quiet(2)

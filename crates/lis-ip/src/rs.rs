@@ -76,8 +76,7 @@ impl ReedSolomon {
         for &m in message {
             let feedback = m ^ parity[PARITY - 1];
             for j in (1..PARITY).rev() {
-                parity[j] =
-                    parity[j - 1] ^ self.field.mul(feedback, self.generator[j]);
+                parity[j] = parity[j - 1] ^ self.field.mul(feedback, self.generator[j]);
             }
             parity[0] = self.field.mul(feedback, self.generator[0]);
         }
@@ -227,7 +226,13 @@ impl ReedSolomon {
 }
 
 /// λ' = λ + scale · x^shift · prev (GF(2^m): + is XOR).
-fn poly_sub_scaled_shift(f: &Gf256, lambda: &[u8], prev: &[u8], scale: u8, shift: usize) -> Vec<u8> {
+fn poly_sub_scaled_shift(
+    f: &Gf256,
+    lambda: &[u8],
+    prev: &[u8],
+    scale: u8,
+    shift: usize,
+) -> Vec<u8> {
     let mut out = lambda.to_vec();
     let needed = prev.len() + shift;
     if out.len() < needed {
@@ -292,7 +297,9 @@ mod tests {
             let outcome = rs.decode(&mut noisy);
             assert_eq!(
                 outcome,
-                DecodeOutcome::Corrected { corrected: n_errors },
+                DecodeOutcome::Corrected {
+                    corrected: n_errors
+                },
                 "n_errors={n_errors}"
             );
             assert_eq!(noisy, clean, "n_errors={n_errors}");

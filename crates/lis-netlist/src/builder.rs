@@ -401,11 +401,9 @@ impl ModuleBuilder {
         for i in 0..width {
             let q = self.dff(next.bit(i), en, rst, false);
             // Alias the pre-allocated state net to the actual FF output.
-            self.module.cells.push(Cell::new(
-                CellKind::Buf,
-                vec![q],
-                state.bit(i),
-            ));
+            self.module
+                .cells
+                .push(Cell::new(CellKind::Buf, vec![q], state.bit(i)));
         }
         state
     }

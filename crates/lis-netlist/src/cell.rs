@@ -248,7 +248,10 @@ mod tests {
     #[test]
     fn display_is_stable() {
         assert_eq!(CellKind::And.to_string(), "and");
-        assert_eq!(CellKind::Dff { reset_value: true }.to_string(), "dff(rst=1)");
+        assert_eq!(
+            CellKind::Dff { reset_value: true }.to_string(),
+            "dff(rst=1)"
+        );
         assert_eq!(CellKind::Const(false).to_string(), "const(0)");
     }
 }

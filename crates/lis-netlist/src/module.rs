@@ -130,10 +130,7 @@ impl Module {
 
     /// Number of flip-flops.
     pub fn ff_count(&self) -> usize {
-        self.cells
-            .iter()
-            .filter(|c| c.kind.is_sequential())
-            .count()
+        self.cells.iter().filter(|c| c.kind.is_sequential()).count()
     }
 
     /// Total ROM storage bits.

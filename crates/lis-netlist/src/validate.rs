@@ -157,8 +157,8 @@ pub fn topo_order(module: &Module) -> Result<Vec<CombNode>, NetlistError> {
     // Map each net to the combinational node driving it, if any.
     #[derive(Clone, Copy, PartialEq)]
     enum NetSrc {
-        Free,           // input port, DFF output: ready at time 0
-        Node(usize),    // index into `nodes`
+        Free,        // input port, DFF output: ready at time 0
+        Node(usize), // index into `nodes`
     }
 
     let mut nodes: Vec<CombNode> = Vec::new();
@@ -321,8 +321,7 @@ mod tests {
         let order = topo_order(&m).unwrap();
         let pos = |target: CombNode| order.iter().position(|&n| n == target).unwrap();
         assert!(
-            pos(CombNode::Cell(CellId::from_index(0)))
-                < pos(CombNode::Cell(CellId::from_index(1)))
+            pos(CombNode::Cell(CellId::from_index(0))) < pos(CombNode::Cell(CellId::from_index(1)))
         );
     }
 

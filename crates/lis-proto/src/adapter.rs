@@ -81,8 +81,7 @@ impl Component for Serializer {
                 };
                 // Stored MSB-chunk-first so pop() yields LSB-first.
                 for i in (0..self.factor).rev() {
-                    self.pending
-                        .push((word >> (i * self.narrow.width)) & mask);
+                    self.pending.push((word >> (i * self.narrow.width)) & mask);
                 }
             }
         }
@@ -209,10 +208,10 @@ mod tests {
         let wide_in = LisChannel::new(&mut sys, "wi", 32);
         let narrow = LisChannel::new(&mut sys, "n", 8);
         let wide_out = LisChannel::new(&mut sys, "wo", 32);
-        let words: Vec<u64> = (0..20).map(|i| 0x0101_0101u64.wrapping_mul(i) & 0xFFFF_FFFF).collect();
-        sys.add_component(
-            TokenSource::new("src", wide_in, words.clone()).with_stalls(0.3, 41),
-        );
+        let words: Vec<u64> = (0..20)
+            .map(|i| 0x0101_0101u64.wrapping_mul(i) & 0xFFFF_FFFF)
+            .collect();
+        sys.add_component(TokenSource::new("src", wide_in, words.clone()).with_stalls(0.3, 41));
         sys.add_component(Serializer::new("ser", wide_in, narrow));
         sys.add_component(Deserializer::new("des", narrow, wide_out));
         let sink = TokenSink::new("sink", wide_out).with_stalls(0.3, 42);

@@ -91,9 +91,9 @@ pub fn burst_buffer_requirements(schedule: &IoSchedule) -> BurstAnalysis {
     let mut out_counts = vec![0usize; schedule.n_outputs()];
 
     let flush = |in_counts: &mut Vec<usize>,
-                     out_counts: &mut Vec<usize>,
-                     input_depth: &mut Vec<usize>,
-                     output_depth: &mut Vec<usize>| {
+                 out_counts: &mut Vec<usize>,
+                 input_depth: &mut Vec<usize>,
+                 output_depth: &mut Vec<usize>| {
         for (d, c) in input_depth.iter_mut().zip(in_counts.iter_mut()) {
             *d = (*d).max(*c);
             *c = 0;
@@ -105,9 +105,8 @@ pub fn burst_buffer_requirements(schedule: &IoSchedule) -> BurstAnalysis {
     };
 
     for &step in schedule.steps() {
-        let fits = started
-            && step.reads.is_subset_of(seg_reads)
-            && step.writes.is_subset_of(seg_writes);
+        let fits =
+            started && step.reads.is_subset_of(seg_reads) && step.writes.is_subset_of(seg_writes);
         if !fits {
             flush(
                 &mut in_counts,

@@ -121,12 +121,8 @@ mod tests {
 
     #[test]
     fn leading_quiet_cycles_become_unconditional_op() {
-        let s = IoSchedule::new(
-            1,
-            1,
-            vec![CycleIo::QUIET, CycleIo::QUIET, io(&[0], &[0])],
-        )
-        .unwrap();
+        let s =
+            IoSchedule::new(1, 1, vec![CycleIo::QUIET, CycleIo::QUIET, io(&[0], &[0])]).unwrap();
         let p = compress(&s);
         assert_eq!(p.len(), 2);
         assert!(p.ops()[0].is_unconditional());

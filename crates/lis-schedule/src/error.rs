@@ -86,10 +86,7 @@ mod tests {
             port: 7,
             available: 4,
         };
-        assert_eq!(
-            e.to_string(),
-            "step 3 reads input port 7 but only 4 exist"
-        );
+        assert_eq!(e.to_string(), "step 3 reads input port 7 but only 4 exist");
     }
 
     #[test]

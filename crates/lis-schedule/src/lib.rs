@@ -56,9 +56,9 @@ mod transform;
 
 pub use analysis::{burst_buffer_requirements, port_rates, BurstAnalysis, PortRates};
 pub use compress::{compress, compress_bursty, compression_ratio};
-pub use transform::{concat, repeat, rotate};
 pub use error::ScheduleError;
 pub use generator::{random_schedule, RandomScheduleParams, ScheduleBuilder};
 pub use ops::{OpEncoding, SpProgram, SyncOp};
 pub use ports::{Interface, PortDir, PortSet, PortSpec};
 pub use schedule::{CycleIo, IoSchedule, ScheduleStats};
+pub use transform::{concat, repeat, rotate};

@@ -171,11 +171,7 @@ impl SpProgram {
     ///   zero cycles;
     /// * port-range errors when a mask addresses a port outside the
     ///   interface.
-    pub fn new(
-        n_inputs: usize,
-        n_outputs: usize,
-        ops: Vec<SyncOp>,
-    ) -> Result<Self, ScheduleError> {
+    pub fn new(n_inputs: usize, n_outputs: usize, ops: Vec<SyncOp>) -> Result<Self, ScheduleError> {
         if ops.is_empty() {
             return Err(ScheduleError::EmptyProgram);
         }

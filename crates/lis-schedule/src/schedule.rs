@@ -283,6 +283,9 @@ mod tests {
     #[test]
     fn display_summarizes() {
         let s = IoSchedule::new(1, 1, vec![rw(&[0], &[0])]).unwrap();
-        assert_eq!(s.to_string(), "schedule[1 in, 1 out, period 1, 1 sync points]");
+        assert_eq!(
+            s.to_string(),
+            "schedule[1 in, 1 out, period 1, 1 sync points]"
+        );
     }
 }

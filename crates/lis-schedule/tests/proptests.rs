@@ -8,8 +8,16 @@ use proptest::prelude::*;
 
 /// Strategy: an arbitrary CycleIo over the given port counts.
 fn cycle_io(n_in: usize, n_out: usize) -> impl Strategy<Value = CycleIo> {
-    let in_mask = if n_in >= 64 { u64::MAX } else { (1u64 << n_in) - 1 };
-    let out_mask = if n_out >= 64 { u64::MAX } else { (1u64 << n_out) - 1 };
+    let in_mask = if n_in >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n_in) - 1
+    };
+    let out_mask = if n_out >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n_out) - 1
+    };
     (any::<u64>(), any::<u64>()).prop_map(move |(r, w)| {
         CycleIo::new(
             PortSet::from_mask(r & in_mask),
@@ -29,21 +37,19 @@ fn program_strategy() -> impl Strategy<Value = SpProgram> {
     (1usize..=6, 1usize..=6).prop_flat_map(|(n_in, n_out)| {
         let in_mask = (1u64 << n_in) - 1;
         let out_mask = (1u64 << n_out) - 1;
-        prop::collection::vec((any::<u64>(), any::<u64>(), 1u32..500), 1..50).prop_map(
-            move |ops| {
-                let ops = ops
-                    .into_iter()
-                    .map(|(r, w, run)| {
-                        SyncOp::new(
-                            PortSet::from_mask(r & in_mask),
-                            PortSet::from_mask(w & out_mask),
-                            run,
-                        )
-                    })
-                    .collect();
-                SpProgram::new(n_in, n_out, ops).unwrap()
-            },
-        )
+        prop::collection::vec((any::<u64>(), any::<u64>(), 1u32..500), 1..50).prop_map(move |ops| {
+            let ops = ops
+                .into_iter()
+                .map(|(r, w, run)| {
+                    SyncOp::new(
+                        PortSet::from_mask(r & in_mask),
+                        PortSet::from_mask(w & out_mask),
+                        run,
+                    )
+                })
+                .collect();
+            SpProgram::new(n_in, n_out, ops).unwrap()
+        })
     })
 }
 

@@ -273,7 +273,9 @@ pub struct FnComponent<E, T> {
 
 impl<E, T> fmt::Debug for FnComponent<E, T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("FnComponent").field("name", &self.name).finish()
+        f.debug_struct("FnComponent")
+            .field("name", &self.name)
+            .finish()
     }
 }
 
@@ -398,9 +400,7 @@ mod tests {
         let mut sys = System::new();
         let out = sys.add_signal("count", 16);
         sys.add_component(Counter { out, state: 0 });
-        let hit = sys
-            .run_until(100, |s| s.peek(out) == 5)
-            .unwrap();
+        let hit = sys.run_until(100, |s| s.peek(out) == 5).unwrap();
         assert!(hit);
         assert!(sys.cycle() <= 7);
     }

@@ -119,11 +119,8 @@ impl NetlistSim {
             match node {
                 CombNode::Cell(cid) => {
                     let cell = self.module.cell(cid);
-                    let inputs: Vec<bool> = cell
-                        .inputs
-                        .iter()
-                        .map(|n| self.values[n.index()])
-                        .collect();
+                    let inputs: Vec<bool> =
+                        cell.inputs.iter().map(|n| self.values[n.index()]).collect();
                     self.values[cell.output.index()] = cell.kind.eval(&inputs);
                 }
                 CombNode::Rom(rid) => {

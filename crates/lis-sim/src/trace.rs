@@ -27,7 +27,11 @@ impl Trace {
 
     /// Samples every watched signal (call once per settled cycle).
     pub fn sample(&mut self, system: &System) {
-        let row = self.signals.iter().map(|&(_, _, id)| system.peek(id)).collect();
+        let row = self
+            .signals
+            .iter()
+            .map(|&(_, _, id)| system.peek(id))
+            .collect();
         self.samples.push(row);
     }
 

@@ -87,7 +87,7 @@ pub fn map_luts_k(module: &Module, k: usize) -> Result<Mapping, NetlistError> {
 
     let mut is_const = vec![false; module.nets.len()];
     let mut alias: HashMap<usize, NetId> = HashMap::new(); // buffer chains
-    // Cut sets exist only for combinational cell outputs.
+                                                           // Cut sets exist only for combinational cell outputs.
     let mut cutsets: HashMap<usize, Vec<Cut>> = HashMap::new();
     // Node label = level of its best cut.
     let mut label: HashMap<usize, usize> = HashMap::new();
@@ -376,7 +376,12 @@ mod tests {
         let m = b.finish().unwrap();
         let k4 = map_luts_k(&m, 4).unwrap();
         let k6 = map_luts_k(&m, 6).unwrap();
-        assert!(k6.lut_count() < k4.lut_count(), "{} vs {}", k6.lut_count(), k4.lut_count());
+        assert!(
+            k6.lut_count() < k4.lut_count(),
+            "{} vs {}",
+            k6.lut_count(),
+            k4.lut_count()
+        );
         assert!(k6.depth <= k4.depth);
         for lut in &k6.luts {
             assert!(lut.leaves.len() <= 6);

@@ -54,11 +54,8 @@ pub fn optimize(module: &Module) -> Result<Module, NetlistError> {
         let cell = module.cell(cid);
         let out = cell.output.index();
         // Resolved operands: Ok(net) or Err(constant).
-        let ops: Vec<Result<NetId, bool>> = cell
-            .inputs
-            .iter()
-            .map(|&n| resolve(&fold, n))
-            .collect();
+        let ops: Vec<Result<NetId, bool>> =
+            cell.inputs.iter().map(|&n| resolve(&fold, n)).collect();
         let folded = match cell.kind {
             CellKind::Buf => Some(match ops[0] {
                 Ok(n) => Fold::Alias(n),
@@ -188,15 +185,7 @@ pub fn optimize(module: &Module) -> Result<Module, NetlistError> {
         let bits = port
             .bits
             .iter()
-            .map(|&b| {
-                materialize(
-                    Ok(b),
-                    &mut out,
-                    &mut net_map,
-                    &mut const_nets,
-                    &module.nets,
-                )
-            })
+            .map(|&b| materialize(Ok(b), &mut out, &mut net_map, &mut const_nets, &module.nets))
             .collect();
         out.inputs.push(Port {
             name: port.name.clone(),
@@ -256,15 +245,7 @@ pub fn optimize(module: &Module) -> Result<Module, NetlistError> {
         let data = rom
             .data
             .iter()
-            .map(|&n| {
-                materialize(
-                    Ok(n),
-                    &mut out,
-                    &mut net_map,
-                    &mut const_nets,
-                    &module.nets,
-                )
-            })
+            .map(|&n| materialize(Ok(n), &mut out, &mut net_map, &mut const_nets, &module.nets))
             .collect();
         out.roms.push(Rom {
             name: rom.name.clone(),
@@ -369,7 +350,10 @@ mod tests {
             opt.cells
         );
         // Output is wired straight to the input net.
-        assert_eq!(opt.output("y").unwrap().bits[0], opt.input("a").unwrap().bits[0]);
+        assert_eq!(
+            opt.output("y").unwrap().bits[0],
+            opt.input("a").unwrap().bits[0]
+        );
     }
 
     #[test]

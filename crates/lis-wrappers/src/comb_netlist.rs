@@ -59,14 +59,8 @@ mod tests {
                 sim.eval();
                 let expect = u64::from(ne == 0b111 && nf == 0b11);
                 assert_eq!(sim.get_output("enable"), expect, "ne={ne:b} nf={nf:b}");
-                assert_eq!(
-                    sim.get_output("pop"),
-                    if expect == 1 { 0b111 } else { 0 }
-                );
-                assert_eq!(
-                    sim.get_output("push"),
-                    if expect == 1 { 0b11 } else { 0 }
-                );
+                assert_eq!(sim.get_output("pop"), if expect == 1 { 0b111 } else { 0 });
+                assert_eq!(sim.get_output("push"), if expect == 1 { 0b11 } else { 0 });
             }
         }
     }

@@ -38,12 +38,7 @@ pub fn generate_fsm(schedule: &IoSchedule, encoding: FsmEncoding) -> Result<Modu
     }
 }
 
-fn ready_condition(
-    b: &mut ModuleBuilder,
-    io: lis_schedule::CycleIo,
-    ne: &Bus,
-    nf: &Bus,
-) -> NetId {
+fn ready_condition(b: &mut ModuleBuilder, io: lis_schedule::CycleIo, ne: &Bus, nf: &Bus) -> NetId {
     let mut terms = Vec::new();
     for i in io.reads.iter() {
         terms.push(ne.bit(i));

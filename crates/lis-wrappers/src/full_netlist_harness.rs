@@ -82,7 +82,8 @@ impl FullNetlistPatientProcess {
             let tok = ch.read_token(sigs);
             let (data, void) = tok.to_wires();
             self.shell.set_input(&format!("in{i}_data"), data);
-            self.shell.set_input(&format!("in{i}_void"), u64::from(void));
+            self.shell
+                .set_input(&format!("in{i}_void"), u64::from(void));
         }
         for (o, ch) in self.out_channels.iter().enumerate() {
             self.shell

@@ -59,8 +59,8 @@ mod sp_netlist;
 
 pub use comb_netlist::generate_comb;
 pub use fifo_netlist::{assemble_full_wrapper, generate_input_port, generate_output_port};
-pub use full_netlist_harness::{wrap_pearl_full_netlist, FullNetlistPatientProcess};
 pub use fsm_netlist::{generate_fsm, FsmEncoding};
+pub use full_netlist_harness::{wrap_pearl_full_netlist, FullNetlistPatientProcess};
 pub use kind::WrapperKind;
 pub use netlist_harness::{wrap_pearl_netlist, NetlistPatientProcess};
 pub use patient::{wrap_pearl, PatientProcess, PatientStats};

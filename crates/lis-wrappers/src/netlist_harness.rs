@@ -236,9 +236,7 @@ mod tests {
             sys.add_component(
                 TokenSource::new("s0", ins[0], (1..=15).map(|v| v * 3)).with_stalls(src_stall, 5),
             );
-            sys.add_component(
-                TokenSource::new("s1", ins[1], 1..=15).with_stalls(src_stall, 6),
-            );
+            sys.add_component(TokenSource::new("s1", ins[1], 1..=15).with_stalls(src_stall, 6));
             let sink = TokenSink::new("k", outs[0]).with_stalls(sink_stall, 7);
             let got = sink.received();
             sys.add_component(sink);

@@ -267,19 +267,17 @@ mod tests {
         let violations = ViolationCounter::new();
         let pearl = AccumulatorPearl::new("acc", 2, 1, 3);
         let policy = policy_for(pearl.schedule());
-        let (ins, outs, _stats) =
-            wrap_pearl(&mut sys, "pp", Box::new(pearl), policy, &violations);
+        let (ins, outs, _stats) = wrap_pearl(&mut sys, "pp", Box::new(pearl), policy, &violations);
         sys.add_component(
             TokenSource::new("s0", ins[0], (1..=n_tokens).map(|v| v * 10))
                 .with_stalls(src_stall, 7),
         );
-        sys.add_component(
-            TokenSource::new("s1", ins[1], 1..=n_tokens).with_stalls(src_stall, 8),
-        );
+        sys.add_component(TokenSource::new("s1", ins[1], 1..=n_tokens).with_stalls(src_stall, 8));
         let sink = TokenSink::new("sink", outs[0]).with_stalls(sink_stall, 9);
         let got = sink.received();
         sys.add_component(sink);
-        sys.run_until(cycles, |_| got.borrow().len() >= want).unwrap();
+        sys.run_until(cycles, |_| got.borrow().len() >= want)
+            .unwrap();
         let result = got.borrow().clone();
         (result, violations.count())
     }
@@ -297,11 +295,12 @@ mod tests {
     /// Expected accumulator outputs for the streams above.
     fn expected(n: u64) -> Vec<u64> {
         let mut acc = 0;
-        (1..=n).map(|i| {
-            acc += i * 10 + i;
-            acc
-        })
-        .collect()
+        (1..=n)
+            .map(|i| {
+                acc += i * 10 + i;
+                acc
+            })
+            .collect()
     }
 
     #[test]
@@ -349,11 +348,10 @@ mod tests {
             let mut sys = System::new();
             let violations = ViolationCounter::new();
             let pearl = AccumulatorPearl::new("acc", 2, 1, 6);
-            let (ins, outs, stats) = wrap_pearl(&mut sys, "pp", Box::new(pearl), policy, &violations);
+            let (ins, outs, stats) =
+                wrap_pearl(&mut sys, "pp", Box::new(pearl), policy, &violations);
             sys.add_component(TokenSource::new("s0", ins[0], 1..=100));
-            sys.add_component(
-                TokenSource::new("s1", ins[1], 1..=100).with_stalls(0.7, 3),
-            );
+            sys.add_component(TokenSource::new("s1", ins[1], 1..=100).with_stalls(0.7, 3));
             sys.add_component(TokenSink::new("k", outs[0]));
             sys.run(600).unwrap();
             stats.utilization()
@@ -496,11 +494,8 @@ mod tests {
                 acc: 0,
             };
             let policy = Box::new(SpPolicy::from_schedule_bursty(&schedule));
-            let (ins, outs, _) =
-                wrap_pearl(&mut sys, "pp", Box::new(pearl), policy, &violations);
-            sys.add_component(
-                TokenSource::new("src", ins[0], 1..=80).with_stalls(stall, 13),
-            );
+            let (ins, outs, _) = wrap_pearl(&mut sys, "pp", Box::new(pearl), policy, &violations);
+            sys.add_component(TokenSource::new("src", ins[0], 1..=80).with_stalls(stall, 13));
             let sink = TokenSink::new("k", outs[0]);
             let got = sink.received();
             sys.add_component(sink);

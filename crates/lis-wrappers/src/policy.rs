@@ -458,7 +458,7 @@ mod tests {
         let schedule = demo_schedule();
         let mut sp = SpPolicy::from_schedule(&schedule);
         sp.commit(false); // leave Reset
-        // Fire the two reads.
+                          // Fire the two reads.
         for _ in 0..2 {
             let d = sp.decide(&[true, true], &[true]);
             assert!(d.fire);
@@ -488,8 +488,7 @@ mod tests {
 
     #[test]
     fn shiftreg_pattern_gates_firing() {
-        let mut p =
-            ShiftRegPolicy::with_pattern(demo_schedule(), vec![true, false]);
+        let mut p = ShiftRegPolicy::with_pattern(demo_schedule(), vec![true, false]);
         let d0 = p.decide(&[true, true], &[true]);
         p.commit(d0.fire);
         let d1 = p.decide(&[true, true], &[true]);

@@ -29,9 +29,7 @@ pub fn generate_shiftreg(pattern: &[bool]) -> Result<Module, NetlistError> {
     let one = b.constant(true);
 
     let len = pattern.len();
-    let taps: Vec<NetId> = (0..len)
-        .map(|k| b.fresh_named(format!("sr{k}")))
-        .collect();
+    let taps: Vec<NetId> = (0..len).map(|k| b.fresh_named(format!("sr{k}"))).collect();
     for k in 0..len {
         // Rotate towards tap 0: tap k loads tap k+1; the pattern is the
         // power-up/reset contents.

@@ -214,8 +214,8 @@ mod tests {
         sim.step(); // boot
         sim.step(); // op0: read port 0 (run 1)
         sim.step(); // op1: read port 1 (run 6: 1 sync + 5 quiet)
-        // Now free-running: 5 cycles of enable with no pops, regardless
-        // of port state.
+                    // Now free-running: 5 cycles of enable with no pops, regardless
+                    // of port state.
         sim.set_input("ne", 0b00);
         sim.set_input("nf", 0);
         for cycle in 0..5 {
@@ -236,7 +236,11 @@ mod tests {
     #[test]
     fn sp_logic_size_is_independent_of_schedule_length() {
         let short = {
-            let s = ScheduleBuilder::new(4, 4).io([0, 1, 2, 3], [0, 1, 2, 3]).quiet(7).build().unwrap();
+            let s = ScheduleBuilder::new(4, 4)
+                .io([0, 1, 2, 3], [0, 1, 2, 3])
+                .quiet(7)
+                .build()
+                .unwrap();
             generate_sp(&compress(&s)).unwrap()
         };
         let long = {

@@ -48,7 +48,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let want = (N - 1) + blocks * N; // pipeline fill + all blocks
     let done = soc.run_until(200_000, |s| s.received("corrected").len() >= want)?;
     assert!(done, "SoC did not emit all corrected blocks in budget");
-    println!("\nSoC finished after {} cycles, violations: {}", soc.cycle(), soc.violations());
+    println!(
+        "\nSoC finished after {} cycles, violations: {}",
+        soc.cycle(),
+        soc.violations()
+    );
 
     // Verify: after the 254-symbol pipeline fill, the corrected stream
     // equals the clean codeword stream.
@@ -63,6 +67,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         println!("block {blk}: repaired to the exact transmitted codeword");
     }
-    println!("status words (corrected<<8 | failures): {:?}", soc.received("status"));
+    println!(
+        "status words (corrected<<8 | failures): {:?}",
+        soc.received("status")
+    );
     Ok(())
 }

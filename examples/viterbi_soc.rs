@@ -38,7 +38,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ip = b.add_ip_netlist("viterbi", Box::new(ViterbiPearl::new("v")), WrapperKind::Sp);
     let ctrl_stage = b.channel("ctrl_stage", 8);
     let sym_stage = b.channel("sym_stage", 2);
-    b.feed("ctrl", ctrl_stage, (0..frames as u64).map(|f| 0x10 + f), 0.0, 1);
+    b.feed(
+        "ctrl",
+        ctrl_stage,
+        (0..frames as u64).map(|f| 0x10 + f),
+        0.0,
+        1,
+    );
     b.feed("syms", sym_stage, symbol_stream, 0.25, 2);
     b.link(ctrl_stage, ip.inputs[0], 2);
     b.link(sym_stage, ip.inputs[1], 4);
@@ -62,6 +68,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         assert_eq!(&decoded, bits, "frame {f} must decode exactly");
         println!("frame {f}: decoded correctly ({} bits)", bits.len());
     }
-    println!("path metrics (1 = the injected error): {:?}", soc.received("err"));
+    println!(
+        "path metrics (1 = the injected error): {:?}",
+        soc.received("err")
+    );
     Ok(())
 }

@@ -100,7 +100,9 @@ fn rs_stream_corrected_through_soc() {
     b.capture("out", ip.outputs[0], 0.1, 7);
     let mut soc = b.build();
     let want = (N - 1) + blocks * N;
-    let done = soc.run_until(100_000, |s| s.received("out").len() >= want).unwrap();
+    let done = soc
+        .run_until(100_000, |s| s.received("out").len() >= want)
+        .unwrap();
     assert!(done);
     assert_eq!(soc.violations(), 0);
 
@@ -143,7 +145,9 @@ fn two_ip_chain_viterbi_feeds_checksum() {
     b.capture("status", vit.outputs[1], 0.0, 4);
     b.capture("err", vit.outputs[2], 0.0, 5);
     let mut soc = b.build();
-    let done = soc.run_until(50_000, |s| s.received("sum").len() >= 2).unwrap();
+    let done = soc
+        .run_until(50_000, |s| s.received("sum").len() >= 2)
+        .unwrap();
     assert!(done);
     assert_eq!(soc.violations(), 0);
 
@@ -186,7 +190,9 @@ fn viterbi_full_gate_level_shell_with_relays() {
     b.capture("data", ip.outputs[0], 0.0, 3);
     b.capture("err", ip.outputs[2], 0.0, 4);
     let mut soc = b.build();
-    let done = soc.run_until(80_000, |s| !s.received("err").is_empty()).unwrap();
+    let done = soc
+        .run_until(80_000, |s| !s.received("err").is_empty())
+        .unwrap();
     assert!(done);
     assert_eq!(soc.violations(), 0);
     let data = soc.received("data");
@@ -207,8 +213,8 @@ fn matmul_through_netlist_controlled_soc() {
     for i in 0..MATMUL_DIM {
         for j in 0..MATMUL_DIM {
             for k in 0..MATMUL_DIM {
-                reference[i * 4 + j] = reference[i * 4 + j]
-                    .wrapping_add(a[i * 4 + k].wrapping_mul(bm[k * 4 + j]));
+                reference[i * 4 + j] =
+                    reference[i * 4 + j].wrapping_add(a[i * 4 + k].wrapping_mul(bm[k * 4 + j]));
             }
         }
     }
@@ -219,7 +225,9 @@ fn matmul_through_netlist_controlled_soc() {
     b.feed("b", ip.inputs[1], bm, 0.3, 7);
     b.capture("c", ip.outputs[0], 0.1, 8);
     let mut soc = b.build();
-    let done = soc.run_until(20_000, |s| s.received("c").len() >= 16).unwrap();
+    let done = soc
+        .run_until(20_000, |s| s.received("c").len() >= 16)
+        .unwrap();
     assert!(done);
     assert_eq!(soc.violations(), 0);
     assert_eq!(soc.received("c"), reference);
@@ -234,17 +242,22 @@ fn crc_frames_through_full_gate_level_shell() {
 
     let mut b = SocBuilder::new();
     let ip = b.add_ip_full_netlist("crc", Box::new(CrcPearl::new("crc")), WrapperKind::Sp);
-    b.feed("bytes", ip.inputs[0], data.iter().map(|&x| u64::from(x)), 0.2, 9);
+    b.feed(
+        "bytes",
+        ip.inputs[0],
+        data.iter().map(|&x| u64::from(x)),
+        0.2,
+        9,
+    );
     b.capture("crcs", ip.outputs[0], 0.1, 10);
     let mut soc = b.build();
-    let done = soc.run_until(30_000, |s| s.received("crcs").len() >= 3).unwrap();
+    let done = soc
+        .run_until(30_000, |s| s.received("crcs").len() >= 3)
+        .unwrap();
     assert!(done);
     assert_eq!(soc.violations(), 0);
     let got: Vec<u32> = soc.received("crcs").iter().map(|&v| v as u32).collect();
-    let expect: Vec<u32> = data
-        .chunks(CRC_FRAME_BYTES)
-        .map(crc32)
-        .collect();
+    let expect: Vec<u32> = data.chunks(CRC_FRAME_BYTES).map(crc32).collect();
     assert_eq!(got, expect);
 }
 

@@ -39,7 +39,11 @@ fn viterbi_sp_controller_full_flow() {
             sim.set_input("nf", nf);
             sim.eval();
         }
-        assert_eq!(a.get_output("enable"), b.get_output("enable"), "cycle {cycle}");
+        assert_eq!(
+            a.get_output("enable"),
+            b.get_output("enable"),
+            "cycle {cycle}"
+        );
         assert_eq!(a.get_output("pop"), b.get_output("pop"), "cycle {cycle}");
         assert_eq!(a.get_output("push"), b.get_output("push"), "cycle {cycle}");
         a.step();

@@ -20,11 +20,7 @@ fn run_soc(
     cycles: u64,
 ) -> (Vec<u64>, u64) {
     let mut b = SocBuilder::new();
-    let ip = b.add_ip(
-        "acc",
-        Box::new(AccumulatorPearl::new("acc", 1, 1, 1)),
-        kind,
-    );
+    let ip = b.add_ip("acc", Box::new(AccumulatorPearl::new("acc", 1, 1, 1)), kind);
     let in_stage = b.channel("in_stage", 32);
     b.feed("src", in_stage, 1..=tokens, src_stall, seed);
     b.link(in_stage, ip.inputs[0], in_latency);

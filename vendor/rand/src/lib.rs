@@ -1,0 +1,296 @@
+//! Vendored, dependency-free stand-in for the `rand` crate.
+//!
+//! The build environment has no network access to a crates registry, so
+//! the workspace vendors the narrow API surface it actually uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and the [`RngExt`]
+//! extension methods `random`, `random_range`, and `random_bool`.
+//!
+//! The generator is xoshiro256** seeded through SplitMix64 — fast,
+//! high-quality, and fully deterministic for a given seed, which is all
+//! the test suite and schedule generators require. It makes no attempt
+//! to be reproducible with upstream `rand` streams.
+
+#![forbid(unsafe_code)]
+
+use core::ops::{Range, RangeInclusive};
+
+/// A source of random `u64` words.
+pub trait RngCore {
+    /// Returns the next word in the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    /// The workspace's standard deterministic generator (xoshiro256**).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the 64-bit seed into 256 bits of
+            // state; guarantees a non-zero state for any seed.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl super::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Types producible by [`RngExt::random`].
+pub trait RandomValue {
+    /// Draws a uniformly distributed value.
+    fn random_from(rng: &mut impl RngCore) -> Self;
+}
+
+macro_rules! impl_random_uint {
+    ($($t:ty),*) => {$(
+        impl RandomValue for $t {
+            fn random_from(rng: &mut impl RngCore) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_random_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl RandomValue for bool {
+    fn random_from(rng: &mut impl RngCore) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl RandomValue for f64 {
+    fn random_from(rng: &mut impl RngCore) -> Self {
+        // 53 uniformly random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl RandomValue for f32 {
+    fn random_from(rng: &mut impl RngCore) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Types over which a uniform range can be sampled.
+pub trait SampleUniform: Copy {
+    /// Draws a uniform sample from `[lo, hi)` (`inclusive = false`) or
+    /// `[lo, hi]` (`inclusive = true`). Panics if the range is empty.
+    fn sample_range(lo: Self, hi: Self, inclusive: bool, rng: &mut impl RngCore) -> Self;
+}
+
+macro_rules! impl_uniform_via_u64 {
+    ($($t:ty => $to:expr, $from:expr;)*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(lo: Self, hi: Self, inclusive: bool, rng: &mut impl RngCore) -> Self {
+                let to = $to;
+                let from = $from;
+                let (lo, hi) = (to(lo), to(hi));
+                if inclusive {
+                    assert!(lo <= hi, "random_range called with an empty range");
+                    let span = hi - lo;
+                    if span == u64::MAX {
+                        return from(rng.next_u64());
+                    }
+                    from(lo + uniform_below(rng, span + 1))
+                } else {
+                    assert!(lo < hi, "random_range called with an empty range");
+                    from(lo + uniform_below(rng, hi - lo))
+                }
+            }
+        }
+    )*};
+}
+impl_uniform_via_u64! {
+    u8 => |v: u8| v as u64, |v: u64| v as u8;
+    u16 => |v: u16| v as u64, |v: u64| v as u16;
+    u32 => |v: u32| v as u64, |v: u64| v as u32;
+    u64 => |v: u64| v, |v: u64| v;
+    usize => |v: usize| v as u64, |v: u64| v as usize;
+    // Offset encoding keeps ordering for signed types: MIN -> 0.
+    i8 => |v: i8| (v as i64).wrapping_sub(i64::MIN) as u64, |v: u64| (v as i64).wrapping_add(i64::MIN) as i8;
+    i16 => |v: i16| (v as i64).wrapping_sub(i64::MIN) as u64, |v: u64| (v as i64).wrapping_add(i64::MIN) as i16;
+    i32 => |v: i32| (v as i64).wrapping_sub(i64::MIN) as u64, |v: u64| (v as i64).wrapping_add(i64::MIN) as i32;
+    i64 => |v: i64| v.wrapping_sub(i64::MIN) as u64, |v: u64| (v as i64).wrapping_add(i64::MIN);
+    isize => |v: isize| (v as i64).wrapping_sub(i64::MIN) as u64, |v: u64| (v as i64).wrapping_add(i64::MIN) as isize;
+}
+
+macro_rules! impl_uniform_float {
+    ($($t:ty => $bits:expr),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(lo: Self, hi: Self, inclusive: bool, rng: &mut impl RngCore) -> Self {
+                assert!(lo <= hi, "random_range called with an empty range");
+                let mantissa = (rng.next_u64() >> (64 - $bits)) as $t;
+                // Exclusive: unit in [0, 1) via /2^bits. Inclusive:
+                // unit in [0, 1] via /(2^bits - 1), so `hi` is reachable.
+                let denom = if inclusive {
+                    ((1u64 << $bits) - 1) as $t
+                } else {
+                    (1u64 << $bits) as $t
+                };
+                lo + (mantissa / denom) * (hi - lo)
+            }
+        }
+    )*};
+}
+impl_uniform_float!(f32 => 24, f64 => 53);
+
+/// Unbiased sample in `[0, bound)` by rejection (Lemire-style threshold
+/// kept simple: plain rejection on the top range).
+fn uniform_below(rng: &mut impl RngCore, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    if bound.is_power_of_two() {
+        return rng.next_u64() & (bound - 1);
+    }
+    let zone = u64::MAX - (u64::MAX % bound);
+    loop {
+        let v = rng.next_u64();
+        if v < zone {
+            return v % bound;
+        }
+    }
+}
+
+/// Ranges acceptable to [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from the range. Panics if empty.
+    fn sample_from(self, rng: &mut impl RngCore) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from(self, rng: &mut impl RngCore) -> T {
+        T::sample_range(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from(self, rng: &mut impl RngCore) -> T {
+        T::sample_range(*self.start(), *self.end(), true, rng)
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every generator.
+pub trait RngExt: RngCore {
+    /// Draws a uniformly distributed value of type `T`.
+    fn random<T: RandomValue>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::random_from(self)
+    }
+
+    /// Draws a uniform sample from `range`.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        f64::random_from(self) < p
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.random_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.random_range(1u8..=255);
+            assert!(w >= 1);
+            let x = rng.random_range(0i32..=0);
+            assert_eq!(x, 0);
+        }
+    }
+
+    #[test]
+    fn float_ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = rng.random_range(0.25f64..=0.75);
+            assert!((0.25..=0.75).contains(&v));
+            let w = rng.random_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&w));
+        }
+        // Inclusive upper bound is reachable: degenerate range hits it
+        // exactly, and the unit lattice includes 1.0.
+        assert_eq!(rng.random_range(2.5f64..=2.5), 2.5);
+    }
+
+    #[test]
+    fn random_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(rng.random_bool(1.0));
+        assert!(!rng.random_bool(0.0));
+    }
+
+    #[test]
+    fn distinct_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(0);
+        let mut b = StdRng::seed_from_u64(1);
+        let same = (0..64)
+            .filter(|_| a.random::<u64>() == b.random::<u64>())
+            .count();
+        assert_eq!(same, 0);
+    }
+}

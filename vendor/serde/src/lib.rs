@@ -1,0 +1,385 @@
+//! Vendored, dependency-free stand-in for `serde`.
+//!
+//! The build environment cannot reach a crates registry, so this crate
+//! implements the subset of serde the workspace relies on: the
+//! [`Serialize`] / [`Deserialize`] traits, derive macros for plain
+//! structs and enums (no `#[serde(...)]` attributes), and a
+//! self-describing [`Value`] tree that `serde_json` renders to and
+//! parses from JSON text. Round-trip fidelity — not wire compatibility
+//! with upstream serde — is the contract.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing data tree, the interchange format between
+/// [`Serialize`], [`Deserialize`], and `serde_json`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer (preserves full `u64` precision).
+    UInt(u64),
+    /// Negative integer.
+    Int(i64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Array(Vec<Value>),
+    /// Ordered key-value map (insertion order preserved).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrows the object entries if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Borrows the array elements if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// One-word description of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::UInt(_) | Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialization failure: what was expected and what was found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl DeError {
+    /// Builds a "wanted X, found Y" error.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        DeError(format!("expected {what}, found {}", found.kind()))
+    }
+}
+
+/// Conversion of a Rust value into a [`Value`] tree.
+pub trait Serialize {
+    /// Serializes `self` into the value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstruction of a Rust value from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Deserializes from the value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Looks up a field in an object; used by the derive expansion.
+pub fn __get_field<'a>(entries: &'a [(String, Value)], name: &str) -> Result<&'a Value, DeError> {
+    entries
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError(format!("missing field `{name}`")))
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::UInt(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError(format!("integer {n} out of range for {}", stringify!($t)))),
+                    other => Err(DeError::expected("unsigned integer", other)),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 { Value::UInt(n as u64) } else { Value::Int(n) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let wide: i64 = match v {
+                    Value::UInt(n) => i64::try_from(*n)
+                        .map_err(|_| DeError(format!("integer {n} out of range for {}", stringify!($t))))?,
+                    Value::Int(n) => *n,
+                    other => return Err(DeError::expected("integer", other)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| DeError(format!("integer {wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Float(x) => Ok(*x),
+            Value::UInt(n) => Ok(*n as f64),
+            Value::Int(n) => Ok(*n as f64),
+            other => Err(DeError::expected("number", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::expected("single-character string", other)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let items = v.as_array().ok_or_else(|| DeError::expected("tuple array", v))?;
+                let want = [$($n),+].len();
+                if items.len() != want {
+                    return Err(DeError(format!(
+                        "expected tuple of {want} elements, found {}", items.len()
+                    )));
+                }
+                Ok(($($t::from_value(&items[$n])?,)+))
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Array(
+            self.iter()
+                .map(|(k, v)| Value::Array(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = v
+            .as_array()
+            .ok_or_else(|| DeError::expected("map array", v))?;
+        items
+            .iter()
+            .map(|pair| <(K, V)>::from_value(pair))
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        Value::Array(
+            self.iter()
+                .map(|(k, v)| Value::Array(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = v
+            .as_array()
+            .ok_or_else(|| DeError::expected("map array", v))?;
+        items
+            .iter()
+            .map(|pair| <(K, V)>::from_value(pair))
+            .collect()
+    }
+}
