@@ -5,11 +5,177 @@
 //!
 //! E3 sweeps schedule length at fixed ports; E4 sweeps port count at
 //! fixed schedule length. Pass `--sweep ports` for E4 only, `--sweep
-//! length` for E3 only.
+//! length` for E3 only, `--sweep sim` for the simulation-throughput
+//! sweep only.
+//!
+//! A third sweep measures **simulation throughput** over the same
+//! growing schedules: the interpreting `NetlistSim` vs the levelized
+//! compiled engine vs the 64-lane packed engine, on both the FSM
+//! wrapper (whose netlist grows with schedule length — the hard case)
+//! and the SP wrapper (constant logic). This is the baseline every
+//! future perf PR has to beat; `--json <path>` records it (plus the
+//! structural sweeps) as e.g. BENCH_scaling.json.
 
 use lis_bench::{bar, print_rows, section};
 use lis_core::experiment::{scaling_by_length, scaling_by_ports};
+use lis_netlist::{Module, NetlistStats};
+use lis_schedule::{random_schedule, IoSchedule, RandomScheduleParams};
+use lis_sim::{CompiledNetlistSim, NetlistSim, PackedNetlistSim, LANES};
 use lis_synth::TechParams;
+use lis_wrappers::{FsmEncoding, WrapperKind};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use serde::{Serialize, Value};
+use std::time::Instant;
+
+/// One simulation-throughput point: a wrapper netlist at one schedule
+/// length, timed on all three engines. Throughputs are million
+/// cycles/second (`mcps`) and, for the packed engine, million
+/// *lane*-cycles/second (`mlcps`, 64 Monte-Carlo lanes per cycle).
+#[derive(Debug, Clone, Serialize)]
+struct SimScalingRow {
+    period: usize,
+    model: String,
+    nets: usize,
+    cells: usize,
+    levels: usize,
+    cycles_run: u64,
+    interp_mcps: f64,
+    compiled_mcps: f64,
+    packed_mlcps: f64,
+    speedup_compiled: f64,
+    speedup_packed: f64,
+}
+
+impl std::fmt::Display for SimScalingRow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "x={:5} {:12} {:6} cells {:3} levels | interp {:8.3} Mc/s | compiled {:8.3} Mc/s ({:5.1}x) | packed {:8.1} Mlc/s ({:6.1}x)",
+            self.period,
+            self.model,
+            self.cells,
+            self.levels,
+            self.interp_mcps,
+            self.compiled_mcps,
+            self.speedup_compiled,
+            self.packed_mlcps,
+            self.speedup_packed,
+        )
+    }
+}
+
+/// Times `cycles` of the interpreter under random `ne`/`nf` traffic;
+/// returns (seconds, enable-count checksum).
+fn time_interp(module: &Module, cycles: u64) -> (f64, u64) {
+    let mut sim = NetlistSim::new(module.clone()).expect("wrapper validates");
+    sim.set_input("rst", 0).unwrap();
+    let mut rng = StdRng::seed_from_u64(0x5CA1_AB1E);
+    let mut checksum = 0u64;
+    let start = Instant::now();
+    for _ in 0..cycles {
+        let r = rng.next_u64();
+        sim.set_input("ne", r & 0b11).unwrap();
+        sim.set_input("nf", (r >> 32) & 0b11).unwrap();
+        sim.step();
+        checksum += sim.get_output("enable").unwrap();
+    }
+    (start.elapsed().as_secs_f64(), checksum)
+}
+
+fn time_compiled(module: &Module, cycles: u64) -> (f64, u64) {
+    let mut sim = CompiledNetlistSim::new(module.clone()).expect("wrapper validates");
+    let h_ne = sim.input_handle("ne").unwrap();
+    let h_nf = sim.input_handle("nf").unwrap();
+    let h_en = sim.output_handle("enable").unwrap();
+    sim.set_input("rst", 0).unwrap();
+    let mut rng = StdRng::seed_from_u64(0x5CA1_AB1E);
+    let mut checksum = 0u64;
+    let start = Instant::now();
+    for _ in 0..cycles {
+        let r = rng.next_u64();
+        sim.set_input_h(h_ne, r & 0b11);
+        sim.set_input_h(h_nf, (r >> 32) & 0b11);
+        sim.step();
+        checksum += sim.get_output_h(h_en);
+    }
+    (start.elapsed().as_secs_f64(), checksum)
+}
+
+fn time_packed(module: &Module, cycles: u64) -> f64 {
+    let mut sim = PackedNetlistSim::new(module.clone()).expect("wrapper validates");
+    let h_ne = sim.input_handle("ne").unwrap();
+    let h_nf = sim.input_handle("nf").unwrap();
+    let h_en = sim.output_handle("enable").unwrap();
+    sim.set_input_all("rst", 0).unwrap();
+    let mut rng = StdRng::seed_from_u64(0xB1A5_ED00);
+    let mut checksum = 0u64;
+    let start = Instant::now();
+    for _ in 0..cycles {
+        // One random 64-lane word per ne/nf bit: every lane sees its own
+        // traffic, exactly the Monte-Carlo sweep workload.
+        sim.set_input_bit_lanes(h_ne, 0, rng.next_u64());
+        sim.set_input_bit_lanes(h_ne, 1, rng.next_u64());
+        sim.set_input_bit_lanes(h_nf, 0, rng.next_u64());
+        sim.set_input_bit_lanes(h_nf, 1, rng.next_u64());
+        sim.step();
+        checksum = checksum.wrapping_add(sim.get_output_bit_lanes(h_en, 0));
+    }
+    std::hint::black_box(checksum);
+    start.elapsed().as_secs_f64()
+}
+
+fn sim_scaling_rows(periods: &[usize]) -> Vec<SimScalingRow> {
+    let mut rows = Vec::new();
+    for &period in periods {
+        let schedule: IoSchedule = random_schedule(
+            0xC0FFEE ^ period as u64,
+            RandomScheduleParams {
+                n_inputs: 2,
+                n_outputs: 2,
+                period,
+                sync_density: 0.3,
+                port_density: 0.5,
+            },
+        );
+        for kind in [WrapperKind::Fsm(FsmEncoding::OneHot), WrapperKind::Sp] {
+            let module = kind.generate_netlist(&schedule).expect("generation");
+            let stats = NetlistStats::of(&module);
+            // Deterministic cycle budget, inversely scaled with netlist
+            // size so every point costs roughly the same wall time.
+            let cycles = (2_000_000 / module.cell_count().max(1)).clamp(500, 20_000) as u64;
+            // Symmetric protocol: every engine is timed twice and keeps
+            // its best run, so warm-up bias cannot inflate the speedups.
+            let (i1, c1) = time_interp(&module, cycles);
+            let (i2, _) = time_interp(&module, cycles);
+            let interp_s = i1.min(i2);
+            let (s1, c2) = time_compiled(&module, cycles);
+            let (s2, _) = time_compiled(&module, cycles);
+            let compiled_s = s1.min(s2);
+            // Same stimulus stream => same enable checksum; a cheap
+            // cross-check that the engines agreed while being timed.
+            assert_eq!(c1, c2, "engines diverged during timing");
+            let packed_s = time_packed(&module, cycles * 2).min(time_packed(&module, cycles * 2));
+            let interp_mcps = cycles as f64 / interp_s / 1e6;
+            let compiled_mcps = cycles as f64 / compiled_s / 1e6;
+            let packed_mlcps = (cycles * 2 * LANES as u64) as f64 / packed_s / 1e6;
+            rows.push(SimScalingRow {
+                period,
+                model: kind.to_string(),
+                nets: stats.nets,
+                cells: stats.cells,
+                levels: stats.levels,
+                cycles_run: cycles,
+                interp_mcps,
+                compiled_mcps,
+                packed_mlcps,
+                speedup_compiled: compiled_mcps / interp_mcps,
+                speedup_packed: packed_mlcps / interp_mcps,
+            });
+        }
+    }
+    rows
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -19,15 +185,32 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
         .unwrap_or("both");
+    // `--json <path>` snapshots all sweeps as a machine-readable
+    // baseline, e.g. BENCH_scaling.json (throughput fields are volatile
+    // and excluded from the CI drift diff). The baseline must be
+    // complete to pass that diff, so --json overrides a partial --sweep
+    // rather than silently recording empty arrays.
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| args.get(i + 1).expect("--json needs a path").clone());
+    let what = if json_path.is_some() && what != "both" {
+        eprintln!("--json needs every sweep for a complete baseline; ignoring --sweep {what}");
+        "both"
+    } else {
+        what
+    };
     let params = TechParams::default();
+    let periods = [16usize, 64, 256, 1024, 4096];
 
+    let mut length_rows = Vec::new();
     if what == "both" || what == "length" {
         section("E3 — area & fmax vs schedule length (2 in / 2 out ports)");
-        let rows = scaling_by_length(&[16, 64, 256, 1024, 4096], &params).expect("length sweep");
-        print_rows(&rows);
+        length_rows = scaling_by_length(&periods, &params).expect("length sweep");
+        print_rows(&length_rows);
         section("E3 — slices, charted");
-        let max = rows.iter().map(|r| r.slices).max().unwrap_or(1) as f64;
-        for r in &rows {
+        let max = length_rows.iter().map(|r| r.slices).max().unwrap_or(1) as f64;
+        for r in &length_rows {
             println!(
                 "x={:5} {:12} {:6} |{}",
                 r.x,
@@ -38,9 +221,40 @@ fn main() {
         }
     }
 
+    let mut port_rows = Vec::new();
     if what == "both" || what == "ports" {
         section("E4 — area & fmax vs port count (64-cycle schedule)");
-        let rows = scaling_by_ports(&[2, 4, 8, 16, 32], &params).expect("port sweep");
-        print_rows(&rows);
+        port_rows = scaling_by_ports(&[2, 4, 8, 16, 32], &params).expect("port sweep");
+        print_rows(&port_rows);
+    }
+
+    let mut sim_rows = Vec::new();
+    if what == "both" || what == "sim" {
+        section(
+            "Simulation throughput vs schedule length (interpreter / compiled / 64-lane packed)",
+        );
+        sim_rows = sim_scaling_rows(&periods);
+        print_rows(&sim_rows);
+        if let Some(worst) = sim_rows
+            .iter()
+            .filter(|r| r.model.starts_with("fsm"))
+            .max_by_key(|r| r.cells)
+        {
+            println!(
+                "largest point ({} @ {} cells): compiled engine {:.1}x, packed sweeps {:.1}x lane-throughput",
+                worst.model, worst.cells, worst.speedup_compiled, worst.speedup_packed
+            );
+        }
+    }
+
+    if let Some(path) = &json_path {
+        let baseline = Value::Object(vec![
+            ("rows_length".into(), length_rows.to_value()),
+            ("rows_ports".into(), port_rows.to_value()),
+            ("sim_throughput".into(), sim_rows.to_value()),
+        ]);
+        let json = serde_json::to_string_pretty(&baseline).expect("serialize scaling rows");
+        std::fs::write(path, json + "\n").expect("write JSON baseline");
+        eprintln!("wrote {path}");
     }
 }

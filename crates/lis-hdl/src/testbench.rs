@@ -31,10 +31,14 @@ pub fn capture_golden(module: &Module, stimuli: &[Vec<u64>]) -> Vec<TbCycle> {
         .iter()
         .map(|step| {
             for (name, &v) in in_names.iter().zip(step) {
-                sim.set_input(name, v);
+                sim.set_input(name, v)
+                    .expect("port names come from the module");
             }
             sim.eval();
-            let expected = out_names.iter().map(|n| sim.get_output(n)).collect();
+            let expected = out_names
+                .iter()
+                .map(|n| sim.get_output(n).expect("port names come from the module"))
+                .collect();
             sim.step();
             TbCycle {
                 inputs: step.clone(),

@@ -71,10 +71,15 @@ fn run(module: &lis_netlist::Module, stimuli: &[Vec<u64>]) -> Vec<Vec<u64>> {
     let mut results = Vec::new();
     for step in stimuli {
         for (name, &v) in in_names.iter().zip(step) {
-            sim.set_input(name, v);
+            sim.set_input(name, v).unwrap();
         }
         sim.eval();
-        results.push(out_names.iter().map(|n| sim.get_output(n)).collect());
+        results.push(
+            out_names
+                .iter()
+                .map(|n| sim.get_output(n).unwrap())
+                .collect(),
+        );
         sim.step();
     }
     results

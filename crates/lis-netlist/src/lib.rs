@@ -49,4 +49,4 @@ pub use error::NetlistError;
 pub use id::{CellId, NetId, RomId};
 pub use module::{Driver, Module, Net, Port, Rom};
 pub use stats::NetlistStats;
-pub use validate::{topo_order, validate, CombNode};
+pub use validate::{levelize, topo_order, validate, CombNode, Levelization};

@@ -33,6 +33,10 @@ pub struct NetlistStats {
     pub input_bits: usize,
     /// Output ports (bits).
     pub output_bits: usize,
+    /// Combinational levels (logic depth in nodes, from
+    /// [`crate::levelize`]); 0 when the module is cyclic or has no
+    /// combinational nodes.
+    pub levels: usize,
 }
 
 impl NetlistStats {
@@ -45,6 +49,7 @@ impl NetlistStats {
             rom_bits: module.rom_bits(),
             input_bits: module.inputs.iter().map(|p| p.width()).sum(),
             output_bits: module.outputs.iter().map(|p| p.width()).sum(),
+            levels: crate::levelize(module).map(|l| l.depth()).unwrap_or(0),
             ..NetlistStats::default()
         };
         for cell in &module.cells {
@@ -75,7 +80,7 @@ impl fmt::Display for NetlistStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "nets={} cells={} (gates2={} inv={} mux={} buf={} ff={} const={}) roms={} rom_bits={} io={}/{}",
+            "nets={} cells={} (gates2={} inv={} mux={} buf={} ff={} const={}) roms={} rom_bits={} io={}/{} levels={}",
             self.nets,
             self.cells,
             self.gates2,
@@ -88,6 +93,7 @@ impl fmt::Display for NetlistStats {
             self.rom_bits,
             self.input_bits,
             self.output_bits,
+            self.levels,
         )
     }
 }
@@ -119,6 +125,8 @@ mod tests {
         assert_eq!(s.output_bits, 1);
         assert_eq!(s.logic_nodes(), 3);
         assert_eq!(s.cells, module.cell_count());
+        // not -> and -> mux is a 3-deep chain.
+        assert_eq!(s.levels, 3);
     }
 
     #[test]

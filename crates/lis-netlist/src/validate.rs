@@ -223,6 +223,108 @@ pub fn topo_order(module: &Module) -> Result<Vec<CombNode>, NetlistError> {
     Ok(order)
 }
 
+/// A levelized view of the combinational subgraph: every node is assigned
+/// the smallest level at which all of its input nets are ready.
+///
+/// Level 0 nodes depend only on *free* nets (input ports, flip-flop
+/// outputs, nothing at all); a node at level `l > 0` has at least one
+/// input produced at level `l - 1`. Computed once from [`topo_order`];
+/// the compiled simulator (`lis-sim`) uses it to order its instruction
+/// stream, and [`crate::NetlistStats`] reports the depth as a structural
+/// metric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Levelization {
+    /// All combinational nodes, sorted by level (stable within a level).
+    pub order: Vec<CombNode>,
+    /// `order[level_starts[l]..level_starts[l + 1]]` is level `l`.
+    /// Always ends with `order.len()`; length is `depth() + 1`.
+    pub level_starts: Vec<usize>,
+    /// The level at which each net's value is ready (indexed by net;
+    /// free nets — ports, DFF outputs — are ready at level 0).
+    pub net_levels: Vec<usize>,
+}
+
+impl Levelization {
+    /// Number of levels (the combinational logic depth in nodes).
+    pub fn depth(&self) -> usize {
+        self.level_starts.len().saturating_sub(1)
+    }
+
+    /// The nodes of level `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l >= self.depth()`.
+    pub fn level(&self, l: usize) -> &[CombNode] {
+        &self.order[self.level_starts[l]..self.level_starts[l + 1]]
+    }
+}
+
+/// Levelizes the combinational subgraph of `module`.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalCycle`] when the combinational
+/// subgraph is cyclic (levels are undefined on a cycle).
+pub fn levelize(module: &Module) -> Result<Levelization, NetlistError> {
+    let order = topo_order(module)?;
+    let mut net_levels = vec![0usize; module.nets.len()];
+    let mut node_levels = Vec::with_capacity(order.len());
+    let mut max_level = 0usize;
+    for &node in &order {
+        let (inputs, outputs): (&[NetId], &[NetId]) = match node {
+            CombNode::Cell(c) => {
+                let cell = module.cell(c);
+                (&cell.inputs, std::slice::from_ref(&cell.output))
+            }
+            CombNode::Rom(r) => {
+                let rom = module.rom(r);
+                (&rom.addr, &rom.data)
+            }
+        };
+        let level = inputs
+            .iter()
+            .map(|n| net_levels[n.index()])
+            .max()
+            .unwrap_or(0);
+        for &out in outputs {
+            net_levels[out.index()] = level + 1;
+        }
+        node_levels.push((node, level));
+        max_level = max_level.max(level);
+    }
+    // Bucket the (already topologically sorted) nodes by level; the sort
+    // is stable so ties keep their topological order.
+    let depth = if node_levels.is_empty() {
+        0
+    } else {
+        max_level + 1
+    };
+    let mut counts = vec![0usize; depth];
+    for &(_, l) in &node_levels {
+        counts[l] += 1;
+    }
+    let mut level_starts = Vec::with_capacity(depth + 1);
+    let mut acc = 0usize;
+    level_starts.push(0);
+    for &c in &counts {
+        acc += c;
+        level_starts.push(acc);
+    }
+    let mut cursor: Vec<usize> = level_starts[..depth].to_vec();
+    // Every slot is overwritten below; the placeholder never survives.
+    let mut leveled = vec![CombNode::Cell(CellId::from_index(0)); node_levels.len()];
+    for &(node, l) in &node_levels {
+        leveled[cursor[l]] = node;
+        cursor[l] += 1;
+    }
+    Ok(Levelization {
+        order: leveled,
+        level_starts,
+        net_levels,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -348,5 +450,87 @@ mod tests {
 
     fn bus_from(nets: Vec<crate::id::NetId>) -> crate::builder::Bus {
         crate::builder::Bus::from_nets(nets)
+    }
+
+    #[test]
+    fn levelize_assigns_increasing_levels_along_chains() {
+        let mut b = ModuleBuilder::new("lvl");
+        let a = b.input("a", 2);
+        let x = b.and(a.bit(0), a.bit(1)); // level 0
+        let y = b.not(x); // level 1
+        let z = b.or(y, a.bit(0)); // level 2
+        b.output_bit("z", z);
+        let m = b.finish().unwrap();
+        let lv = levelize(&m).unwrap();
+        assert_eq!(lv.depth(), 3);
+        assert_eq!(lv.level(0).len(), 1);
+        assert_eq!(lv.level(1).len(), 1);
+        assert_eq!(lv.level(2).len(), 1);
+        assert_eq!(lv.order.len(), 3);
+        // Nets: inputs are free (level 0); z's net is ready at level 3.
+        let z_net = m.output("z").unwrap().bits[0];
+        assert_eq!(lv.net_levels[z_net.index()], 3);
+    }
+
+    #[test]
+    fn levelize_puts_independent_gates_in_one_level() {
+        let mut b = ModuleBuilder::new("wide");
+        let a = b.input("a", 8);
+        let bits: Vec<_> = (0..4)
+            .map(|i| b.and(a.bit(2 * i), a.bit(2 * i + 1)))
+            .collect();
+        for (i, &n) in bits.iter().enumerate() {
+            b.output_bit(format!("y{i}"), n);
+        }
+        let m = b.finish().unwrap();
+        let lv = levelize(&m).unwrap();
+        assert_eq!(lv.depth(), 1);
+        assert_eq!(lv.level(0).len(), 4);
+    }
+
+    #[test]
+    fn levelize_treats_dff_outputs_as_free() {
+        let mut b = ModuleBuilder::new("seq");
+        let en = b.constant(true);
+        let rst = b.constant(false);
+        let q_net = b.fresh();
+        let nq = b.not(q_net);
+        let q = b.dff(nq, en, rst, false);
+        let mut m = b.finish_unchecked();
+        m.cells
+            .push(crate::cell::Cell::new(CellKind::Buf, vec![q], q_net));
+        let lv = levelize(&m).unwrap();
+        // buf(q) at level 0 (feeds off the DFF), not(q_net) at level 1;
+        // constants are sources at level 0.
+        assert_eq!(lv.depth(), 2);
+    }
+
+    #[test]
+    fn levelize_places_roms_after_their_address_logic() {
+        let mut b = ModuleBuilder::new("romlvl");
+        let a = b.input("a", 2);
+        let n0 = b.not(a.bit(0));
+        let addr = bus_from(vec![n0, a.bit(1)]);
+        let data = b.rom("r", &addr, 3, vec![1, 2, 3, 4]);
+        b.output("d", &data);
+        let m = b.finish().unwrap();
+        let lv = levelize(&m).unwrap();
+        assert_eq!(lv.depth(), 2);
+        assert!(matches!(lv.level(1)[0], CombNode::Rom(_)));
+    }
+
+    #[test]
+    fn levelize_rejects_cycles() {
+        let mut b = ModuleBuilder::new("cyc");
+        let a = b.input("a", 1).bit(0);
+        let x = b.fresh();
+        let y = b.fresh();
+        let mut m = b.finish_unchecked();
+        m.cells.push(Cell::new(CellKind::And, vec![a, y], x));
+        m.cells.push(Cell::new(CellKind::Buf, vec![x], y));
+        assert!(matches!(
+            levelize(&m),
+            Err(NetlistError::CombinationalCycle { .. })
+        ));
     }
 }

@@ -24,7 +24,16 @@ pub fn compress(schedule: &IoSchedule) -> SpProgram {
     for &step in schedule.steps() {
         if step.is_quiet() {
             match ops.last_mut() {
-                Some(last) => last.run_cycles += 1,
+                // Checked: the run counter is u32, sized for the
+                // roadmap's 10^5-cycle schedules with 4 orders of
+                // magnitude of headroom; overflow would silently fold
+                // 2^32 quiet cycles into nothing, so fail loudly.
+                Some(last) => {
+                    last.run_cycles = last
+                        .run_cycles
+                        .checked_add(1)
+                        .expect("run counter overflow: quiet run exceeds u32 cycles")
+                }
                 None => ops.push(SyncOp::new(
                     crate::ports::PortSet::EMPTY,
                     crate::ports::PortSet::EMPTY,
@@ -57,7 +66,11 @@ pub fn compress_bursty(schedule: &IoSchedule) -> SpProgram {
             step.reads.is_subset_of(op.input_mask) && step.writes.is_subset_of(op.output_mask)
         });
         if fits_last {
-            ops.last_mut().expect("checked").run_cycles += 1;
+            let last = ops.last_mut().expect("checked");
+            last.run_cycles = last
+                .run_cycles
+                .checked_add(1)
+                .expect("run counter overflow: burst run exceeds u32 cycles");
         } else if step.is_quiet() {
             // Leading quiet cycles (no op yet to fold into).
             ops.push(SyncOp::new(

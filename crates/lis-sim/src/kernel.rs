@@ -46,6 +46,15 @@ pub enum SimError {
         /// Number of sweeps attempted.
         sweeps: usize,
     },
+    /// A netlist executor was asked for a port the module does not have.
+    UnknownPort {
+        /// Name of the module being simulated.
+        module: String,
+        /// The requested port name.
+        port: String,
+        /// Whether an output port was requested (an input otherwise).
+        output: bool,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -55,6 +64,15 @@ impl fmt::Display for SimError {
                 f,
                 "combinational settle did not converge at cycle {cycle} after {sweeps} sweeps \
                  (combinational loop between components?)"
+            ),
+            SimError::UnknownPort {
+                module,
+                port,
+                output,
+            } => write!(
+                f,
+                "module {module} has no {} port named {port}",
+                if *output { "output" } else { "input" }
             ),
         }
     }

@@ -13,6 +13,14 @@
 //!   into a component system for co-simulation against behavioural
 //!   models.
 //!
+//! On top of the interpreter sits the **compiled engine**
+//! ([`crate::compile`]): [`NetlistProgram`] lowers a module into a
+//! levelized flat instruction stream, [`CompiledNetlistSim`] executes it
+//! scalar (a drop-in, much faster [`NetlistExec`]), and
+//! [`PackedNetlistSim`] executes 64 independent Monte-Carlo lanes per
+//! `u64` word. Harnesses accept any [`NetlistExec`], so the engines are
+//! interchangeable; property tests pin them cycle-for-cycle equivalent.
+//!
 //! [`Trace`] records signals per cycle and renders standard VCD.
 //!
 //! # Examples
@@ -39,12 +47,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod compile;
 mod kernel;
 mod netlist_sim;
 mod signal;
 mod trace;
 
+pub use compile::{CompiledNetlistSim, NetlistProgram, PackedNetlistSim, PortHandle, LANES};
 pub use kernel::{Component, FnComponent, SimError, System};
-pub use netlist_sim::{NetlistComponent, NetlistSim};
+pub use netlist_sim::{NetlistComponent, NetlistExec, NetlistSim};
 pub use signal::{Signal, SignalId, SignalView};
 pub use trace::Trace;

@@ -2,11 +2,58 @@
 //!
 //! [`NetlistSim`] is the reference executor for generated wrapper
 //! hardware: `lis-wrappers` proves each wrapper netlist equivalent to its
-//! behavioural model by co-simulating both on random stimuli.
+//! behavioural model by co-simulating both on random stimuli. The
+//! compiled engine in [`crate::compile`] is proven equivalent to this
+//! interpreter property-test by property-test, which is why the
+//! interpreter stays deliberately simple: it re-walks the topological
+//! order every cycle and evaluates one cell at a time.
 
-use crate::kernel::Component;
+use crate::kernel::{Component, SimError};
 use crate::signal::{SignalId, SignalView};
 use lis_netlist::{topo_order, CellKind, CombNode, Module, NetlistError};
+
+/// Common surface over netlist executors: the interpreting
+/// [`NetlistSim`] and the compiled [`crate::CompiledNetlistSim`] expose
+/// identical two-phase semantics, so harnesses (and
+/// [`NetlistComponent`]) can swap engines without caring which one is
+/// underneath.
+pub trait NetlistExec {
+    /// The module being executed.
+    fn module(&self) -> &Module;
+
+    /// Resets all flip-flops to their power-up values.
+    fn reset_state(&mut self);
+
+    /// Drives an input port with `value` (LSB-first). Bits beyond 64
+    /// (ports wider than the stimulus word) are driven to 0.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownPort`] if no input port has that name.
+    fn set_input(&mut self, port: &str, value: u64) -> Result<(), SimError>;
+
+    /// Reads an output port (valid after [`NetlistExec::eval`]). Ports
+    /// wider than 64 bits return their low 64 bits.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownPort`] if no output port has that name.
+    fn get_output(&self, port: &str) -> Result<u64, SimError>;
+
+    /// Settles combinational logic for the current cycle.
+    fn eval(&mut self);
+
+    /// One clock cycle: [`NetlistExec::eval`] then commit flip-flops.
+    fn step(&mut self);
+}
+
+fn unknown_port(module: &Module, port: &str, output: bool) -> SimError {
+    SimError::UnknownPort {
+        module: module.name.clone(),
+        port: port.to_owned(),
+        output,
+    }
+}
 
 /// An interpreter for one [`Module`], with two-phase semantics matching
 /// [`crate::System`]: [`NetlistSim::eval`] settles combinational logic,
@@ -68,37 +115,41 @@ impl NetlistSim {
 
     /// Drives an input port with `value` (LSB-first).
     ///
-    /// # Panics
+    /// Ports wider than 64 bits are driven explicitly: bit `i >= 64`
+    /// gets 0 (the stimulus word simply is not that wide).
     ///
-    /// Panics if no input port has that name.
-    pub fn set_input(&mut self, port: &str, value: u64) {
+    /// # Errors
+    ///
+    /// [`SimError::UnknownPort`] if no input port has that name.
+    pub fn set_input(&mut self, port: &str, value: u64) -> Result<(), SimError> {
         let port = self
             .module
             .input(port)
-            .unwrap_or_else(|| panic!("no input port named {port}"))
-            .clone();
+            .ok_or_else(|| unknown_port(&self.module, port, false))?;
         for (i, bit) in port.bits.iter().enumerate() {
-            self.values[bit.index()] = (value >> i) & 1 == 1;
+            self.values[bit.index()] = i < 64 && (value >> i) & 1 == 1;
         }
+        Ok(())
     }
 
-    /// Reads an output port (valid after [`NetlistSim::eval`]).
+    /// Reads an output port (valid after [`NetlistSim::eval`]). Ports
+    /// wider than 64 bits return their low 64 bits.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if no output port has that name.
-    pub fn get_output(&self, port: &str) -> u64 {
+    /// [`SimError::UnknownPort`] if no output port has that name.
+    pub fn get_output(&self, port: &str) -> Result<u64, SimError> {
         let port = self
             .module
             .output(port)
-            .unwrap_or_else(|| panic!("no output port named {port}"));
+            .ok_or_else(|| unknown_port(&self.module, port, true))?;
         let mut v = 0u64;
-        for (i, bit) in port.bits.iter().enumerate() {
+        for (i, bit) in port.bits.iter().enumerate().take(64) {
             if self.values[bit.index()] {
                 v |= 1 << i;
             }
         }
-        v
+        Ok(v)
     }
 
     /// Reads the current value of an arbitrary net (for debugging).
@@ -163,20 +214,54 @@ impl NetlistSim {
     }
 }
 
-/// Bridges a [`NetlistSim`] into a component [`crate::System`], mapping
-/// module ports to system signals by position.
+impl NetlistExec for NetlistSim {
+    fn module(&self) -> &Module {
+        NetlistSim::module(self)
+    }
+
+    fn reset_state(&mut self) {
+        NetlistSim::reset_state(self);
+    }
+
+    fn set_input(&mut self, port: &str, value: u64) -> Result<(), SimError> {
+        NetlistSim::set_input(self, port, value)
+    }
+
+    fn get_output(&self, port: &str) -> Result<u64, SimError> {
+        NetlistSim::get_output(self, port)
+    }
+
+    fn eval(&mut self) {
+        NetlistSim::eval(self);
+    }
+
+    fn step(&mut self) {
+        NetlistSim::step(self);
+    }
+}
+
+/// Bridges any [`NetlistExec`] into a component [`crate::System`],
+/// mapping module ports to system signals by position.
 ///
 /// This enables *co-simulation*: a gate-level wrapper netlist can be
 /// dropped into a behavioural SoC in place of its behavioural model, and
 /// the surrounding components cannot tell the difference.
-#[derive(Debug)]
 pub struct NetlistComponent {
     name: String,
-    sim: NetlistSim,
+    sim: Box<dyn NetlistExec>,
     /// `(port name, signal)` pairs for module inputs.
     input_map: Vec<(String, SignalId)>,
     /// `(port name, signal)` pairs for module outputs.
     output_map: Vec<(String, SignalId)>,
+}
+
+impl std::fmt::Debug for NetlistComponent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetlistComponent")
+            .field("name", &self.name)
+            .field("module", &self.sim.module().name)
+            .finish()
+    }
 }
 
 impl NetlistComponent {
@@ -187,7 +272,7 @@ impl NetlistComponent {
     /// Panics if a named port does not exist on the module.
     pub fn new(
         name: impl Into<String>,
-        sim: NetlistSim,
+        sim: impl NetlistExec + 'static,
         inputs: Vec<(String, SignalId)>,
         outputs: Vec<(String, SignalId)>,
     ) -> Self {
@@ -205,20 +290,22 @@ impl NetlistComponent {
         }
         NetlistComponent {
             name: name.into(),
-            sim,
+            sim: Box::new(sim),
             input_map: inputs,
             output_map: outputs,
         }
     }
 
-    /// Access to the wrapped interpreter.
-    pub fn sim(&self) -> &NetlistSim {
-        &self.sim
+    /// Access to the wrapped executor.
+    pub fn sim(&self) -> &dyn NetlistExec {
+        self.sim.as_ref()
     }
 
     fn load_inputs(&mut self, sigs: &SignalView<'_>) {
         for (port, sig) in &self.input_map {
-            self.sim.set_input(port, sigs.get(*sig));
+            self.sim
+                .set_input(port, sigs.get(*sig))
+                .expect("port checked at construction");
         }
     }
 }
@@ -232,7 +319,10 @@ impl Component for NetlistComponent {
         self.load_inputs(sigs);
         self.sim.eval();
         for (port, sig) in &self.output_map {
-            let v = self.sim.get_output(port);
+            let v = self
+                .sim
+                .get_output(port)
+                .expect("port checked at construction");
             sigs.set(*sig, v);
         }
     }
@@ -264,13 +354,46 @@ mod tests {
         let mut sim = NetlistSim::new(adder_module()).unwrap();
         for x in 0..16u64 {
             for y in 0..16u64 {
-                sim.set_input("x", x);
-                sim.set_input("y", y);
+                sim.set_input("x", x).unwrap();
+                sim.set_input("y", y).unwrap();
                 sim.eval();
-                assert_eq!(sim.get_output("sum"), (x + y) & 0xF, "x={x} y={y}");
-                assert_eq!(sim.get_output("cout"), (x + y) >> 4, "x={x} y={y}");
+                assert_eq!(sim.get_output("sum").unwrap(), (x + y) & 0xF, "x={x} y={y}");
+                assert_eq!(sim.get_output("cout").unwrap(), (x + y) >> 4, "x={x} y={y}");
             }
         }
+    }
+
+    #[test]
+    fn unknown_ports_are_reported_not_panicked() {
+        let mut sim = NetlistSim::new(adder_module()).unwrap();
+        let err = sim.set_input("nope", 1).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::UnknownPort {
+                module: "add4".into(),
+                port: "nope".into(),
+                output: false,
+            }
+        );
+        assert!(err.to_string().contains("no input port named nope"));
+        let err = sim.get_output("sum_typo").unwrap_err();
+        assert!(matches!(err, SimError::UnknownPort { output: true, .. }));
+        // Output ports are not inputs and vice versa.
+        assert!(sim.set_input("sum", 1).is_err());
+        assert!(sim.get_output("x").is_err());
+    }
+
+    #[test]
+    fn ports_wider_than_64_bits_are_masked_not_panicking() {
+        let mut b = ModuleBuilder::new("wide");
+        let a = b.input("a", 80);
+        b.output("y", &a);
+        let m = b.finish().unwrap();
+        let mut sim = NetlistSim::new(m).unwrap();
+        // Would shift-overflow (`value >> 64`) before the fix.
+        sim.set_input("a", u64::MAX).unwrap();
+        sim.eval();
+        assert_eq!(sim.get_output("y").unwrap(), u64::MAX);
     }
 
     #[test]
@@ -283,30 +406,30 @@ mod tests {
         let m = b.finish().unwrap();
         let mut sim = NetlistSim::new(m).unwrap();
 
-        sim.set_input("en", 1);
-        sim.set_input("rst", 0);
+        sim.set_input("en", 1).unwrap();
+        sim.set_input("rst", 0).unwrap();
         for expect in 0..25u64 {
             sim.eval();
-            assert_eq!(sim.get_output("count"), expect % 10);
+            assert_eq!(sim.get_output("count").unwrap(), expect % 10);
             sim.step();
         }
         // Hold: en=0 freezes the count.
-        sim.set_input("en", 0);
+        sim.set_input("en", 0).unwrap();
         let frozen = {
             sim.eval();
-            sim.get_output("count")
+            sim.get_output("count").unwrap()
         };
         for _ in 0..5 {
             sim.step();
             sim.eval();
-            assert_eq!(sim.get_output("count"), frozen);
+            assert_eq!(sim.get_output("count").unwrap(), frozen);
         }
         // Synchronous reset.
-        sim.set_input("rst", 1);
+        sim.set_input("rst", 1).unwrap();
         sim.step();
-        sim.set_input("rst", 0);
+        sim.set_input("rst", 0).unwrap();
         sim.eval();
-        assert_eq!(sim.get_output("count"), 0);
+        assert_eq!(sim.get_output("count").unwrap(), 0);
     }
 
     #[test]
@@ -318,9 +441,9 @@ mod tests {
         let m = b.finish().unwrap();
         let mut sim = NetlistSim::new(m).unwrap();
         for (a, expect) in [(0, 10), (1, 20), (4, 50), (6, 0)] {
-            sim.set_input("addr", a);
+            sim.set_input("addr", a).unwrap();
             sim.eval();
-            assert_eq!(sim.get_output("data"), expect);
+            assert_eq!(sim.get_output("data").unwrap(), expect);
         }
     }
 
@@ -335,14 +458,14 @@ mod tests {
         let m = b.finish().unwrap();
         let mut sim = NetlistSim::new(m).unwrap();
         sim.eval();
-        assert_eq!(sim.get_output("q"), 1, "power-up value");
-        sim.set_input("d", 0);
+        assert_eq!(sim.get_output("q").unwrap(), 1, "power-up value");
+        sim.set_input("d", 0).unwrap();
         sim.step();
         sim.eval();
-        assert_eq!(sim.get_output("q"), 0);
+        assert_eq!(sim.get_output("q").unwrap(), 0);
         sim.reset_state();
         sim.eval();
-        assert_eq!(sim.get_output("q"), 1);
+        assert_eq!(sim.get_output("q").unwrap(), 1);
     }
 
     #[test]
@@ -362,5 +485,24 @@ mod tests {
         sys.poke(y, 8);
         sys.settle().unwrap();
         assert_eq!(sys.peek(sum), 15);
+    }
+
+    #[test]
+    fn netlist_component_accepts_the_compiled_engine_too() {
+        let mut sys = System::new();
+        let x = sys.add_signal("x", 4);
+        let y = sys.add_signal("y", 4);
+        let sum = sys.add_signal("sum", 4);
+        let sim = crate::CompiledNetlistSim::new(adder_module()).unwrap();
+        sys.add_component(NetlistComponent::new(
+            "adder",
+            sim,
+            vec![("x".into(), x), ("y".into(), y)],
+            vec![("sum".into(), sum)],
+        ));
+        sys.poke(x, 9);
+        sys.poke(y, 4);
+        sys.settle().unwrap();
+        assert_eq!(sys.peek(sum), 13);
     }
 }

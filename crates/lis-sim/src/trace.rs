@@ -70,11 +70,23 @@ impl Trace {
     /// Renders the trace as a VCD document.
     ///
     /// The output loads in GTKWave and similar viewers; one timescale
-    /// unit per clock cycle.
+    /// unit per clock cycle. Signal labels and the scope name are
+    /// sanitized (each whitespace character becomes `_`) — a raw space
+    /// would split the `$var`/`$scope` declaration and misparse in
+    /// strict viewers. A `$dumpvars` block establishes every signal's initial
+    /// value (from the first sample, or `x` when nothing was recorded),
+    /// so viewers never render an undefined region before the first
+    /// change.
     pub fn to_vcd(&self, top: &str) -> String {
+        let sanitize = |label: &str| -> String {
+            label
+                .chars()
+                .map(|c| if c.is_whitespace() { '_' } else { c })
+                .collect()
+        };
         let mut out = String::new();
         out.push_str("$timescale 1ns $end\n");
-        let _ = writeln!(out, "$scope module {top} $end");
+        let _ = writeln!(out, "$scope module {} $end", sanitize(top));
         // VCD id codes: printable ASCII starting at '!'.
         let code = |i: usize| -> String {
             let mut n = i;
@@ -89,10 +101,43 @@ impl Trace {
             s
         };
         for (i, (label, width, _)) in self.signals.iter().enumerate() {
-            let _ = writeln!(out, "$var wire {width} {} {label} $end", code(i));
+            let _ = writeln!(
+                out,
+                "$var wire {width} {} {} $end",
+                code(i),
+                sanitize(label)
+            );
         }
         out.push_str("$upscope $end\n$enddefinitions $end\n");
+        let emit_value = |out: &mut String, width: u32, v: u64, id: &str| {
+            if width == 1 {
+                let _ = writeln!(out, "{}{}", v & 1, id);
+            } else {
+                let _ = writeln!(out, "b{v:b} {id}");
+            }
+        };
+        // Initial-value block: the first sample's values, or `x` when
+        // the trace is empty.
+        out.push_str("$dumpvars\n");
         let mut prev: Vec<Option<u64>> = vec![None; self.signals.len()];
+        match self.samples.first() {
+            Some(row) => {
+                for (i, &v) in row.iter().enumerate() {
+                    prev[i] = Some(v);
+                    emit_value(&mut out, self.signals[i].1, v, &code(i));
+                }
+            }
+            None => {
+                for (i, (_, width, _)) in self.signals.iter().enumerate() {
+                    if *width == 1 {
+                        let _ = writeln!(out, "x{}", code(i));
+                    } else {
+                        let _ = writeln!(out, "bx {}", code(i));
+                    }
+                }
+            }
+        }
+        out.push_str("$end\n");
         for (t, row) in self.samples.iter().enumerate() {
             let _ = writeln!(out, "#{t}");
             for (i, &v) in row.iter().enumerate() {
@@ -100,12 +145,7 @@ impl Trace {
                     continue;
                 }
                 prev[i] = Some(v);
-                let (_, width, _) = self.signals[i];
-                if width == 1 {
-                    let _ = writeln!(out, "{}{}", v & 1, code(i));
-                } else {
-                    let _ = writeln!(out, "b{:b} {}", v, code(i));
-                }
+                emit_value(&mut out, self.signals[i].1, v, &code(i));
             }
         }
         out
@@ -175,5 +215,61 @@ mod tests {
         // Unchanged values are not re-emitted.
         let count_changes = vcd.matches("b10 !").count();
         assert_eq!(count_changes, 1);
+    }
+
+    /// Golden-output check: the exact document, byte for byte — the
+    /// `$dumpvars` initial-value block and whitespace-sanitized labels
+    /// are part of the contract (viewers misparse without them).
+    #[test]
+    fn vcd_golden_output_with_dumpvars_and_sanitized_labels() {
+        let mut sys = System::new();
+        let data = sys.add_signal("data", 4);
+        let flag = sys.add_signal("flag", 1);
+        let mut trace = Trace::new();
+        trace.watch("bus value", &sys, data); // label with a space
+        trace.watch("flag", &sys, flag);
+        for (d, f) in [(3u64, true), (3, false), (9, false)] {
+            sys.poke(data, d);
+            sys.poke_bool(flag, f);
+            sys.settle().unwrap();
+            trace.sample(&sys);
+            sys.step().unwrap();
+        }
+        let expected = "\
+$timescale 1ns $end
+$scope module tb $end
+$var wire 4 ! bus_value $end
+$var wire 1 \" flag $end
+$upscope $end
+$enddefinitions $end
+$dumpvars
+b11 !
+1\"
+$end
+#0
+#1
+0\"
+#2
+b1001 !
+";
+        assert_eq!(trace.to_vcd("tb"), expected);
+    }
+
+    #[test]
+    fn scope_name_is_sanitized_like_labels() {
+        let (sys, out) = counting_system();
+        let mut trace = Trace::new();
+        trace.watch("count", &sys, out);
+        let vcd = trace.to_vcd("my top");
+        assert!(vcd.contains("$scope module my_top $end"));
+    }
+
+    #[test]
+    fn empty_trace_dumps_unknown_initial_values() {
+        let (sys, out) = counting_system();
+        let mut trace = Trace::new();
+        trace.watch("count", &sys, out);
+        let vcd = trace.to_vcd("tb");
+        assert!(vcd.contains("$dumpvars\nbx !\n$end\n"));
     }
 }

@@ -66,11 +66,11 @@ fn run_sequence(module: &Module, stimuli: &[(u64, bool, bool)]) -> Vec<u64> {
     let mut sim = NetlistSim::new(module.clone()).unwrap();
     let mut outs = Vec::with_capacity(stimuli.len());
     for &(input, en, rst) in stimuli {
-        sim.set_input("in", input);
-        sim.set_input("en", u64::from(en));
-        sim.set_input("rst", u64::from(rst));
+        sim.set_input("in", input).unwrap();
+        sim.set_input("en", u64::from(en)).unwrap();
+        sim.set_input("rst", u64::from(rst)).unwrap();
         sim.eval();
-        outs.push(sim.get_output("out"));
+        outs.push(sim.get_output("out").unwrap());
         sim.step();
     }
     outs

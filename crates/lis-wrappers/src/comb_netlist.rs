@@ -51,16 +51,26 @@ mod tests {
     fn enable_requires_every_port() {
         let m = generate_comb(3, 2).unwrap();
         let mut sim = NetlistSim::new(m).unwrap();
-        sim.set_input("rst", 0);
+        sim.set_input("rst", 0).unwrap();
         for ne in 0..8u64 {
             for nf in 0..4u64 {
-                sim.set_input("ne", ne);
-                sim.set_input("nf", nf);
+                sim.set_input("ne", ne).unwrap();
+                sim.set_input("nf", nf).unwrap();
                 sim.eval();
                 let expect = u64::from(ne == 0b111 && nf == 0b11);
-                assert_eq!(sim.get_output("enable"), expect, "ne={ne:b} nf={nf:b}");
-                assert_eq!(sim.get_output("pop"), if expect == 1 { 0b111 } else { 0 });
-                assert_eq!(sim.get_output("push"), if expect == 1 { 0b11 } else { 0 });
+                assert_eq!(
+                    sim.get_output("enable").unwrap(),
+                    expect,
+                    "ne={ne:b} nf={nf:b}"
+                );
+                assert_eq!(
+                    sim.get_output("pop").unwrap(),
+                    if expect == 1 { 0b111 } else { 0 }
+                );
+                assert_eq!(
+                    sim.get_output("push").unwrap(),
+                    if expect == 1 { 0b11 } else { 0 }
+                );
             }
         }
     }

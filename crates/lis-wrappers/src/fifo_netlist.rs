@@ -261,35 +261,35 @@ mod tests {
     fn input_port_queues_two_and_backpressures() {
         let m = generate_input_port(8).unwrap();
         let mut sim = NetlistSim::new(m).unwrap();
-        sim.set_input("rst", 0);
-        sim.set_input("pop", 0);
+        sim.set_input("rst", 0).unwrap();
+        sim.set_input("pop", 0).unwrap();
         // Push 10, 20; third value must be refused via stop.
         for v in [10u64, 20] {
-            sim.set_input("data_in", v);
-            sim.set_input("void_in", 0);
+            sim.set_input("data_in", v).unwrap();
+            sim.set_input("void_in", 0).unwrap();
             sim.eval();
-            assert_eq!(sim.get_output("stop_out"), 0);
+            assert_eq!(sim.get_output("stop_out").unwrap(), 0);
             sim.step();
         }
         sim.eval();
-        assert_eq!(sim.get_output("stop_out"), 1, "full after two");
-        assert_eq!(sim.get_output("not_empty"), 1);
-        assert_eq!(sim.get_output("q"), 10, "FIFO order");
+        assert_eq!(sim.get_output("stop_out").unwrap(), 1, "full after two");
+        assert_eq!(sim.get_output("not_empty").unwrap(), 1);
+        assert_eq!(sim.get_output("q").unwrap(), 10, "FIFO order");
         // A further write attempt while full is ignored.
-        sim.set_input("data_in", 99);
+        sim.set_input("data_in", 99).unwrap();
         sim.step();
         // Pop both.
-        sim.set_input("void_in", 1);
-        sim.set_input("pop", 1);
+        sim.set_input("void_in", 1).unwrap();
+        sim.set_input("pop", 1).unwrap();
         sim.eval();
-        assert_eq!(sim.get_output("q"), 10);
+        assert_eq!(sim.get_output("q").unwrap(), 10);
         sim.step();
         sim.eval();
-        assert_eq!(sim.get_output("q"), 20);
+        assert_eq!(sim.get_output("q").unwrap(), 20);
         sim.step();
         sim.eval();
-        assert_eq!(sim.get_output("not_empty"), 0);
-        assert_eq!(sim.get_output("stop_out"), 0);
+        assert_eq!(sim.get_output("not_empty").unwrap(), 0);
+        assert_eq!(sim.get_output("stop_out").unwrap(), 0);
     }
 
     #[test]
@@ -298,18 +298,18 @@ mod tests {
         // rate with FIFO order preserved.
         let m = generate_input_port(8).unwrap();
         let mut sim = NetlistSim::new(m).unwrap();
-        sim.set_input("rst", 0);
-        sim.set_input("void_in", 0);
-        sim.set_input("data_in", 1);
-        sim.set_input("pop", 0);
+        sim.set_input("rst", 0).unwrap();
+        sim.set_input("void_in", 0).unwrap();
+        sim.set_input("data_in", 1).unwrap();
+        sim.set_input("pop", 0).unwrap();
         sim.step(); // occupancy 1, head = 1
-        sim.set_input("pop", 1);
+        sim.set_input("pop", 1).unwrap();
         for v in 2..=10u64 {
-            sim.set_input("data_in", v);
+            sim.set_input("data_in", v).unwrap();
             sim.eval();
-            assert_eq!(sim.get_output("q"), v - 1, "head in order");
-            assert_eq!(sim.get_output("not_empty"), 1);
-            assert_eq!(sim.get_output("stop_out"), 0, "full rate, no stop");
+            assert_eq!(sim.get_output("q").unwrap(), v - 1, "head in order");
+            assert_eq!(sim.get_output("not_empty").unwrap(), 1);
+            assert_eq!(sim.get_output("stop_out").unwrap(), 0, "full rate, no stop");
             sim.step();
         }
     }
@@ -318,32 +318,36 @@ mod tests {
     fn output_port_emits_in_order_and_respects_stop() {
         let m = generate_output_port(8).unwrap();
         let mut sim = NetlistSim::new(m).unwrap();
-        sim.set_input("rst", 0);
-        sim.set_input("stop_in", 1); // downstream stalled
-        sim.set_input("push", 1);
-        sim.set_input("d", 5);
+        sim.set_input("rst", 0).unwrap();
+        sim.set_input("stop_in", 1).unwrap(); // downstream stalled
+        sim.set_input("push", 1).unwrap();
+        sim.set_input("d", 5).unwrap();
         sim.eval();
-        assert_eq!(sim.get_output("void_out"), 1, "empty at power-up");
-        assert_eq!(sim.get_output("not_full"), 1);
+        assert_eq!(sim.get_output("void_out").unwrap(), 1, "empty at power-up");
+        assert_eq!(sim.get_output("not_full").unwrap(), 1);
         sim.step();
-        sim.set_input("d", 6);
+        sim.set_input("d", 6).unwrap();
         sim.eval();
-        assert_eq!(sim.get_output("data_out"), 5);
-        assert_eq!(sim.get_output("void_out"), 0);
+        assert_eq!(sim.get_output("data_out").unwrap(), 5);
+        assert_eq!(sim.get_output("void_out").unwrap(), 0);
         sim.step();
-        sim.set_input("push", 0);
+        sim.set_input("push", 0).unwrap();
         sim.eval();
-        assert_eq!(sim.get_output("not_full"), 0, "two queued, stalled");
+        assert_eq!(
+            sim.get_output("not_full").unwrap(),
+            0,
+            "two queued, stalled"
+        );
         // Release the stall; both drain in order.
-        sim.set_input("stop_in", 0);
+        sim.set_input("stop_in", 0).unwrap();
         sim.eval();
-        assert_eq!(sim.get_output("data_out"), 5);
+        assert_eq!(sim.get_output("data_out").unwrap(), 5);
         sim.step();
         sim.eval();
-        assert_eq!(sim.get_output("data_out"), 6);
+        assert_eq!(sim.get_output("data_out").unwrap(), 6);
         sim.step();
         sim.eval();
-        assert_eq!(sim.get_output("void_out"), 1);
+        assert_eq!(sim.get_output("void_out").unwrap(), 1);
     }
 
     #[test]
@@ -377,32 +381,36 @@ mod tests {
             .unwrap();
         let full = assemble_full_wrapper(&controller, &[8], &[8]).unwrap();
         let mut sim = NetlistSim::new(full).unwrap();
-        sim.set_input("rst", 0);
-        sim.set_input("in0_void", 1);
-        sim.set_input("out0_stop", 0);
-        sim.set_input("pearl_out0", 0);
+        sim.set_input("rst", 0).unwrap();
+        sim.set_input("in0_void", 1).unwrap();
+        sim.set_input("out0_stop", 0).unwrap();
+        sim.set_input("pearl_out0", 0).unwrap();
         sim.step(); // SP boot cycle
 
         // Offer a token on the input channel.
-        sim.set_input("in0_data", 0x5A);
-        sim.set_input("in0_void", 0);
+        sim.set_input("in0_data", 0x5A).unwrap();
+        sim.set_input("in0_void", 0).unwrap();
         sim.step(); // lands in the input port queue
-        sim.set_input("in0_void", 1);
+        sim.set_input("in0_void", 1).unwrap();
 
         // The controller should now fire the read op: enable pulses and
         // the head token reaches the pearl-side bus.
         sim.eval();
-        assert_eq!(sim.get_output("enable"), 1, "read op fires");
-        assert_eq!(sim.get_output("pearl_in0"), 0x5A);
+        assert_eq!(sim.get_output("enable").unwrap(), 1, "read op fires");
+        assert_eq!(sim.get_output("pearl_in0").unwrap(), 0x5A);
         // Pretend the pearl computes +1 and presents it for the write op.
         sim.step();
-        sim.set_input("pearl_out0", 0x5B);
+        sim.set_input("pearl_out0", 0x5B).unwrap();
         sim.eval();
-        assert_eq!(sim.get_output("enable"), 1, "write op fires (port empty)");
+        assert_eq!(
+            sim.get_output("enable").unwrap(),
+            1,
+            "write op fires (port empty)"
+        );
         sim.step();
         // The token is now in the output port; it appears on the channel.
         sim.eval();
-        assert_eq!(sim.get_output("out0_void"), 0);
-        assert_eq!(sim.get_output("out0_data"), 0x5B);
+        assert_eq!(sim.get_output("out0_void").unwrap(), 0);
+        assert_eq!(sim.get_output("out0_data").unwrap(), 0x5B);
     }
 }

@@ -234,49 +234,49 @@ mod tests {
         let s = demo_schedule();
         let m = generate_fsm(&s, encoding).unwrap();
         let mut sim = NetlistSim::new(m).unwrap();
-        sim.set_input("rst", 0);
+        sim.set_input("rst", 0).unwrap();
         // State 0 reads port 0; nothing available -> stall.
-        sim.set_input("ne", 0b00);
-        sim.set_input("nf", 0b1);
+        sim.set_input("ne", 0b00).unwrap();
+        sim.set_input("nf", 0b1).unwrap();
         sim.eval();
-        assert_eq!(sim.get_output("enable"), 0, "{encoding:?}");
+        assert_eq!(sim.get_output("enable").unwrap(), 0, "{encoding:?}");
         // Token on port 0 -> fire, pop port 0.
-        sim.set_input("ne", 0b01);
+        sim.set_input("ne", 0b01).unwrap();
         sim.eval();
-        assert_eq!(sim.get_output("enable"), 1);
-        assert_eq!(sim.get_output("pop"), 0b01);
+        assert_eq!(sim.get_output("enable").unwrap(), 1);
+        assert_eq!(sim.get_output("pop").unwrap(), 0b01);
         sim.step();
         // State 1 reads port 1; only port 0 has data -> stall (subset
         // sensitivity: port 0 irrelevant now).
         sim.eval();
-        assert_eq!(sim.get_output("enable"), 0);
-        sim.set_input("ne", 0b10);
+        assert_eq!(sim.get_output("enable").unwrap(), 0);
+        sim.set_input("ne", 0b10).unwrap();
         sim.eval();
-        assert_eq!(sim.get_output("enable"), 1);
-        assert_eq!(sim.get_output("pop"), 0b10);
+        assert_eq!(sim.get_output("enable").unwrap(), 1);
+        assert_eq!(sim.get_output("pop").unwrap(), 0b10);
         sim.step();
         // Three quiet states: fire regardless of ports.
-        sim.set_input("ne", 0b00);
-        sim.set_input("nf", 0b0);
+        sim.set_input("ne", 0b00).unwrap();
+        sim.set_input("nf", 0b0).unwrap();
         for k in 0..3 {
             sim.eval();
-            assert_eq!(sim.get_output("enable"), 1, "quiet state {k}");
-            assert_eq!(sim.get_output("pop"), 0);
-            assert_eq!(sim.get_output("push"), 0);
+            assert_eq!(sim.get_output("enable").unwrap(), 1, "quiet state {k}");
+            assert_eq!(sim.get_output("pop").unwrap(), 0);
+            assert_eq!(sim.get_output("push").unwrap(), 0);
             sim.step();
         }
         // Write state: waits for nf.
         sim.eval();
-        assert_eq!(sim.get_output("enable"), 0);
-        sim.set_input("nf", 0b1);
+        assert_eq!(sim.get_output("enable").unwrap(), 0);
+        sim.set_input("nf", 0b1).unwrap();
         sim.eval();
-        assert_eq!(sim.get_output("enable"), 1);
-        assert_eq!(sim.get_output("push"), 0b1);
+        assert_eq!(sim.get_output("enable").unwrap(), 1);
+        assert_eq!(sim.get_output("push").unwrap(), 0b1);
         sim.step();
         // Wrapped around to state 0.
-        sim.set_input("ne", 0b01);
+        sim.set_input("ne", 0b01).unwrap();
         sim.eval();
-        assert_eq!(sim.get_output("pop"), 0b01);
+        assert_eq!(sim.get_output("pop").unwrap(), 0b01);
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! The fully gate-level patient process: the complete shell — controller
 //! *and* port FIFOs, as assembled by [`crate::assemble_full_wrapper`] —
-//! is interpreted gate by gate; only the pearl remains behavioural (it
-//! is the black box the methodology encapsulates).
+//! is executed gate by gate on `lis-sim`'s compiled netlist engine;
+//! only the pearl remains behavioural (it is the black box the
+//! methodology encapsulates). Every shell port is pre-resolved to a
+//! handle at construction, so the per-cycle path performs no string
+//! formatting or name lookups.
 //!
 //! This is the highest-fidelity executable model of the paper's
 //! Figure 2, and the strongest equivalence evidence in the suite: a SoC
@@ -11,13 +14,24 @@
 use crate::fifo_netlist::assemble_full_wrapper;
 use lis_netlist::Module;
 use lis_proto::{LisChannel, Pearl, PortValues, Token, ViolationCounter};
-use lis_sim::{Component, NetlistSim, SignalView, System};
+use lis_sim::{CompiledNetlistSim, Component, PortHandle, SignalView, System};
 
 /// A patient process whose complete shell is a gate-level netlist.
 pub struct FullNetlistPatientProcess {
     name: String,
     pearl: Box<dyn Pearl>,
-    shell: NetlistSim,
+    shell: CompiledNetlistSim,
+    /// Pre-resolved shell ports, one set per pearl port.
+    h_rst: PortHandle,
+    h_enable: PortHandle,
+    h_in_data: Vec<PortHandle>,
+    h_in_void: Vec<PortHandle>,
+    h_in_stop: Vec<PortHandle>,
+    h_pearl_in: Vec<PortHandle>,
+    h_pearl_out: Vec<PortHandle>,
+    h_out_stop: Vec<PortHandle>,
+    h_out_data: Vec<PortHandle>,
+    h_out_void: Vec<PortHandle>,
     schedule_step: usize,
     in_channels: Vec<LisChannel>,
     out_channels: Vec<LisChannel>,
@@ -63,10 +77,41 @@ impl FullNetlistPatientProcess {
         let full = assemble_full_wrapper(&controller, &in_widths, &out_widths)
             .expect("full wrapper must assemble");
         let n_out = out_widths.len();
+        let shell = CompiledNetlistSim::new(full).expect("full wrapper must validate");
+        let in_h = |name: String| shell.input_handle(&name).expect("shell port");
+        let out_h = |name: String| shell.output_handle(&name).expect("shell port");
+        let h_rst = in_h("rst".into());
+        let h_enable = out_h("enable".into());
+        let h_in_data = (0..in_widths.len())
+            .map(|i| in_h(format!("in{i}_data")))
+            .collect();
+        let h_in_void = (0..in_widths.len())
+            .map(|i| in_h(format!("in{i}_void")))
+            .collect();
+        let h_in_stop = (0..in_widths.len())
+            .map(|i| out_h(format!("in{i}_stop")))
+            .collect();
+        let h_pearl_in = (0..in_widths.len())
+            .map(|i| out_h(format!("pearl_in{i}")))
+            .collect();
+        let h_pearl_out = (0..n_out).map(|o| in_h(format!("pearl_out{o}"))).collect();
+        let h_out_stop = (0..n_out).map(|o| in_h(format!("out{o}_stop"))).collect();
+        let h_out_data = (0..n_out).map(|o| out_h(format!("out{o}_data"))).collect();
+        let h_out_void = (0..n_out).map(|o| out_h(format!("out{o}_void"))).collect();
         FullNetlistPatientProcess {
             name: name.into(),
             pearl,
-            shell: NetlistSim::new(full).expect("full wrapper must validate"),
+            shell,
+            h_rst,
+            h_enable,
+            h_in_data,
+            h_in_void,
+            h_in_stop,
+            h_pearl_in,
+            h_pearl_out,
+            h_out_stop,
+            h_out_data,
+            h_out_void,
             schedule_step: 0,
             in_channels,
             out_channels,
@@ -77,20 +122,19 @@ impl FullNetlistPatientProcess {
     }
 
     fn drive_shell_inputs(&mut self, sigs: &SignalView<'_>) {
-        self.shell.set_input("rst", 0);
+        self.shell.set_input_h(self.h_rst, 0);
         for (i, ch) in self.in_channels.iter().enumerate() {
             let tok = ch.read_token(sigs);
             let (data, void) = tok.to_wires();
-            self.shell.set_input(&format!("in{i}_data"), data);
-            self.shell
-                .set_input(&format!("in{i}_void"), u64::from(void));
+            self.shell.set_input_h(self.h_in_data[i], data);
+            self.shell.set_input_h(self.h_in_void[i], u64::from(void));
         }
         for (o, ch) in self.out_channels.iter().enumerate() {
             self.shell
-                .set_input(&format!("out{o}_stop"), u64::from(ch.read_stop(sigs)));
+                .set_input_h(self.h_out_stop[o], u64::from(ch.read_stop(sigs)));
         }
         for (o, &v) in self.pearl_out.iter().enumerate() {
-            self.shell.set_input(&format!("pearl_out{o}"), v);
+            self.shell.set_input_h(self.h_pearl_out[o], v);
         }
     }
 
@@ -103,7 +147,7 @@ impl FullNetlistPatientProcess {
             return;
         }
         self.shell.eval();
-        if self.shell.get_output("enable") != 1 {
+        if self.shell.get_output_h(self.h_enable) != 1 {
             return;
         }
         self.clocked_this_cycle = true;
@@ -114,7 +158,7 @@ impl FullNetlistPatientProcess {
             // actually empty (burst underrun) the hardware hands over
             // whatever the register holds — poisoned data, which the
             // violation counter cannot see at this level by design.
-            inputs.set(port, self.shell.get_output(&format!("pearl_in{port}")));
+            inputs.set(port, self.shell.get_output_h(self.h_pearl_in[port]));
         }
         let outputs = self.pearl.clock(&inputs);
         for (port, value) in outputs.occupied() {
@@ -134,12 +178,12 @@ impl Component for FullNetlistPatientProcess {
         self.maybe_clock_pearl();
         self.shell.eval();
         for (i, ch) in self.in_channels.iter().enumerate() {
-            let stop = self.shell.get_output(&format!("in{i}_stop")) == 1;
+            let stop = self.shell.get_output_h(self.h_in_stop[i]) == 1;
             ch.write_stop(sigs, stop);
         }
         for (o, ch) in self.out_channels.iter().enumerate() {
-            let data = self.shell.get_output(&format!("out{o}_data"));
-            let void = self.shell.get_output(&format!("out{o}_void")) == 1;
+            let data = self.shell.get_output_h(self.h_out_data[o]);
+            let void = self.shell.get_output_h(self.h_out_void[o]) == 1;
             ch.write_token(sigs, Token::from_wires(data, void));
         }
     }

@@ -1,7 +1,10 @@
 //! Hardware-in-the-loop patient process: the pearl and port queues run
 //! behaviourally, but every synchronization decision comes from a
-//! *gate-level* wrapper controller simulated by `lis-sim`'s netlist
-//! interpreter.
+//! *gate-level* wrapper controller executed by `lis-sim`'s **compiled**
+//! netlist engine ([`CompiledNetlistSim`], proven cycle-for-cycle
+//! equivalent to the interpreter by property tests) with all port
+//! lookups pre-resolved to handles — the co-simulation hot path walks a
+//! flat instruction stream instead of re-interpreting the module.
 //!
 //! This is the strongest evidence the generated hardware is right: a
 //! [`NetlistPatientProcess`] must be indistinguishable — token for
@@ -10,7 +13,7 @@
 
 use lis_netlist::Module;
 use lis_proto::{LisChannel, Pearl, PortValues, Token, ViolationCounter, PORT_QUEUE_CAPACITY};
-use lis_sim::{Component, NetlistSim, SignalView, System};
+use lis_sim::{CompiledNetlistSim, Component, PortHandle, SignalView, System};
 use std::collections::VecDeque;
 
 /// A patient process whose control decisions are computed by a wrapper
@@ -18,7 +21,13 @@ use std::collections::VecDeque;
 pub struct NetlistPatientProcess {
     name: String,
     pearl: Box<dyn Pearl>,
-    controller: NetlistSim,
+    controller: CompiledNetlistSim,
+    /// Pre-resolved controller ports (`ne`/`nf` are optional: a
+    /// schedule with no inputs or no outputs omits them).
+    h_rst: PortHandle,
+    h_ne: Option<PortHandle>,
+    h_nf: Option<PortHandle>,
+    h_enable: PortHandle,
     schedule_step: usize,
     in_channels: Vec<LisChannel>,
     out_channels: Vec<LisChannel>,
@@ -59,11 +68,19 @@ impl NetlistPatientProcess {
         if let Some(ne) = controller.input("ne") {
             assert_eq!(ne.width(), n_in, "controller ne width mismatch");
         }
-        let sim = NetlistSim::new(controller).expect("controller must validate");
+        let sim = CompiledNetlistSim::new(controller).expect("controller must validate");
+        let h_rst = sim.input_handle("rst").expect("controller has rst");
+        let h_ne = sim.input_handle("ne").ok();
+        let h_nf = sim.input_handle("nf").ok();
+        let h_enable = sim.output_handle("enable").expect("controller has enable");
         NetlistPatientProcess {
             name: name.into(),
             pearl,
             controller: sim,
+            h_rst,
+            h_ne,
+            h_nf,
+            h_enable,
             schedule_step: 0,
             in_queues: vec![VecDeque::new(); n_in],
             out_queues: vec![VecDeque::new(); n_out],
@@ -75,25 +92,25 @@ impl NetlistPatientProcess {
     }
 
     fn drive_controller_inputs(&mut self) {
-        if self.controller.module().input("ne").is_some() {
+        if let Some(h) = self.h_ne {
             let mut ne = 0u64;
             for (i, q) in self.in_queues.iter().enumerate() {
                 if !q.is_empty() {
                     ne |= 1 << i;
                 }
             }
-            self.controller.set_input("ne", ne);
+            self.controller.set_input_h(h, ne);
         }
-        if self.controller.module().input("nf").is_some() {
+        if let Some(h) = self.h_nf {
             let mut nf = 0u64;
             for (o, q) in self.out_queues.iter().enumerate() {
                 if q.len() < PORT_QUEUE_CAPACITY {
                     nf |= 1 << o;
                 }
             }
-            self.controller.set_input("nf", nf);
+            self.controller.set_input_h(h, nf);
         }
-        self.controller.set_input("rst", 0);
+        self.controller.set_input_h(self.h_rst, 0);
     }
 }
 
@@ -128,7 +145,7 @@ impl Component for NetlistPatientProcess {
         //    as in the paper's Figure 2).
         self.drive_controller_inputs();
         self.controller.eval();
-        let enable = self.controller.get_output("enable") == 1;
+        let enable = self.controller.get_output_h(self.h_enable) == 1;
 
         // 3. Fire the pearl.
         if enable {

@@ -51,11 +51,11 @@ mod tests {
         let pattern = [true, false, true, true, false];
         let m = generate_shiftreg(&pattern).unwrap();
         let mut sim = NetlistSim::new(m).unwrap();
-        sim.set_input("rst", 0);
+        sim.set_input("rst", 0).unwrap();
         for t in 0..15 {
             sim.eval();
             assert_eq!(
-                sim.get_output("enable"),
+                sim.get_output("enable").unwrap(),
                 u64::from(pattern[t % pattern.len()]),
                 "cycle {t}"
             );
@@ -80,12 +80,12 @@ mod tests {
         let pattern = [true, false];
         let m = generate_shiftreg(&pattern).unwrap();
         let mut sim = NetlistSim::new(m).unwrap();
-        sim.set_input("rst", 0);
+        sim.set_input("rst", 0).unwrap();
         sim.step(); // now at pattern position 1
-        sim.set_input("rst", 1);
+        sim.set_input("rst", 1).unwrap();
         sim.step();
-        sim.set_input("rst", 0);
+        sim.set_input("rst", 0).unwrap();
         sim.eval();
-        assert_eq!(sim.get_output("enable"), 1, "back to position 0");
+        assert_eq!(sim.get_output("enable").unwrap(), 1, "back to position 0");
     }
 }

@@ -21,6 +21,14 @@ use lis_netlist::{Bus, Module, ModuleBuilder, NetId, NetlistError};
 use lis_schedule::{OpEncoding, SpProgram};
 
 /// Width of the ROM address (= read counter) for `n_ops` operations.
+///
+/// Every field of the generated processor is sized from the *program*,
+/// never hard-coded: the address/read-counter width from the operation
+/// count here, and the run-down counter width from the largest run via
+/// [`OpEncoding::minimal_for`] — which is what lets the same generator
+/// absorb the roadmap's 10^5-cycle schedules (a 17-bit run field)
+/// without touching the logic. The regression test
+/// `run_counter_survives_100_000_quiet_cycles` pins this.
 fn addr_width(n_ops: usize) -> usize {
     (usize::BITS - (n_ops.max(2) - 1).leading_zeros()) as usize
 }
@@ -184,23 +192,23 @@ mod tests {
         let p = viterbi_like_program();
         let m = generate_sp(&p).unwrap();
         let mut sim = NetlistSim::new(m).unwrap();
-        sim.set_input("rst", 0);
-        sim.set_input("ne", 0b00);
-        sim.set_input("nf", 0b1);
+        sim.set_input("rst", 0).unwrap();
+        sim.set_input("ne", 0b00).unwrap();
+        sim.set_input("nf", 0b1).unwrap();
         // Boot cycle: no enable.
         sim.eval();
-        assert_eq!(sim.get_output("enable"), 0);
+        assert_eq!(sim.get_output("enable").unwrap(), 0);
         sim.step();
         // At sync, port 0 empty: still no enable.
         sim.eval();
-        assert_eq!(sim.get_output("enable"), 0);
+        assert_eq!(sim.get_output("enable").unwrap(), 0);
         sim.step();
         // Data arrives on port 0: fires with pop=01.
-        sim.set_input("ne", 0b01);
+        sim.set_input("ne", 0b01).unwrap();
         sim.eval();
-        assert_eq!(sim.get_output("enable"), 1);
-        assert_eq!(sim.get_output("pop"), 0b01);
-        assert_eq!(sim.get_output("push"), 0);
+        assert_eq!(sim.get_output("enable").unwrap(), 1);
+        assert_eq!(sim.get_output("pop").unwrap(), 0b01);
+        assert_eq!(sim.get_output("push").unwrap(), 0);
     }
 
     #[test]
@@ -208,29 +216,33 @@ mod tests {
         let p = viterbi_like_program();
         let m = generate_sp(&p).unwrap();
         let mut sim = NetlistSim::new(m).unwrap();
-        sim.set_input("rst", 0);
-        sim.set_input("nf", 1);
-        sim.set_input("ne", 0b11);
+        sim.set_input("rst", 0).unwrap();
+        sim.set_input("nf", 1).unwrap();
+        sim.set_input("ne", 0b11).unwrap();
         sim.step(); // boot
         sim.step(); // op0: read port 0 (run 1)
         sim.step(); // op1: read port 1 (run 6: 1 sync + 5 quiet)
                     // Now free-running: 5 cycles of enable with no pops, regardless
                     // of port state.
-        sim.set_input("ne", 0b00);
-        sim.set_input("nf", 0);
+        sim.set_input("ne", 0b00).unwrap();
+        sim.set_input("nf", 0).unwrap();
         for cycle in 0..5 {
             sim.eval();
-            assert_eq!(sim.get_output("enable"), 1, "free-run cycle {cycle}");
-            assert_eq!(sim.get_output("pop"), 0);
+            assert_eq!(
+                sim.get_output("enable").unwrap(),
+                1,
+                "free-run cycle {cycle}"
+            );
+            assert_eq!(sim.get_output("pop").unwrap(), 0);
             sim.step();
         }
         // Back at a sync point (the write): waits for nf.
         sim.eval();
-        assert_eq!(sim.get_output("enable"), 0);
-        sim.set_input("nf", 1);
+        assert_eq!(sim.get_output("enable").unwrap(), 0);
+        sim.set_input("nf", 1).unwrap();
         sim.eval();
-        assert_eq!(sim.get_output("enable"), 1);
-        assert_eq!(sim.get_output("push"), 1);
+        assert_eq!(sim.get_output("enable").unwrap(), 1);
+        assert_eq!(sim.get_output("push").unwrap(), 1);
     }
 
     #[test]
@@ -269,27 +281,81 @@ mod tests {
         assert!(long.rom_bits() > short.rom_bits());
     }
 
+    /// The roadmap's long-schedule stress case: a single operation
+    /// free-running for 100_000 quiet cycles. The run field must be
+    /// sized from the max run (17 bits here), the run-down counter must
+    /// count the whole run without wrapping, and the processor must
+    /// return to a synchronization point exactly on time.
+    #[test]
+    fn run_counter_survives_100_000_quiet_cycles() {
+        use lis_schedule::{compress_bursty, OpEncoding};
+        use lis_sim::CompiledNetlistSim;
+
+        let s = ScheduleBuilder::new(1, 1)
+            .read(0)
+            .quiet(100_000)
+            .write(0)
+            .build()
+            .unwrap();
+        let p = compress(&s);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.ops()[0].run_cycles, 100_001);
+        assert_eq!(p.period(), 100_002);
+        // Burst compression folds the same way for this shape.
+        assert_eq!(compress_bursty(&s), p);
+        // The run field is sized from the max run, not a fixed width.
+        assert_eq!(OpEncoding::minimal_for(&p).run_bits, 17);
+
+        let m = generate_sp(&p).unwrap();
+        let mut sim = CompiledNetlistSim::new(m).unwrap();
+        sim.set_input("rst", 0).unwrap();
+        sim.set_input("ne", 0b1).unwrap();
+        sim.set_input("nf", 0b1).unwrap();
+        sim.step(); // boot
+                    // Sync cycle of op 0: pops port 0.
+        sim.eval();
+        assert_eq!(sim.get_output("enable").unwrap(), 1);
+        assert_eq!(sim.get_output("pop").unwrap(), 0b1);
+        sim.step();
+        // 100_000 free-run cycles, regardless of port state.
+        sim.set_input("ne", 0).unwrap();
+        sim.set_input("nf", 0).unwrap();
+        for cycle in 0..100_000u32 {
+            sim.eval();
+            assert_eq!(sim.get_output("enable").unwrap(), 1, "free-run {cycle}");
+            assert_eq!(sim.get_output("pop").unwrap(), 0, "free-run {cycle}");
+            sim.step();
+        }
+        // Back at the write sync point: waits for nf, then pushes.
+        sim.eval();
+        assert_eq!(sim.get_output("enable").unwrap(), 0, "must stop after run");
+        sim.set_input("nf", 0b1).unwrap();
+        sim.eval();
+        assert_eq!(sim.get_output("enable").unwrap(), 1);
+        assert_eq!(sim.get_output("push").unwrap(), 0b1);
+    }
+
     #[test]
     fn reset_restarts_the_program() {
         let p = viterbi_like_program();
         let m = generate_sp(&p).unwrap();
         let mut sim = NetlistSim::new(m).unwrap();
-        sim.set_input("rst", 0);
-        sim.set_input("ne", 0b11);
-        sim.set_input("nf", 1);
+        sim.set_input("rst", 0).unwrap();
+        sim.set_input("ne", 0b11).unwrap();
+        sim.set_input("nf", 1).unwrap();
         for _ in 0..5 {
             sim.step();
         }
         // Pulse reset.
-        sim.set_input("rst", 1);
+        sim.set_input("rst", 1).unwrap();
         sim.step();
-        sim.set_input("rst", 0);
+        sim.set_input("rst", 0).unwrap();
         // Boot cycle again.
         sim.eval();
-        assert_eq!(sim.get_output("enable"), 0);
+        assert_eq!(sim.get_output("enable").unwrap(), 0);
         sim.step();
         // Then op 0 (pop port 0) again.
         sim.eval();
-        assert_eq!(sim.get_output("pop"), 0b01);
+        assert_eq!(sim.get_output("pop").unwrap(), 0b01);
     }
 }

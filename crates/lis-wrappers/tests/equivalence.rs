@@ -71,23 +71,23 @@ proptest! {
         let mut sim = NetlistSim::new(module).unwrap();
         let mut policy = SpPolicy::new(program);
 
-        sim.set_input("rst", 0);
+        sim.set_input("rst", 0).unwrap();
         for (cycle, (ne, nf)) in statuses.iter().enumerate() {
             let ne_mask = ne.iter().enumerate().fold(0u64, |m, (i, &b)| m | (u64::from(b) << i));
             let nf_mask = nf.iter().enumerate().fold(0u64, |m, (i, &b)| m | (u64::from(b) << i));
-            sim.set_input("ne", ne_mask);
-            sim.set_input("nf", nf_mask);
+            sim.set_input("ne", ne_mask).unwrap();
+            sim.set_input("nf", nf_mask).unwrap();
             sim.eval();
 
             let d = policy.decide(ne, nf);
             prop_assert_eq!(
-                sim.get_output("enable") == 1,
+                sim.get_output("enable").unwrap() == 1,
                 d.fire,
                 "cycle {}: enable mismatch", cycle
             );
             if d.fire {
-                prop_assert_eq!(sim.get_output("pop"), d.reads.mask(), "cycle {}", cycle);
-                prop_assert_eq!(sim.get_output("push"), d.writes.mask(), "cycle {}", cycle);
+                prop_assert_eq!(sim.get_output("pop").unwrap(), d.reads.mask(), "cycle {}", cycle);
+                prop_assert_eq!(sim.get_output("push").unwrap(), d.writes.mask(), "cycle {}", cycle);
             }
             policy.commit(d.fire);
             sim.step();
@@ -119,23 +119,23 @@ proptest! {
         let mut sim = NetlistSim::new(module).unwrap();
         let mut policy = FsmPolicy::new(schedule);
 
-        sim.set_input("rst", 0);
+        sim.set_input("rst", 0).unwrap();
         for (cycle, (ne, nf)) in statuses.iter().enumerate() {
             let ne_mask = ne.iter().enumerate().fold(0u64, |m, (i, &b)| m | (u64::from(b) << i));
             let nf_mask = nf.iter().enumerate().fold(0u64, |m, (i, &b)| m | (u64::from(b) << i));
-            sim.set_input("ne", ne_mask);
-            sim.set_input("nf", nf_mask);
+            sim.set_input("ne", ne_mask).unwrap();
+            sim.set_input("nf", nf_mask).unwrap();
             sim.eval();
 
             let d = policy.decide(ne, nf);
             prop_assert_eq!(
-                sim.get_output("enable") == 1,
+                sim.get_output("enable").unwrap() == 1,
                 d.fire,
                 "cycle {} ({:?})", cycle, encoding
             );
             if d.fire {
-                prop_assert_eq!(sim.get_output("pop"), d.reads.mask(), "cycle {}", cycle);
-                prop_assert_eq!(sim.get_output("push"), d.writes.mask(), "cycle {}", cycle);
+                prop_assert_eq!(sim.get_output("pop").unwrap(), d.reads.mask(), "cycle {}", cycle);
+                prop_assert_eq!(sim.get_output("push").unwrap(), d.writes.mask(), "cycle {}", cycle);
             }
             policy.commit(d.fire);
             sim.step();

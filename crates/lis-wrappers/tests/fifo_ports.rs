@@ -20,28 +20,28 @@ proptest! {
     ) {
         let module = generate_input_port(8).unwrap();
         let mut sim = NetlistSim::new(module).unwrap();
-        sim.set_input("rst", 0);
+        sim.set_input("rst", 0).unwrap();
         let mut model: VecDeque<u64> = VecDeque::new();
 
         for (cycle, &(data, valid, pop)) in traffic.iter().enumerate() {
-            sim.set_input("data_in", u64::from(data));
-            sim.set_input("void_in", u64::from(!valid));
-            sim.set_input("pop", u64::from(pop));
+            sim.set_input("data_in", u64::from(data)).unwrap();
+            sim.set_input("void_in", u64::from(!valid)).unwrap();
+            sim.set_input("pop", u64::from(pop)).unwrap();
             sim.eval();
 
             // Combinational outputs reflect the model's registered state.
             prop_assert_eq!(
-                sim.get_output("not_empty") == 1,
+                sim.get_output("not_empty").unwrap() == 1,
                 !model.is_empty(),
                 "cycle {}", cycle
             );
             prop_assert_eq!(
-                sim.get_output("stop_out") == 1,
+                sim.get_output("stop_out").unwrap() == 1,
                 model.len() == CAP,
                 "cycle {}", cycle
             );
             if let Some(&head) = model.front() {
-                prop_assert_eq!(sim.get_output("q"), head, "cycle {}", cycle);
+                prop_assert_eq!(sim.get_output("q").unwrap(), head, "cycle {}", cycle);
             }
 
             // Commit: pop first (only if non-empty), then intake (only
@@ -65,27 +65,27 @@ proptest! {
     ) {
         let module = generate_output_port(8).unwrap();
         let mut sim = NetlistSim::new(module).unwrap();
-        sim.set_input("rst", 0);
+        sim.set_input("rst", 0).unwrap();
         let mut model: VecDeque<u64> = VecDeque::new();
 
         for (cycle, &(data, push, stop)) in traffic.iter().enumerate() {
-            sim.set_input("d", u64::from(data));
-            sim.set_input("push", u64::from(push));
-            sim.set_input("stop_in", u64::from(stop));
+            sim.set_input("d", u64::from(data)).unwrap();
+            sim.set_input("push", u64::from(push)).unwrap();
+            sim.set_input("stop_in", u64::from(stop)).unwrap();
             sim.eval();
 
             prop_assert_eq!(
-                sim.get_output("void_out") == 1,
+                sim.get_output("void_out").unwrap() == 1,
                 model.is_empty(),
                 "cycle {}", cycle
             );
             prop_assert_eq!(
-                sim.get_output("not_full") == 1,
+                sim.get_output("not_full").unwrap() == 1,
                 model.len() < CAP,
                 "cycle {}", cycle
             );
             if let Some(&head) = model.front() {
-                prop_assert_eq!(sim.get_output("data_out"), head, "cycle {}", cycle);
+                prop_assert_eq!(sim.get_output("data_out").unwrap(), head, "cycle {}", cycle);
             }
 
             // Commit: drain first (unless stalled), then push (only if

@@ -34,18 +34,26 @@ fn viterbi_sp_controller_full_flow() {
         let ne = cycle % 3;
         let nf = (cycle / 2) % 8;
         for sim in [&mut a, &mut b] {
-            sim.set_input("rst", u64::from(cycle == 100));
-            sim.set_input("ne", ne);
-            sim.set_input("nf", nf);
+            sim.set_input("rst", u64::from(cycle == 100)).unwrap();
+            sim.set_input("ne", ne).unwrap();
+            sim.set_input("nf", nf).unwrap();
             sim.eval();
         }
         assert_eq!(
-            a.get_output("enable"),
-            b.get_output("enable"),
+            a.get_output("enable").unwrap(),
+            b.get_output("enable").unwrap(),
             "cycle {cycle}"
         );
-        assert_eq!(a.get_output("pop"), b.get_output("pop"), "cycle {cycle}");
-        assert_eq!(a.get_output("push"), b.get_output("push"), "cycle {cycle}");
+        assert_eq!(
+            a.get_output("pop").unwrap(),
+            b.get_output("pop").unwrap(),
+            "cycle {cycle}"
+        );
+        assert_eq!(
+            a.get_output("push").unwrap(),
+            b.get_output("push").unwrap(),
+            "cycle {cycle}"
+        );
         a.step();
         b.step();
     }
