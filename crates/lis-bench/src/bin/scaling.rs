@@ -16,8 +16,8 @@
 //! future perf PR has to beat; `--json <path>` records it (plus the
 //! structural sweeps) as e.g. BENCH_scaling.json.
 
-use lis_bench::{bar, print_rows, section};
-use lis_core::experiment::{scaling_by_length, scaling_by_ports};
+use lis_bench::{bar, pool_from_args, print_rows, section};
+use lis_core::experiment::{scaling_by_length_with, scaling_by_ports_with};
 use lis_netlist::{Module, NetlistStats};
 use lis_schedule::{random_schedule, IoSchedule, RandomScheduleParams};
 use lis_sim::{CompiledNetlistSim, NetlistSim, PackedNetlistSim, LANES};
@@ -200,13 +200,15 @@ fn main() {
     } else {
         what
     };
+    let pool = pool_from_args(&args);
+    eprintln!("synthesis fan-out: {} threads", pool.threads());
     let params = TechParams::default();
     let periods = [16usize, 64, 256, 1024, 4096];
 
     let mut length_rows = Vec::new();
     if what == "both" || what == "length" {
         section("E3 — area & fmax vs schedule length (2 in / 2 out ports)");
-        length_rows = scaling_by_length(&periods, &params).expect("length sweep");
+        length_rows = scaling_by_length_with(&periods, &params, Some(&pool)).expect("length sweep");
         print_rows(&length_rows);
         section("E3 — slices, charted");
         let max = length_rows.iter().map(|r| r.slices).max().unwrap_or(1) as f64;
@@ -224,7 +226,8 @@ fn main() {
     let mut port_rows = Vec::new();
     if what == "both" || what == "ports" {
         section("E4 — area & fmax vs port count (64-cycle schedule)");
-        port_rows = scaling_by_ports(&[2, 4, 8, 16, 32], &params).expect("port sweep");
+        port_rows =
+            scaling_by_ports_with(&[2, 4, 8, 16, 32], &params, Some(&pool)).expect("port sweep");
         print_rows(&port_rows);
     }
 

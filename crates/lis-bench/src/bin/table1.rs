@@ -11,29 +11,30 @@
 //! RS    4/2957/1  2610    71     24   105    -99   +47
 //! ```
 
-use lis_bench::section;
-use lis_core::experiment::table1;
+use lis_bench::{pool_from_args, section};
+use lis_core::experiment::table1_with;
 use lis_synth::TechParams;
 use std::time::Instant;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
     // `--json <path>` additionally snapshots the rows (plus the flow's
     // wall time) as a machine-readable baseline, e.g. BENCH_table1.json.
-    let json_path = {
-        let args: Vec<String> = std::env::args().collect();
-        args.iter()
-            .position(|a| a == "--json")
-            .map(|i| args.get(i + 1).expect("--json needs a path").clone())
-    };
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| args.get(i + 1).expect("--json needs a path").clone());
 
+    let pool = pool_from_args(&args);
     let params = TechParams::default();
     section("Table 1 — Applicative Results (reproduction)");
+    eprintln!("synthesis fan-out: {} threads", pool.threads());
     println!(
         "{:8} {:>14} | {:>10} {:>8} | {:>10} {:>8} | {:>9} {:>9} | paper",
         "IP", "port/wait/run", "FSM slices", "FSM MHz", "SP slices", "SP MHz", "Δslices", "ΔMHz"
     );
     let flow_start = Instant::now();
-    let rows = table1(&params).expect("table 1 synthesis");
+    let rows = table1_with(&params, Some(&pool)).expect("table 1 synthesis");
     let flow_ms = flow_start.elapsed().as_secs_f64() * 1e3;
     if let Some(path) = &json_path {
         use serde::{Serialize, Value};

@@ -17,6 +17,32 @@
 
 use std::fmt::Display;
 
+/// Parses the `--threads N` flag (default: `LIS_SIM_THREADS`, then the
+/// machine's available parallelism, capped at 8).
+pub fn threads_from_args(args: &[String]) -> usize {
+    args.iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .or_else(|| {
+            std::env::var("LIS_SIM_THREADS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+        })
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map_or(1, usize::from)
+                .min(8)
+        })
+}
+
+/// [`threads_from_args`], materialized as the shared work-stealing pool
+/// the binaries fan their independent synthesis/simulation jobs across.
+pub fn pool_from_args(args: &[String]) -> lis_sim::WorkStealingPool {
+    lis_sim::WorkStealingPool::new(threads_from_args(args))
+}
+
 /// Prints a titled rule-delimited section.
 pub fn section(title: &str) {
     println!();

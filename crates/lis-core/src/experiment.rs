@@ -6,10 +6,36 @@ use crate::soc::SocBuilder;
 use lis_ip::{RsPearl, ViterbiPearl};
 use lis_proto::{AccumulatorPearl, Pearl};
 use lis_schedule::{compress, compress_bursty, random_schedule, IoSchedule, RandomScheduleParams};
+use lis_sim::{SchedulerStats, SettleMode, WorkStealingPool};
 use lis_synth::TechParams;
 use lis_wrappers::{FsmEncoding, WrapperKind};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::time::Instant;
+
+/// Runs a batch of independent wrapper syntheses, fanned out across
+/// `pool` when one is given (the jobs share no state; results keep the
+/// submission order either way).
+fn synthesize_batch(
+    jobs: Vec<(WrapperKind, IoSchedule, SpCompression)>,
+    params: &TechParams,
+    pool: Option<&WorkStealingPool>,
+) -> Result<Vec<WrapperSynthesis>, lis_netlist::NetlistError> {
+    match pool {
+        Some(pool) => pool
+            .map(jobs, |(kind, schedule, compression)| {
+                synthesize_wrapper(kind, &schedule, compression, params)
+            })
+            .into_iter()
+            .collect(),
+        None => jobs
+            .into_iter()
+            .map(|(kind, schedule, compression)| {
+                synthesize_wrapper(kind, &schedule, compression, params)
+            })
+            .collect(),
+    }
+}
 
 /// Reference values from the paper's Table 1.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -114,47 +140,67 @@ impl fmt::Display for Table1Row {
 ///
 /// Propagates netlist generation/validation errors.
 pub fn table1(params: &TechParams) -> Result<Vec<Table1Row>, lis_netlist::NetlistError> {
-    let mut rows = Vec::new();
+    table1_with(params, None)
+}
 
+/// [`table1`] with the four independent wrapper syntheses fanned out
+/// across a work-stealing pool.
+///
+/// # Errors
+///
+/// Propagates netlist generation/validation errors.
+pub fn table1_with(
+    params: &TechParams,
+    pool: Option<&WorkStealingPool>,
+) -> Result<Vec<Table1Row>, lis_netlist::NetlistError> {
     // Viterbi: 5 ports, burst program (4 ops, run up to 198).
-    let viterbi = ViterbiPearl::new("viterbi");
-    let schedule = viterbi.schedule().clone();
-    let program = compress_bursty(&schedule);
-    rows.push(Table1Row {
-        ip: "Viterbi".to_owned(),
-        ports: 5,
-        waits: program.len(),
-        max_run: program.max_run(),
-        fsm: synthesize_wrapper(
-            WrapperKind::Fsm(FsmEncoding::OneHot),
-            &schedule,
-            SpCompression::Safe,
-            params,
-        )?,
-        sp: synthesize_wrapper(WrapperKind::Sp, &schedule, SpCompression::Burst, params)?,
-        paper: PAPER_VITERBI,
-    });
-
+    let viterbi_schedule = ViterbiPearl::new("viterbi").schedule().clone();
+    let viterbi_program = compress_bursty(&viterbi_schedule);
     // RS: 4 ports, safe program (one op per cycle, run 1).
-    let rs = RsPearl::new("rs");
-    let schedule = rs.schedule().clone();
-    let program = compress(&schedule);
-    rows.push(Table1Row {
-        ip: "RS".to_owned(),
-        ports: 4,
-        waits: program.len(),
-        max_run: program.max_run(),
-        fsm: synthesize_wrapper(
-            WrapperKind::Fsm(FsmEncoding::OneHot),
-            &schedule,
-            SpCompression::Safe,
-            params,
-        )?,
-        sp: synthesize_wrapper(WrapperKind::Sp, &schedule, SpCompression::Safe, params)?,
-        paper: PAPER_RS,
-    });
+    let rs_schedule = RsPearl::new("rs").schedule().clone();
+    let rs_program = compress(&rs_schedule);
 
-    Ok(rows)
+    let mut results = synthesize_batch(
+        vec![
+            (
+                WrapperKind::Fsm(FsmEncoding::OneHot),
+                viterbi_schedule.clone(),
+                SpCompression::Safe,
+            ),
+            (WrapperKind::Sp, viterbi_schedule, SpCompression::Burst),
+            (
+                WrapperKind::Fsm(FsmEncoding::OneHot),
+                rs_schedule.clone(),
+                SpCompression::Safe,
+            ),
+            (WrapperKind::Sp, rs_schedule, SpCompression::Safe),
+        ],
+        params,
+        pool,
+    )?
+    .into_iter();
+    let mut next = || results.next().expect("one result per job");
+
+    Ok(vec![
+        Table1Row {
+            ip: "Viterbi".to_owned(),
+            ports: 5,
+            waits: viterbi_program.len(),
+            max_run: viterbi_program.max_run(),
+            fsm: next(),
+            sp: next(),
+            paper: PAPER_VITERBI,
+        },
+        Table1Row {
+            ip: "RS".to_owned(),
+            ports: 4,
+            waits: rs_program.len(),
+            max_run: rs_program.max_run(),
+            fsm: next(),
+            sp: next(),
+            paper: PAPER_RS,
+        },
+    ])
 }
 
 /// One point of the scaling sweep (experiment E3/E4).
@@ -205,7 +251,22 @@ pub fn scaling_by_length(
     periods: &[usize],
     params: &TechParams,
 ) -> Result<Vec<ScalingRow>, lis_netlist::NetlistError> {
-    let mut rows = Vec::new();
+    scaling_by_length_with(periods, params, None)
+}
+
+/// [`scaling_by_length`] with the independent syntheses fanned out
+/// across a work-stealing pool.
+///
+/// # Errors
+///
+/// Propagates netlist generation/validation errors.
+pub fn scaling_by_length_with(
+    periods: &[usize],
+    params: &TechParams,
+    pool: Option<&WorkStealingPool>,
+) -> Result<Vec<ScalingRow>, lis_netlist::NetlistError> {
+    let mut jobs = Vec::new();
+    let mut xs = Vec::new();
     for &period in periods {
         let schedule = sweep_schedule(period, 2, 2);
         for kind in [
@@ -214,17 +275,22 @@ pub fn scaling_by_length(
             WrapperKind::ShiftReg,
             WrapperKind::Sp,
         ] {
-            let w = synthesize_wrapper(kind, &schedule, SpCompression::Safe, params)?;
-            rows.push(ScalingRow {
-                x: period,
-                model: w.model.clone(),
-                slices: w.report.area.slices,
-                fmax_mhz: w.report.timing.fmax_mhz,
-                rom_bits: w.report.area.rom_bits_bram + w.report.area.rom_bits_lutram,
-            });
+            jobs.push((kind, schedule.clone(), SpCompression::Safe));
+            xs.push(period);
         }
     }
-    Ok(rows)
+    let rows = synthesize_batch(jobs, params, pool)?;
+    Ok(xs
+        .into_iter()
+        .zip(rows)
+        .map(|(x, w)| ScalingRow {
+            x,
+            model: w.model.clone(),
+            slices: w.report.area.slices,
+            fmax_mhz: w.report.timing.fmax_mhz,
+            rom_bits: w.report.area.rom_bits_bram + w.report.area.rom_bits_lutram,
+        })
+        .collect())
 }
 
 /// E4: area/fmax vs port count at fixed schedule length.
@@ -236,7 +302,22 @@ pub fn scaling_by_ports(
     port_counts: &[usize],
     params: &TechParams,
 ) -> Result<Vec<ScalingRow>, lis_netlist::NetlistError> {
-    let mut rows = Vec::new();
+    scaling_by_ports_with(port_counts, params, None)
+}
+
+/// [`scaling_by_ports`] with the independent syntheses fanned out across
+/// a work-stealing pool.
+///
+/// # Errors
+///
+/// Propagates netlist generation/validation errors.
+pub fn scaling_by_ports_with(
+    port_counts: &[usize],
+    params: &TechParams,
+    pool: Option<&WorkStealingPool>,
+) -> Result<Vec<ScalingRow>, lis_netlist::NetlistError> {
+    let mut jobs = Vec::new();
+    let mut xs = Vec::new();
     for &ports in port_counts {
         let n_in = ports.div_ceil(2);
         let n_out = ports / 2;
@@ -246,17 +327,22 @@ pub fn scaling_by_ports(
             WrapperKind::Fsm(FsmEncoding::OneHot),
             WrapperKind::Sp,
         ] {
-            let w = synthesize_wrapper(kind, &schedule, SpCompression::Safe, params)?;
-            rows.push(ScalingRow {
-                x: ports,
-                model: w.model.clone(),
-                slices: w.report.area.slices,
-                fmax_mhz: w.report.timing.fmax_mhz,
-                rom_bits: w.report.area.rom_bits_bram + w.report.area.rom_bits_lutram,
-            });
+            jobs.push((kind, schedule.clone(), SpCompression::Safe));
+            xs.push(ports);
         }
     }
-    Ok(rows)
+    let rows = synthesize_batch(jobs, params, pool)?;
+    Ok(xs
+        .into_iter()
+        .zip(rows)
+        .map(|(x, w)| ScalingRow {
+            x,
+            model: w.model.clone(),
+            slices: w.report.area.slices,
+            fmax_mhz: w.report.timing.fmax_mhz,
+            rom_bits: w.report.area.rom_bits_bram + w.report.area.rom_bits_lutram,
+        })
+        .collect())
 }
 
 /// One point of the throughput experiment (E5).
@@ -336,6 +422,205 @@ pub fn throughput_sweep(latencies: &[usize], stalls: &[f64], cycles: u64) -> Vec
         }
     }
     rows
+}
+
+/// Configuration of the E5 settle-path throughput benchmark: a grid of
+/// `chains` independent pipelines, each `depth` gate-level SP-wrapped
+/// pearls deep, linked through relay stations.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SettleBenchConfig {
+    /// Independent pearl pipelines (the parallelism width).
+    pub chains: usize,
+    /// Pearls per pipeline.
+    pub depth: usize,
+    /// Relay stations on each inter-stage link (0 = unbuffered).
+    pub relays: usize,
+    /// Extra zero-latency wire segments per link: the long unbuffered
+    /// wires whose `stop` back-pressure ripples *combinationally* across
+    /// the whole chain within one cycle — the settle problem relay
+    /// stations exist to segment (paper §2). The blind full sweep pays
+    /// one whole-system sweep per ripple hop; the worklist re-evaluates
+    /// only the wires the ripple actually reaches.
+    pub wire_hops: usize,
+    /// Clock cycles to simulate per engine.
+    pub cycles: u64,
+    /// Source/sink stall probability (stalls are what launch `stop`
+    /// ripples).
+    pub stall: f64,
+}
+
+impl Default for SettleBenchConfig {
+    fn default() -> Self {
+        SettleBenchConfig {
+            chains: 4,
+            depth: 4,
+            relays: 0,
+            wire_hops: 8,
+            cycles: 1500,
+            stall: 0.3,
+        }
+    }
+}
+
+/// Stable structural shape of the settle-bench SoC (drift-checkable).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SettleBenchShape {
+    /// Total pearls instantiated.
+    pub pearls: usize,
+    /// Simulator components (shells + relays + wires + endpoints).
+    pub components: usize,
+    /// Signals in the arena.
+    pub signals: usize,
+    /// Scheduler groups after clustering + SCC condensation.
+    pub sched_groups: usize,
+    /// Scheduler dependency levels.
+    pub sched_levels: usize,
+    /// Condensed combinational SCCs needing an inner fixpoint.
+    pub sched_cyclic_groups: usize,
+    /// Widest level (available parallelism).
+    pub sched_max_level_width: usize,
+}
+
+/// One engine measurement of the settle-path benchmark.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SettleBenchRow {
+    /// Settle engine ("full-sweep" or "worklist").
+    pub engine: String,
+    /// Evaluation threads.
+    pub threads: usize,
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Wall time (volatile; excluded from drift checks).
+    pub wall_ms: f64,
+    /// Simulated kilocycles per second (volatile).
+    pub kcps: f64,
+    /// Total informative tokens delivered across all sinks (stable —
+    /// must be identical for every engine).
+    pub received: u64,
+    /// Wrapping sum of all delivered tokens (stable).
+    pub checksum: u64,
+}
+
+impl fmt::Display for SettleBenchRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:10} threads={}: {:8.1} kcyc/s ({:7.1} ms for {} cycles), {} tokens, checksum {:#x}",
+            self.engine,
+            self.threads,
+            self.kcps,
+            self.wall_ms,
+            self.cycles,
+            self.received,
+            self.checksum
+        )
+    }
+}
+
+/// Builds the many-pearl settle-bench SoC: `chains` × `depth` gate-level
+/// SP-wrapped accumulators (the complete Figure 2 shell, ports included,
+/// so every settle evaluates real gate-level logic).
+fn settle_bench_soc(cfg: &SettleBenchConfig, mode: SettleMode, threads: usize) -> crate::soc::Soc {
+    let mut b = SocBuilder::new();
+    b.set_settle_mode(mode);
+    b.set_threads(threads);
+    for c in 0..cfg.chains {
+        let mut upstream: Option<lis_proto::LisChannel> = None;
+        for d in 0..cfg.depth {
+            let ip = b.add_ip_full_netlist(
+                format!("p{c}_{d}"),
+                Box::new(AccumulatorPearl::new("acc", 1, 1, 0)),
+                WrapperKind::Sp,
+            );
+            match upstream {
+                None => b.feed(
+                    format!("src{c}"),
+                    ip.inputs[0],
+                    1..=1_000_000,
+                    cfg.stall,
+                    1000 + c as u64,
+                ),
+                Some(prev) => {
+                    // A long unbuffered wire: `wire_hops` staged
+                    // zero-latency segments, then the (optional) relay
+                    // stations, then the pearl input.
+                    let mut cur = prev;
+                    for h in 0..cfg.wire_hops {
+                        let next = b.channel(&format!("w{c}_{d}_{h}"), 32);
+                        b.link(cur, next, 0);
+                        cur = next;
+                    }
+                    b.link(cur, ip.inputs[0], cfg.relays);
+                }
+            }
+            upstream = Some(ip.outputs[0]);
+        }
+        b.capture(
+            format!("out{c}"),
+            upstream.expect("depth >= 1"),
+            cfg.stall,
+            2000 + c as u64,
+        );
+    }
+    b.build()
+}
+
+/// E5 (settle path): wall-clock throughput of the component kernel on a
+/// many-pearl SoC, per settle engine and thread count. Every
+/// configuration must deliver the identical token streams — the
+/// checksum column proves it.
+pub fn settle_bench(
+    cfg: &SettleBenchConfig,
+    engines: &[(SettleMode, usize)],
+) -> (SettleBenchShape, Vec<SettleBenchRow>) {
+    let mut shape: Option<SettleBenchShape> = None;
+    let rows = engines
+        .iter()
+        .map(|&(mode, threads)| {
+            let mut soc = settle_bench_soc(cfg, mode, threads);
+            if shape.is_none() {
+                // The structural shape is mode/thread-independent; read
+                // it off the first engine's SoC before timing it (the
+                // scheduler seal this triggers is work every engine
+                // would do inside its first settle anyway).
+                let stats: SchedulerStats = soc.system_mut().scheduler_stats();
+                shape = Some(SettleBenchShape {
+                    pearls: cfg.chains * cfg.depth,
+                    components: soc.system().component_count(),
+                    signals: soc.system().signal_count(),
+                    sched_groups: stats.groups,
+                    sched_levels: stats.levels,
+                    sched_cyclic_groups: stats.cyclic_groups,
+                    sched_max_level_width: stats.max_level_width,
+                });
+            }
+            let start = Instant::now();
+            soc.run(cfg.cycles).expect("settle bench simulation");
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            let mut received = 0u64;
+            let mut checksum = 0u64;
+            for c in 0..cfg.chains {
+                for v in soc.received(&format!("out{c}")) {
+                    received += 1;
+                    checksum = checksum.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(v);
+                }
+            }
+            assert_eq!(soc.violations(), 0, "settle bench must stay protocol-clean");
+            SettleBenchRow {
+                engine: match mode {
+                    SettleMode::FullSweep => "full-sweep".to_owned(),
+                    SettleMode::Worklist => "worklist".to_owned(),
+                },
+                threads,
+                cycles: cfg.cycles,
+                wall_ms,
+                kcps: cfg.cycles as f64 / 1e3 / (wall_ms / 1e3),
+                received,
+                checksum,
+            }
+        })
+        .collect();
+    (shape.expect("at least one engine"), rows)
 }
 
 /// One row of the ablation study (E6): FSM encodings and the static
@@ -619,6 +904,51 @@ mod tests {
                 .unwrap()
         };
         assert!(tp("sp", 0, 0.0) >= tp("sp", 3, 0.0) * 0.8);
+    }
+
+    #[test]
+    fn settle_bench_engines_agree_and_shape_is_parallel() {
+        let cfg = SettleBenchConfig {
+            chains: 2,
+            depth: 2,
+            relays: 1,
+            wire_hops: 3,
+            cycles: 120,
+            stall: 0.2,
+        };
+        let (shape, rows) = settle_bench(
+            &cfg,
+            &[
+                (SettleMode::FullSweep, 1),
+                (SettleMode::Worklist, 1),
+                (SettleMode::Worklist, 4),
+            ],
+        );
+        assert_eq!(shape.pearls, 4);
+        assert!(
+            shape.sched_max_level_width >= cfg.chains,
+            "independent chains must be schedulable in parallel: {shape:?}"
+        );
+        assert!(rows[0].received > 0, "data must flow: {:?}", rows[0]);
+        for pair in rows.windows(2) {
+            assert_eq!(pair[0].received, pair[1].received, "{pair:?}");
+            assert_eq!(pair[0].checksum, pair[1].checksum, "{pair:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_synthesis_matches_sequential() {
+        let params = TechParams::default();
+        let pool = WorkStealingPool::new(4);
+        let seq = scaling_by_length(&[32, 64], &params).unwrap();
+        let par = scaling_by_length_with(&[32, 64], &params, Some(&pool)).unwrap();
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.x, b.x);
+            assert_eq!(a.model, b.model);
+            assert_eq!(a.slices, b.slices);
+            assert_eq!(a.rom_bits, b.rom_bits);
+        }
     }
 
     #[test]

@@ -6,13 +6,12 @@
 //! resulting system is correct for *any* latency assignment.
 
 use lis_proto::{LisChannel, Pearl, RelayStation, TokenSink, TokenSource, ViolationCounter};
-use lis_sim::{Component, SignalView, SimError, System, Trace};
+use lis_sim::{Component, Ports, SettleMode, SignalView, SimError, System, Trace};
 use lis_wrappers::{
     wrap_pearl, wrap_pearl_full_netlist, wrap_pearl_netlist, PatientStats, WrapperKind,
 };
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// A zero-latency connector: forwards `data`/`void` downstream and
 /// `stop` upstream, combinationally.
@@ -26,6 +25,15 @@ struct Wire {
 impl Component for Wire {
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn ports(&self) -> Ports {
+        // Fully combinational in both directions.
+        self.up
+            .downstream_reads()
+            .merge(self.up.consumer_ports())
+            .merge(self.down.producer_ports())
+            .merge(self.down.stop_reads())
     }
 
     fn eval(&mut self, sigs: &mut SignalView<'_>) {
@@ -55,7 +63,7 @@ pub struct SocBuilder {
     system: System,
     violations: ViolationCounter,
     stats: HashMap<String, PatientStats>,
-    sinks: HashMap<String, Rc<RefCell<Vec<u64>>>>,
+    sinks: HashMap<String, Arc<Mutex<Vec<u64>>>>,
     trace: Trace,
 }
 
@@ -215,6 +223,25 @@ impl SocBuilder {
         self.system.add_component(sink);
     }
 
+    /// Mutable access to the underlying [`System`] — for attaching
+    /// custom components (adapters, probes) the builder has no
+    /// dedicated method for.
+    pub fn system_mut(&mut self) -> &mut System {
+        &mut self.system
+    }
+
+    /// Sets the settle strategy of the underlying [`System`] (default:
+    /// the dependency-aware scheduler; [`SettleMode::FullSweep`] is the
+    /// legacy reference).
+    pub fn set_settle_mode(&mut self, mode: SettleMode) {
+        self.system.set_settle_mode(mode);
+    }
+
+    /// Sets the evaluation thread count of the underlying [`System`].
+    pub fn set_threads(&mut self, threads: usize) {
+        self.system.set_threads(threads);
+    }
+
     /// Finalizes the SoC.
     pub fn build(self) -> Soc {
         Soc {
@@ -233,7 +260,7 @@ pub struct Soc {
     system: System,
     violations: ViolationCounter,
     stats: HashMap<String, PatientStats>,
-    sinks: HashMap<String, Rc<RefCell<Vec<u64>>>>,
+    sinks: HashMap<String, Arc<Mutex<Vec<u64>>>>,
     trace: Trace,
 }
 
@@ -316,7 +343,11 @@ impl Soc {
     /// sinks.
     pub fn progress(&self) -> u64 {
         let fired: u64 = self.stats.values().map(PatientStats::fired).sum();
-        let received: u64 = self.sinks.values().map(|s| s.borrow().len() as u64).sum();
+        let received: u64 = self
+            .sinks
+            .values()
+            .map(|s| s.lock().unwrap().len() as u64)
+            .sum();
         fired + received
     }
 
@@ -331,6 +362,17 @@ impl Soc {
         self.system.cycle()
     }
 
+    /// The underlying simulation system (e.g. for differential signal
+    /// snapshots or scheduler statistics).
+    pub fn system(&self) -> &System {
+        &self.system
+    }
+
+    /// Mutable access to the underlying system.
+    pub fn system_mut(&mut self) -> &mut System {
+        &mut self.system
+    }
+
     /// The informative stream captured by sink `name` so far.
     ///
     /// # Panics
@@ -340,7 +382,8 @@ impl Soc {
         self.sinks
             .get(name)
             .unwrap_or_else(|| panic!("no sink named {name}"))
-            .borrow()
+            .lock()
+            .unwrap()
             .clone()
     }
 

@@ -1,0 +1,211 @@
+//! Property tests pinning the sharded scheduler to the legacy
+//! full-sweep settle on *randomized SoCs*: random pearl pipelines
+//! (behavioural and gate-level wrappers), random relay/wire link
+//! latencies, serializer/deserializer width conversions, random stall
+//! patterns, and random thread counts — stepped cycle by cycle with
+//! every signal compared after each settle.
+
+use lis_core::SocBuilder;
+use lis_proto::{AccumulatorPearl, Deserializer, LisChannel, Serializer};
+use lis_sim::SettleMode;
+use lis_wrappers::WrapperKind;
+use proptest::prelude::*;
+
+/// One random SoC description, buildable repeatedly.
+#[derive(Debug, Clone)]
+struct SocSpec {
+    chains: Vec<ChainSpec>,
+}
+
+#[derive(Debug, Clone)]
+struct ChainSpec {
+    stages: Vec<StageSpec>,
+    src_stall: f64,
+    sink_stall: f64,
+    seed: u64,
+    /// Insert a serializer/deserializer width conversion after stage 0.
+    serdes: bool,
+}
+
+#[derive(Debug, Clone)]
+struct StageSpec {
+    kind_sel: u8,
+    /// Gate-level shell instead of the behavioural wrapper.
+    hardware: bool,
+    relays: usize,
+    extra_wires: usize,
+}
+
+fn wrapper_kind(sel: u8) -> WrapperKind {
+    match sel % 3 {
+        0 => WrapperKind::Sp,
+        1 => WrapperKind::Fsm(Default::default()),
+        _ => WrapperKind::Comb,
+    }
+}
+
+fn build(spec: &SocSpec, mode: SettleMode, threads: usize) -> lis_core::Soc {
+    let mut b = SocBuilder::new();
+    b.set_settle_mode(mode);
+    b.set_threads(threads);
+    for (c, chain) in spec.chains.iter().enumerate() {
+        let mut upstream: Option<LisChannel> = None;
+        for (d, stage) in chain.stages.iter().enumerate() {
+            let name = format!("p{c}_{d}");
+            let pearl = Box::new(AccumulatorPearl::new("acc", 1, 1, 0));
+            let kind = wrapper_kind(stage.kind_sel);
+            let ip = if stage.hardware {
+                b.add_ip_full_netlist(name, pearl, kind)
+            } else {
+                b.add_ip(name, pearl, kind)
+            };
+            match upstream {
+                None => b.feed(
+                    format!("src{c}"),
+                    ip.inputs[0],
+                    1..=500,
+                    chain.src_stall,
+                    chain.seed,
+                ),
+                Some(prev) => {
+                    let mut cur = prev;
+                    if d == 1 && chain.serdes {
+                        // Wide → narrow → wide round trip on the link.
+                        let narrow = b.channel(&format!("n{c}_{d}"), 8);
+                        let wide = b.channel(&format!("rw{c}_{d}"), 32);
+                        let ser = Serializer::new(format!("ser{c}"), cur, narrow);
+                        let des = Deserializer::new(format!("des{c}"), narrow, wide);
+                        b.system_mut().add_component(ser);
+                        b.system_mut().add_component(des);
+                        cur = wide;
+                    }
+                    for w in 0..stage.extra_wires {
+                        let next = b.channel(&format!("w{c}_{d}_{w}"), 32);
+                        b.link(cur, next, 0);
+                        cur = next;
+                    }
+                    b.link(cur, ip.inputs[0], stage.relays);
+                }
+            }
+            upstream = Some(ip.outputs[0]);
+        }
+        b.capture(
+            format!("out{c}"),
+            upstream.expect("at least one stage"),
+            chain.sink_stall,
+            chain.seed ^ 0xA5A5,
+        );
+    }
+    b.build()
+}
+
+fn stage_strategy() -> impl Strategy<Value = StageSpec> {
+    (0u8..3, any::<u8>(), 0usize..3, 0usize..3).prop_map(|(kind_sel, hw, relays, extra_wires)| {
+        StageSpec {
+            kind_sel,
+            // Gate-level shells are the expensive minority.
+            hardware: hw < 77,
+            relays,
+            extra_wires,
+        }
+    })
+}
+
+fn chain_strategy() -> impl Strategy<Value = ChainSpec> {
+    (
+        prop::collection::vec(stage_strategy(), 1..4),
+        0.0f64..0.5,
+        0.0f64..0.5,
+        any::<u64>(),
+        any::<u8>(),
+    )
+        .prop_map(|(stages, src_stall, sink_stall, seed, serdes)| ChainSpec {
+            stages,
+            src_stall,
+            sink_stall,
+            seed,
+            serdes: serdes < 77,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The scheduler (at a random thread count) matches the full sweep
+    /// cycle for cycle on every signal of a random SoC, and the
+    /// delivered streams and violation counts agree.
+    #[test]
+    fn random_socs_settle_identically(
+        chains in prop::collection::vec(chain_strategy(), 1..3),
+        threads in 1usize..5,
+        cycles in 40u64..120,
+    ) {
+        let spec = SocSpec { chains };
+        let mut reference = build(&spec, SettleMode::FullSweep, 1);
+        let mut scheduled = build(&spec, SettleMode::Worklist, threads);
+        for cycle in 0..cycles {
+            reference.run(1).unwrap();
+            scheduled.run(1).unwrap();
+            prop_assert_eq!(
+                reference.system().signal_values(),
+                scheduled.system().signal_values(),
+                "signal divergence at cycle {} (threads={})", cycle, threads
+            );
+        }
+        for c in 0..spec.chains.len() {
+            let name = format!("out{c}");
+            prop_assert_eq!(reference.received(&name), scheduled.received(&name));
+        }
+        prop_assert_eq!(reference.violations(), scheduled.violations());
+    }
+}
+
+/// The satellite regression: a deliberate combinational `stop` loop
+/// with no relay station in it must be reported as a named
+/// non-convergence, not simulated into garbage.
+#[test]
+fn stop_loop_without_relay_station_is_named() {
+    use lis_sim::{FnComponent, Ports, SignalView, System};
+    let mut sys = System::new();
+    let a = LisChannel::new(&mut sys, "a", 8);
+    let b = LisChannel::new(&mut sys, "b", 8);
+    // Two combinational shells wired head-to-tail: each forwards the
+    // other's back-pressure, one inverting — the stop wires oscillate
+    // forever. A relay station (registered stop) would break the loop.
+    sys.add_component(FnComponent::new(
+        "shell_ab",
+        Ports::none()
+            .merge(a.stop_reads())
+            .merge(b.consumer_ports()),
+        move |s: &mut SignalView<'_>| {
+            let stop = a.read_stop(s);
+            b.write_stop(s, !stop);
+        },
+        |_| {},
+    ));
+    sys.add_component(FnComponent::new(
+        "shell_ba",
+        Ports::none()
+            .merge(b.stop_reads())
+            .merge(a.consumer_ports()),
+        move |s: &mut SignalView<'_>| {
+            let stop = b.read_stop(s);
+            a.write_stop(s, stop);
+        },
+        |_| {},
+    ));
+    let err = sys.settle().unwrap_err();
+    match &err {
+        lis_sim::SimError::NoConvergence {
+            components, cycle, ..
+        } => {
+            assert_eq!(*cycle, 0);
+            assert_eq!(components, &["shell_ab", "shell_ba"]);
+        }
+        other => panic!("expected NoConvergence, got {other:?}"),
+    }
+    assert!(
+        err.to_string().contains("shell_ab, shell_ba"),
+        "error must name the loop: {err}"
+    );
+}

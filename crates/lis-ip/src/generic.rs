@@ -8,7 +8,7 @@ use lis_schedule::{Interface, IoSchedule, PortSpec, ScheduleBuilder};
 
 /// The block-compute function of a [`DataflowPearl`]: per-input-port
 /// collected tokens in, per-output-port token queues out.
-pub type ComputeFn = Box<dyn FnMut(&[Vec<u64>]) -> Vec<Vec<u64>>>;
+pub type ComputeFn = Box<dyn FnMut(&[Vec<u64>]) -> Vec<Vec<u64>> + Send>;
 
 /// A pearl whose schedule comes from a [`DataflowProgram`] and whose
 /// computation is an arbitrary block function.
@@ -57,7 +57,7 @@ impl DataflowPearl {
         name: impl Into<String>,
         ports: Vec<PortSpec>,
         program: &DataflowProgram,
-        compute: impl FnMut(&[Vec<u64>]) -> Vec<Vec<u64>> + 'static,
+        compute: impl FnMut(&[Vec<u64>]) -> Vec<Vec<u64>> + Send + 'static,
     ) -> Result<Self, lis_schedule::ScheduleError> {
         let interface = Interface::new(ports);
         let schedule = program.lower()?;

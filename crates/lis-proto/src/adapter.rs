@@ -8,7 +8,7 @@
 
 use crate::channel::LisChannel;
 use crate::token::Token;
-use lis_sim::{Component, SignalView};
+use lis_sim::{Component, Ports, SignalView};
 
 /// Splits each wide token into `factor` narrow tokens, least-significant
 /// chunk first.
@@ -54,6 +54,12 @@ impl Serializer {
 impl Component for Serializer {
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn ports(&self) -> Ports {
+        self.narrow
+            .producer_ports()
+            .merge(self.wide.consumer_ports())
     }
 
     fn eval(&mut self, sigs: &mut SignalView<'_>) {
@@ -129,6 +135,12 @@ impl Component for Deserializer {
         &self.name
     }
 
+    fn ports(&self) -> Ports {
+        self.wide
+            .producer_ports()
+            .merge(self.narrow.consumer_ports())
+    }
+
     fn eval(&mut self, sigs: &mut SignalView<'_>) {
         let out = self.ready.map_or(Token::Void, Token::Data);
         self.wide.write_token(sigs, out);
@@ -181,7 +193,7 @@ mod tests {
         let got = sink.received();
         sys.add_component(sink);
         sys.run(20).unwrap();
-        assert_eq!(*got.borrow(), vec![0xEF, 0xBE, 0x34, 0x12]);
+        assert_eq!(*got.lock().unwrap(), vec![0xEF, 0xBE, 0x34, 0x12]);
     }
 
     #[test]
@@ -199,7 +211,7 @@ mod tests {
         let got = sink.received();
         sys.add_component(sink);
         sys.run(30).unwrap();
-        assert_eq!(*got.borrow(), vec![0xBEEF, 0x1234]);
+        assert_eq!(*got.lock().unwrap(), vec![0xBEEF, 0x1234]);
     }
 
     #[test]
@@ -218,7 +230,7 @@ mod tests {
         let got = sink.received();
         sys.add_component(sink);
         sys.run(800).unwrap();
-        assert_eq!(*got.borrow(), words);
+        assert_eq!(*got.lock().unwrap(), words);
     }
 
     #[test]

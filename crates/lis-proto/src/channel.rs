@@ -1,7 +1,7 @@
 //! Channel wiring: the signal bundle of one point-to-point LIS link.
 
 use crate::token::Token;
-use lis_sim::{SignalId, SignalView, System};
+use lis_sim::{Ports, SignalId, SignalView, System};
 
 /// The three wires of a latency-insensitive channel segment:
 /// `data`/`void` travel downstream, `stop` travels upstream.
@@ -36,6 +36,32 @@ impl LisChannel {
             stop,
             width,
         }
+    }
+
+    /// Declared evaluation ports of a *registered* producer on this
+    /// channel (Moore outputs; `stop` is sampled at the clock edge, not
+    /// during eval): writes `data`/`void`.
+    pub fn producer_ports(&self) -> Ports {
+        Ports::writes_only([self.data, self.void])
+    }
+
+    /// Declared evaluation ports of a *registered* consumer: writes
+    /// `stop` (token wires are sampled at the clock edge).
+    pub fn consumer_ports(&self) -> Ports {
+        Ports::writes_only([self.stop])
+    }
+
+    /// Extra declaration for a stage reading the token wires
+    /// *combinationally* during eval (zero-latency connectors,
+    /// gate-level shells).
+    pub fn downstream_reads(&self) -> Ports {
+        Ports::reads_only([self.data, self.void])
+    }
+
+    /// Extra declaration for a stage reading back-pressure
+    /// combinationally during eval.
+    pub fn stop_reads(&self) -> Ports {
+        Ports::reads_only([self.stop])
     }
 
     /// Reads the downstream token from a signal view.
@@ -80,17 +106,19 @@ mod tests {
     fn token_round_trip_through_signals() {
         let mut sys = System::new();
         let ch = LisChannel::new(&mut sys, "c", 16);
-        let seen = std::rc::Rc::new(std::cell::Cell::new(Token::Void));
-        let seen2 = std::rc::Rc::clone(&seen);
+        let seen = std::sync::Arc::new(std::sync::Mutex::new(Token::Void));
+        let seen2 = std::sync::Arc::clone(&seen);
         sys.add_component(FnComponent::new(
             "probe",
+            ch.producer_ports(),
             move |sigs: &mut SignalView<'_>| {
                 ch.write_token(sigs, Token::Data(0xABC));
-                seen2.set(ch.read_token(sigs));
+                // Writes imply read-back permission.
+                *seen2.lock().unwrap() = ch.read_token(sigs);
             },
             |_| {},
         ));
         sys.settle().unwrap();
-        assert_eq!(seen.get(), Token::Data(0xABC));
+        assert_eq!(*seen.lock().unwrap(), Token::Data(0xABC));
     }
 }

@@ -8,12 +8,11 @@
 
 use crate::channel::LisChannel;
 use crate::token::Token;
-use lis_sim::{Component, SignalView};
+use lis_sim::{Component, Ports, SignalView};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// A producer driving a predefined token sequence onto a channel,
 /// honouring back-pressure, optionally skipping cycles (emitting void)
@@ -27,7 +26,7 @@ pub struct TokenSource {
     rng: StdRng,
     /// Whether this cycle is a self-inflicted stall (decided per cycle).
     stalling: bool,
-    sent: Rc<RefCell<Vec<u64>>>,
+    sent: Arc<Mutex<Vec<u64>>>,
 }
 
 impl TokenSource {
@@ -44,7 +43,7 @@ impl TokenSource {
             stall_probability: 0.0,
             rng: StdRng::seed_from_u64(0),
             stalling: false,
-            sent: Rc::new(RefCell::new(Vec::new())),
+            sent: Arc::new(Mutex::new(Vec::new())),
         }
     }
 
@@ -59,8 +58,8 @@ impl TokenSource {
     }
 
     /// Handle to the list of tokens actually sent (in order).
-    pub fn sent(&self) -> Rc<RefCell<Vec<u64>>> {
-        Rc::clone(&self.sent)
+    pub fn sent(&self) -> Arc<Mutex<Vec<u64>>> {
+        Arc::clone(&self.sent)
     }
 
     /// Tokens not yet emitted.
@@ -72,6 +71,10 @@ impl TokenSource {
 impl Component for TokenSource {
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn ports(&self) -> Ports {
+        self.channel.producer_ports()
     }
 
     fn eval(&mut self, sigs: &mut SignalView<'_>) {
@@ -88,7 +91,7 @@ impl Component for TokenSource {
     fn tick(&mut self, sigs: &SignalView<'_>) {
         if !self.stalling && !self.channel.read_stop(sigs) {
             if let Some(v) = self.pending.pop_front() {
-                self.sent.borrow_mut().push(v);
+                self.sent.lock().unwrap().push(v);
             }
         }
         // Decide next cycle's stall.
@@ -106,7 +109,7 @@ pub struct TokenSink {
     stall_probability: f64,
     rng: StdRng,
     stalling: bool,
-    received: Rc<RefCell<Vec<u64>>>,
+    received: Arc<Mutex<Vec<u64>>>,
     cycles_busy: u64,
     cycles_total: u64,
 }
@@ -120,7 +123,7 @@ impl TokenSink {
             stall_probability: 0.0,
             rng: StdRng::seed_from_u64(0),
             stalling: false,
-            received: Rc::new(RefCell::new(Vec::new())),
+            received: Arc::new(Mutex::new(Vec::new())),
             cycles_busy: 0,
             cycles_total: 0,
         }
@@ -137,14 +140,18 @@ impl TokenSink {
     }
 
     /// Handle to the informative tokens received (in order).
-    pub fn received(&self) -> Rc<RefCell<Vec<u64>>> {
-        Rc::clone(&self.received)
+    pub fn received(&self) -> Arc<Mutex<Vec<u64>>> {
+        Arc::clone(&self.received)
     }
 }
 
 impl Component for TokenSink {
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn ports(&self) -> Ports {
+        self.channel.consumer_ports()
     }
 
     fn eval(&mut self, sigs: &mut SignalView<'_>) {
@@ -155,7 +162,7 @@ impl Component for TokenSink {
         self.cycles_total += 1;
         if !self.stalling {
             if let Token::Data(v) = self.channel.read_token(sigs) {
-                self.received.borrow_mut().push(v);
+                self.received.lock().unwrap().push(v);
                 self.cycles_busy += 1;
             }
         }
@@ -180,7 +187,7 @@ mod tests {
         sys.add_component(src);
         sys.add_component(sink);
         sys.run(10).unwrap();
-        assert_eq!(*got.borrow(), vec![1, 2, 3, 4, 5]);
+        assert_eq!(*got.lock().unwrap(), vec![1, 2, 3, 4, 5]);
     }
 
     #[test]
@@ -195,7 +202,7 @@ mod tests {
         let got = sink.received();
         sys.add_component(sink);
         sys.run(400).unwrap();
-        assert_eq!(*got.borrow(), (1..=50).collect::<Vec<u64>>());
+        assert_eq!(*got.lock().unwrap(), (1..=50).collect::<Vec<u64>>());
         assert_eq!(violations.count(), 0);
     }
 
@@ -209,6 +216,6 @@ mod tests {
         sys.add_component(src);
         sys.add_component(TokenSink::new("sink", ch));
         sys.run(5).unwrap();
-        assert_eq!(*sent.borrow(), vec![9, 8]);
+        assert_eq!(*sent.lock().unwrap(), vec![9, 8]);
     }
 }

@@ -9,7 +9,7 @@
 use crate::channel::LisChannel;
 use crate::relay::ViolationCounter;
 use crate::token::Token;
-use lis_sim::{Component, SignalId, SignalView, System};
+use lis_sim::{Component, Ports, SignalId, SignalView, System};
 use std::collections::VecDeque;
 
 /// Signals an input port presents to the shell.
@@ -90,6 +90,14 @@ impl Component for InputPort {
         &self.name
     }
 
+    fn ports(&self) -> Ports {
+        // Face data/not_empty come from the registered queue; `pop` is
+        // sampled at the clock edge.
+        self.channel
+            .consumer_ports()
+            .merge(Ports::writes_only([self.face.data, self.face.not_empty]))
+    }
+
     fn eval(&mut self, sigs: &mut SignalView<'_>) {
         sigs.set(self.face.data, self.queue.front().copied().unwrap_or(0));
         sigs.set_bool(self.face.not_empty, !self.queue.is_empty());
@@ -168,6 +176,12 @@ impl Component for OutputPort {
         &self.name
     }
 
+    fn ports(&self) -> Ports {
+        self.channel
+            .producer_ports()
+            .merge(Ports::writes_only([self.face.not_full]))
+    }
+
     fn eval(&mut self, sigs: &mut SignalView<'_>) {
         let out = match self.queue.front() {
             Some(&v) => Token::Data(v),
@@ -198,8 +212,7 @@ impl Component for OutputPort {
 mod tests {
     use super::*;
     use lis_sim::FnComponent;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
 
     #[test]
     fn input_port_queues_and_pops_in_order() {
@@ -211,39 +224,45 @@ mod tests {
         sys.add_component(port);
 
         // Source: pushes 1, 2, 3 respecting stop.
-        let pending = Rc::new(RefCell::new(vec![1u64, 2, 3]));
-        let p2 = Rc::clone(&pending);
+        let pending = Arc::new(Mutex::new(vec![1u64, 2, 3]));
+        let p2 = Arc::clone(&pending);
         sys.add_component(FnComponent::new(
             "src",
+            ch.producer_ports(),
             move |sigs: &mut SignalView<'_>| {
-                let tok = p2.borrow().first().map_or(Token::Void, |&v| Token::Data(v));
+                let tok = p2
+                    .lock()
+                    .unwrap()
+                    .first()
+                    .map_or(Token::Void, |&v| Token::Data(v));
                 ch.write_token(sigs, tok);
             },
             move |sigs: &SignalView<'_>| {
-                if !ch.read_stop(sigs) && !pending.borrow().is_empty() {
-                    pending.borrow_mut().remove(0);
+                if !ch.read_stop(sigs) && !pending.lock().unwrap().is_empty() {
+                    pending.lock().unwrap().remove(0);
                 }
             },
         ));
 
         // Shell: pops whenever not_empty.
-        let got = Rc::new(RefCell::new(Vec::new()));
-        let g2 = Rc::clone(&got);
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let g2 = Arc::clone(&got);
         sys.add_component(FnComponent::new(
             "shell",
+            Ports::new([face.not_empty], [face.pop]),
             move |sigs: &mut SignalView<'_>| {
                 let ne = sigs.get_bool(face.not_empty);
                 sigs.set_bool(face.pop, ne);
             },
             move |sigs: &SignalView<'_>| {
                 if sigs.get_bool(face.pop) {
-                    g2.borrow_mut().push(sigs.get(face.data));
+                    g2.lock().unwrap().push(sigs.get(face.data));
                 }
             },
         ));
 
         sys.run(12).unwrap();
-        assert_eq!(*got.borrow(), vec![1, 2, 3]);
+        assert_eq!(*got.lock().unwrap(), vec![1, 2, 3]);
         assert_eq!(violations.count(), 0);
     }
 
@@ -256,23 +275,25 @@ mod tests {
         let face = port.face();
         sys.add_component(port);
 
-        let sent = Rc::new(RefCell::new(0u64));
-        let s2 = Rc::clone(&sent);
+        let sent = Arc::new(Mutex::new(0u64));
+        let s2 = Arc::clone(&sent);
         sys.add_component(FnComponent::new(
             "src",
+            ch.producer_ports(),
             move |sigs: &mut SignalView<'_>| {
-                let n = *s2.borrow();
+                let n = *s2.lock().unwrap();
                 ch.write_token(sigs, Token::Data(n));
             },
             move |sigs: &SignalView<'_>| {
                 if !ch.read_stop(sigs) {
-                    *sent.borrow_mut() += 1;
+                    *sent.lock().unwrap() += 1;
                 }
             },
         ));
         // Shell never pops.
         sys.add_component(FnComponent::new(
             "lazy_shell",
+            Ports::writes_only([face.pop]),
             move |sigs: &mut SignalView<'_>| {
                 sigs.set_bool(face.pop, false);
             },
@@ -297,47 +318,49 @@ mod tests {
         sys.add_component(port);
 
         // Shell: push 5 values whenever not_full.
-        let next = Rc::new(RefCell::new(1u64));
-        let n2 = Rc::clone(&next);
+        let next = Arc::new(Mutex::new(1u64));
+        let n2 = Arc::clone(&next);
         sys.add_component(FnComponent::new(
             "shell",
+            Ports::new([face.not_full], [face.push, face.data]),
             move |sigs: &mut SignalView<'_>| {
-                let v = *n2.borrow();
+                let v = *n2.lock().unwrap();
                 let can = sigs.get_bool(face.not_full) && v <= 5;
                 sigs.set_bool(face.push, can);
                 sigs.set(face.data, v);
             },
             move |sigs: &SignalView<'_>| {
                 if sigs.get_bool(face.push) {
-                    *next.borrow_mut() += 1;
+                    *next.lock().unwrap() += 1;
                 }
             },
         ));
 
         // Sink with a stall pattern.
-        let got = Rc::new(RefCell::new(Vec::new()));
-        let g2 = Rc::clone(&got);
-        let t = Rc::new(RefCell::new(0usize));
-        let t2 = Rc::clone(&t);
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let g2 = Arc::clone(&got);
+        let t = Arc::new(Mutex::new(0usize));
+        let t2 = Arc::clone(&t);
         sys.add_component(FnComponent::new(
             "sink",
+            ch.consumer_ports(),
             move |sigs: &mut SignalView<'_>| {
-                let stall = *t2.borrow() % 3 == 0;
+                let stall = *t2.lock().unwrap() % 3 == 0;
                 ch.write_stop(sigs, stall);
             },
             move |sigs: &SignalView<'_>| {
-                let stall = *t.borrow() % 3 == 0;
+                let stall = *t.lock().unwrap() % 3 == 0;
                 if !stall {
                     if let Token::Data(v) = ch.read_token(sigs) {
-                        g2.borrow_mut().push(v);
+                        g2.lock().unwrap().push(v);
                     }
                 }
-                *t.borrow_mut() += 1;
+                *t.lock().unwrap() += 1;
             },
         ));
 
         sys.run(40).unwrap();
-        assert_eq!(*got.borrow(), vec![1, 2, 3, 4, 5]);
+        assert_eq!(*got.lock().unwrap(), vec![1, 2, 3, 4, 5]);
         assert_eq!(violations.count(), 0);
     }
 }

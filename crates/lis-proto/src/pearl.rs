@@ -89,7 +89,7 @@ impl fmt::Display for PortValues {
 /// every port in `schedule().at(t).reads`, and the returned frame must
 /// carry a value for every port in `schedule().at(t).writes` (and no
 /// others). [`Pearl::reset`] rewinds to enabled cycle 0.
-pub trait Pearl {
+pub trait Pearl: Send {
     /// Instance name.
     fn name(&self) -> &str;
 

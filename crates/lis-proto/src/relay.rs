@@ -10,15 +10,15 @@
 
 use crate::channel::LisChannel;
 use crate::token::Token;
-use lis_sim::{Component, SignalView, System};
-use std::cell::Cell;
-use std::rc::Rc;
+use lis_sim::{Component, Ports, SignalView, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Shared flag counting protocol violations (token overflow) observed by
 /// relay stations and port adapters. A correct system never increments
 /// it; tests assert it stays zero.
 #[derive(Debug, Clone, Default)]
-pub struct ViolationCounter(Rc<Cell<u64>>);
+pub struct ViolationCounter(Arc<AtomicU64>);
 
 impl ViolationCounter {
     /// Creates a counter at zero.
@@ -28,12 +28,12 @@ impl ViolationCounter {
 
     /// Current violation count.
     pub fn count(&self) -> u64 {
-        self.0.get()
+        self.0.load(Ordering::Relaxed)
     }
 
     /// Records one violation.
     pub fn record(&self) {
-        self.0.set(self.0.get() + 1);
+        self.0.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -108,6 +108,14 @@ impl RelayStation {
 impl Component for RelayStation {
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn ports(&self) -> Ports {
+        // Both faces are registered: the main register drives
+        // downstream, the stop register drives upstream.
+        self.downstream
+            .producer_ports()
+            .merge(self.upstream.consumer_ports())
     }
 
     fn eval(&mut self, sigs: &mut SignalView<'_>) {
@@ -185,6 +193,12 @@ impl Component for PlainRegisterStage {
         &self.name
     }
 
+    fn ports(&self) -> Ports {
+        self.downstream
+            .producer_ports()
+            .merge(self.upstream.consumer_ports())
+    }
+
     fn eval(&mut self, sigs: &mut SignalView<'_>) {
         self.downstream.write_token(sigs, self.held);
         // Never back-pressures upstream.
@@ -203,18 +217,20 @@ mod tests {
 
     /// Drives a fixed token sequence, respecting stop.
     fn add_source(sys: &mut System, ch: LisChannel, tokens: Vec<u64>) {
-        let queue = Rc::new(std::cell::RefCell::new(tokens));
-        let q2 = Rc::clone(&queue);
+        let queue = Arc::new(std::sync::Mutex::new(tokens));
+        let q2 = Arc::clone(&queue);
         sys.add_component(FnComponent::new(
             "src",
+            ch.producer_ports(),
             move |sigs: &mut SignalView<'_>| {
-                let q = q2.borrow();
+                let q = q2.lock().unwrap();
                 let tok = q.first().map_or(Token::Void, |&v| Token::Data(v));
                 ch.write_token(sigs, tok);
             },
             move |sigs: &SignalView<'_>| {
-                if !ch.read_stop(sigs) && !queue.borrow().is_empty() {
-                    queue.borrow_mut().remove(0);
+                let mut q = queue.lock().unwrap();
+                if !ch.read_stop(sigs) && !q.is_empty() {
+                    q.remove(0);
                 }
             },
         ));
@@ -226,26 +242,28 @@ mod tests {
         sys: &mut System,
         ch: LisChannel,
         stall_pattern: Vec<bool>,
-    ) -> Rc<std::cell::RefCell<Vec<u64>>> {
-        let got = Rc::new(std::cell::RefCell::new(Vec::new()));
-        let got2 = Rc::clone(&got);
-        let t = Rc::new(Cell::new(0usize));
-        let t2 = Rc::clone(&t);
+    ) -> Arc<std::sync::Mutex<Vec<u64>>> {
+        let got = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let got2 = Arc::clone(&got);
+        let t = Arc::new(AtomicU64::new(0));
+        let t2 = Arc::clone(&t);
         let pattern = stall_pattern.clone();
         sys.add_component(FnComponent::new(
             "sink",
+            ch.consumer_ports(),
             move |sigs: &mut SignalView<'_>| {
-                let stall = pattern[t2.get() % pattern.len()];
+                let stall = pattern[t2.load(Ordering::Relaxed) as usize % pattern.len()];
                 ch.write_stop(sigs, stall);
             },
             move |sigs: &SignalView<'_>| {
-                let stall = stall_pattern[t.get() % stall_pattern.len()];
+                let step = t.load(Ordering::Relaxed) as usize;
+                let stall = stall_pattern[step % stall_pattern.len()];
                 if !stall {
                     if let Token::Data(v) = ch.read_token(sigs) {
-                        got2.borrow_mut().push(v);
+                        got2.lock().unwrap().push(v);
                     }
                 }
-                t.set(t.get() + 1);
+                t.store(step as u64 + 1, Ordering::Relaxed);
             },
         ));
         got
@@ -261,7 +279,7 @@ mod tests {
         sys.add_component(RelayStation::new("rs", a, b, violations.clone()));
         let got = add_sink(&mut sys, b, vec![false]);
         sys.run(10).unwrap();
-        assert_eq!(*got.borrow(), vec![1, 2, 3]);
+        assert_eq!(*got.lock().unwrap(), vec![1, 2, 3]);
         assert_eq!(violations.count(), 0);
     }
 
@@ -274,7 +292,7 @@ mod tests {
         let out = RelayStation::chain(&mut sys, "ch", a, 5, &violations);
         let got = add_sink(&mut sys, out, vec![false]);
         sys.run(40).unwrap();
-        assert_eq!(*got.borrow(), (1..=20).collect::<Vec<u64>>());
+        assert_eq!(*got.lock().unwrap(), (1..=20).collect::<Vec<u64>>());
         assert_eq!(violations.count(), 0);
     }
 
@@ -288,7 +306,7 @@ mod tests {
         // Sink stalls 2 of every 3 cycles.
         let got = add_sink(&mut sys, out, vec![true, true, false]);
         sys.run(200).unwrap();
-        assert_eq!(*got.borrow(), (1..=30).collect::<Vec<u64>>());
+        assert_eq!(*got.lock().unwrap(), (1..=30).collect::<Vec<u64>>());
         assert_eq!(violations.count(), 0, "no token may ever be dropped");
     }
 
@@ -303,9 +321,9 @@ mod tests {
         sys.run(40).unwrap();
         // The flip-flop ignores stop; the stalled sink misses tokens.
         assert!(
-            got.borrow().len() < 10,
+            got.lock().unwrap().len() < 10,
             "plain register must lose tokens under irregular consumption, got {:?}",
-            got.borrow()
+            got.lock().unwrap()
         );
     }
 }

@@ -32,7 +32,7 @@ proptest! {
         sys.run(40 * n_tokens + 20 * chain_len as u64 + 200).unwrap();
 
         prop_assert_eq!(violations.count(), 0, "no token may ever be dropped");
-        let received = got.borrow().clone();
+        let received = got.lock().unwrap().clone();
         prop_assert_eq!(
             received,
             (1..=n_tokens).collect::<Vec<u64>>(),
@@ -61,7 +61,7 @@ proptest! {
             let got = sink.received();
             sys.add_component(sink);
             sys.run(2000).unwrap();
-            let result = got.borrow().clone();
+            let result = got.lock().unwrap().clone();
             (result, violations.count())
         };
         let (a, va) = run(len_a);

@@ -3,27 +3,114 @@
 //! A [`System`] owns signals and components. Every clock cycle has two
 //! phases:
 //!
-//! 1. **settle** — components' [`Component::eval`] run repeatedly until no
-//!    signal changes (a combinational fixpoint; LIS `stop` back-pressure
-//!    wires legitimately ripple upstream through several shells in one
-//!    cycle);
+//! 1. **settle** — components' [`Component::eval`] run until no signal
+//!    changes (a combinational fixpoint; LIS `stop` back-pressure wires
+//!    legitimately ripple upstream through several shells in one cycle);
 //! 2. **tick** — every component samples the settled signals and commits
 //!    its sequential state.
 //!
-//! Non-convergence of the settle loop (a combinational cycle, e.g. a
-//! `stop` loop without a relay station) is reported as
-//! [`SimError::NoConvergence`] rather than silently producing garbage.
+//! Components declare their evaluation-phase read/write signal sets via
+//! [`Component::ports`]. From those declarations the kernel seals a
+//! dependency-aware [`crate::sched`] scheduler: signal→reader edges,
+//! combinational SCCs condensed at build time, groups bucketed into
+//! dependency levels, and — when [`System::set_threads`] (or the
+//! `LIS_SIM_THREADS` environment variable) asks for more than one
+//! thread — independent groups of a level evaluated concurrently on a
+//! hand-rolled work-stealing pool. Results are identical for every
+//! thread count and match the legacy full-sweep loop, which is kept as
+//! [`SettleMode::FullSweep`] for reference and differential testing.
+//!
+//! Non-convergence of the settle (a combinational cycle, e.g. a `stop`
+//! loop without a relay station) is reported as
+//! [`SimError::NoConvergence`] naming the components of the offending
+//! SCC rather than silently producing garbage.
 
+use crate::pool::WorkStealingPool;
+use crate::sched::{Scheduler, SchedulerStats};
 use crate::signal::{Signal, SignalId, SignalView};
 use std::fmt;
+
+/// The declared evaluation-phase interface of a component: every signal
+/// its [`Component::eval`] may read, and every signal it may write.
+///
+/// Declarations are checked at runtime — an undeclared access during a
+/// scheduled settle panics with the component and signal names. Writes
+/// imply read permission (a component may read back its own outputs).
+/// The tick phase is unrestricted for reads (it runs after the settle,
+/// sequentially).
+#[derive(Debug, Clone, Default)]
+pub struct Ports {
+    /// Signals `eval` may read.
+    pub reads: Vec<SignalId>,
+    /// Signals `eval` may write.
+    pub writes: Vec<SignalId>,
+}
+
+impl Ports {
+    /// Declares explicit read and write sets.
+    pub fn new(
+        reads: impl IntoIterator<Item = SignalId>,
+        writes: impl IntoIterator<Item = SignalId>,
+    ) -> Self {
+        Ports {
+            reads: reads.into_iter().collect(),
+            writes: writes.into_iter().collect(),
+        }
+    }
+
+    /// An empty interface (a component that only acts in `tick`).
+    pub fn none() -> Self {
+        Ports::default()
+    }
+
+    /// Declares a write-only interface.
+    pub fn writes_only(writes: impl IntoIterator<Item = SignalId>) -> Self {
+        Ports::new([], writes)
+    }
+
+    /// Declares a read-only interface.
+    pub fn reads_only(reads: impl IntoIterator<Item = SignalId>) -> Self {
+        Ports::new(reads, [])
+    }
+
+    /// Adds a read signal.
+    #[must_use]
+    pub fn read(mut self, id: SignalId) -> Self {
+        self.reads.push(id);
+        self
+    }
+
+    /// Adds a write signal.
+    #[must_use]
+    pub fn write(mut self, id: SignalId) -> Self {
+        self.writes.push(id);
+        self
+    }
+
+    /// Concatenates two interfaces (e.g. one per channel endpoint).
+    #[must_use]
+    pub fn merge(mut self, other: Ports) -> Self {
+        self.reads.extend(other.reads);
+        self.writes.extend(other.writes);
+        self
+    }
+}
 
 /// A synchronous hardware component.
 ///
 /// Implementations hold their signal ids (obtained from
-/// [`System::add_signal`]) and internal registers.
-pub trait Component {
+/// [`System::add_signal`]) and internal registers. Components must be
+/// [`Send`]: the scheduler may evaluate independent components on worker
+/// threads (shared handles inside a component should use `Arc`
+/// +&nbsp;atomics/`Mutex`, not `Rc`/`RefCell`).
+pub trait Component: Send {
     /// Instance name, for diagnostics and traces.
     fn name(&self) -> &str;
+
+    /// The component's declared evaluation-phase signal sets, sampled
+    /// once at [`System::add_component`] time. `eval` must stay within
+    /// them (checked at runtime); `tick` may read any signal.
+    fn ports(&self) -> Ports;
 
     /// Combinational evaluation: compute output signals from input
     /// signals and internal (registered) state. May be invoked several
@@ -43,8 +130,12 @@ pub enum SimError {
     NoConvergence {
         /// The cycle index at which the failure occurred.
         cycle: u64,
-        /// Number of sweeps attempted.
+        /// Number of sweeps (full-sweep mode) or worklist rounds
+        /// (scheduled mode) attempted.
         sweeps: usize,
+        /// Names of the components forming the unconverged combinational
+        /// SCC (empty in full-sweep mode, which cannot localize it).
+        components: Vec<String>,
     },
     /// A netlist executor was asked for a port the module does not have.
     UnknownPort {
@@ -60,11 +151,34 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::NoConvergence { cycle, sweeps } => write!(
-                f,
-                "combinational settle did not converge at cycle {cycle} after {sweeps} sweeps \
-                 (combinational loop between components?)"
-            ),
+            SimError::NoConvergence {
+                cycle,
+                sweeps,
+                components,
+            } => {
+                write!(
+                    f,
+                    "combinational settle did not converge at cycle {cycle} after {sweeps} sweeps"
+                )?;
+                if components.is_empty() {
+                    write!(f, " (combinational loop between components?)")
+                } else {
+                    const SHOWN: usize = 8;
+                    let head: Vec<&str> =
+                        components.iter().take(SHOWN).map(String::as_str).collect();
+                    let ellipsis = if components.len() > SHOWN {
+                        ", …"
+                    } else {
+                        ""
+                    };
+                    write!(
+                        f,
+                        ": combinational loop through [{}{}]",
+                        head.join(", "),
+                        ellipsis
+                    )
+                }
+            }
             SimError::UnknownPort {
                 module,
                 port,
@@ -80,12 +194,31 @@ impl fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
+/// How [`System::settle`] reaches the combinational fixpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SettleMode {
+    /// The dependency-aware sharded scheduler (default): one pass over
+    /// the SCC-condensed dependency levels, re-evaluating only
+    /// components whose declared inputs changed, optionally across
+    /// threads.
+    #[default]
+    Worklist,
+    /// The legacy blind loop: sweep every component until no signal
+    /// changes. Kept as the reference semantics for differential tests
+    /// and baselines.
+    FullSweep,
+}
+
+/// Extra sweeps the full-sweep reference allows beyond the component
+/// count (the scheduled mode derives its bounds per SCC instead).
+const FULL_SWEEP_MARGIN: usize = 8;
+
 /// A synchronous system: signal arena plus component list.
 ///
 /// # Examples
 ///
 /// ```
-/// use lis_sim::{System, FnComponent};
+/// use lis_sim::{FnComponent, Ports, System};
 ///
 /// # fn main() -> Result<(), lis_sim::SimError> {
 /// let mut sys = System::new();
@@ -94,6 +227,7 @@ impl std::error::Error for SimError {}
 /// // A combinational doubler: b = 2*a.
 /// sys.add_component(FnComponent::new(
 ///     "doubler",
+///     Ports::new([a], [b]),
 ///     move |sigs| {
 ///         let v = sigs.get(a);
 ///         sigs.set(b, v * 2);
@@ -109,9 +243,18 @@ impl std::error::Error for SimError {}
 pub struct System {
     signals: Vec<Signal>,
     components: Vec<Box<dyn Component>>,
+    /// Declared interfaces, captured at registration.
+    ports: Vec<Ports>,
     cycle: u64,
-    /// Extra settle sweeps allowed beyond the component count.
-    settle_margin: usize,
+    /// Whether the current signal values are a settled fixpoint (skips
+    /// redundant settles inside [`System::step`]).
+    settled: bool,
+    mode: SettleMode,
+    /// Requested evaluation parallelism (resolved from
+    /// `LIS_SIM_THREADS` at construction; overridable).
+    threads: usize,
+    sched: Option<Scheduler>,
+    pool: Option<WorkStealingPool>,
 }
 
 impl fmt::Debug for System {
@@ -120,6 +263,8 @@ impl fmt::Debug for System {
             .field("signals", &self.signals.len())
             .field("components", &self.components.len())
             .field("cycle", &self.cycle)
+            .field("mode", &self.mode)
+            .field("threads", &self.threads)
             .finish()
     }
 }
@@ -131,14 +276,46 @@ impl Default for System {
 }
 
 impl System {
-    /// Creates an empty system.
+    /// Creates an empty system. Evaluation parallelism defaults to the
+    /// `LIS_SIM_THREADS` environment variable (1 when unset or invalid).
     pub fn new() -> Self {
         System {
             signals: Vec::new(),
             components: Vec::new(),
+            ports: Vec::new(),
             cycle: 0,
-            settle_margin: 8,
+            settled: false,
+            mode: SettleMode::default(),
+            threads: std::env::var("LIS_SIM_THREADS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n >= 1)
+                .unwrap_or(1),
+            sched: None,
+            pool: None,
         }
+    }
+
+    /// Sets how the settle fixpoint is computed (default:
+    /// [`SettleMode::Worklist`]).
+    pub fn set_settle_mode(&mut self, mode: SettleMode) {
+        self.mode = mode;
+        self.settled = false;
+    }
+
+    /// Sets the number of evaluation threads (1 = fully sequential).
+    /// Results are independent of the thread count.
+    pub fn set_threads(&mut self, threads: usize) {
+        let threads = threads.max(1);
+        if threads != self.threads {
+            self.threads = threads;
+            self.pool = None;
+        }
+    }
+
+    /// The configured evaluation thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Declares a signal of `width` bits (1..=64) initialized to 0.
@@ -154,13 +331,19 @@ impl System {
             width,
             value: 0,
         });
+        self.sched = None;
+        self.settled = false;
         id
     }
 
-    /// Adds a component; evaluation order follows insertion order (the
-    /// settle loop makes the result order-independent).
+    /// Adds a component, capturing its declared [`Component::ports`].
+    /// Insertion order is preserved wherever evaluation order matters
+    /// (components sharing written signals, SCC worklists).
     pub fn add_component(&mut self, component: impl Component + 'static) {
+        self.ports.push(component.ports());
         self.components.push(Box::new(component));
+        self.sched = None;
+        self.settled = false;
     }
 
     /// Number of elapsed clock cycles.
@@ -193,10 +376,20 @@ impl System {
         self.peek(id) & 1 == 1
     }
 
+    /// Snapshot of every signal value, in id order (differential
+    /// testing).
+    pub fn signal_values(&self) -> Vec<u64> {
+        self.signals.iter().map(|s| s.value).collect()
+    }
+
     /// Forces a signal value (used for top-level stimuli).
     pub fn poke(&mut self, id: SignalId, value: u64) {
         let mask = self.signals[id.index()].mask();
-        self.signals[id.index()].value = value & mask;
+        let masked = value & mask;
+        if self.signals[id.index()].value != masked {
+            self.signals[id.index()].value = masked;
+            self.settled = false;
+        }
     }
 
     /// Forces a boolean signal value.
@@ -204,19 +397,65 @@ impl System {
         self.poke(id, u64::from(value));
     }
 
-    /// Runs component evaluation to a combinational fixpoint.
+    /// Structural statistics of the sealed scheduler (builds it if
+    /// needed): group/level counts, SCC census, parallel width.
+    pub fn scheduler_stats(&mut self) -> SchedulerStats {
+        self.seal();
+        self.sched.as_ref().expect("sealed").stats()
+    }
+
+    fn seal(&mut self) {
+        if self.sched.is_none() {
+            self.sched = Some(Scheduler::build(
+                &self.components,
+                &self.ports,
+                self.signals.len(),
+            ));
+        }
+        if self.threads > 1 && self.pool.is_none() {
+            self.pool = Some(WorkStealingPool::new(self.threads));
+        }
+    }
+
+    /// Runs component evaluation to a combinational fixpoint (a no-op if
+    /// the system is already settled).
     ///
     /// # Errors
     ///
-    /// [`SimError::NoConvergence`] if the signals keep changing after
-    /// `components + margin` sweeps.
+    /// [`SimError::NoConvergence`] if a combinational SCC keeps changing
+    /// signals past its iteration bound.
     pub fn settle(&mut self) -> Result<(), SimError> {
-        let max_sweeps = self.components.len() + self.settle_margin;
+        if self.settled {
+            return Ok(());
+        }
+        match self.mode {
+            SettleMode::FullSweep => self.settle_full_sweep()?,
+            SettleMode::Worklist => {
+                self.seal();
+                let pool = if self.threads > 1 {
+                    self.pool.as_ref()
+                } else {
+                    None
+                };
+                self.sched.as_ref().expect("sealed").settle(
+                    &mut self.signals,
+                    &mut self.components,
+                    self.cycle,
+                    pool,
+                )?;
+            }
+        }
+        self.settled = true;
+        Ok(())
+    }
+
+    /// The legacy reference settle: blindly re-evaluate every component
+    /// until no signal changes, bounded by `components + margin` sweeps.
+    /// Ignores declared ports entirely.
+    fn settle_full_sweep(&mut self) -> Result<(), SimError> {
+        let max_sweeps = self.components.len() + FULL_SWEEP_MARGIN;
         for _ in 0..max_sweeps {
-            let mut view = SignalView {
-                signals: &mut self.signals,
-                changed: false,
-            };
+            let mut view = SignalView::unguarded(&mut self.signals);
             for comp in &mut self.components {
                 comp.eval(&mut view);
             }
@@ -227,6 +466,7 @@ impl System {
         Err(SimError::NoConvergence {
             cycle: self.cycle,
             sweeps: max_sweeps,
+            components: Vec::new(),
         })
     }
 
@@ -237,14 +477,13 @@ impl System {
     /// Propagates [`SimError::NoConvergence`] from [`System::settle`].
     pub fn step(&mut self) -> Result<(), SimError> {
         self.settle()?;
-        let view = SignalView {
-            signals: &mut self.signals,
-            changed: false,
-        };
+        let view = SignalView::unguarded(&mut self.signals);
         for comp in &mut self.components {
             comp.tick(&view);
         }
         self.cycle += 1;
+        // Ticks changed registered state; outputs must re-settle.
+        self.settled = false;
         Ok(())
     }
 
@@ -285,6 +524,7 @@ impl System {
 /// for sources, sinks and test scaffolding.
 pub struct FnComponent<E, T> {
     name: String,
+    ports: Ports,
     eval_fn: E,
     tick_fn: T,
 }
@@ -299,13 +539,15 @@ impl<E, T> fmt::Debug for FnComponent<E, T> {
 
 impl<E, T> FnComponent<E, T>
 where
-    E: FnMut(&mut SignalView<'_>),
-    T: FnMut(&SignalView<'_>),
+    E: FnMut(&mut SignalView<'_>) + Send,
+    T: FnMut(&SignalView<'_>) + Send,
 {
-    /// Wraps `eval` and `tick` closures as a component.
-    pub fn new(name: impl Into<String>, eval_fn: E, tick_fn: T) -> Self {
+    /// Wraps `eval` and `tick` closures as a component with the given
+    /// declared interface.
+    pub fn new(name: impl Into<String>, ports: Ports, eval_fn: E, tick_fn: T) -> Self {
         FnComponent {
             name: name.into(),
+            ports,
             eval_fn,
             tick_fn,
         }
@@ -314,11 +556,15 @@ where
 
 impl<E, T> Component for FnComponent<E, T>
 where
-    E: FnMut(&mut SignalView<'_>),
-    T: FnMut(&SignalView<'_>),
+    E: FnMut(&mut SignalView<'_>) + Send,
+    T: FnMut(&SignalView<'_>) + Send,
 {
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn ports(&self) -> Ports {
+        self.ports.clone()
     }
 
     fn eval(&mut self, sigs: &mut SignalView<'_>) {
@@ -333,8 +579,8 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::cell::Cell as StdCell;
-    use std::rc::Rc;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
 
     /// A registered incrementer: q' = q + 1, output = q.
     struct Counter {
@@ -345,6 +591,9 @@ mod tests {
     impl Component for Counter {
         fn name(&self) -> &str {
             "counter"
+        }
+        fn ports(&self) -> Ports {
+            Ports::writes_only([self.out])
         }
         fn eval(&mut self, sigs: &mut SignalView<'_>) {
             sigs.set(self.out, self.state);
@@ -369,13 +618,14 @@ mod tests {
 
     #[test]
     fn settle_propagates_through_component_chains_out_of_order() {
-        // c = b+1 added BEFORE b = a+1: requires a second sweep.
+        // c = b+1 added BEFORE b = a+1: requires dependency ordering.
         let mut sys = System::new();
         let a = sys.add_signal("a", 8);
         let b = sys.add_signal("b", 8);
         let c = sys.add_signal("c", 8);
         sys.add_component(FnComponent::new(
             "second",
+            Ports::new([b], [c]),
             move |s: &mut SignalView<'_>| {
                 let v = s.get(b);
                 s.set(c, v + 1);
@@ -384,6 +634,7 @@ mod tests {
         ));
         sys.add_component(FnComponent::new(
             "first",
+            Ports::new([a], [b]),
             move |s: &mut SignalView<'_>| {
                 let v = s.get(a);
                 s.set(b, v + 1);
@@ -393,15 +644,20 @@ mod tests {
         sys.poke(a, 10);
         sys.settle().unwrap();
         assert_eq!(sys.peek(c), 12);
+        let stats = sys.scheduler_stats();
+        assert_eq!(stats.groups, 2);
+        assert_eq!(stats.levels, 2, "chain must levelize");
+        assert_eq!(stats.cyclic_groups, 0);
     }
 
     #[test]
-    fn combinational_loop_is_detected() {
+    fn combinational_loop_is_detected_and_named() {
         let mut sys = System::new();
         let x = sys.add_signal("x", 8);
         // x = x + 1 combinationally: never settles.
         sys.add_component(FnComponent::new(
             "osc",
+            Ports::new([x], [x]),
             move |s: &mut SignalView<'_>| {
                 let v = s.get(x);
                 s.set(x, v.wrapping_add(1));
@@ -410,7 +666,88 @@ mod tests {
         ));
         let err = sys.settle().unwrap_err();
         assert!(matches!(err, SimError::NoConvergence { .. }));
-        assert!(err.to_string().contains("did not converge"));
+        let msg = err.to_string();
+        assert!(msg.contains("did not converge"), "{msg}");
+        assert!(msg.contains("osc"), "must name the component: {msg}");
+    }
+
+    #[test]
+    fn two_component_stop_loop_names_both_members() {
+        // A combinational back-pressure cycle: each side inverts the
+        // other's wire — the system oscillates forever.
+        let mut sys = System::new();
+        let sa = sys.add_signal("stop_a", 1);
+        let sb = sys.add_signal("stop_b", 1);
+        sys.add_component(FnComponent::new(
+            "shell_a",
+            Ports::new([sb], [sa]),
+            move |s: &mut SignalView<'_>| {
+                let v = s.get_bool(sb);
+                s.set_bool(sa, !v);
+            },
+            |_| {},
+        ));
+        sys.add_component(FnComponent::new(
+            "shell_b",
+            Ports::new([sa], [sb]),
+            move |s: &mut SignalView<'_>| {
+                let v = s.get_bool(sa);
+                s.set_bool(sb, v);
+            },
+            |_| {},
+        ));
+        let err = sys.settle().unwrap_err();
+        match &err {
+            SimError::NoConvergence { components, .. } => {
+                assert_eq!(components, &["shell_a", "shell_b"]);
+            }
+            other => panic!("wrong error {other:?}"),
+        }
+        assert!(err.to_string().contains("shell_a, shell_b"));
+    }
+
+    #[test]
+    fn full_sweep_mode_still_detects_loops() {
+        let mut sys = System::new();
+        sys.set_settle_mode(SettleMode::FullSweep);
+        let x = sys.add_signal("x", 8);
+        sys.add_component(FnComponent::new(
+            "osc",
+            Ports::new([x], [x]),
+            move |s: &mut SignalView<'_>| {
+                let v = s.get(x);
+                s.set(x, v.wrapping_add(1));
+            },
+            |_| {},
+        ));
+        let err = sys.settle().unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::NoConvergence { ref components, .. } if components.is_empty()
+        ));
+    }
+
+    #[test]
+    fn undeclared_write_is_rejected() {
+        let mut sys = System::new();
+        let a = sys.add_signal("a", 8);
+        let b = sys.add_signal("b", 8);
+        sys.add_component(FnComponent::new(
+            "sneaky",
+            Ports::writes_only([a]),
+            move |s: &mut SignalView<'_>| {
+                s.set(a, 1);
+                s.set(b, 2); // not declared!
+            },
+            |_| {},
+        ));
+        let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sys.settle()));
+        let msg = *panic
+            .expect_err("must panic")
+            .downcast::<String>()
+            .expect("string payload");
+        assert!(msg.contains("sneaky"), "{msg}");
+        assert!(msg.contains("undeclared"), "{msg}");
     }
 
     #[test]
@@ -437,17 +774,76 @@ mod tests {
     fn tick_sees_settled_values() {
         let mut sys = System::new();
         let a = sys.add_signal("a", 8);
-        let sampled = Rc::new(StdCell::new(0u64));
-        let sampled2 = Rc::clone(&sampled);
+        let sampled = Arc::new(AtomicU64::new(0));
+        let sampled2 = Arc::clone(&sampled);
         sys.add_component(FnComponent::new(
             "sampler",
+            Ports::none(),
             |_: &mut SignalView<'_>| {},
             move |s: &SignalView<'_>| {
-                sampled2.set(s.get(a));
+                sampled2.store(s.get(a), Ordering::Relaxed);
             },
         ));
         sys.poke(a, 33);
         sys.step().unwrap();
-        assert_eq!(sampled.get(), 33);
+        assert_eq!(sampled.load(Ordering::Relaxed), 33);
+    }
+
+    #[test]
+    fn disagreeing_multi_writers_report_their_merged_group() {
+        // Two components persistently write different values to one
+        // signal. The legacy sweep would re-evaluate them forever and
+        // report non-convergence; the scheduler must merge them into
+        // one group and do the same, naming both.
+        let mut sys = System::new();
+        let s = sys.add_signal("s", 8);
+        sys.add_component(FnComponent::new(
+            "w1",
+            Ports::writes_only([s]),
+            move |v: &mut SignalView<'_>| v.set(s, 1),
+            |_| {},
+        ));
+        sys.add_component(FnComponent::new(
+            "w2",
+            Ports::writes_only([s]),
+            move |v: &mut SignalView<'_>| v.set(s, 2),
+            |_| {},
+        ));
+        // Writers disagree: the full sweep would never converge, and the
+        // scheduler must likewise report the merged group.
+        let err = sys.settle().unwrap_err();
+        match err {
+            SimError::NoConvergence { components, .. } => {
+                assert_eq!(components, vec!["w1".to_owned(), "w2".to_owned()]);
+            }
+            other => panic!("wrong error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn threaded_settle_matches_sequential() {
+        let build = |threads: usize| {
+            let mut sys = System::new();
+            sys.set_threads(threads);
+            let mut outs = Vec::new();
+            for i in 0..13 {
+                let a = sys.add_signal(format!("a{i}"), 16);
+                let b = sys.add_signal(format!("b{i}"), 16);
+                sys.add_component(FnComponent::new(
+                    format!("f{i}"),
+                    Ports::new([a], [b]),
+                    move |s: &mut SignalView<'_>| {
+                        let v = s.get(a);
+                        s.set(b, v * 3 + i);
+                    },
+                    |_| {},
+                ));
+                sys.poke(a, 100 + i);
+                outs.push(b);
+            }
+            sys.settle().unwrap();
+            outs.iter().map(|&b| sys.peek(b)).collect::<Vec<_>>()
+        };
+        assert_eq!(build(1), build(4));
     }
 }

@@ -3,10 +3,18 @@
 //! Two executors with identical two-phase clock semantics:
 //!
 //! * [`System`] — a component-level simulator. Components implement
-//!   [`Component`]; each cycle the kernel **settles** combinational
-//!   outputs to a fixpoint (LIS `stop`/`void` wires ripple through
-//!   several shells within one cycle) and then **ticks** sequential
-//!   state. Combinational loops are detected and reported.
+//!   [`Component`], declaring their evaluation-phase read/write signal
+//!   sets via [`Component::ports`]; each cycle the kernel **settles**
+//!   combinational outputs to a fixpoint (LIS `stop`/`void` wires ripple
+//!   through several shells within one cycle) and then **ticks**
+//!   sequential state. The settle runs on a dependency-aware sharded
+//!   scheduler: the signal→reader graph is sealed once, combinational
+//!   SCCs are condensed at build time, and independent groups evaluate
+//!   across a hand-rolled work-stealing [`pool`] (`LIS_SIM_THREADS` or
+//!   [`System::set_threads`]) with thread-count-independent results.
+//!   Combinational loops are detected and reported with the component
+//!   names forming the cycle; the legacy full-sweep loop survives as
+//!   [`SettleMode::FullSweep`] for differential testing.
 //! * [`NetlistSim`] — a gate-level interpreter for
 //!   [`lis_netlist::Module`]s, used as the reference executor for
 //!   generated wrapper hardware. [`NetlistComponent`] drops a netlist
@@ -26,7 +34,7 @@
 //! # Examples
 //!
 //! ```
-//! use lis_sim::{System, FnComponent};
+//! use lis_sim::{FnComponent, Ports, System};
 //!
 //! # fn main() -> Result<(), lis_sim::SimError> {
 //! let mut sys = System::new();
@@ -34,6 +42,7 @@
 //! let y = sys.add_signal("y", 8);
 //! sys.add_component(FnComponent::new(
 //!     "inc",
+//!     Ports::new([x], [y]),
 //!     move |s| { let v = s.get(x); s.set(y, v + 1); },
 //!     |_| {},
 //! ));
@@ -44,17 +53,23 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe is confined to the scheduler/pool/signal-view trio, where each
+// use documents the disjointness invariant that justifies it.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod compile;
 mod kernel;
 mod netlist_sim;
+pub mod pool;
+mod sched;
 mod signal;
 mod trace;
 
 pub use compile::{CompiledNetlistSim, NetlistProgram, PackedNetlistSim, PortHandle, LANES};
-pub use kernel::{Component, FnComponent, SimError, System};
+pub use kernel::{Component, FnComponent, Ports, SettleMode, SimError, System};
 pub use netlist_sim::{NetlistComponent, NetlistExec, NetlistSim};
+pub use pool::WorkStealingPool;
+pub use sched::SchedulerStats;
 pub use signal::{Signal, SignalId, SignalView};
 pub use trace::Trace;

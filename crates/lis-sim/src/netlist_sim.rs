@@ -8,7 +8,7 @@
 //! interpreter stays deliberately simple: it re-walks the topological
 //! order every cycle and evaluates one cell at a time.
 
-use crate::kernel::{Component, SimError};
+use crate::kernel::{Component, Ports, SimError};
 use crate::signal::{SignalId, SignalView};
 use lis_netlist::{topo_order, CellKind, CombNode, Module, NetlistError};
 
@@ -17,7 +17,7 @@ use lis_netlist::{topo_order, CellKind, CombNode, Module, NetlistError};
 /// identical two-phase semantics, so harnesses (and
 /// [`NetlistComponent`]) can swap engines without caring which one is
 /// underneath.
-pub trait NetlistExec {
+pub trait NetlistExec: Send {
     /// The module being executed.
     fn module(&self) -> &Module;
 
@@ -313,6 +313,13 @@ impl NetlistComponent {
 impl Component for NetlistComponent {
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn ports(&self) -> Ports {
+        Ports::new(
+            self.input_map.iter().map(|&(_, sig)| sig),
+            self.output_map.iter().map(|&(_, sig)| sig),
+        )
     }
 
     fn eval(&mut self, sigs: &mut SignalView<'_>) {

@@ -1,0 +1,564 @@
+//! The dependency-aware sharded scheduler behind [`crate::System::settle`].
+//!
+//! Built once from the components' declared port sets
+//! ([`crate::Component::ports`]) and sealed until the system changes:
+//!
+//! 1. **Clustering** — components writing a common signal are merged
+//!    (union-find) so a signal always has exactly one evaluating group;
+//!    insertion order is preserved inside a cluster.
+//! 2. **Condensation** — Tarjan's SCC algorithm over the cluster graph
+//!    (edge: writer → reader) collapses combinational cycles into
+//!    groups. Acyclic groups evaluate their members exactly once per
+//!    settle; cyclic groups run an inner worklist that re-evaluates only
+//!    members whose declared inputs actually changed, bounded by an
+//!    SCC-derived round limit. A group that fails to converge reports
+//!    the *names* of the components forming the combinational loop.
+//! 3. **Levelling** — groups are bucketed by longest path in the
+//!    condensation DAG. Every signal a group reads is written at a
+//!    strictly lower level, so one pass over the levels reaches the
+//!    same fixpoint the legacy full-sweep loop iterated towards, and
+//!    groups within a level touch disjoint write sets — they are safe to
+//!    evaluate concurrently on the work-stealing pool, with results
+//!    independent of thread count.
+
+#![allow(unsafe_code)]
+
+use crate::kernel::{Component, Ports, SimError};
+use crate::pool::WorkStealingPool;
+use crate::signal::{bit, Guard, Signal, SignalView};
+use std::sync::Mutex;
+
+/// Extra worklist rounds a cyclic group may take beyond its member
+/// count before the settle is declared non-convergent (mirrors the
+/// margin the legacy full-sweep bound used globally).
+const SCC_ROUND_MARGIN: usize = 8;
+
+/// One evaluation unit: a set of components owning a disjoint signal
+/// write set, either acyclic (single pass) or a condensed combinational
+/// SCC (inner worklist).
+#[derive(Debug)]
+struct Group {
+    /// Component indices in insertion order.
+    members: Vec<u32>,
+    /// Whether any member reads a signal written inside the group.
+    cyclic: bool,
+}
+
+/// Structural summary of a sealed scheduler (stable across runs; used by
+/// benches and tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Number of components scheduled.
+    pub components: usize,
+    /// Number of evaluation groups after clustering + condensation.
+    pub groups: usize,
+    /// Number of dependency levels.
+    pub levels: usize,
+    /// Groups needing an inner fixpoint (condensed combinational SCCs).
+    pub cyclic_groups: usize,
+    /// Largest number of groups in one level (the parallelism width).
+    pub max_level_width: usize,
+}
+
+/// Raw arena pointers shared with worker threads during one level.
+///
+/// Safety: groups running concurrently have disjoint component-index
+/// sets and disjoint signal write sets, and only read signals written at
+/// strictly lower (already completed) levels — established by
+/// [`Scheduler::build`] and enforced at runtime by the guarded
+/// [`SignalView`].
+#[derive(Clone, Copy)]
+struct Arenas {
+    sigs: *mut Signal,
+    sig_len: usize,
+    comps: *mut Box<dyn Component>,
+}
+
+unsafe impl Send for Arenas {}
+unsafe impl Sync for Arenas {}
+
+/// The sealed schedule. See the module docs.
+#[derive(Debug)]
+pub(crate) struct Scheduler {
+    /// Bitset words per mask.
+    words: usize,
+    /// Per-component declared read set, `words` words each.
+    read_masks: Vec<u64>,
+    /// Per-component declared write set, `words` words each.
+    write_masks: Vec<u64>,
+    /// Component names (for guards and diagnostics).
+    names: Vec<String>,
+    /// Signals with more than one declared writer: a change re-dirties
+    /// the co-writers (they may disagree), not just the readers.
+    multi_writer: Vec<u64>,
+    /// Groups in topological order, bucketed contiguously by level.
+    groups: Vec<Group>,
+    /// Level boundaries: `groups[levels[i]..levels[i+1]]` is level `i`.
+    levels: Vec<usize>,
+}
+
+impl Scheduler {
+    /// Seals the dependency graph of `components` over `n_signals`
+    /// signals.
+    pub(crate) fn build(
+        components: &[Box<dyn Component>],
+        ports: &[Ports],
+        n_signals: usize,
+    ) -> Scheduler {
+        let n = components.len();
+        let words = n_signals.div_ceil(64).max(1);
+        let mut read_masks = vec![0u64; n * words];
+        let mut write_masks = vec![0u64; n * words];
+        let mut writers: Vec<Vec<u32>> = vec![Vec::new(); n_signals];
+        let mut readers: Vec<Vec<u32>> = vec![Vec::new(); n_signals];
+        for (c, p) in ports.iter().enumerate() {
+            for id in &p.reads {
+                let i = id.index();
+                read_masks[c * words + i / 64] |= 1 << (i % 64);
+                readers[i].push(c as u32);
+            }
+            for id in &p.writes {
+                let i = id.index();
+                write_masks[c * words + i / 64] |= 1 << (i % 64);
+                writers[i].push(c as u32);
+            }
+        }
+        for r in &mut readers {
+            r.dedup();
+        }
+        for w in &mut writers {
+            w.dedup();
+        }
+
+        // 1. Cluster components sharing a written signal (multi-writer
+        //    signals keep legacy insertion-order semantics by evaluating
+        //    all their writers inside one group).
+        let mut uf = UnionFind::new(n);
+        for w in &writers {
+            for pair in w.windows(2) {
+                uf.union(pair[0] as usize, pair[1] as usize);
+            }
+        }
+
+        // 2. Cluster graph: edge writer-cluster → reader-cluster.
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for (s, w) in writers.iter().enumerate() {
+            if w.is_empty() {
+                continue;
+            }
+            let from = uf.find(w[0] as usize) as u32;
+            for &r in &readers[s] {
+                let to = uf.find(r as usize) as u32;
+                if to != from {
+                    edges.push((from, to));
+                }
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+
+        // 3. Tarjan condensation over cluster roots.
+        let roots: Vec<usize> = (0..n).filter(|&c| uf.find(c) == c).collect();
+        let root_pos = |root: usize| roots.binary_search(&root).expect("root");
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); roots.len()];
+        for &(a, b) in &edges {
+            adj[root_pos(a as usize)].push(root_pos(b as usize) as u32);
+        }
+        let sccs = tarjan_sccs(&adj); // reverse topological order
+
+        // 4. Groups in topological order, then levels by longest path.
+        let mut scc_of = vec![usize::MAX; roots.len()];
+        for (i, scc) in sccs.iter().enumerate() {
+            for &node in scc {
+                scc_of[node as usize] = i;
+            }
+        }
+        let topo: Vec<usize> = (0..sccs.len()).rev().collect();
+        let mut level_of = vec![0usize; sccs.len()];
+        for &s in &topo {
+            for &node in &sccs[s] {
+                for &succ in &adj[node as usize] {
+                    let t = scc_of[succ as usize];
+                    if t != s {
+                        level_of[t] = level_of[t].max(level_of[s] + 1);
+                    }
+                }
+            }
+        }
+
+        // Members per cluster root, in insertion order.
+        let mut cluster_members: Vec<Vec<u32>> = vec![Vec::new(); roots.len()];
+        for c in 0..n {
+            cluster_members[root_pos(uf.find(c))].push(c as u32);
+        }
+
+        let mut groups: Vec<(usize, Group)> = Vec::with_capacity(sccs.len());
+        for (i, scc) in sccs.iter().enumerate() {
+            let mut members: Vec<u32> = scc
+                .iter()
+                .flat_map(|&node| cluster_members[node as usize].iter().copied())
+                .collect();
+            members.sort_unstable();
+            // Cyclic iff the group needs an inner fixpoint: a condensed
+            // multi-cluster SCC, a multi-writer cluster (legacy sweeps
+            // re-evaluate disagreeing writers until they agree — or
+            // never converge), or a member reading its own group's
+            // written signals.
+            let cyclic = scc.len() > 1
+                || members.len() > 1
+                || members.iter().any(|&m| {
+                    let rm = &read_masks[m as usize * words..(m as usize + 1) * words];
+                    members.iter().any(|&w| {
+                        let wm = &write_masks[w as usize * words..(w as usize + 1) * words];
+                        rm.iter().zip(wm).any(|(a, b)| a & b != 0)
+                    })
+                });
+            if cyclic && members.len() > 1 {
+                // Quasi-topological member order (Kahn with minimum-index
+                // cycle breaking): evaluating writers before their
+                // readers makes the inner worklist converge in one round
+                // plus one re-eval per broken back edge, instead of one
+                // round per dependency chain link.
+                let k = members.len();
+                let reads_from = |i: usize, j: usize| {
+                    let rm =
+                        &read_masks[members[i] as usize * words..(members[i] as usize + 1) * words];
+                    let wm = &write_masks
+                        [members[j] as usize * words..(members[j] as usize + 1) * words];
+                    i != j && rm.iter().zip(wm).any(|(a, b)| a & b != 0)
+                };
+                let mut indegree: Vec<usize> = (0..k)
+                    .map(|i| (0..k).filter(|&j| reads_from(i, j)).count())
+                    .collect();
+                let mut placed = vec![false; k];
+                let mut order = Vec::with_capacity(k);
+                for _ in 0..k {
+                    let next = (0..k)
+                        .filter(|&i| !placed[i])
+                        .min_by_key(|&i| (indegree[i], i))
+                        .expect("member left");
+                    placed[next] = true;
+                    order.push(members[next]);
+                    for i in 0..k {
+                        if !placed[i] && reads_from(i, next) {
+                            indegree[i] -= 1;
+                        }
+                    }
+                }
+                members = order;
+            }
+            groups.push((level_of[i], Group { members, cyclic }));
+        }
+        // Bucket by level; deterministic order inside a level by first
+        // member index.
+        groups.sort_by_key(|(level, g)| (*level, g.members.first().copied().unwrap_or(0)));
+        let n_levels = groups.last().map_or(0, |(l, _)| l + 1);
+        let mut levels = vec![0usize; n_levels + 1];
+        for (l, _) in &groups {
+            levels[l + 1] += 1;
+        }
+        for i in 1..levels.len() {
+            levels[i] += levels[i - 1];
+        }
+
+        let mut multi_writer = vec![0u64; words];
+        for (s, w) in writers.iter().enumerate() {
+            if w.len() > 1 {
+                multi_writer[s / 64] |= 1 << (s % 64);
+            }
+        }
+
+        Scheduler {
+            words,
+            read_masks,
+            write_masks,
+            names: components.iter().map(|c| c.name().to_owned()).collect(),
+            multi_writer,
+            groups: groups.into_iter().map(|(_, g)| g).collect(),
+            levels,
+        }
+    }
+
+    /// Structural summary (stable across runs).
+    pub(crate) fn stats(&self) -> SchedulerStats {
+        let widths =
+            (0..self.levels.len().saturating_sub(1)).map(|l| self.levels[l + 1] - self.levels[l]);
+        SchedulerStats {
+            components: self.names.len(),
+            groups: self.groups.len(),
+            levels: self.levels.len().saturating_sub(1),
+            cyclic_groups: self.groups.iter().filter(|g| g.cyclic).count(),
+            max_level_width: widths.max().unwrap_or(0),
+        }
+    }
+
+    /// Runs one settle: every group evaluated once in dependency order
+    /// (cyclic groups to their inner fixpoint), levels in sequence,
+    /// groups within a level fanned out on `pool` when present.
+    pub(crate) fn settle(
+        &self,
+        signals: &mut [Signal],
+        components: &mut [Box<dyn Component>],
+        cycle: u64,
+        pool: Option<&WorkStealingPool>,
+    ) -> Result<(), SimError> {
+        debug_assert_eq!(components.len(), self.names.len());
+        let arenas = Arenas {
+            sigs: signals.as_mut_ptr(),
+            sig_len: signals.len(),
+            comps: components.as_mut_ptr(),
+        };
+        for l in 0..self.levels.len().saturating_sub(1) {
+            let (start, end) = (self.levels[l], self.levels[l + 1]);
+            let run_serial = pool.is_none() || end - start < 2;
+            if run_serial {
+                for g in &self.groups[start..end] {
+                    // SAFETY: single-threaded here; arenas outlive the call.
+                    unsafe { self.run_group(g, arenas, cycle)? };
+                }
+            } else {
+                let pool = pool.expect("checked");
+                let chunks = (end - start).min(pool.threads() * 2);
+                let per = (end - start).div_ceil(chunks);
+                let errors: Mutex<Vec<(usize, SimError)>> = Mutex::new(Vec::new());
+                let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..chunks)
+                    .map(|k| {
+                        let lo = start + k * per;
+                        let hi = (lo + per).min(end);
+                        let errors = &errors;
+                        Box::new(move || {
+                            for gi in lo..hi {
+                                // SAFETY: groups in one level have
+                                // disjoint members and write sets; reads
+                                // come from completed levels. See
+                                // `Arenas`.
+                                if let Err(e) =
+                                    unsafe { self.run_group(&self.groups[gi], arenas, cycle) }
+                                {
+                                    errors.lock().unwrap().push((gi, e));
+                                }
+                            }
+                        }) as Box<dyn FnOnce() + Send + '_>
+                    })
+                    .collect();
+                pool.run(jobs);
+                let mut errors = errors.into_inner().unwrap();
+                errors.sort_by_key(|(gi, _)| *gi);
+                if let Some((_, e)) = errors.into_iter().next() {
+                    return Err(e);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn mask(masks: &[u64], words: usize, c: u32) -> &[u64] {
+        &masks[c as usize * words..(c as usize + 1) * words]
+    }
+
+    /// Evaluates one group.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee no other thread concurrently runs a
+    /// group sharing members or written signals with `g` (scheduler
+    /// level invariant).
+    unsafe fn run_group(&self, g: &Group, a: Arenas, cycle: u64) -> Result<(), SimError> {
+        if !g.cyclic {
+            for &m in &g.members {
+                self.eval_member(m, a, None);
+            }
+            return Ok(());
+        }
+        // Inner worklist: all members start dirty; a member is re-marked
+        // only when a signal it declared as read actually changed.
+        let k = g.members.len();
+        let mut dirty = vec![true; k];
+        let mut changed: Vec<u32> = Vec::new();
+        let max_rounds = k + SCC_ROUND_MARGIN;
+        for _ in 0..max_rounds {
+            let mut evaluated = false;
+            for mi in 0..k {
+                if !dirty[mi] {
+                    continue;
+                }
+                dirty[mi] = false;
+                evaluated = true;
+                let m = g.members[mi];
+                changed.clear();
+                self.eval_member(m, a, Some(&mut changed));
+                for &cid in &changed {
+                    // A changed signal re-dirties its readers; a signal
+                    // with several writers also re-dirties the
+                    // co-writers (legacy sweeps re-evaluate disagreeing
+                    // writers until they agree, or report
+                    // non-convergence). Sole writers are idempotent by
+                    // contract — re-evaluating them is pure waste.
+                    let contested = bit(&self.multi_writer, cid as usize);
+                    for (mj, &mc) in g.members.iter().enumerate() {
+                        if bit(Self::mask(&self.read_masks, self.words, mc), cid as usize)
+                            || (contested
+                                && bit(Self::mask(&self.write_masks, self.words, mc), cid as usize))
+                        {
+                            dirty[mj] = true;
+                        }
+                    }
+                }
+            }
+            if !evaluated {
+                return Ok(());
+            }
+            if dirty.iter().all(|d| !d) {
+                return Ok(());
+            }
+        }
+        Err(SimError::NoConvergence {
+            cycle,
+            sweeps: max_rounds,
+            components: g
+                .members
+                .iter()
+                .map(|&m| self.names[m as usize].clone())
+                .collect(),
+        })
+    }
+
+    /// Evaluates one member with a guarded view.
+    ///
+    /// # Safety
+    ///
+    /// As [`Scheduler::run_group`]; additionally `m` must be in-bounds.
+    unsafe fn eval_member(&self, m: u32, a: Arenas, track: Option<&mut Vec<u32>>) {
+        let guard = Guard {
+            component: &self.names[m as usize],
+            reads: Self::mask(&self.read_masks, self.words, m),
+            writes: Self::mask(&self.write_masks, self.words, m),
+            track,
+        };
+        // SAFETY: per the caller contract, this thread has exclusive
+        // access to component `m` and to every signal in its write mask.
+        let view = &mut SignalView::guarded(a.sigs, a.sig_len, guard);
+        let comp = &mut *a.comps.add(m as usize);
+        comp.eval(view);
+    }
+}
+
+/// Path-compressing union-find.
+struct UnionFind {
+    parent: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] as usize != root {
+            root = self.parent[root] as usize;
+        }
+        let mut cur = x;
+        while cur != root {
+            let next = self.parent[cur] as usize;
+            self.parent[cur] = root as u32;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges toward the smaller root so cluster roots stay the
+    /// earliest-inserted member (deterministic naming).
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            let (lo, hi) = (ra.min(rb), ra.max(rb));
+            self.parent[hi] = lo as u32;
+        }
+    }
+}
+
+/// Iterative Tarjan: returns SCCs in reverse topological order.
+fn tarjan_sccs(adj: &[Vec<u32>]) -> Vec<Vec<u32>> {
+    let n = adj.len();
+    let mut index = vec![u32::MAX; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut sccs: Vec<Vec<u32>> = Vec::new();
+    let mut next_index = 0u32;
+    // Explicit DFS frames: (node, next edge offset).
+    let mut frames: Vec<(u32, usize)> = Vec::new();
+    for start in 0..n {
+        if index[start] != u32::MAX {
+            continue;
+        }
+        frames.push((start as u32, 0));
+        while let Some(&(v, ei)) = frames.last() {
+            let v = v as usize;
+            if index[v] == u32::MAX {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v as u32);
+                on_stack[v] = true;
+            }
+            if let Some(&w) = adj[v].get(ei) {
+                frames.last_mut().expect("frame").1 += 1;
+                let w = w as usize;
+                if index[w] == u32::MAX {
+                    frames.push((w as u32, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(p, _)) = frames.last() {
+                    low[p as usize] = low[p as usize].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut scc = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack");
+                        on_stack[w as usize] = false;
+                        scc.push(w);
+                        if w as usize == v {
+                            break;
+                        }
+                    }
+                    scc.sort_unstable();
+                    sccs.push(scc);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tarjan_finds_cycle_and_orders_reverse_topologically() {
+        // 0 -> 1 -> 2 -> 1, 2 -> 3
+        let adj = vec![vec![1], vec![2], vec![1, 3], vec![]];
+        let sccs = tarjan_sccs(&adj);
+        assert!(sccs.contains(&vec![1, 2]));
+        let pos = |needle: &[u32]| sccs.iter().position(|s| s[..] == *needle).unwrap();
+        // Reverse topological: sinks first.
+        assert!(pos(&[3]) < pos(&[1, 2]));
+        assert!(pos(&[1, 2]) < pos(&[0]));
+    }
+
+    #[test]
+    fn union_find_keeps_smallest_root() {
+        let mut uf = UnionFind::new(5);
+        uf.union(3, 1);
+        uf.union(4, 3);
+        assert_eq!(uf.find(4), 1);
+        assert_eq!(uf.find(0), 0);
+    }
+}

@@ -1,6 +1,15 @@
 //! Signals: the wires of a component-level simulation.
+//!
+//! [`SignalView`] is the access token components hold during evaluation.
+//! It is raw-pointer based so the scheduler can hand *disjoint* guarded
+//! views over one signal arena to several worker threads at once; the
+//! per-component guard (declared read/write bitsets) is checked **before**
+//! every access, which is what makes the parallel settle phase sound.
+
+#![allow(unsafe_code)]
 
 use std::fmt;
+use std::marker::PhantomData;
 
 /// Identifier of a signal inside one [`crate::System`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -40,19 +49,116 @@ impl Signal {
     }
 }
 
-/// Mutable view over the signal values, handed to components during
-/// evaluation. Tracks whether any write changed a value, which drives the
-/// fixpoint loop in [`crate::System::settle`].
-#[derive(Debug)]
-pub struct SignalView<'a> {
-    pub(crate) signals: &'a mut [Signal],
-    pub(crate) changed: bool,
+/// Tests bit `id` of a bitset stored as `u64` words.
+#[inline]
+pub(crate) fn bit(words: &[u64], id: usize) -> bool {
+    words[id / 64] & (1u64 << (id % 64)) != 0
 }
 
-impl SignalView<'_> {
+/// Access permissions and change tracking for one component's `eval`.
+///
+/// `reads`/`writes` are bitsets over signal ids (the component's declared
+/// port sets); `track` collects the ids of signals whose value actually
+/// changed, which drives the worklist inside cyclic groups.
+pub(crate) struct Guard<'a> {
+    pub(crate) component: &'a str,
+    pub(crate) reads: &'a [u64],
+    pub(crate) writes: &'a [u64],
+    pub(crate) track: Option<&'a mut Vec<u32>>,
+}
+
+/// Mutable view over the signal values, handed to components during
+/// evaluation. Tracks whether any write changed a value, which drives the
+/// settle fixpoint in [`crate::System::settle`].
+///
+/// During scheduled evaluation the view is *guarded*: a component may
+/// only touch the signals it declared in [`crate::Component::ports`],
+/// and any undeclared access panics (naming the component and signal).
+/// The check happens before the memory access, so concurrently live
+/// guarded views with disjoint write sets never race.
+pub struct SignalView<'a> {
+    ptr: *mut Signal,
+    len: usize,
+    pub(crate) changed: bool,
+    pub(crate) guard: Option<Guard<'a>>,
+    _marker: PhantomData<&'a mut [Signal]>,
+}
+
+impl fmt::Debug for SignalView<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SignalView")
+            .field("signals", &self.len)
+            .field("changed", &self.changed)
+            .field("guarded", &self.guard.is_some())
+            .finish()
+    }
+}
+
+impl<'a> SignalView<'a> {
+    /// An unrestricted view over `signals` (used for the tick phase, the
+    /// full-sweep reference settle, and top-level stimuli).
+    pub(crate) fn unguarded(signals: &'a mut [Signal]) -> Self {
+        SignalView {
+            ptr: signals.as_mut_ptr(),
+            len: signals.len(),
+            changed: false,
+            guard: None,
+            _marker: PhantomData,
+        }
+    }
+
+    /// A guarded view over a raw signal arena.
+    ///
+    /// # Safety
+    ///
+    /// `ptr..ptr+len` must be a live `Signal` arena outliving `'a`, and
+    /// for as long as this view is live no other thread may access any
+    /// signal in the guard's `writes` set, nor write any signal in the
+    /// guard's `reads` set. The scheduler establishes this by merging
+    /// components sharing written signals into one group and by only
+    /// running groups of the same dependency level concurrently.
+    pub(crate) unsafe fn guarded(ptr: *mut Signal, len: usize, guard: Guard<'a>) -> Self {
+        SignalView {
+            ptr,
+            len,
+            changed: false,
+            guard: Some(guard),
+            _marker: PhantomData,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, id: SignalId) -> *mut Signal {
+        let i = id.index();
+        assert!(i < self.len, "signal {id} out of range");
+        // SAFETY: bounds just checked; arena liveness per constructor
+        // contract.
+        unsafe { self.ptr.add(i) }
+    }
+
     /// Reads a signal value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a guarded view if the signal is not in the evaluating
+    /// component's declared read or write set.
     pub fn get(&self, id: SignalId) -> u64 {
-        self.signals[id.index()].value
+        let slot = self.slot(id);
+        if let Some(g) = &self.guard {
+            if !bit(g.reads, id.index()) && !bit(g.writes, id.index()) {
+                // SAFETY: names are immutable after construction; reading
+                // one never races with concurrent `value` writes.
+                let name = unsafe { &(*slot).name };
+                panic!(
+                    "component `{}` read undeclared signal {id} (`{name}`): \
+                     add it to the reads of Component::ports()",
+                    g.component
+                );
+            }
+        }
+        // SAFETY: guard check above guarantees exclusive-or-stable access
+        // (scheduler invariant); unguarded views are never concurrent.
+        unsafe { (*slot).value }
     }
 
     /// Reads a signal as a boolean (bit 0).
@@ -61,12 +167,36 @@ impl SignalView<'_> {
     }
 
     /// Writes a signal value (masked to the signal's width).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a guarded view if the signal is not in the evaluating
+    /// component's declared write set.
     pub fn set(&mut self, id: SignalId, value: u64) {
-        let sig = &mut self.signals[id.index()];
+        let slot = self.slot(id);
+        if let Some(g) = &self.guard {
+            if !bit(g.writes, id.index()) {
+                // SAFETY: names are immutable after construction.
+                let name = unsafe { &(*slot).name };
+                panic!(
+                    "component `{}` wrote undeclared signal {id} (`{name}`): \
+                     add it to the writes of Component::ports()",
+                    g.component
+                );
+            }
+        }
+        // SAFETY: write permission checked above; the scheduler guarantees
+        // no other live view covers this signal.
+        let sig = unsafe { &mut *slot };
         let masked = value & sig.mask();
         if sig.value != masked {
             sig.value = masked;
             self.changed = true;
+            if let Some(g) = &mut self.guard {
+                if let Some(track) = g.track.as_deref_mut() {
+                    track.push(id.0);
+                }
+            }
         }
     }
 
@@ -80,17 +210,25 @@ impl SignalView<'_> {
 mod tests {
     use super::*;
 
+    fn arena() -> Vec<Signal> {
+        vec![
+            Signal {
+                name: "a".into(),
+                width: 4,
+                value: 0,
+            },
+            Signal {
+                name: "b".into(),
+                width: 8,
+                value: 7,
+            },
+        ]
+    }
+
     #[test]
     fn masking_clips_to_width() {
-        let mut signals = vec![Signal {
-            name: "s".into(),
-            width: 4,
-            value: 0,
-        }];
-        let mut view = SignalView {
-            signals: &mut signals,
-            changed: false,
-        };
+        let mut signals = arena();
+        let mut view = SignalView::unguarded(&mut signals);
         let id = SignalId(0);
         view.set(id, 0xFF);
         assert_eq!(view.get(id), 0x0F);
@@ -99,16 +237,9 @@ mod tests {
 
     #[test]
     fn rewriting_same_value_does_not_mark_changed() {
-        let mut signals = vec![Signal {
-            name: "s".into(),
-            width: 8,
-            value: 7,
-        }];
-        let mut view = SignalView {
-            signals: &mut signals,
-            changed: false,
-        };
-        view.set(SignalId(0), 7);
+        let mut signals = arena();
+        let mut view = SignalView::unguarded(&mut signals);
+        view.set(SignalId(1), 7);
         assert!(!view.changed);
     }
 
@@ -124,16 +255,77 @@ mod tests {
 
     #[test]
     fn bool_accessors_use_bit_zero() {
-        let mut signals = vec![Signal {
-            name: "b".into(),
-            width: 1,
-            value: 0,
-        }];
-        let mut view = SignalView {
-            signals: &mut signals,
-            changed: false,
-        };
+        let mut signals = arena();
+        let mut view = SignalView::unguarded(&mut signals);
         view.set_bool(SignalId(0), true);
         assert!(view.get_bool(SignalId(0)));
+    }
+
+    #[test]
+    fn guarded_view_enforces_declared_sets_and_tracks_changes() {
+        let mut signals = arena();
+        let reads = vec![0b01u64]; // may read signal 0
+        let writes = vec![0b10u64]; // may write signal 1
+        let mut track = Vec::new();
+        let mut view = unsafe {
+            SignalView::guarded(
+                signals.as_mut_ptr(),
+                signals.len(),
+                Guard {
+                    component: "t",
+                    reads: &reads,
+                    writes: &writes,
+                    track: Some(&mut track),
+                },
+            )
+        };
+        assert_eq!(view.get(SignalId(0)), 0);
+        view.set(SignalId(1), 9);
+        view.set(SignalId(1), 9); // unchanged: not tracked twice
+                                  // A write-only signal may also be read back (write implies read).
+        assert_eq!(view.get(SignalId(1)), 9);
+        drop(view);
+        assert_eq!(track, vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "read undeclared signal")]
+    fn guarded_view_panics_on_undeclared_read() {
+        let mut signals = arena();
+        let none = vec![0u64];
+        let view = unsafe {
+            SignalView::guarded(
+                signals.as_mut_ptr(),
+                signals.len(),
+                Guard {
+                    component: "t",
+                    reads: &none,
+                    writes: &none,
+                    track: None,
+                },
+            )
+        };
+        let _ = view.get(SignalId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrote undeclared signal")]
+    fn guarded_view_panics_on_undeclared_write() {
+        let mut signals = arena();
+        let reads = vec![0b11u64];
+        let none = vec![0u64];
+        let mut view = unsafe {
+            SignalView::guarded(
+                signals.as_mut_ptr(),
+                signals.len(),
+                Guard {
+                    component: "t",
+                    reads: &reads,
+                    writes: &none,
+                    track: None,
+                },
+            )
+        };
+        view.set(SignalId(0), 1);
     }
 }

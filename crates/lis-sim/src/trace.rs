@@ -159,17 +159,20 @@ mod tests {
     use crate::signal::SignalView;
 
     fn counting_system() -> (System, SignalId) {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
         let mut sys = System::new();
         let out = sys.add_signal("count", 8);
-        let state = std::rc::Rc::new(std::cell::Cell::new(0u64));
-        let s2 = std::rc::Rc::clone(&state);
+        let state = Arc::new(AtomicU64::new(0));
+        let s2 = Arc::clone(&state);
         sys.add_component(FnComponent::new(
             "ctr",
+            crate::Ports::writes_only([out]),
             move |sigs: &mut SignalView<'_>| {
-                sigs.set(out, state.get());
+                sigs.set(out, state.load(Ordering::Relaxed));
             },
             move |_sigs: &SignalView<'_>| {
-                s2.set(s2.get() + 1);
+                s2.fetch_add(1, Ordering::Relaxed);
             },
         ));
         (sys, out)

@@ -1,0 +1,319 @@
+//! Property tests pinning the dependency-aware worklist scheduler to
+//! the legacy full-sweep settle, cycle for cycle over every signal.
+//!
+//! Random component networks — mixing-function DAGs in shuffled
+//! insertion order, self-latching components (combinational self-loops
+//! with a stable fixpoint), and contracting two-component cycles — are
+//! stepped under random per-cycle stimulus twice: once with
+//! [`SettleMode::FullSweep`] and once with the scheduler at a random
+//! thread count. Every signal must match after every cycle.
+
+use lis_sim::{Component, Ports, SettleMode, SignalId, SignalView, System};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// A deterministic mixing component: every written signal is a hash of
+/// the declared reads and the internal register; `tick` folds one read
+/// into the register. Pure for fixed inputs, so eval is idempotent.
+#[derive(Clone)]
+struct MixComp {
+    name: String,
+    reads: Vec<SignalId>,
+    writes: Vec<SignalId>,
+    salt: u64,
+    reg: u64,
+}
+
+fn mix(mut h: u64, v: u64) -> u64 {
+    h ^= v.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    h = h.rotate_left(23).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h
+}
+
+impl Component for MixComp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn ports(&self) -> Ports {
+        Ports::new(self.reads.clone(), self.writes.clone())
+    }
+
+    fn eval(&mut self, sigs: &mut SignalView<'_>) {
+        let mut h = mix(self.salt, self.reg);
+        for &r in &self.reads {
+            h = mix(h, sigs.get(r));
+        }
+        for (i, &w) in self.writes.iter().enumerate() {
+            sigs.set(w, mix(h, i as u64));
+        }
+    }
+
+    fn tick(&mut self, sigs: &SignalView<'_>) {
+        let sampled = self.reads.first().map_or(0, |&r| sigs.get(r));
+        self.reg = mix(self.reg, sampled);
+    }
+}
+
+/// A self-latching component: bits selected by `mask` hold their own
+/// previous value (a combinational self-loop with a stable fixpoint),
+/// the rest follow the input. Converges in one extra evaluation.
+#[derive(Clone)]
+struct LatchComp {
+    name: String,
+    input: SignalId,
+    out: SignalId,
+    mask: u64,
+}
+
+impl Component for LatchComp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn ports(&self) -> Ports {
+        Ports::new([self.input, self.out], [self.out])
+    }
+
+    fn eval(&mut self, sigs: &mut SignalView<'_>) {
+        let own = sigs.get(self.out);
+        let x = sigs.get(self.input);
+        sigs.set(self.out, (own & self.mask) | (x & !self.mask));
+    }
+
+    fn tick(&mut self, _sigs: &SignalView<'_>) {}
+}
+
+/// One half of a contracting two-component combinational cycle:
+/// `out = peer & mask`. With the same mask on both halves the pair
+/// reaches its fixpoint within two worklist rounds.
+#[derive(Clone)]
+struct AndComp {
+    name: String,
+    peer: SignalId,
+    out: SignalId,
+    mask: u64,
+}
+
+impl Component for AndComp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn ports(&self) -> Ports {
+        Ports::new([self.peer], [self.out])
+    }
+
+    fn eval(&mut self, sigs: &mut SignalView<'_>) {
+        let v = sigs.get(self.peer);
+        sigs.set(self.out, v & self.mask);
+    }
+
+    fn tick(&mut self, _sigs: &SignalView<'_>) {}
+}
+
+/// The full network spec, buildable any number of times.
+struct Net {
+    n_inputs: usize,
+    mixers: Vec<(Vec<usize>, Vec<usize>, u64)>, // read idxs, write idxs, salt
+    latches: Vec<(usize, u64)>,                 // input idx, mask
+    and_pairs: Vec<(u64,)>,                     // shared mask
+    insertion: Vec<usize>,                      // shuffled component order
+    total_signals: usize,
+}
+
+/// Generates a random network: input signals, a rank-ordered mixer DAG
+/// (reads only come from lower ranks, every signal has one writer),
+/// plus latches and contracting cycle pairs, in shuffled insertion
+/// order.
+fn random_net(
+    seed: u64,
+    n_inputs: usize,
+    n_mixers: usize,
+    n_latches: usize,
+    n_pairs: usize,
+) -> Net {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut below = move |n: usize| (rng.next_u64() % n.max(1) as u64) as usize;
+    let mut readable: Vec<usize> = (0..n_inputs).collect();
+    let mut next_signal = n_inputs;
+    let mut mixers = Vec::new();
+    for _ in 0..n_mixers {
+        let n_reads = 1 + below(3.min(readable.len()));
+        let reads: Vec<usize> = (0..n_reads)
+            .map(|_| readable[below(readable.len())])
+            .collect();
+        let n_writes = 1 + below(2);
+        let writes: Vec<usize> = (0..n_writes)
+            .map(|_| {
+                let s = next_signal;
+                next_signal += 1;
+                s
+            })
+            .collect();
+        readable.extend(writes.iter().copied());
+        mixers.push((reads, writes, below(usize::MAX as usize) as u64));
+    }
+    let latches: Vec<(usize, u64)> = (0..n_latches)
+        .map(|_| {
+            let input = readable[below(readable.len())];
+            next_signal += 1;
+            (input, below(usize::MAX as usize) as u64)
+        })
+        .collect();
+    let and_pairs: Vec<(u64,)> = (0..n_pairs)
+        .map(|_| {
+            next_signal += 2;
+            (below(usize::MAX as usize) as u64,)
+        })
+        .collect();
+    // Shuffled insertion order over all components.
+    let n_comps = n_mixers + n_latches + 2 * n_pairs;
+    let mut insertion: Vec<usize> = (0..n_comps).collect();
+    for i in (1..insertion.len()).rev() {
+        insertion.swap(i, below(i + 1));
+    }
+    Net {
+        n_inputs,
+        mixers,
+        latches,
+        and_pairs,
+        insertion,
+        total_signals: next_signal,
+    }
+}
+
+/// Instantiates the network in one `System`, honoring the shuffled
+/// insertion order. Returns the input signal ids.
+fn build(net: &Net, mode: SettleMode, threads: usize) -> (System, Vec<SignalId>) {
+    let mut sys = System::new();
+    sys.set_settle_mode(mode);
+    sys.set_threads(threads);
+    let ids: Vec<SignalId> = (0..net.total_signals)
+        .map(|i| sys.add_signal(format!("s{i}"), 64))
+        .collect();
+    let inputs: Vec<SignalId> = ids[..net.n_inputs].to_vec();
+
+    // Signal layout: inputs, then mixer writes (allocated in spec
+    // order), then one output per latch, then two per pair.
+    let mut latch_base = net.n_inputs;
+    for (_, writes, _) in &net.mixers {
+        latch_base += writes.len();
+    }
+    let pair_base = latch_base + net.latches.len();
+
+    enum Built {
+        M(MixComp),
+        L(LatchComp),
+        A(AndComp),
+    }
+    let mut comps: Vec<Built> = Vec::new();
+    for (k, (reads, writes, salt)) in net.mixers.iter().enumerate() {
+        comps.push(Built::M(MixComp {
+            name: format!("mix{k}"),
+            reads: reads.iter().map(|&i| ids[i]).collect(),
+            writes: writes.iter().map(|&i| ids[i]).collect(),
+            salt: *salt,
+            reg: 0,
+        }));
+    }
+    for (k, (input, mask)) in net.latches.iter().enumerate() {
+        comps.push(Built::L(LatchComp {
+            name: format!("latch{k}"),
+            input: ids[*input],
+            out: ids[latch_base + k],
+            mask: *mask,
+        }));
+    }
+    for (k, (mask,)) in net.and_pairs.iter().enumerate() {
+        let a = ids[pair_base + 2 * k];
+        let b = ids[pair_base + 2 * k + 1];
+        comps.push(Built::A(AndComp {
+            name: format!("pair{k}a"),
+            peer: b,
+            out: a,
+            mask: *mask,
+        }));
+        comps.push(Built::A(AndComp {
+            name: format!("pair{k}b"),
+            peer: a,
+            out: b,
+            mask: *mask,
+        }));
+    }
+    let mut slots: Vec<Option<Built>> = comps.into_iter().map(Some).collect();
+    for &i in &net.insertion {
+        match slots[i].take().expect("each component inserted once") {
+            Built::M(c) => sys.add_component(c),
+            Built::L(c) => sys.add_component(c),
+            Built::A(c) => sys.add_component(c),
+        }
+    }
+    (sys, inputs)
+}
+
+proptest! {
+    /// The scheduler — at any thread count — matches the full sweep on
+    /// every signal after every cycle, under random stimulus.
+    #[test]
+    fn worklist_matches_full_sweep(
+        seed in any::<u64>(),
+        n_inputs in 1usize..4,
+        n_mixers in 1usize..14,
+        n_latches in 0usize..3,
+        n_pairs in 0usize..3,
+        threads in 1usize..5,
+        cycles in 1usize..12,
+    ) {
+        let net = random_net(seed, n_inputs, n_mixers, n_latches, n_pairs);
+        let (mut reference, ref_inputs) = build(&net, SettleMode::FullSweep, 1);
+        let (mut scheduled, sched_inputs) = build(&net, SettleMode::Worklist, threads);
+        let mut stim = StdRng::seed_from_u64(seed ^ 0xDEAD_BEEF);
+        for cycle in 0..cycles {
+            for (&a, &b) in ref_inputs.iter().zip(&sched_inputs) {
+                let v = stim.next_u64();
+                reference.poke(a, v);
+                scheduled.poke(b, v);
+            }
+            reference.step().unwrap();
+            scheduled.step().unwrap();
+            // settle() after step so peeked values are the cycle's
+            // settled outputs in both systems.
+            reference.settle().unwrap();
+            scheduled.settle().unwrap();
+            prop_assert_eq!(
+                reference.signal_values(),
+                scheduled.signal_values(),
+                "divergence at cycle {} (threads={})", cycle, threads
+            );
+        }
+    }
+
+    /// Scheduler results are independent of the thread count.
+    #[test]
+    fn thread_count_does_not_change_results(
+        seed in any::<u64>(),
+        n_mixers in 1usize..10,
+        cycles in 1usize..8,
+    ) {
+        let net = random_net(seed, 2, n_mixers, 1, 1);
+        let mut final_values: Option<Vec<u64>> = None;
+        for threads in [1usize, 2, 4] {
+            let (mut sys, inputs) = build(&net, SettleMode::Worklist, threads);
+            let mut stim = StdRng::seed_from_u64(seed ^ 0xF00D);
+            for _ in 0..cycles {
+                for &i in &inputs {
+                    sys.poke(i, stim.next_u64());
+                }
+                sys.step().unwrap();
+            }
+            sys.settle().unwrap();
+            let values = sys.signal_values();
+            match &final_values {
+                None => final_values = Some(values),
+                Some(expected) => prop_assert_eq!(expected, &values, "threads={}", threads),
+            }
+        }
+    }
+}

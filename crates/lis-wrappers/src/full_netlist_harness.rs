@@ -14,7 +14,7 @@
 use crate::fifo_netlist::assemble_full_wrapper;
 use lis_netlist::Module;
 use lis_proto::{LisChannel, Pearl, PortValues, Token, ViolationCounter};
-use lis_sim::{CompiledNetlistSim, Component, PortHandle, SignalView, System};
+use lis_sim::{CompiledNetlistSim, Component, PortHandle, Ports, SignalView, System};
 
 /// A patient process whose complete shell is a gate-level netlist.
 pub struct FullNetlistPatientProcess {
@@ -173,6 +173,20 @@ impl Component for FullNetlistPatientProcess {
         &self.name
     }
 
+    fn ports(&self) -> Ports {
+        // The gate-level shell is evaluated *combinationally* inside
+        // eval: it reads the incoming token wires and the downstream
+        // back-pressure, and drives its own stops and token outputs.
+        let mut p = Ports::none();
+        for ch in &self.in_channels {
+            p = p.merge(ch.consumer_ports()).merge(ch.downstream_reads());
+        }
+        for ch in &self.out_channels {
+            p = p.merge(ch.producer_ports()).merge(ch.stop_reads());
+        }
+        p
+    }
+
     fn eval(&mut self, sigs: &mut SignalView<'_>) {
         self.drive_shell_inputs(sigs);
         self.maybe_clock_pearl();
@@ -265,7 +279,7 @@ mod tests {
             let got = sink.received();
             sys.add_component(sink);
             sys.run(1200).unwrap();
-            let r = got.borrow().clone();
+            let r = got.lock().unwrap().clone();
             (r, violations.count())
         };
 

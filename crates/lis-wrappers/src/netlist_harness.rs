@@ -13,7 +13,7 @@
 
 use lis_netlist::Module;
 use lis_proto::{LisChannel, Pearl, PortValues, Token, ViolationCounter, PORT_QUEUE_CAPACITY};
-use lis_sim::{CompiledNetlistSim, Component, PortHandle, SignalView, System};
+use lis_sim::{CompiledNetlistSim, Component, PortHandle, Ports, SignalView, System};
 use std::collections::VecDeque;
 
 /// A patient process whose control decisions are computed by a wrapper
@@ -117,6 +117,19 @@ impl NetlistPatientProcess {
 impl Component for NetlistPatientProcess {
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn ports(&self) -> Ports {
+        // Registered faces, as in the behavioural PatientProcess: the
+        // controller netlist runs inside tick, not inside eval.
+        let mut p = Ports::none();
+        for ch in &self.in_channels {
+            p = p.merge(ch.consumer_ports());
+        }
+        for ch in &self.out_channels {
+            p = p.merge(ch.producer_ports());
+        }
+        p
     }
 
     fn eval(&mut self, sigs: &mut SignalView<'_>) {
@@ -258,7 +271,7 @@ mod tests {
             let got = sink.received();
             sys.add_component(sink);
             sys.run(1500).unwrap();
-            let r = got.borrow().clone();
+            let r = got.lock().unwrap().clone();
             (r, violations.count())
         };
 

@@ -8,36 +8,36 @@
 
 use crate::policy::SyncPolicy;
 use lis_proto::{LisChannel, Pearl, PortValues, Token, ViolationCounter, PORT_QUEUE_CAPACITY};
-use lis_sim::{Component, SignalView, System};
-use std::cell::Cell;
+use lis_sim::{Component, Ports, SignalView, System};
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Live occupancy/progress counters exposed by a patient process.
 #[derive(Debug, Clone, Default)]
 pub struct PatientStats {
-    fired: Rc<Cell<u64>>,
-    stalled: Rc<Cell<u64>>,
+    fired: Arc<AtomicU64>,
+    stalled: Arc<AtomicU64>,
 }
 
 impl PatientStats {
     /// Enabled (fired) cycles so far.
     pub fn fired(&self) -> u64 {
-        self.fired.get()
+        self.fired.load(Ordering::Relaxed)
     }
 
     /// Stalled cycles so far.
     pub fn stalled(&self) -> u64 {
-        self.stalled.get()
+        self.stalled.load(Ordering::Relaxed)
     }
 
     /// Fired / total, in 0..=1.
     pub fn utilization(&self) -> f64 {
-        let total = self.fired.get() + self.stalled.get();
+        let total = self.fired() + self.stalled();
         if total == 0 {
             0.0
         } else {
-            self.fired.get() as f64 / total as f64
+            self.fired() as f64 / total as f64
         }
     }
 }
@@ -137,6 +137,19 @@ impl Component for PatientProcess {
         &self.name
     }
 
+    fn ports(&self) -> Ports {
+        // Registered on every face: stops toward inputs, queue heads
+        // toward outputs; channel reads happen at the clock edge.
+        let mut p = Ports::none();
+        for ch in &self.in_channels {
+            p = p.merge(ch.consumer_ports());
+        }
+        for ch in &self.out_channels {
+            p = p.merge(ch.producer_ports());
+        }
+        p
+    }
+
     fn eval(&mut self, sigs: &mut SignalView<'_>) {
         for (i, ch) in self.in_channels.iter().enumerate() {
             ch.write_stop(sigs, self.in_stop[i]);
@@ -189,9 +202,9 @@ impl Component for PatientProcess {
                 }
             }
             self.sched_step = (self.sched_step + 1) % self.pearl.schedule().period();
-            self.stats.fired.set(self.stats.fired.get() + 1);
+            self.stats.fired.fetch_add(1, Ordering::Relaxed);
         } else {
-            self.stats.stalled.set(self.stats.stalled.get() + 1);
+            self.stats.stalled.fetch_add(1, Ordering::Relaxed);
         }
         self.policy.commit(decision.fire);
 
@@ -276,9 +289,9 @@ mod tests {
         let sink = TokenSink::new("sink", outs[0]).with_stalls(sink_stall, 9);
         let got = sink.received();
         sys.add_component(sink);
-        sys.run_until(cycles, |_| got.borrow().len() >= want)
+        sys.run_until(cycles, |_| got.lock().unwrap().len() >= want)
             .unwrap();
-        let result = got.borrow().clone();
+        let result = got.lock().unwrap().clone();
         (result, violations.count())
     }
 
@@ -500,7 +513,7 @@ mod tests {
             let got = sink.received();
             sys.add_component(sink);
             sys.run(600).unwrap();
-            let result = got.borrow().clone();
+            let result = got.lock().unwrap().clone();
             (result, violations.count())
         };
 

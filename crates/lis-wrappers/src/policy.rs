@@ -42,7 +42,7 @@ impl Decision {
 }
 
 /// A synchronization policy: the control behaviour of one wrapper model.
-pub trait SyncPolicy: fmt::Debug {
+pub trait SyncPolicy: fmt::Debug + Send {
     /// Decides this cycle's action from the ports' FIFO status
     /// (`not_empty` per input port, `not_full` per output port).
     ///
