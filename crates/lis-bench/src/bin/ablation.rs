@@ -1,17 +1,77 @@
 //! E6: design ablations.
 //!
 //! 1. FSM state-encoding (one-hot vs binary) on the Viterbi schedule —
-//!    the baseline's area/fmax trade-off.
-//! 2. The shift-register wrapper (Casu & Macchiarulo) under increasing
-//!    stream irregularity — correct at zero irregularity, corrupting
-//!    data beyond it, which is why it cannot replace the SP in general.
+//!    the baseline's area/fmax trade-off — and the shift-register
+//!    wrapper (Casu & Macchiarulo) corrupting data under irregularity.
+//! 2. The NoC-scale topology ablation: SP-with-ROM-compression vs
+//!    SP-uncompressed vs per-pearl FSM synchronizers, swept across mesh
+//!    scales with schedule length growing alongside — the regime where
+//!    the paper's flat-cost claim becomes decisive. Every variant also
+//!    drives the generated mesh gate-level through the sharded
+//!    scheduler, checked token-exact against the dataflow oracle.
+//! 3. The 10⁵-cycle long-schedule stress run: an 8×8 mesh of gate-level
+//!    SP shells under bursty traffic and relay back-pressure.
+//!
+//! `--json <path>` records the rows (e.g. BENCH_e6.json; wall-clock
+//! fields are volatile and excluded from the CI drift diff). The E6
+//! headline claim — compressed-SP slice/ROM cost flat within ±10%
+//! across scales, FSM cost growing monotonically, stress run
+//! token-exact — is asserted unconditionally: a regression aborts the
+//! binary.
 
-use lis_bench::{print_rows, section};
+use lis_bench::{print_rows, section, threads_from_args};
 use lis_core::experiment::ablation;
 use lis_synth::TechParams;
+use lis_topo::{assert_e6_claim, stress_run, topology_ablation, AblationBenchConfig, StressConfig};
+use serde::{Serialize, Value};
 
 fn main() {
-    section("E6 — ablations");
-    let rows = ablation(&TechParams::default()).expect("ablation");
-    print_rows(&rows);
+    let args: Vec<String> = std::env::args().collect();
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| args.get(i + 1).expect("--json needs a path").clone());
+    let threads = threads_from_args(&args);
+    let params = TechParams::default();
+
+    section("E6 — classic ablations (FSM encodings, static-wrapper fragility)");
+    let classic = ablation(&params).expect("ablation");
+    print_rows(&classic);
+
+    section("E6 — synchronizer cost & behaviour across NoC topology scale");
+    let topo_cfg = AblationBenchConfig::default();
+    println!(
+        "square meshes, gate-level shells, bursty stall {:.2}, hop distance {} / budget {} (threads {threads})",
+        topo_cfg.stall, topo_cfg.hop_distance, topo_cfg.relay_budget
+    );
+    let topo_rows = topology_ablation(&topo_cfg, &params, threads).expect("topology ablation");
+    print_rows(&topo_rows);
+    assert_e6_claim(&topo_rows, 0.10);
+    println!(
+        "claim holds: compressed-SP cost flat (±10%), FSM/uncompressed growing, streams exact"
+    );
+
+    section("E6 — long-schedule stress run (SP run counters + relay back-pressure)");
+    let stress_cfg = StressConfig::default();
+    let stress = stress_run(&stress_cfg, threads);
+    println!("{stress}");
+    assert!(stress.token_exact, "stress streams must be token-exact");
+    assert_eq!(stress.violations, 0, "stress must stay protocol-clean");
+    assert!(
+        stress.pearls >= 64 && stress.cycles >= 100_000,
+        "stress bar: >=64 pearls for >=1e5 cycles"
+    );
+
+    if let Some(path) = &json_path {
+        let baseline = Value::Object(vec![
+            ("e6_classic".into(), classic.to_value()),
+            ("topo_config".into(), topo_cfg.to_value()),
+            ("topo_ablation".into(), topo_rows.to_value()),
+            ("stress_config".into(), stress_cfg.to_value()),
+            ("stress".into(), stress.to_value()),
+        ]);
+        let json = serde_json::to_string_pretty(&baseline).expect("serialize E6 rows");
+        std::fs::write(path, json + "\n").expect("write JSON baseline");
+        eprintln!("wrote {path}");
+    }
 }

@@ -1,7 +1,7 @@
 //! The wrapper synthesis flow: schedule → controller netlist → area and
 //! timing reports, for any wrapper model.
 
-use lis_schedule::{compress, compress_bursty, IoSchedule, SpProgram};
+use lis_schedule::{compress, compress_bursty, uncompressed, IoSchedule, SpProgram};
 use lis_synth::{synthesize, SynthReport, TechParams};
 use lis_wrappers::{assemble_full_wrapper, generate_sp, WrapperKind};
 use serde::{Deserialize, Serialize};
@@ -16,6 +16,22 @@ pub enum SpCompression {
     /// Burst operations ([`compress_bursty`]) — one synchronization per
     /// I/O phase, streaming through runs; the paper's Viterbi setup.
     Burst,
+    /// No compression ([`uncompressed`]) — one ROM word per schedule
+    /// cycle, run counters pinned to 1. The E6 ablation baseline: same
+    /// processor datapath, but the operations memory grows linearly with
+    /// schedule length.
+    Uncompressed,
+}
+
+impl SpCompression {
+    /// Compiles `schedule` into an SP program under this compression.
+    pub fn compile(self, schedule: &IoSchedule) -> SpProgram {
+        match self {
+            SpCompression::Safe => compress(schedule),
+            SpCompression::Burst => compress_bursty(schedule),
+            SpCompression::Uncompressed => uncompressed(schedule),
+        }
+    }
 }
 
 /// Synthesis results for one wrapper implementation of one schedule.
@@ -48,18 +64,13 @@ pub fn synthesize_wrapper(
     compression: SpCompression,
     params: &TechParams,
 ) -> Result<WrapperSynthesis, lis_netlist::NetlistError> {
-    let (module, sp_ops) = match (kind, compression) {
-        (WrapperKind::Sp, SpCompression::Burst) => {
-            let program: SpProgram = compress_bursty(schedule);
+    let (module, sp_ops) = match kind {
+        WrapperKind::Sp => {
+            let program = compression.compile(schedule);
             let ops = program.len();
             (generate_sp(&program)?, Some(ops))
         }
-        (WrapperKind::Sp, SpCompression::Safe) => {
-            let program = compress(schedule);
-            let ops = program.len();
-            (generate_sp(&program)?, Some(ops))
-        }
-        (other, _) => (other.generate_netlist(schedule)?, None),
+        other => (other.generate_netlist(schedule)?, None),
     };
     Ok(WrapperSynthesis {
         model: kind.to_string(),
@@ -83,18 +94,13 @@ pub fn synthesize_full_wrapper(
     out_widths: &[usize],
     params: &TechParams,
 ) -> Result<WrapperSynthesis, lis_netlist::NetlistError> {
-    let (controller, sp_ops) = match (kind, compression) {
-        (WrapperKind::Sp, SpCompression::Burst) => {
-            let program: SpProgram = compress_bursty(schedule);
+    let (controller, sp_ops) = match kind {
+        WrapperKind::Sp => {
+            let program = compression.compile(schedule);
             let ops = program.len();
             (generate_sp(&program)?, Some(ops))
         }
-        (WrapperKind::Sp, SpCompression::Safe) => {
-            let program = compress(schedule);
-            let ops = program.len();
-            (generate_sp(&program)?, Some(ops))
-        }
-        (other, _) => (other.generate_netlist(schedule)?, None),
+        other => (other.generate_netlist(schedule)?, None),
     };
     let full = assemble_full_wrapper(&controller, in_widths, out_widths)?;
     Ok(WrapperSynthesis {
@@ -128,6 +134,34 @@ mod tests {
             synthesize_wrapper(WrapperKind::Sp, &schedule(), SpCompression::Burst, &p).unwrap();
         assert!(burst.sp_ops.unwrap() < safe.sp_ops.unwrap());
         assert_eq!(burst.sp_ops.unwrap(), 3);
+    }
+
+    #[test]
+    fn uncompressed_sp_stores_the_whole_period() {
+        // Quiet-heavy schedule — the regime run-counter compression
+        // exists for. (Dense-I/O schedules like RS compress ~1:1, and
+        // their verbatim words are even narrower: run field shrinks.)
+        let p = TechParams::default();
+        let s = ScheduleBuilder::new(2, 1)
+            .read(0)
+            .read(1)
+            .quiet(60)
+            .write(0)
+            .build()
+            .unwrap();
+        let safe = synthesize_wrapper(WrapperKind::Sp, &s, SpCompression::Safe, &p).unwrap();
+        let verbatim =
+            synthesize_wrapper(WrapperKind::Sp, &s, SpCompression::Uncompressed, &p).unwrap();
+        assert_eq!(verbatim.sp_ops.unwrap(), s.period());
+        assert!(verbatim.sp_ops.unwrap() > safe.sp_ops.unwrap());
+        let rom =
+            |w: &WrapperSynthesis| w.report.area.rom_bits_bram + w.report.area.rom_bits_lutram;
+        assert!(
+            rom(&verbatim) > rom(&safe),
+            "verbatim ROM {} must exceed compressed ROM {}",
+            rom(&verbatim),
+            rom(&safe)
+        );
     }
 
     #[test]

@@ -58,6 +58,35 @@ pub struct IpHandle {
 }
 
 /// Incremental SoC constructor.
+///
+/// # Examples
+///
+/// The README quickstart, runnable: one accumulator pearl behind an SP
+/// wrapper, a stalling source, and a recording sink.
+///
+/// ```
+/// use lis_core::SocBuilder;
+/// use lis_proto::AccumulatorPearl;
+/// use lis_wrappers::WrapperKind;
+///
+/// # fn main() -> Result<(), lis_sim::SimError> {
+/// let mut b = SocBuilder::new();
+/// let ip = b.add_ip(
+///     "acc",
+///     Box::new(AccumulatorPearl::new("acc", 1, 1, 2)),
+///     WrapperKind::Sp,
+/// );
+/// b.feed("src", ip.inputs[0], 1..=5, 0.3, 7); // 30% stalls, seed 7
+/// b.capture("out", ip.outputs[0], 0.2, 8);
+/// let mut soc = b.build();
+/// soc.run(100)?;
+/// // Latency insensitivity: stalls change *when* tokens arrive, never
+/// // *what* arrives.
+/// assert_eq!(soc.received("out"), vec![1, 3, 6, 10, 15]);
+/// assert_eq!(soc.violations(), 0);
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug)]
 pub struct SocBuilder {
     system: System,
@@ -162,6 +191,33 @@ impl SocBuilder {
         let controller = kind
             .generate_netlist(pearl.schedule())
             .expect("wrapper generation failed");
+        let (inputs, outputs) =
+            wrap_pearl_full_netlist(&mut self.system, &name, pearl, controller, &self.violations);
+        IpHandle {
+            name,
+            inputs,
+            outputs,
+        }
+    }
+
+    /// Encapsulates `pearl` behind an explicitly provided gate-level
+    /// controller inside the complete shell (controller plus port
+    /// FIFOs).
+    ///
+    /// This is the seam for controllers whose program is *not* the
+    /// default lowering of the pearl's schedule — e.g. an SP running an
+    /// uncompressed or burst-compressed program
+    /// ([`lis_wrappers::generate_sp`] over any
+    /// [`lis_schedule::SpProgram`]). The controller must implement the
+    /// pearl's schedule; the wrapper harness checks protocol conformance
+    /// at runtime via the shared violation counter.
+    pub fn add_ip_full_netlist_with_controller(
+        &mut self,
+        name: impl Into<String>,
+        pearl: Box<dyn Pearl>,
+        controller: lis_netlist::Module,
+    ) -> IpHandle {
+        let name = name.into();
         let (inputs, outputs) =
             wrap_pearl_full_netlist(&mut self.system, &name, pearl, controller, &self.violations);
         IpHandle {

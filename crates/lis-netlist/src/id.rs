@@ -10,7 +10,7 @@ use std::fmt;
 /// Identifier of a single-bit net inside one [`crate::Module`].
 ///
 /// A `NetId` is only meaningful for the module that created it; mixing ids
-/// across modules is caught by [`crate::Module::validate`].
+/// across modules is caught by [`crate::validate`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct NetId(u32);
 

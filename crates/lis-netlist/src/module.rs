@@ -80,7 +80,7 @@ impl Rom {
 
 /// A flat gate-level module.
 ///
-/// Invariants (checked by [`Module::validate`]):
+/// Invariants (checked by [`crate::validate()`]):
 /// * every net is driven exactly once (by a cell, a ROM data bit, or an
 ///   input port bit);
 /// * combinational paths are acyclic (flip-flops break cycles);
@@ -170,7 +170,7 @@ impl Module {
     ///
     /// Returns `None` entries for undriven nets and reports *only the
     /// first* driver when a net is multiply driven — use
-    /// [`Module::validate`](crate::validate) for full diagnostics.
+    /// [`crate::validate()`](crate::validate) for full diagnostics.
     pub fn rebuild_drivers(&self) -> Vec<Option<Driver>> {
         let mut drivers: Vec<Option<Driver>> = vec![None; self.nets.len()];
         for (pi, port) in self.inputs.iter().enumerate() {

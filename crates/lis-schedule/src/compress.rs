@@ -86,6 +86,26 @@ pub fn compress_bursty(schedule: &IoSchedule) -> SpProgram {
         .expect("burst compression of a valid schedule yields a valid program")
 }
 
+/// Lowers a schedule into an *uncompressed* SP program: one ROM word per
+/// schedule cycle, every run counter 1, quiet cycles as unconditional
+/// operations.
+///
+/// This is the ablation baseline the run-counter compression is measured
+/// against (experiment E6): the processor datapath is identical to the
+/// compressed variants, but the operations memory must store the whole
+/// period verbatim, so ROM bits grow linearly with schedule length —
+/// exactly the FSM state-count growth the SP exists to avoid. Like
+/// [`compress`], the lowering is exact: `uncompressed(s).expand() == s`.
+pub fn uncompressed(schedule: &IoSchedule) -> SpProgram {
+    let ops: Vec<SyncOp> = schedule
+        .steps()
+        .iter()
+        .map(|&step| SyncOp::new(step.reads, step.writes, 1))
+        .collect();
+    SpProgram::new(schedule.n_inputs(), schedule.n_outputs(), ops)
+        .expect("verbatim lowering of a valid schedule yields a valid program")
+}
+
 /// The compression ratio achieved for a schedule: FSM states required
 /// (one per cycle) divided by SP operations required.
 ///
@@ -221,6 +241,28 @@ mod tests {
         let p = compress_bursty(&s);
         assert_eq!(p.len(), 2);
         assert!(p.ops()[0].is_unconditional());
+    }
+
+    #[test]
+    fn uncompressed_is_one_word_per_cycle_and_exact() {
+        let s = IoSchedule::new(
+            2,
+            1,
+            vec![
+                io(&[0], &[]),
+                CycleIo::QUIET,
+                CycleIo::QUIET,
+                io(&[1], &[0]),
+                CycleIo::QUIET,
+            ],
+        )
+        .unwrap();
+        let p = uncompressed(&s);
+        assert_eq!(p.len(), s.period(), "one ROM word per schedule cycle");
+        assert!(p.ops().iter().all(|op| op.run_cycles == 1));
+        assert_eq!(p.expand(), s, "verbatim lowering must be exact");
+        // The compressed program stores the same schedule in fewer words.
+        assert!(compress(&s).len() < p.len());
     }
 
     #[test]

@@ -55,7 +55,7 @@ mod schedule;
 mod transform;
 
 pub use analysis::{burst_buffer_requirements, port_rates, BurstAnalysis, PortRates};
-pub use compress::{compress, compress_bursty, compression_ratio};
+pub use compress::{compress, compress_bursty, compression_ratio, uncompressed};
 pub use error::ScheduleError;
 pub use generator::{random_schedule, RandomScheduleParams, ScheduleBuilder};
 pub use ops::{OpEncoding, SpProgram, SyncOp};

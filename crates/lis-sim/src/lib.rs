@@ -21,8 +21,8 @@
 //!   into a component system for co-simulation against behavioural
 //!   models.
 //!
-//! On top of the interpreter sits the **compiled engine**
-//! ([`crate::compile`]): [`NetlistProgram`] lowers a module into a
+//! On top of the interpreter sits the **compiled engine**:
+//! [`NetlistProgram`] lowers a module into a
 //! levelized flat instruction stream, [`CompiledNetlistSim`] executes it
 //! scalar (a drop-in, much faster [`NetlistExec`]), and
 //! [`PackedNetlistSim`] executes 64 independent Monte-Carlo lanes per
@@ -56,7 +56,7 @@
 // Unsafe is confined to the scheduler/pool/signal-view trio, where each
 // use documents the disjointness invariant that justifies it.
 #![deny(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod compile;
 mod kernel;

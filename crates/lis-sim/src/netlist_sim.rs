@@ -17,6 +17,44 @@ use lis_netlist::{topo_order, CellKind, CombNode, Module, NetlistError};
 /// identical two-phase semantics, so harnesses (and
 /// [`NetlistComponent`]) can swap engines without caring which one is
 /// underneath.
+///
+/// # Examples
+///
+/// Drive a generated gate-level wrapper through either engine — the
+/// README's "netlist execution engines" table, runnable:
+///
+/// ```
+/// use lis_netlist::ModuleBuilder;
+/// use lis_sim::{CompiledNetlistSim, NetlistExec, NetlistSim};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // A gate-level mod-3 counter.
+/// let mut b = ModuleBuilder::new("counter");
+/// let en = b.constant(true);
+/// let rst = b.constant(false);
+/// let q = b.counter_mod(2, en, rst, 3);
+/// b.output("q", &q);
+/// let module = b.finish()?;
+///
+/// // Interpreter and compiled engine behind the same trait.
+/// let mut engines: Vec<Box<dyn NetlistExec>> = vec![
+///     Box::new(NetlistSim::new(module.clone())?),
+///     Box::new(CompiledNetlistSim::new(module)?),
+/// ];
+/// for engine in &mut engines {
+///     let counts: Vec<u64> = (0..5)
+///         .map(|_| {
+///             engine.eval();
+///             let q = engine.get_output("q").expect("port exists");
+///             engine.step();
+///             q
+///         })
+///         .collect();
+///     assert_eq!(counts, vec![0, 1, 2, 0, 1], "mod-3 wrap-around");
+/// }
+/// # Ok(())
+/// # }
+/// ```
 pub trait NetlistExec: Send {
     /// The module being executed.
     fn module(&self) -> &Module;

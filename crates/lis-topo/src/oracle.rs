@@ -1,0 +1,158 @@
+//! The token-exactness oracle: an unbounded-buffer dataflow (Kahn
+//! process network) interpretation of a [`TopologyGraph`].
+//!
+//! Latency-insensitive theory guarantees the *informative streams* of a
+//! correct system are a function of the dataflow alone — independent of
+//! link latencies, relay counts, stalls, and wrapper model. The oracle
+//! computes those streams directly: each node fires whenever every
+//! input queue holds a token, consuming one per input, accumulating
+//! their wrapping sum, and emitting the accumulator on every output —
+//! exactly [`lis_proto::AccumulatorPearl`]'s firing semantics. A
+//! generated SoC is **token-exact** when every sink's received stream
+//! is a prefix of the oracle's (equality once the sources drain and the
+//! fabric quiesces).
+
+use crate::topology::{source_token, Endpoint, TopologyGraph, CHANNEL_MASK};
+use std::collections::VecDeque;
+
+/// Computes the exact stream every sink must observe, given each source
+/// offers its first `tokens_per_source` tokens (see
+/// [`crate::source_token`]).
+///
+/// # Panics
+///
+/// Panics if the graph fails [`TopologyGraph::validate`] — the oracle's
+/// single topological pass is only exhaustive on a valid DAG.
+pub fn expected_sink_streams(graph: &TopologyGraph, tokens_per_source: usize) -> Vec<Vec<u64>> {
+    graph.validate().expect("oracle needs a valid graph");
+    let order = graph.topo_order().expect("validated graph is acyclic");
+
+    let mut in_queues: Vec<Vec<VecDeque<u64>>> = graph
+        .nodes
+        .iter()
+        .map(|n| vec![VecDeque::new(); n.n_in])
+        .collect();
+    let mut sink_streams: Vec<Vec<u64>> = vec![Vec::new(); graph.sinks()];
+
+    // Destination of every node output port, and of every source.
+    let mut out_dest: Vec<Vec<Endpoint>> = graph
+        .nodes
+        .iter()
+        .map(|n| vec![Endpoint::Sink(usize::MAX); n.n_out])
+        .collect();
+    for link in &graph.links {
+        match link.from {
+            Endpoint::Source(k) => {
+                for i in 0..tokens_per_source {
+                    deliver(
+                        &mut in_queues,
+                        &mut sink_streams,
+                        link.to,
+                        source_token(k, i),
+                    );
+                }
+            }
+            Endpoint::NodeOut(n, p) => out_dest[n][p] = link.to,
+            _ => unreachable!("validated"),
+        }
+    }
+
+    // One pass in topological order fully drains a DAG: by the time a
+    // node is visited, everything upstream has already fired. The
+    // pearl's internal accumulator is full-width, but everything a
+    // channel carries wraps to CHANNEL_WIDTH bits — `deliver` masks.
+    let mut acc = vec![0u64; graph.nodes.len()];
+    for n in order {
+        while in_queues[n].iter().all(|q| !q.is_empty()) {
+            let sum = in_queues[n]
+                .iter_mut()
+                .map(|q| q.pop_front().expect("checked non-empty"))
+                .fold(0u64, u64::wrapping_add);
+            acc[n] = acc[n].wrapping_add(sum);
+            for p in 0..graph.nodes[n].n_out {
+                deliver(&mut in_queues, &mut sink_streams, out_dest[n][p], acc[n]);
+            }
+        }
+    }
+    sink_streams
+}
+
+fn deliver(
+    in_queues: &mut [Vec<VecDeque<u64>>],
+    sink_streams: &mut [Vec<u64>],
+    to: Endpoint,
+    value: u64,
+) {
+    let value = value & CHANNEL_MASK;
+    match to {
+        Endpoint::NodeIn(n, p) => in_queues[n][p].push_back(value),
+        Endpoint::Sink(k) => sink_streams[k].push(value),
+        other => unreachable!("validated graph: {other:?} cannot consume"),
+    }
+}
+
+/// Order-sensitive checksum over a set of streams (sink order, then
+/// token order) — the drift-checkable fingerprint of a run.
+pub fn stream_checksum(streams: &[Vec<u64>]) -> u64 {
+    let mut h = 0u64;
+    for stream in streams {
+        for &v in stream {
+            h = h.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(v);
+        }
+        // Separate streams so permutations across sinks are detected.
+        h = h.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(!0);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{TopologyShape, TopologySpec};
+
+    fn graph_of(shape: TopologyShape) -> TopologyGraph {
+        TopologySpec {
+            shape,
+            ..TopologySpec::default()
+        }
+        .graph()
+    }
+
+    #[test]
+    fn chain_oracle_is_iterated_running_sums() {
+        let g = graph_of(TopologyShape::Chain { nodes: 1 });
+        let streams = expected_sink_streams(&g, 4);
+        // Source 0 offers 1,2,3,4; one accumulator → 1,3,6,10.
+        assert_eq!(streams, vec![vec![1, 3, 6, 10]]);
+
+        let g2 = graph_of(TopologyShape::Chain { nodes: 2 });
+        let streams2 = expected_sink_streams(&g2, 4);
+        assert_eq!(streams2, vec![vec![1, 4, 10, 20]]);
+    }
+
+    #[test]
+    fn star_oracle_fires_hub_once_all_leaves_deliver() {
+        let g = graph_of(TopologyShape::Star { leaves: 2 });
+        let streams = expected_sink_streams(&g, 2);
+        // Sources offer 1,2 and 3,6; the leaves accumulate them into
+        // 1,3 and 3,9; the hub sums one token per leaf per firing:
+        // acc = 1+3 = 4, then 4 + (3+9) = 16.
+        assert_eq!(streams.len(), 1);
+        assert_eq!(streams[0], vec![4, 16]);
+    }
+
+    #[test]
+    fn mesh_oracle_covers_every_sink() {
+        let g = graph_of(TopologyShape::Mesh { rows: 2, cols: 3 });
+        let streams = expected_sink_streams(&g, 8);
+        assert_eq!(streams.len(), 5);
+        assert!(streams.iter().all(|s| !s.is_empty()));
+    }
+
+    #[test]
+    fn checksum_distinguishes_stream_boundaries() {
+        let a = stream_checksum(&[vec![1, 2], vec![3]]);
+        let b = stream_checksum(&[vec![1], vec![2, 3]]);
+        assert_ne!(a, b);
+    }
+}

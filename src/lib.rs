@@ -17,7 +17,13 @@
 //! * [`ip`] — Viterbi and Reed-Solomon decoder cores with the paper's
 //!   Table 1 scenarios;
 //! * [`hdl`] — Verilog/VHDL emission with round-trip parsing;
-//! * [`core`] — SoC assembly, synthesis flow, experiment drivers.
+//! * [`core`] — SoC assembly, synthesis flow, experiment drivers;
+//! * [`topo`] — NoC-scale topology generation (mesh/ring/star/chain),
+//!   latency-budget relay insertion, traffic patterns, the dataflow
+//!   oracle, and the E6 ablation bench.
+//!
+//! See `ARCHITECTURE.md` at the repository root for the crate
+//! dependency graph and the main data-flow pipelines.
 //!
 //! # Quickstart
 //!
@@ -53,4 +59,5 @@ pub use lis_proto as proto;
 pub use lis_schedule as schedule;
 pub use lis_sim as sim;
 pub use lis_synth as synth;
+pub use lis_topo as topo;
 pub use lis_wrappers as wrappers;
