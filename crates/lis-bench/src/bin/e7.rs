@@ -1,0 +1,87 @@
+//! E7: the activity-driven cycle kernel on the stress mesh.
+//!
+//! The 8×8 gate-level SP mesh (the E6 hot path) is simulated under
+//! streaming, bursty, hotspot, and saturating back-pressured traffic,
+//! once per settle engine — the legacy full sweep, the dependency-aware
+//! worklist, and the activity-driven kernel (cross-cycle quiescence
+//! skipping + sharded selective ticks). Every configuration must
+//! deliver bit-identical token streams; the activity rows additionally
+//! report how much of the mesh they skipped.
+//!
+//! `--json <path>` records the rows (e.g. BENCH_e7.json; wall-clock
+//! fields are volatile and excluded from the CI drift diff) and
+//! `--check` enforces the headline bar: activity-driven ≥ 2× the
+//! worklist engine's kcyc/s on the back-pressured stress run.
+
+use lis_bench::{print_rows, section, threads_from_args};
+use lis_topo::{assert_e7_streams, e7_bench, E7Config};
+use serde::{Serialize, Value};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| args.get(i + 1).expect("--json needs a path").clone());
+    let check = args.iter().any(|a| a == "--check");
+    let threads = threads_from_args(&args);
+
+    let cfg = E7Config::default();
+    section("E7 — activity-driven kernel vs worklist vs full sweep (stress mesh)");
+    println!(
+        "mesh {}x{} gate-level SP shells, compute latency {}, hop {} / budget {} (threads {threads})",
+        cfg.rows, cfg.cols, cfg.compute_latency, cfg.hop_distance, cfg.relay_budget
+    );
+    let report = e7_bench(&cfg, threads);
+    println!(
+        "{} pearls, {} relay stations, {} components / {} signals",
+        report.pearls, report.relay_stations, report.components, report.signals
+    );
+
+    section("E7 — engine × traffic sweep");
+    print_rows(&report.sweep);
+    assert_e7_streams(&report.sweep);
+
+    section("E7 — back-pressured stress run (the headline)");
+    print_rows(&report.check);
+    assert_e7_streams(&report.check);
+    println!(
+        "speedup activity@1 vs worklist@1: {:.2}x",
+        report.speedup_activity_vs_worklist
+    );
+
+    if let Some(path) = &json_path {
+        let baseline = Value::Object(vec![
+            ("e7_config".into(), report.config.to_value()),
+            ("pearls".into(), Value::UInt(report.pearls as u64)),
+            (
+                "relay_stations".into(),
+                Value::UInt(report.relay_stations as u64),
+            ),
+            ("components".into(), Value::UInt(report.components as u64)),
+            ("signals".into(), Value::UInt(report.signals as u64)),
+            ("e7_sweep".into(), report.sweep.to_value()),
+            ("e7_check".into(), report.check.to_value()),
+            (
+                "speedup_activity_vs_worklist".into(),
+                Value::Float(report.speedup_activity_vs_worklist),
+            ),
+        ]);
+        let json = serde_json::to_string_pretty(&baseline).expect("serialize E7 rows");
+        std::fs::write(path, json + "\n").expect("write JSON baseline");
+        eprintln!("wrote {path}");
+    }
+
+    if check {
+        assert!(
+            report.speedup_activity_vs_worklist >= 2.0,
+            "activity-driven must simulate the back-pressured stress mesh at >=2x \
+             the worklist kcyc/s (measured {:.2}x)",
+            report.speedup_activity_vs_worklist
+        );
+        println!(
+            "--check passed: {:.2}x >= 2x, streams bit-identical across engines and thread counts",
+            report.speedup_activity_vs_worklist
+        );
+    }
+}

@@ -59,6 +59,8 @@ fn main() {
         (SettleMode::FullSweep, 1usize),
         (SettleMode::Worklist, 1),
         (SettleMode::Worklist, threads),
+        (SettleMode::ActivityDriven, 1),
+        (SettleMode::ActivityDriven, threads),
     ];
     let (shape, bench_rows) = settle_bench(&cfg, &engines);
     println!(
@@ -81,10 +83,13 @@ fn main() {
     let baseline = &bench_rows[0];
     let worklist_1t = &bench_rows[1];
     let worklist_nt = &bench_rows[2];
+    let activity_1t = &bench_rows[3];
     let speedup_1t = worklist_1t.kcps / baseline.kcps;
     let speedup_nt = worklist_nt.kcps / baseline.kcps;
+    let speedup_act = activity_1t.kcps / baseline.kcps;
     println!(
-        "speedup vs full-sweep@1: worklist@1 {speedup_1t:.2}x, worklist@{threads} {speedup_nt:.2}x"
+        "speedup vs full-sweep@1: worklist@1 {speedup_1t:.2}x, worklist@{threads} {speedup_nt:.2}x, \
+         activity@1 {speedup_act:.2}x"
     );
 
     if let Some(path) = &json_path {
@@ -95,6 +100,7 @@ fn main() {
             ("settle_bench_rows".into(), bench_rows.to_value()),
             ("speedup_worklist_1t".into(), Value::Float(speedup_1t)),
             ("speedup_worklist_nt".into(), Value::Float(speedup_nt)),
+            ("speedup_activity_1t".into(), Value::Float(speedup_act)),
             ("threads_nt".into(), Value::UInt(threads as u64)),
         ]);
         let json = serde_json::to_string_pretty(&baseline_json).expect("serialize E5 rows");

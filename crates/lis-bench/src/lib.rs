@@ -11,6 +11,7 @@
 //! | `scaling` | E3/E4 — area/fmax vs schedule length and port count |
 //! | `throughput` | E5 — relayed-pipeline throughput & latency-insensitivity |
 //! | `ablation` | E6 — FSM encodings; static wrapper fragility |
+//! | `e7` | E7 — activity-driven kernel vs worklist vs full sweep on the stress mesh |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -499,6 +499,16 @@ pub struct SettleBenchRow {
     pub received: u64,
     /// Wrapping sum of all delivered tokens (stable).
     pub checksum: u64,
+    /// Groups evaluated by activity-driven settles (stable; 0 for the
+    /// legacy engines).
+    pub groups_evaluated: u64,
+    /// Groups skipped as quiescent (stable; 0 for the legacy engines).
+    pub groups_skipped: u64,
+    /// Component ticks executed (stable; 0 for the legacy engines).
+    pub components_ticked: u64,
+    /// Component ticks skipped as quiescent (stable; 0 for the legacy
+    /// engines).
+    pub components_quiescent: u64,
 }
 
 impl fmt::Display for SettleBenchRow {
@@ -513,7 +523,18 @@ impl fmt::Display for SettleBenchRow {
             self.cycles,
             self.received,
             self.checksum
-        )
+        )?;
+        let evals = self.groups_evaluated + self.groups_skipped;
+        let ticks = self.components_ticked + self.components_quiescent;
+        if evals > 0 || ticks > 0 {
+            write!(
+                f,
+                ", skipped {:.1}% of group evals / {:.1}% of ticks",
+                100.0 * self.groups_skipped as f64 / evals.max(1) as f64,
+                100.0 * self.components_quiescent as f64 / ticks.max(1) as f64,
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -565,6 +586,15 @@ fn settle_bench_soc(cfg: &SettleBenchConfig, mode: SettleMode, threads: usize) -
     b.build()
 }
 
+/// Canonical bench label of a [`SettleMode`].
+pub fn engine_name(mode: SettleMode) -> &'static str {
+    match mode {
+        SettleMode::FullSweep => "full-sweep",
+        SettleMode::Worklist => "worklist",
+        SettleMode::ActivityDriven => "activity",
+    }
+}
+
 /// E5 (settle path): wall-clock throughput of the component kernel on a
 /// many-pearl SoC, per settle engine and thread count. Every
 /// configuration must deliver the identical token streams — the
@@ -606,17 +636,19 @@ pub fn settle_bench(
                 }
             }
             assert_eq!(soc.violations(), 0, "settle bench must stay protocol-clean");
+            let run_stats = soc.scheduler_stats();
             SettleBenchRow {
-                engine: match mode {
-                    SettleMode::FullSweep => "full-sweep".to_owned(),
-                    SettleMode::Worklist => "worklist".to_owned(),
-                },
+                engine: engine_name(mode).to_owned(),
                 threads,
                 cycles: cfg.cycles,
                 wall_ms,
                 kcps: cfg.cycles as f64 / 1e3 / (wall_ms / 1e3),
                 received,
                 checksum,
+                groups_evaluated: run_stats.groups_evaluated,
+                groups_skipped: run_stats.groups_skipped,
+                components_ticked: run_stats.components_ticked,
+                components_quiescent: run_stats.components_quiescent,
             }
         })
         .collect();

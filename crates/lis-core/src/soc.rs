@@ -6,7 +6,9 @@
 //! resulting system is correct for *any* latency assignment.
 
 use lis_proto::{LisChannel, Pearl, RelayStation, TokenSink, TokenSource, ViolationCounter};
-use lis_sim::{Component, Ports, SettleMode, SignalView, SimError, System, Trace};
+use lis_sim::{
+    Activity, Component, Ports, SchedulerStats, SettleMode, SignalView, SimError, System, Trace,
+};
 use lis_wrappers::{
     wrap_pearl, wrap_pearl_full_netlist, wrap_pearl_netlist, PatientStats, WrapperKind,
 };
@@ -43,7 +45,10 @@ impl Component for Wire {
         self.up.write_stop(sigs, stop);
     }
 
-    fn tick(&mut self, _sigs: &SignalView<'_>) {}
+    fn tick(&mut self, _sigs: &SignalView<'_>) -> Activity {
+        // Stateless: re-evaluated only when a wire it reads changes.
+        Activity::Quiescent
+    }
 }
 
 /// Handle to an encapsulated IP inside a [`SocBuilder`].
@@ -416,6 +421,13 @@ impl Soc {
     /// Elapsed cycles.
     pub fn cycle(&self) -> u64 {
         self.system.cycle()
+    }
+
+    /// Scheduler statistics: the structural shape (groups, levels, SCC
+    /// census) plus — under [`SettleMode::ActivityDriven`] — the
+    /// cumulative skip/eval/tick counters of the run so far.
+    pub fn scheduler_stats(&mut self) -> SchedulerStats {
+        self.system.scheduler_stats()
     }
 
     /// The underlying simulation system (e.g. for differential signal

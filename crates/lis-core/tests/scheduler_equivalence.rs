@@ -158,6 +158,45 @@ proptest! {
         }
         prop_assert_eq!(reference.violations(), scheduled.violations());
     }
+
+    /// The activity-driven kernel — cross-cycle quiescence skipping plus
+    /// the sharded selective tick phase — matches BOTH legacy engines
+    /// cycle for cycle on every signal of a random SoC (behavioural and
+    /// gate-level shells, relays, serdes, random stalls and thread
+    /// counts), with identical streams and violation counts. Sources dry
+    /// up and sinks stall mid-run, so real quiescence windows are
+    /// exercised, not just the steady stream.
+    #[test]
+    fn activity_driven_socs_settle_identically(
+        chains in prop::collection::vec(chain_strategy(), 1..3),
+        threads in 1usize..5,
+        cycles in 40u64..120,
+    ) {
+        let spec = SocSpec { chains };
+        let mut reference = build(&spec, SettleMode::FullSweep, 1);
+        let mut worklist = build(&spec, SettleMode::Worklist, 1);
+        let mut activity = build(&spec, SettleMode::ActivityDriven, threads);
+        for cycle in 0..cycles {
+            reference.run(1).unwrap();
+            worklist.run(1).unwrap();
+            activity.run(1).unwrap();
+            prop_assert_eq!(
+                reference.system().signal_values(),
+                activity.system().signal_values(),
+                "activity vs full-sweep divergence at cycle {} (threads={})", cycle, threads
+            );
+            prop_assert_eq!(
+                worklist.system().signal_values(),
+                activity.system().signal_values(),
+                "activity vs worklist divergence at cycle {} (threads={})", cycle, threads
+            );
+        }
+        for c in 0..spec.chains.len() {
+            let name = format!("out{c}");
+            prop_assert_eq!(reference.received(&name), activity.received(&name));
+        }
+        prop_assert_eq!(reference.violations(), activity.violations());
+    }
 }
 
 /// The satellite regression: a deliberate combinational `stop` loop

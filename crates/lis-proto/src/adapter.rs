@@ -8,7 +8,7 @@
 
 use crate::channel::LisChannel;
 use crate::token::Token;
-use lis_sim::{Component, Ports, SignalView};
+use lis_sim::{Activity, Component, Ports, SignalView};
 
 /// Splits each wide token into `factor` narrow tokens, least-significant
 /// chunk first.
@@ -71,15 +71,18 @@ impl Component for Serializer {
         self.wide.write_stop(sigs, self.stop_up);
     }
 
-    fn tick(&mut self, sigs: &SignalView<'_>) {
+    fn tick(&mut self, sigs: &SignalView<'_>) -> Activity {
+        let mut changed = false;
         // Downstream consumes the current chunk unless it stalls.
         if !self.narrow.read_stop(sigs) && !self.pending.is_empty() {
             self.pending.pop();
+            changed = true;
         }
         // Accept a new word only while idle (we presented stop while
         // busy, so the producer held).
         if !self.stop_up {
             if let Token::Data(word) = self.wide.read_token(sigs) {
+                changed = true;
                 let mask = if self.narrow.width >= 64 {
                     u64::MAX
                 } else {
@@ -91,7 +94,10 @@ impl Component for Serializer {
                 }
             }
         }
-        self.stop_up = !self.pending.is_empty();
+        let stop = !self.pending.is_empty();
+        changed |= stop != self.stop_up;
+        self.stop_up = stop;
+        Activity::from_changed(changed)
     }
 }
 
@@ -147,15 +153,18 @@ impl Component for Deserializer {
         self.narrow.write_stop(sigs, self.stop_up);
     }
 
-    fn tick(&mut self, sigs: &SignalView<'_>) {
+    fn tick(&mut self, sigs: &SignalView<'_>) -> Activity {
+        let mut changed = false;
         // 1. The consumer takes the assembled word unless it stalls.
         if !self.wide.read_stop(sigs) && self.ready.is_some() {
             self.ready = None;
+            changed = true;
         }
         // 2. Intake (gated by the stop we presented this cycle).
         if !self.stop_up {
             if let Token::Data(chunk) = self.narrow.read_token(sigs) {
                 self.collected.push(chunk);
+                changed = true;
             }
         }
         // 3. Pack whenever a full word is collected and the output slot
@@ -167,12 +176,16 @@ impl Component for Deserializer {
             }
             self.ready = Some(word);
             self.collected.clear();
+            changed = true;
         }
         // 4. Hold the producer while the next chunk could overflow the
         //    assembly buffer (full, or one short of full with the output
         //    slot still occupied).
-        self.stop_up = self.collected.len() >= self.factor as usize
+        let stop = self.collected.len() >= self.factor as usize
             || (self.ready.is_some() && self.collected.len() + 1 >= self.factor as usize);
+        changed |= stop != self.stop_up;
+        self.stop_up = stop;
+        Activity::from_changed(changed)
     }
 }
 

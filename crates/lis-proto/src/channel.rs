@@ -38,17 +38,21 @@ impl LisChannel {
         }
     }
 
-    /// Declared evaluation ports of a *registered* producer on this
-    /// channel (Moore outputs; `stop` is sampled at the clock edge, not
-    /// during eval): writes `data`/`void`.
+    /// Declared ports of a *registered* producer on this channel (Moore
+    /// outputs): eval writes `data`/`void`; `stop` is sampled at the
+    /// clock edge, so it is a tick-phase read — which is also what wakes
+    /// a quiescent producer when downstream back-pressure changes.
     pub fn producer_ports(&self) -> Ports {
-        Ports::writes_only([self.data, self.void])
+        Ports::writes_only([self.data, self.void]).tick_read(self.stop)
     }
 
-    /// Declared evaluation ports of a *registered* consumer: writes
-    /// `stop` (token wires are sampled at the clock edge).
+    /// Declared ports of a *registered* consumer: eval writes `stop`;
+    /// the token wires are sampled at the clock edge (tick-phase reads,
+    /// waking a quiescent consumer when a token arrives).
     pub fn consumer_ports(&self) -> Ports {
         Ports::writes_only([self.stop])
+            .tick_read(self.data)
+            .tick_read(self.void)
     }
 
     /// Extra declaration for a stage reading the token wires

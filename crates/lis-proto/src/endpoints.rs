@@ -8,7 +8,7 @@
 
 use crate::channel::LisChannel;
 use crate::token::Token;
-use lis_sim::{Component, Ports, SignalView};
+use lis_sim::{Activity, Component, Ports, SignalView};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::VecDeque;
@@ -88,15 +88,23 @@ impl Component for TokenSource {
         self.channel.write_token(sigs, tok);
     }
 
-    fn tick(&mut self, sigs: &SignalView<'_>) {
+    fn tick(&mut self, sigs: &SignalView<'_>) -> Activity {
+        let mut changed = false;
         if !self.stalling && !self.channel.read_stop(sigs) {
             if let Some(v) = self.pending.pop_front() {
                 self.sent.lock().unwrap().push(v);
+                changed = true;
             }
         }
-        // Decide next cycle's stall.
-        self.stalling =
-            self.stall_probability > 0.0 && self.rng.random_bool(self.stall_probability);
+        // Decide next cycle's stall. A stalling source must keep ticking
+        // every cycle: the RNG stream is state, and it must advance
+        // exactly as in the legacy modes for runs to stay bit-identical.
+        if self.stall_probability > 0.0 {
+            self.stalling = self.rng.random_bool(self.stall_probability);
+            return Activity::Active;
+        }
+        // Deterministic source: quiescent once drained or held by stop.
+        Activity::from_changed(changed)
     }
 }
 
@@ -158,16 +166,26 @@ impl Component for TokenSink {
         self.channel.write_stop(sigs, self.stalling);
     }
 
-    fn tick(&mut self, sigs: &SignalView<'_>) {
+    fn tick(&mut self, sigs: &SignalView<'_>) -> Activity {
+        // The busy/total counters are diagnostics of *executed* ticks;
+        // cycles skipped as quiescent (only ever void cycles) are not
+        // counted.
         self.cycles_total += 1;
+        let mut changed = false;
         if !self.stalling {
             if let Token::Data(v) = self.channel.read_token(sigs) {
                 self.received.lock().unwrap().push(v);
                 self.cycles_busy += 1;
+                changed = true;
             }
         }
-        self.stalling =
-            self.stall_probability > 0.0 && self.rng.random_bool(self.stall_probability);
+        // As for the source: a stalling sink's RNG is state and must
+        // advance every cycle.
+        if self.stall_probability > 0.0 {
+            self.stalling = self.rng.random_bool(self.stall_probability);
+            return Activity::Active;
+        }
+        Activity::from_changed(changed)
     }
 }
 

@@ -9,7 +9,7 @@
 use crate::channel::LisChannel;
 use crate::relay::ViolationCounter;
 use crate::token::Token;
-use lis_sim::{Component, Ports, SignalId, SignalView, System};
+use lis_sim::{Activity, Component, Ports, SignalId, SignalView, System};
 use std::collections::VecDeque;
 
 /// Signals an input port presents to the shell.
@@ -96,6 +96,7 @@ impl Component for InputPort {
         self.channel
             .consumer_ports()
             .merge(Ports::writes_only([self.face.data, self.face.not_empty]))
+            .tick_read(self.face.pop)
     }
 
     fn eval(&mut self, sigs: &mut SignalView<'_>) {
@@ -104,16 +105,21 @@ impl Component for InputPort {
         self.channel.write_stop(sigs, self.stop_up);
     }
 
-    fn tick(&mut self, sigs: &SignalView<'_>) {
+    fn tick(&mut self, sigs: &SignalView<'_>) -> Activity {
+        let mut changed = false;
         // Shell consumes first… (popping an empty queue is a shell
         // bug).
-        if sigs.get_bool(self.face.pop) && self.queue.pop_front().is_none() {
-            self.violations.record();
+        if sigs.get_bool(self.face.pop) {
+            changed = true;
+            if self.queue.pop_front().is_none() {
+                self.violations.record();
+            }
         }
         // …then the channel delivers (transfer valid only when we showed
         // stop = 0 this cycle).
         if !self.stop_up {
             if let Token::Data(v) = self.channel.read_token(sigs) {
+                changed = true;
                 if self.queue.len() < PORT_QUEUE_CAPACITY {
                     self.queue.push_back(v);
                 } else {
@@ -126,7 +132,13 @@ impl Component for InputPort {
         // flight once stop is visible, and a pop happening in the same
         // cycle as the last-slot fill keeps the port running at one token
         // per cycle.
-        self.stop_up = self.queue.len() >= PORT_QUEUE_CAPACITY;
+        let stop = self.queue.len() >= PORT_QUEUE_CAPACITY;
+        changed |= stop != self.stop_up;
+        self.stop_up = stop;
+        // A full port behind an asserted stop with an idle shell moves
+        // nothing — quiescent until `pop`, the token wires, or the
+        // queue state change.
+        Activity::from_changed(changed)
     }
 }
 
@@ -180,6 +192,8 @@ impl Component for OutputPort {
         self.channel
             .producer_ports()
             .merge(Ports::writes_only([self.face.not_full]))
+            .tick_read(self.face.push)
+            .tick_read(self.face.data)
     }
 
     fn eval(&mut self, sigs: &mut SignalView<'_>) {
@@ -191,13 +205,16 @@ impl Component for OutputPort {
         sigs.set_bool(self.face.not_full, self.queue.len() < PORT_QUEUE_CAPACITY);
     }
 
-    fn tick(&mut self, sigs: &SignalView<'_>) {
+    fn tick(&mut self, sigs: &SignalView<'_>) -> Activity {
+        let mut changed = false;
         // Channel consumes the head unless downstream stalls…
         if !self.channel.read_stop(sigs) && !self.queue.is_empty() {
             self.queue.pop_front();
+            changed = true;
         }
         // …then the shell's push lands.
         if sigs.get_bool(self.face.push) {
+            changed = true;
             if self.queue.len() < PORT_QUEUE_CAPACITY {
                 self.queue.push_back(sigs.get(self.face.data));
             } else {
@@ -205,6 +222,9 @@ impl Component for OutputPort {
                 self.violations.record();
             }
         }
+        // A stalled output port holding its tokens with no push is
+        // quiescent until `stop` drops or the shell pushes again.
+        Activity::from_changed(changed)
     }
 }
 
@@ -249,7 +269,7 @@ mod tests {
         let g2 = Arc::clone(&got);
         sys.add_component(FnComponent::new(
             "shell",
-            Ports::new([face.not_empty], [face.pop]),
+            Ports::new([face.not_empty], [face.pop]).tick_read(face.data),
             move |sigs: &mut SignalView<'_>| {
                 let ne = sigs.get_bool(face.not_empty);
                 sigs.set_bool(face.pop, ne);
@@ -345,11 +365,11 @@ mod tests {
             "sink",
             ch.consumer_ports(),
             move |sigs: &mut SignalView<'_>| {
-                let stall = *t2.lock().unwrap() % 3 == 0;
+                let stall = (*t2.lock().unwrap()).is_multiple_of(3);
                 ch.write_stop(sigs, stall);
             },
             move |sigs: &SignalView<'_>| {
-                let stall = *t.lock().unwrap() % 3 == 0;
+                let stall = (*t.lock().unwrap()).is_multiple_of(3);
                 if !stall {
                     if let Token::Data(v) = ch.read_token(sigs) {
                         g2.lock().unwrap().push(v);

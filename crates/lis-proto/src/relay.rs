@@ -10,7 +10,7 @@
 
 use crate::channel::LisChannel;
 use crate::token::Token;
-use lis_sim::{Component, Ports, SignalView, System};
+use lis_sim::{Activity, Component, Ports, SignalView, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -128,7 +128,7 @@ impl Component for RelayStation {
         self.upstream.write_stop(sigs, self.stop_up);
     }
 
-    fn tick(&mut self, sigs: &SignalView<'_>) {
+    fn tick(&mut self, sigs: &SignalView<'_>) -> Activity {
         // A token transfers only on cycles where we presented stop = 0;
         // while stop is up the producer re-presents the same token, which
         // must not be absorbed twice.
@@ -138,17 +138,21 @@ impl Component for RelayStation {
             self.upstream.read_token(sigs).data()
         };
         let stalled = self.downstream.read_stop(sigs);
+        let mut changed = false;
 
         // 1. Downstream consumes main unless it stalls.
         if !stalled && self.main.is_some() {
             self.main = None;
+            changed = true;
         }
         // 2. Aux backfills the through register.
-        if self.main.is_none() {
+        if self.main.is_none() && self.aux.is_some() {
             self.main = self.aux.take();
+            changed = true;
         }
         // 3. Absorb the incoming token.
         if let Some(v) = incoming {
+            changed = true;
             if self.main.is_none() {
                 self.main = Some(v);
             } else if self.aux.is_none() {
@@ -159,7 +163,13 @@ impl Component for RelayStation {
             }
         }
         // 4. Back-pressure upstream while the overflow slot is in use.
-        self.stop_up = self.aux.is_some();
+        let stop = self.aux.is_some();
+        changed |= stop != self.stop_up;
+        self.stop_up = stop;
+        // A stalled relay with no token movement is exactly the state a
+        // back-pressured mesh spends most of its cycles in — report it
+        // quiescent so deep relay chains get skipped, not recomputed.
+        Activity::from_changed(changed)
     }
 }
 
@@ -205,8 +215,11 @@ impl Component for PlainRegisterStage {
         self.upstream.write_stop(sigs, false);
     }
 
-    fn tick(&mut self, sigs: &SignalView<'_>) {
-        self.held = self.upstream.read_token(sigs);
+    fn tick(&mut self, sigs: &SignalView<'_>) -> Activity {
+        let next = self.upstream.read_token(sigs);
+        let changed = next != self.held;
+        self.held = next;
+        Activity::from_changed(changed)
     }
 }
 

@@ -261,7 +261,7 @@ mod tests {
         assert_eq!(s.period(), 111);
         assert_eq!(s.n_inputs(), 5);
         assert_eq!(s.n_outputs(), 3);
-        assert!(s.all_reads().max_index().map_or(true, |m| m < 5));
-        assert!(s.all_writes().max_index().map_or(true, |m| m < 3));
+        assert!(s.all_reads().max_index().is_none_or(|m| m < 5));
+        assert!(s.all_writes().max_index().is_none_or(|m| m < 3));
     }
 }

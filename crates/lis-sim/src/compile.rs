@@ -261,6 +261,7 @@ impl NetlistProgram {
 /// hand-synchronized copies.
 trait SimWord:
     Copy
+    + PartialEq
     + std::ops::BitAnd<Output = Self>
     + std::ops::BitOr<Output = Self>
     + std::ops::BitXor<Output = Self>
@@ -325,15 +326,21 @@ fn eval_program<W: SimWord>(
 
 /// Commits every flip-flop: `q' = rst ? reset_value : (en ? d : q)`,
 /// expressed bitwise so one formula serves scalar and packed words.
-fn commit_dffs<W: SimWord>(prog: &NetlistProgram, values: &[W], state: &mut [W]) {
+/// Returns whether any flip-flop changed value — the quiescence probe
+/// the activity-driven component kernel keys on.
+fn commit_dffs<W: SimWord>(prog: &NetlistProgram, values: &[W], state: &mut [W]) -> bool {
+    let mut changed = false;
     for (i, dff) in prog.dffs.iter().enumerate() {
         let rst = values[dff.rst as usize];
         let en = values[dff.en as usize];
         let d = values[dff.d as usize];
         let q = state[i];
         let rv = W::splat(dff.reset_value);
-        state[i] = (rst & rv) | (!rst & ((en & d) | (!en & q)));
+        let next = (rst & rv) | (!rst & ((en & d) | (!en & q)));
+        changed |= next != q;
+        state[i] = next;
     }
+    changed
 }
 
 /// Gathers a ROM address bit by bit via `bit_of` and returns the
@@ -512,8 +519,14 @@ impl CompiledNetlistSim {
     /// One clock cycle: [`CompiledNetlistSim::eval`] then commit every
     /// flip-flop (`q' = rst ? reset_value : (en ? d : q)`).
     pub fn step(&mut self) {
+        self.step_changed();
+    }
+
+    /// [`CompiledNetlistSim::step`], reporting whether any flip-flop
+    /// changed value.
+    pub fn step_changed(&mut self) -> bool {
         self.eval();
-        commit_dffs(&self.prog, &self.values, &mut self.state);
+        commit_dffs(&self.prog, &self.values, &mut self.state)
     }
 }
 
@@ -540,6 +553,10 @@ impl NetlistExec for CompiledNetlistSim {
 
     fn step(&mut self) {
         CompiledNetlistSim::step(self);
+    }
+
+    fn step_changed(&mut self) -> bool {
+        CompiledNetlistSim::step_changed(self)
     }
 }
 
@@ -731,8 +748,14 @@ impl PackedNetlistSim {
     /// One clock cycle in every lane: eval then per-lane flip-flop
     /// commit (`q' = rst ? reset_value : (en ? d : q)`, bitwise).
     pub fn step(&mut self) {
+        self.step_changed();
+    }
+
+    /// [`PackedNetlistSim::step`], reporting whether any flip-flop
+    /// changed in *any* lane.
+    pub fn step_changed(&mut self) -> bool {
         self.eval();
-        commit_dffs(&self.prog, &self.values, &mut self.state);
+        commit_dffs(&self.prog, &self.values, &mut self.state)
     }
 }
 
@@ -759,6 +782,10 @@ impl NetlistExec for PackedNetlistSim {
 
     fn step(&mut self) {
         PackedNetlistSim::step(self);
+    }
+
+    fn step_changed(&mut self) -> bool {
+        PackedNetlistSim::step_changed(self)
     }
 }
 

@@ -26,24 +26,84 @@
 //! SCC rather than silently producing garbage.
 
 use crate::pool::WorkStealingPool;
-use crate::sched::{Scheduler, SchedulerStats};
+use crate::sched::{ActivityState, Scheduler, SchedulerStats};
 use crate::signal::{Signal, SignalId, SignalView};
 use std::fmt;
 
-/// The declared evaluation-phase interface of a component: every signal
-/// its [`Component::eval`] may read, and every signal it may write.
+/// What a component's [`Component::tick`] did with its cycle — the
+/// cross-cycle quiescence report driving [`SettleMode::ActivityDriven`].
+///
+/// Returning [`Activity::Quiescent`] is a promise: *re-running this tick
+/// with the same observed signal values would change nothing* — no
+/// internal state, no signal-visible behaviour next cycle, no protocol
+/// side effects. The kernel then skips both the tick and the
+/// re-evaluation of the component until one of its declared signals
+/// changes. Purely diagnostic counters (utilization statistics) are
+/// exempt from the promise: they only advance on *executed* ticks.
+///
+/// When in doubt, return [`Activity::Active`] — it is always correct,
+/// merely slower.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Activity {
+    /// State changed (or might have): evaluate and tick again next cycle.
+    #[default]
+    Active,
+    /// Nothing changed: skip this component until an observed signal
+    /// does.
+    Quiescent,
+}
+
+impl Activity {
+    /// `Active` iff `changed` — the idiom for ticks that track their own
+    /// state mutations with a boolean.
+    pub fn from_changed(changed: bool) -> Self {
+        if changed {
+            Activity::Active
+        } else {
+            Activity::Quiescent
+        }
+    }
+
+    /// Whether this is [`Activity::Active`].
+    pub fn is_active(self) -> bool {
+        self == Activity::Active
+    }
+}
+
+impl From<bool> for Activity {
+    fn from(changed: bool) -> Self {
+        Activity::from_changed(changed)
+    }
+}
+
+impl From<()> for Activity {
+    /// A `()`-returning tick closure is conservatively [`Activity::Active`].
+    fn from((): ()) -> Self {
+        Activity::Active
+    }
+}
+
+/// The declared interface of a component: every signal its
+/// [`Component::eval`] may read and write, plus the extra signals its
+/// [`Component::tick`] samples at the clock edge.
 ///
 /// Declarations are checked at runtime — an undeclared access during a
-/// scheduled settle panics with the component and signal names. Writes
-/// imply read permission (a component may read back its own outputs).
-/// The tick phase is unrestricted for reads (it runs after the settle,
-/// sequentially).
+/// scheduled settle (or an activity-driven tick) panics with the
+/// component and signal names. Writes imply read permission (a component
+/// may read back its own outputs), and the tick phase may read
+/// everything `eval` may touch plus the `tick_reads` set.
 #[derive(Debug, Clone, Default)]
 pub struct Ports {
     /// Signals `eval` may read.
     pub reads: Vec<SignalId>,
     /// Signals `eval` may write.
     pub writes: Vec<SignalId>,
+    /// Signals `tick` samples *in addition to* `reads`/`writes` (the
+    /// registered faces of the LIS protocol: a producer samples `stop`,
+    /// a consumer samples `data`/`void` at the clock edge). These drive
+    /// the activity-driven tick wake-up — a quiescent component is
+    /// re-ticked when any of them changes.
+    pub tick_reads: Vec<SignalId>,
 }
 
 impl Ports {
@@ -55,6 +115,7 @@ impl Ports {
         Ports {
             reads: reads.into_iter().collect(),
             writes: writes.into_iter().collect(),
+            tick_reads: Vec::new(),
         }
     }
 
@@ -87,11 +148,19 @@ impl Ports {
         self
     }
 
+    /// Adds a tick-phase read signal.
+    #[must_use]
+    pub fn tick_read(mut self, id: SignalId) -> Self {
+        self.tick_reads.push(id);
+        self
+    }
+
     /// Concatenates two interfaces (e.g. one per channel endpoint).
     #[must_use]
     pub fn merge(mut self, other: Ports) -> Self {
         self.reads.extend(other.reads);
         self.writes.extend(other.writes);
+        self.tick_reads.extend(other.tick_reads);
         self
     }
 }
@@ -107,19 +176,24 @@ pub trait Component: Send {
     /// Instance name, for diagnostics and traces.
     fn name(&self) -> &str;
 
-    /// The component's declared evaluation-phase signal sets, sampled
-    /// once at [`System::add_component`] time. `eval` must stay within
-    /// them (checked at runtime); `tick` may read any signal.
+    /// The component's declared signal sets, sampled once at
+    /// [`System::add_component`] time. `eval` must stay within
+    /// `reads`/`writes`; `tick` must stay within
+    /// `reads ∪ writes ∪ tick_reads` (both checked at runtime in
+    /// scheduled modes).
     fn ports(&self) -> Ports;
 
     /// Combinational evaluation: compute output signals from input
     /// signals and internal (registered) state. May be invoked several
-    /// times per cycle; must be idempotent for fixed inputs.
+    /// times per cycle; must be idempotent for fixed inputs, and with
+    /// unchanged inputs *and* state it must rewrite the same values (the
+    /// activity-driven kernel skips it entirely in that case).
     fn eval(&mut self, sigs: &mut SignalView<'_>);
 
     /// Clock edge: sample the settled signals and update internal state.
-    /// Must not write signals.
-    fn tick(&mut self, sigs: &SignalView<'_>);
+    /// Must not write signals. Returns whether anything changed — see
+    /// [`Activity`]; returning [`Activity::Active`] is always safe.
+    fn tick(&mut self, sigs: &SignalView<'_>) -> Activity;
 }
 
 /// Errors produced by the simulation kernel.
@@ -194,14 +268,26 @@ impl fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
-/// How [`System::settle`] reaches the combinational fixpoint.
+/// How [`System::settle`] (and [`System::step`]'s tick phase) reach the
+/// cycle's fixpoint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SettleMode {
-    /// The dependency-aware sharded scheduler (default): one pass over
-    /// the SCC-condensed dependency levels, re-evaluating only
-    /// components whose declared inputs changed, optionally across
-    /// threads.
+    /// The activity-driven kernel (default): the scheduler keeps a
+    /// persistent cross-cycle dirty set — seeded only by components
+    /// whose declared inputs changed during the last settle (tracked
+    /// with per-settle epoch stamps on the dense signal store, so
+    /// seeding is O(writes), not O(signals)) or whose last
+    /// [`Component::tick`] reported [`Activity::Active`] — and skips
+    /// quiescent groups (often whole levels) instead of re-evaluating
+    /// them. The tick phase runs only pending/active components, fanned
+    /// out across the work-stealing pool in deterministic index-ordered
+    /// shards. Bit-identical to the other modes at any thread count.
     #[default]
+    ActivityDriven,
+    /// The dependency-aware sharded scheduler of the previous kernel:
+    /// one pass over the SCC-condensed dependency levels every settle,
+    /// every component ticked serially every cycle. Kept as a reference
+    /// point and differential baseline.
     Worklist,
     /// The legacy blind loop: sweep every component until no signal
     /// changes. Kept as the reference semantics for differential tests
@@ -254,6 +340,13 @@ pub struct System {
     /// `LIS_SIM_THREADS` at construction; overridable).
     threads: usize,
     sched: Option<Scheduler>,
+    /// Persistent cross-cycle dirty/quiescence state
+    /// ([`SettleMode::ActivityDriven`]); rebuilt all-dirty with the
+    /// scheduler.
+    activity: Option<ActivityState>,
+    /// Signals poked since the last activity-driven settle (drained into
+    /// the dirty seed; only recorded in activity mode).
+    poked: Vec<u32>,
     pool: Option<WorkStealingPool>,
 }
 
@@ -292,14 +385,22 @@ impl System {
                 .filter(|&n| n >= 1)
                 .unwrap_or(1),
             sched: None,
+            activity: None,
+            poked: Vec::new(),
             pool: None,
         }
     }
 
     /// Sets how the settle fixpoint is computed (default:
-    /// [`SettleMode::Worklist`]).
+    /// [`SettleMode::ActivityDriven`]).
     pub fn set_settle_mode(&mut self, mode: SettleMode) {
-        self.mode = mode;
+        if mode != self.mode {
+            self.mode = mode;
+            // Cross-cycle quiescence bookkeeping is only maintained while
+            // in activity mode; a mode switch restarts it all-dirty.
+            self.activity = None;
+            self.poked.clear();
+        }
         self.settled = false;
     }
 
@@ -332,6 +433,8 @@ impl System {
             value: 0,
         });
         self.sched = None;
+        self.activity = None;
+        self.poked.clear();
         self.settled = false;
         id
     }
@@ -343,6 +446,8 @@ impl System {
         self.ports.push(component.ports());
         self.components.push(Box::new(component));
         self.sched = None;
+        self.activity = None;
+        self.poked.clear();
         self.settled = false;
     }
 
@@ -389,6 +494,11 @@ impl System {
         if self.signals[id.index()].value != masked {
             self.signals[id.index()].value = masked;
             self.settled = false;
+            if self.mode == SettleMode::ActivityDriven {
+                // Seed the next activity settle: readers, co-writers and
+                // tick-observers of a poked signal must wake up.
+                self.poked.push(id.0);
+            }
         }
     }
 
@@ -397,11 +507,17 @@ impl System {
         self.poke(id, u64::from(value));
     }
 
-    /// Structural statistics of the sealed scheduler (builds it if
-    /// needed): group/level counts, SCC census, parallel width.
+    /// Statistics of the sealed scheduler (builds it if needed):
+    /// structural group/level counts, SCC census, parallel width, plus —
+    /// in [`SettleMode::ActivityDriven`] — the cumulative skip/eval/tick
+    /// counters of the run so far.
     pub fn scheduler_stats(&mut self) -> SchedulerStats {
         self.seal();
-        self.sched.as_ref().expect("sealed").stats()
+        let mut stats = self.sched.as_ref().expect("sealed").stats();
+        if let Some(state) = &self.activity {
+            state.fill_counters(&mut stats);
+        }
+        stats
     }
 
     fn seal(&mut self) {
@@ -411,6 +527,14 @@ impl System {
                 &self.ports,
                 self.signals.len(),
             ));
+        }
+        if self.mode == SettleMode::ActivityDriven && self.activity.is_none() {
+            self.activity = Some(
+                self.sched
+                    .as_ref()
+                    .expect("sealed")
+                    .new_activity_state(self.signals.len()),
+            );
         }
         if self.threads > 1 && self.pool.is_none() {
             self.pool = Some(WorkStealingPool::new(self.threads));
@@ -444,6 +568,22 @@ impl System {
                     pool,
                 )?;
             }
+            SettleMode::ActivityDriven => {
+                self.seal();
+                let pool = if self.threads > 1 {
+                    self.pool.as_ref()
+                } else {
+                    None
+                };
+                self.sched.as_ref().expect("sealed").settle_activity(
+                    &mut self.signals,
+                    &mut self.components,
+                    self.activity.as_mut().expect("sealed"),
+                    &mut self.poked,
+                    self.cycle,
+                    pool,
+                )?;
+            }
         }
         self.settled = true;
         Ok(())
@@ -472,14 +612,37 @@ impl System {
 
     /// One full clock cycle: settle, then commit sequential state.
     ///
+    /// In [`SettleMode::ActivityDriven`] only pending/active components
+    /// are ticked — fanned out across the work-stealing pool in
+    /// deterministic index-ordered shards — and their reported
+    /// [`Activity`] seeds the next cycle's dirty set. The legacy modes
+    /// tick every component serially, as before.
+    ///
     /// # Errors
     ///
     /// Propagates [`SimError::NoConvergence`] from [`System::settle`].
     pub fn step(&mut self) -> Result<(), SimError> {
         self.settle()?;
-        let view = SignalView::unguarded(&mut self.signals);
-        for comp in &mut self.components {
-            comp.tick(&view);
+        match self.mode {
+            SettleMode::ActivityDriven => {
+                let pool = if self.threads > 1 {
+                    self.pool.as_ref()
+                } else {
+                    None
+                };
+                self.sched.as_ref().expect("sealed").tick_activity(
+                    &mut self.signals,
+                    &mut self.components,
+                    self.activity.as_mut().expect("sealed"),
+                    pool,
+                );
+            }
+            _ => {
+                let view = SignalView::unguarded(&mut self.signals);
+                for comp in &mut self.components {
+                    comp.tick(&view);
+                }
+            }
         }
         self.cycle += 1;
         // Ticks changed registered state; outputs must re-settle.
@@ -522,14 +685,19 @@ impl System {
 
 /// Adapter turning a pair of closures into a [`Component`] — convenient
 /// for sources, sinks and test scaffolding.
-pub struct FnComponent<E, T> {
+///
+/// The tick closure may return `()` (conservatively treated as
+/// [`Activity::Active`]), a `bool` change flag, or an [`Activity`]
+/// directly — anything implementing `Into<Activity>`.
+pub struct FnComponent<E, T, R = ()> {
     name: String,
     ports: Ports,
     eval_fn: E,
     tick_fn: T,
+    _tick_result: std::marker::PhantomData<fn() -> R>,
 }
 
-impl<E, T> fmt::Debug for FnComponent<E, T> {
+impl<E, T, R> fmt::Debug for FnComponent<E, T, R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("FnComponent")
             .field("name", &self.name)
@@ -537,10 +705,11 @@ impl<E, T> fmt::Debug for FnComponent<E, T> {
     }
 }
 
-impl<E, T> FnComponent<E, T>
+impl<E, T, R> FnComponent<E, T, R>
 where
     E: FnMut(&mut SignalView<'_>) + Send,
-    T: FnMut(&SignalView<'_>) + Send,
+    T: FnMut(&SignalView<'_>) -> R + Send,
+    R: Into<Activity>,
 {
     /// Wraps `eval` and `tick` closures as a component with the given
     /// declared interface.
@@ -550,14 +719,16 @@ where
             ports,
             eval_fn,
             tick_fn,
+            _tick_result: std::marker::PhantomData,
         }
     }
 }
 
-impl<E, T> Component for FnComponent<E, T>
+impl<E, T, R> Component for FnComponent<E, T, R>
 where
     E: FnMut(&mut SignalView<'_>) + Send,
-    T: FnMut(&SignalView<'_>) + Send,
+    T: FnMut(&SignalView<'_>) -> R + Send,
+    R: Into<Activity>,
 {
     fn name(&self) -> &str {
         &self.name
@@ -571,8 +742,8 @@ where
         (self.eval_fn)(sigs);
     }
 
-    fn tick(&mut self, sigs: &SignalView<'_>) {
-        (self.tick_fn)(sigs);
+    fn tick(&mut self, sigs: &SignalView<'_>) -> Activity {
+        (self.tick_fn)(sigs).into()
     }
 }
 
@@ -598,8 +769,9 @@ mod tests {
         fn eval(&mut self, sigs: &mut SignalView<'_>) {
             sigs.set(self.out, self.state);
         }
-        fn tick(&mut self, _sigs: &SignalView<'_>) {
+        fn tick(&mut self, _sigs: &SignalView<'_>) -> Activity {
             self.state += 1;
+            Activity::Active
         }
     }
 
@@ -778,7 +950,7 @@ mod tests {
         let sampled2 = Arc::clone(&sampled);
         sys.add_component(FnComponent::new(
             "sampler",
-            Ports::none(),
+            Ports::none().tick_read(a),
             |_: &mut SignalView<'_>| {},
             move |s: &SignalView<'_>| {
                 sampled2.store(s.get(a), Ordering::Relaxed);

@@ -3,18 +3,23 @@
 //! Two executors with identical two-phase clock semantics:
 //!
 //! * [`System`] — a component-level simulator. Components implement
-//!   [`Component`], declaring their evaluation-phase read/write signal
-//!   sets via [`Component::ports`]; each cycle the kernel **settles**
-//!   combinational outputs to a fixpoint (LIS `stop`/`void` wires ripple
-//!   through several shells within one cycle) and then **ticks**
-//!   sequential state. The settle runs on a dependency-aware sharded
-//!   scheduler: the signal→reader graph is sealed once, combinational
-//!   SCCs are condensed at build time, and independent groups evaluate
-//!   across a hand-rolled work-stealing [`pool`] (`LIS_SIM_THREADS` or
-//!   [`System::set_threads`]) with thread-count-independent results.
-//!   Combinational loops are detected and reported with the component
-//!   names forming the cycle; the legacy full-sweep loop survives as
-//!   [`SettleMode::FullSweep`] for differential testing.
+//!   [`Component`], declaring their read/write/tick signal sets via
+//!   [`Component::ports`]; each cycle the kernel seeds a dirty set,
+//!   **settles** combinational outputs to a fixpoint (LIS `stop`/`void`
+//!   wires ripple through several shells within one cycle) and then
+//!   **ticks** sequential state. By default the kernel is
+//!   *activity-driven* ([`SettleMode::ActivityDriven`]): each tick
+//!   reports an [`Activity`], quiescent components are skipped — evals
+//!   and ticks both — until a declared signal changes, and the tick
+//!   phase shards across the same work-stealing [`pool`]
+//!   (`LIS_SIM_THREADS` or [`System::set_threads`]) the settle uses,
+//!   with results bit-identical at any thread count. The settle itself
+//!   runs on the dependency-aware sharded scheduler: the signal→reader
+//!   graph is sealed once, combinational SCCs are condensed at build
+//!   time, and independent groups evaluate concurrently. Combinational
+//!   loops are detected and reported with the component names forming
+//!   the cycle; the prior kernels survive as [`SettleMode::Worklist`]
+//!   and [`SettleMode::FullSweep`] for differential testing.
 //! * [`NetlistSim`] — a gate-level interpreter for
 //!   [`lis_netlist::Module`]s, used as the reference executor for
 //!   generated wrapper hardware. [`NetlistComponent`] drops a netlist
@@ -67,7 +72,7 @@ mod signal;
 mod trace;
 
 pub use compile::{CompiledNetlistSim, NetlistProgram, PackedNetlistSim, PortHandle, LANES};
-pub use kernel::{Component, FnComponent, Ports, SettleMode, SimError, System};
+pub use kernel::{Activity, Component, FnComponent, Ports, SettleMode, SimError, System};
 pub use netlist_sim::{NetlistComponent, NetlistExec, NetlistSim};
 pub use pool::WorkStealingPool;
 pub use sched::SchedulerStats;

@@ -8,7 +8,7 @@
 //! interpreter stays deliberately simple: it re-walks the topological
 //! order every cycle and evaluates one cell at a time.
 
-use crate::kernel::{Component, Ports, SimError};
+use crate::kernel::{Activity, Component, Ports, SimError};
 use crate::signal::{SignalId, SignalView};
 use lis_netlist::{topo_order, CellKind, CombNode, Module, NetlistError};
 
@@ -83,6 +83,16 @@ pub trait NetlistExec: Send {
 
     /// One clock cycle: [`NetlistExec::eval`] then commit flip-flops.
     fn step(&mut self);
+
+    /// One clock cycle, reporting whether any flip-flop changed value —
+    /// the quiescence probe of the activity-driven component kernel
+    /// (unchanged state + unchanged inputs means the next cycle is a
+    /// no-op). The default conservatively steps and reports `true`;
+    /// engines override it with an exact commit-time comparison.
+    fn step_changed(&mut self) -> bool {
+        self.step();
+        true
+    }
 }
 
 fn unknown_port(module: &Module, port: &str, output: bool) -> SimError {
@@ -232,7 +242,13 @@ impl NetlistSim {
     /// One clock cycle: [`NetlistSim::eval`] then commit every flip-flop
     /// (`q' = rst ? reset_value : (en ? d : q)`).
     pub fn step(&mut self) {
+        self.step_changed();
+    }
+
+    /// [`NetlistSim::step`], reporting whether any flip-flop changed.
+    pub fn step_changed(&mut self) -> bool {
         self.eval();
+        let mut changed = false;
         for &i in &self.seq_cells {
             let cell = &self.module.cells[i];
             let CellKind::Dff { reset_value } = cell.kind else {
@@ -241,14 +257,17 @@ impl NetlistSim {
             let d = self.values[cell.inputs[0].index()];
             let en = self.values[cell.inputs[1].index()];
             let rst = self.values[cell.inputs[2].index()];
-            self.ff_state[i] = if rst {
+            let q = if rst {
                 reset_value
             } else if en {
                 d
             } else {
                 self.ff_state[i]
             };
+            changed |= q != self.ff_state[i];
+            self.ff_state[i] = q;
         }
+        changed
     }
 }
 
@@ -275,6 +294,10 @@ impl NetlistExec for NetlistSim {
 
     fn step(&mut self) {
         NetlistSim::step(self);
+    }
+
+    fn step_changed(&mut self) -> bool {
+        NetlistSim::step_changed(self)
     }
 }
 
@@ -372,9 +395,12 @@ impl Component for NetlistComponent {
         }
     }
 
-    fn tick(&mut self, sigs: &SignalView<'_>) {
+    fn tick(&mut self, sigs: &SignalView<'_>) -> Activity {
         self.load_inputs(sigs);
-        self.sim.step();
+        // Outputs are a pure function of (inputs, flip-flop state): with
+        // both unchanged, the next eval rewrites the same values and the
+        // component may sleep until an input signal changes.
+        Activity::from_changed(self.sim.step_changed())
     }
 }
 

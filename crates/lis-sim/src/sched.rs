@@ -20,6 +20,24 @@
 //!    groups within a level touch disjoint write sets — they are safe to
 //!    evaluate concurrently on the work-stealing pool, with results
 //!    independent of thread count.
+//!
+//! On top of the sealed schedule sits the **activity-driven kernel**
+//! ([`crate::SettleMode::ActivityDriven`], the default): an
+//! [`ActivityState`] carries a persistent cross-cycle dirty set. A
+//! settle evaluates only groups holding a dirty member; every tracked
+//! signal change is recorded once per settle (epoch stamps on the dense
+//! signal store make the dedupe O(writes)) and wakes exactly the
+//! declared readers downstream — quiescent groups, and usually whole
+//! levels, are skipped without being touched. The tick phase then runs
+//! only components whose observed signals changed or whose previous
+//! [`crate::Component::tick`] reported [`crate::Activity::Active`],
+//! fanned out across the work-stealing pool in index-ordered shards
+//! behind read-only guarded views (a tick that writes a signal, or
+//! reads one outside `reads ∪ writes ∪ tick_reads`, panics). Because a
+//! quiescent component re-ticked on unchanged inputs would change
+//! nothing by contract, the skipped work is exactly the work whose
+//! results are already in place — the fixpoint and every token stream
+//! stay bit-identical to the legacy modes at any thread count.
 
 #![allow(unsafe_code)]
 
@@ -44,9 +62,11 @@ struct Group {
     cyclic: bool,
 }
 
-/// Structural summary of a sealed scheduler (stable across runs; used by
-/// benches and tests).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Summary of a sealed scheduler: the structural fields (groups, levels,
+/// SCC census, width) are stable across runs; the activity counters
+/// accumulate over the run in [`crate::SettleMode::ActivityDriven`] and
+/// stay zero in the legacy modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SchedulerStats {
     /// Number of components scheduled.
     pub components: usize,
@@ -58,6 +78,15 @@ pub struct SchedulerStats {
     pub cyclic_groups: usize,
     /// Largest number of groups in one level (the parallelism width).
     pub max_level_width: usize,
+    /// Groups evaluated by activity-driven settles (cumulative).
+    pub groups_evaluated: u64,
+    /// Groups skipped as quiescent by activity-driven settles
+    /// (cumulative).
+    pub groups_skipped: u64,
+    /// Component ticks executed by activity-driven steps (cumulative).
+    pub components_ticked: u64,
+    /// Component ticks skipped as quiescent (cumulative).
+    pub components_quiescent: u64,
 }
 
 /// Raw arena pointers shared with worker threads during one level.
@@ -86,11 +115,28 @@ pub(crate) struct Scheduler {
     read_masks: Vec<u64>,
     /// Per-component declared write set, `words` words each.
     write_masks: Vec<u64>,
+    /// Per-component tick-phase observable set
+    /// (`reads ∪ writes ∪ tick_reads`), `words` words each.
+    tick_masks: Vec<u64>,
+    /// All-zero mask handed to tick guards as the (empty) write set.
+    zero_mask: Vec<u64>,
     /// Component names (for guards and diagnostics).
     names: Vec<String>,
     /// Signals with more than one declared writer: a change re-dirties
     /// the co-writers (they may disagree), not just the readers.
     multi_writer: Vec<u64>,
+    /// Per-signal eval readers (dirty propagation of the activity
+    /// kernel).
+    eval_readers: Vec<Vec<u32>>,
+    /// Per-signal declared writers (a poked signal re-dirties them so
+    /// the next settle overwrites the poke exactly like the legacy
+    /// modes would).
+    writers_of: Vec<Vec<u32>>,
+    /// Per-signal tick observers (components whose tick mask covers the
+    /// signal — a change wakes their tick).
+    tick_observers: Vec<Vec<u32>>,
+    /// Group index of every component.
+    group_of: Vec<u32>,
     /// Groups in topological order, bucketed contiguously by level.
     groups: Vec<Group>,
     /// Level boundaries: `groups[levels[i]..levels[i+1]]` is level `i`.
@@ -109,25 +155,45 @@ impl Scheduler {
         let words = n_signals.div_ceil(64).max(1);
         let mut read_masks = vec![0u64; n * words];
         let mut write_masks = vec![0u64; n * words];
+        let mut tick_masks = vec![0u64; n * words];
         let mut writers: Vec<Vec<u32>> = vec![Vec::new(); n_signals];
         let mut readers: Vec<Vec<u32>> = vec![Vec::new(); n_signals];
+        let mut tick_observers: Vec<Vec<u32>> = vec![Vec::new(); n_signals];
         for (c, p) in ports.iter().enumerate() {
             for id in &p.reads {
                 let i = id.index();
                 read_masks[c * words + i / 64] |= 1 << (i % 64);
                 readers[i].push(c as u32);
+                tick_observers[i].push(c as u32);
             }
             for id in &p.writes {
                 let i = id.index();
                 write_masks[c * words + i / 64] |= 1 << (i % 64);
                 writers[i].push(c as u32);
+                tick_observers[i].push(c as u32);
             }
+            for id in &p.tick_reads {
+                let i = id.index();
+                tick_masks[c * words + i / 64] |= 1 << (i % 64);
+                tick_observers[i].push(c as u32);
+            }
+        }
+        // A tick may read everything eval may touch, plus tick_reads.
+        for (t, (r, w)) in tick_masks
+            .iter_mut()
+            .zip(read_masks.iter().zip(&write_masks))
+        {
+            *t |= r | w;
         }
         for r in &mut readers {
             r.dedup();
         }
         for w in &mut writers {
             w.dedup();
+        }
+        for t in &mut tick_observers {
+            t.sort_unstable();
+            t.dedup();
         }
 
         // 1. Cluster components sharing a written signal (multi-writer
@@ -268,18 +334,33 @@ impl Scheduler {
             }
         }
 
+        let groups: Vec<Group> = groups.into_iter().map(|(_, g)| g).collect();
+        let mut group_of = vec![0u32; n];
+        for (gi, g) in groups.iter().enumerate() {
+            for &m in &g.members {
+                group_of[m as usize] = gi as u32;
+            }
+        }
+
         Scheduler {
             words,
             read_masks,
             write_masks,
+            tick_masks,
+            zero_mask: vec![0u64; words],
             names: components.iter().map(|c| c.name().to_owned()).collect(),
             multi_writer,
-            groups: groups.into_iter().map(|(_, g)| g).collect(),
+            eval_readers: readers,
+            writers_of: writers,
+            tick_observers,
+            group_of,
+            groups,
             levels,
         }
     }
 
-    /// Structural summary (stable across runs).
+    /// Structural summary (stable across runs; activity counters zero —
+    /// [`ActivityState::fill_counters`] adds them).
     pub(crate) fn stats(&self) -> SchedulerStats {
         let widths =
             (0..self.levels.len().saturating_sub(1)).map(|l| self.levels[l + 1] - self.levels[l]);
@@ -289,6 +370,26 @@ impl Scheduler {
             levels: self.levels.len().saturating_sub(1),
             cyclic_groups: self.groups.iter().filter(|g| g.cyclic).count(),
             max_level_width: widths.max().unwrap_or(0),
+            ..SchedulerStats::default()
+        }
+    }
+
+    /// A fresh all-dirty [`ActivityState`] sized for this schedule.
+    pub(crate) fn new_activity_state(&self, n_signals: usize) -> ActivityState {
+        let n = self.names.len();
+        ActivityState {
+            epoch: 0,
+            comp_dirty: vec![true; n],
+            group_dirty: vec![true; self.groups.len()],
+            tick_pending: vec![true; n],
+            tick_active: vec![true; n],
+            sig_epoch: vec![0; n_signals],
+            changed: Vec::new(),
+            runnable: Vec::new(),
+            groups_evaluated: 0,
+            groups_skipped: 0,
+            components_ticked: 0,
+            components_quiescent: 0,
         }
     }
 
@@ -434,12 +535,392 @@ impl Scheduler {
             reads: Self::mask(&self.read_masks, self.words, m),
             writes: Self::mask(&self.write_masks, self.words, m),
             track,
+            tick: false,
         };
         // SAFETY: per the caller contract, this thread has exclusive
         // access to component `m` and to every signal in its write mask.
         let view = &mut SignalView::guarded(a.sigs, a.sig_len, guard);
         let comp = &mut *a.comps.add(m as usize);
         comp.eval(view);
+    }
+
+    /// One activity-driven settle: groups without a dirty member are
+    /// skipped wholesale; every evaluated group reports the signals it
+    /// actually changed, which wake exactly the declared downstream
+    /// readers (always at strictly higher levels, so one pass still
+    /// reaches the fixpoint). Pending pokes are folded into the dirty
+    /// seed first, and at the end every change recorded this settle
+    /// arms the tick of its observers.
+    pub(crate) fn settle_activity(
+        &self,
+        signals: &mut [Signal],
+        components: &mut [Box<dyn Component>],
+        state: &mut ActivityState,
+        poked: &mut Vec<u32>,
+        cycle: u64,
+        pool: Option<&WorkStealingPool>,
+    ) -> Result<(), SimError> {
+        debug_assert_eq!(components.len(), self.names.len());
+        state.epoch += 1;
+        state.changed.clear();
+
+        // Pokes wake their readers (and the declared writers, which
+        // will overwrite the poke next settle exactly as the legacy
+        // modes' blanket re-evaluation would).
+        for &s in poked.iter() {
+            state.record_changed(s);
+            for &c in &self.eval_readers[s as usize] {
+                state.mark_dirty(c, self.group_of[c as usize]);
+            }
+            for &w in &self.writers_of[s as usize] {
+                state.mark_dirty(w, self.group_of[w as usize]);
+            }
+        }
+        poked.clear();
+
+        let arenas = Arenas {
+            sigs: signals.as_mut_ptr(),
+            sig_len: signals.len(),
+            comps: components.as_mut_ptr(),
+        };
+        // Group-index/changed-signal pairs of one level, in group order.
+        let mut level_results: Vec<(usize, Vec<u32>)> = Vec::new();
+        for l in 0..self.levels.len().saturating_sub(1) {
+            let (start, end) = (self.levels[l], self.levels[l + 1]);
+            let dirty_groups: Vec<usize> =
+                (start..end).filter(|&gi| state.group_dirty[gi]).collect();
+            state.groups_skipped += (end - start - dirty_groups.len()) as u64;
+            if dirty_groups.is_empty() {
+                continue;
+            }
+            level_results.clear();
+            let run_serial = pool.is_none() || dirty_groups.len() < 2;
+            if run_serial {
+                for &gi in &dirty_groups {
+                    let mut changes = Vec::new();
+                    // SAFETY: single-threaded here; arenas outlive the
+                    // call.
+                    unsafe {
+                        self.run_group_activity(
+                            &self.groups[gi],
+                            arenas,
+                            cycle,
+                            &state.comp_dirty,
+                            &mut changes,
+                        )?;
+                    }
+                    level_results.push((gi, changes));
+                }
+            } else {
+                let pool = pool.expect("checked");
+                let chunks = dirty_groups.len().min(pool.threads() * 2);
+                let per = dirty_groups.len().div_ceil(chunks);
+                let results: Mutex<Vec<(usize, Vec<u32>)>> = Mutex::new(Vec::new());
+                let errors: Mutex<Vec<(usize, SimError)>> = Mutex::new(Vec::new());
+                {
+                    let comp_dirty = &state.comp_dirty;
+                    let dirty_groups = &dirty_groups;
+                    let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..chunks)
+                        .map(|k| {
+                            let lo = (k * per).min(dirty_groups.len());
+                            let hi = (lo + per).min(dirty_groups.len());
+                            let results = &results;
+                            let errors = &errors;
+                            Box::new(move || {
+                                let mut local: Vec<(usize, Vec<u32>)> = Vec::new();
+                                for &gi in &dirty_groups[lo..hi] {
+                                    let mut changes = Vec::new();
+                                    // SAFETY: groups in one level have
+                                    // disjoint members and write sets;
+                                    // reads come from completed levels.
+                                    // See `Arenas`.
+                                    match unsafe {
+                                        self.run_group_activity(
+                                            &self.groups[gi],
+                                            arenas,
+                                            cycle,
+                                            comp_dirty,
+                                            &mut changes,
+                                        )
+                                    } {
+                                        Ok(()) => local.push((gi, changes)),
+                                        Err(e) => errors.lock().unwrap().push((gi, e)),
+                                    }
+                                }
+                                results.lock().unwrap().extend(local);
+                            }) as Box<dyn FnOnce() + Send + '_>
+                        })
+                        .collect();
+                    pool.run(jobs);
+                }
+                let mut errors = errors.into_inner().unwrap();
+                errors.sort_by_key(|(gi, _)| *gi);
+                if let Some((_, e)) = errors.into_iter().next() {
+                    return Err(e);
+                }
+                level_results = results.into_inner().unwrap();
+                level_results.sort_by_key(|(gi, _)| *gi);
+            }
+            // Absorb the level (serial, in group order): clear the
+            // evaluated dirt, record each changed signal once per
+            // settle, and wake its readers — all of which sit at
+            // strictly higher levels or inside the same (already
+            // converged) group.
+            for (gi, changes) in &level_results {
+                state.groups_evaluated += 1;
+                state.group_dirty[*gi] = false;
+                for &m in &self.groups[*gi].members {
+                    state.comp_dirty[m as usize] = false;
+                }
+                for &s in changes {
+                    if state.record_changed(s) {
+                        for &c in &self.eval_readers[s as usize] {
+                            state.mark_dirty(c, self.group_of[c as usize]);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Everything that changed this settle arms its tick observers.
+        for &s in &state.changed {
+            for &c in &self.tick_observers[s as usize] {
+                state.tick_pending[c as usize] = true;
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluates one dirty group, accumulating every changed signal id
+    /// (with duplicates) into `changes`.
+    ///
+    /// # Safety
+    ///
+    /// As [`Scheduler::run_group`].
+    unsafe fn run_group_activity(
+        &self,
+        g: &Group,
+        a: Arenas,
+        cycle: u64,
+        comp_dirty: &[bool],
+        changes: &mut Vec<u32>,
+    ) -> Result<(), SimError> {
+        if !g.cyclic {
+            // Acyclic groups are always single-member.
+            for &m in &g.members {
+                self.eval_member(m, a, Some(changes));
+            }
+            return Ok(());
+        }
+        // Inner worklist, seeded with the *globally* dirty members only:
+        // the others are already at the fixpoint of unchanged inputs.
+        let k = g.members.len();
+        let mut dirty: Vec<bool> = g.members.iter().map(|&m| comp_dirty[m as usize]).collect();
+        let mut changed: Vec<u32> = Vec::new();
+        let max_rounds = k + SCC_ROUND_MARGIN;
+        for _ in 0..max_rounds {
+            let mut evaluated = false;
+            for mi in 0..k {
+                if !dirty[mi] {
+                    continue;
+                }
+                dirty[mi] = false;
+                evaluated = true;
+                let m = g.members[mi];
+                changed.clear();
+                self.eval_member(m, a, Some(&mut changed));
+                changes.extend_from_slice(&changed);
+                for &cid in &changed {
+                    let contested = bit(&self.multi_writer, cid as usize);
+                    for (mj, &mc) in g.members.iter().enumerate() {
+                        if bit(Self::mask(&self.read_masks, self.words, mc), cid as usize)
+                            || (contested
+                                && bit(Self::mask(&self.write_masks, self.words, mc), cid as usize))
+                        {
+                            dirty[mj] = true;
+                        }
+                    }
+                }
+            }
+            if !evaluated || dirty.iter().all(|d| !d) {
+                return Ok(());
+            }
+        }
+        Err(SimError::NoConvergence {
+            cycle,
+            sweeps: max_rounds,
+            components: g
+                .members
+                .iter()
+                .map(|&m| self.names[m as usize].clone())
+                .collect(),
+        })
+    }
+
+    /// The activity-driven tick phase: runs only components whose
+    /// observed signals changed (`tick_pending`) or whose previous tick
+    /// reported activity (`tick_active`), in component-index order,
+    /// sharded across `pool` when present. Every executed tick gets a
+    /// read-only guarded view over its declared observable set; its
+    /// reported [`Activity`] re-seeds the next settle's dirty set.
+    ///
+    /// Sharding is deterministic: the runnable list is index-ordered and
+    /// split into contiguous chunks, components never share mutable
+    /// state (shared counters are atomics), and ticks cannot write
+    /// signals — so results are bit-identical at any thread count.
+    pub(crate) fn tick_activity(
+        &self,
+        signals: &mut [Signal],
+        components: &mut [Box<dyn Component>],
+        state: &mut ActivityState,
+        pool: Option<&WorkStealingPool>,
+    ) {
+        let n = self.names.len();
+        let mut runnable = std::mem::take(&mut state.runnable);
+        runnable.clear();
+        for c in 0..n {
+            if state.tick_pending[c] || state.tick_active[c] {
+                runnable.push(c as u32);
+            }
+        }
+        state.components_ticked += runnable.len() as u64;
+        state.components_quiescent += (n - runnable.len()) as u64;
+        let arenas = Arenas {
+            sigs: signals.as_mut_ptr(),
+            sig_len: signals.len(),
+            comps: components.as_mut_ptr(),
+        };
+        let run_serial = pool.is_none() || runnable.len() < 2;
+        if run_serial {
+            for &c in &runnable {
+                // SAFETY: single-threaded here; arenas outlive the call.
+                let active = unsafe { self.tick_member(c, arenas) };
+                state.apply_tick(c, active, self.group_of[c as usize]);
+            }
+        } else {
+            let pool = pool.expect("checked");
+            let chunks = runnable.len().min(pool.threads() * 2);
+            let per = runnable.len().div_ceil(chunks);
+            let results: Mutex<Vec<(u32, bool)>> = Mutex::new(Vec::with_capacity(runnable.len()));
+            {
+                let runnable = &runnable;
+                let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..chunks)
+                    .map(|k| {
+                        let lo = (k * per).min(runnable.len());
+                        let hi = (lo + per).min(runnable.len());
+                        let results = &results;
+                        Box::new(move || {
+                            let mut local = Vec::with_capacity(hi - lo);
+                            for &c in &runnable[lo..hi] {
+                                // SAFETY: chunks hold disjoint component
+                                // indices, and the guarded view is
+                                // read-only (empty write mask), so
+                                // concurrent ticks never race. See
+                                // `Arenas`.
+                                let active = unsafe { self.tick_member(c, arenas) };
+                                local.push((c, active));
+                            }
+                            results.lock().unwrap().extend(local);
+                        }) as Box<dyn FnOnce() + Send + '_>
+                    })
+                    .collect();
+                pool.run(jobs);
+            }
+            // Per-component updates commute; the merge order is
+            // irrelevant to the resulting state.
+            for (c, active) in results.into_inner().unwrap() {
+                state.apply_tick(c, active, self.group_of[c as usize]);
+            }
+        }
+        state.runnable = runnable;
+    }
+
+    /// Ticks one component behind a read-only guard over its declared
+    /// observable set.
+    ///
+    /// # Safety
+    ///
+    /// No other thread may concurrently access component `c`, and no
+    /// thread may write any signal while ticks run (the tick phase
+    /// starts after the settle completes and ticks cannot write).
+    unsafe fn tick_member(&self, c: u32, a: Arenas) -> bool {
+        let guard = Guard {
+            component: &self.names[c as usize],
+            reads: Self::mask(&self.tick_masks, self.words, c),
+            writes: &self.zero_mask,
+            track: None,
+            tick: true,
+        };
+        // SAFETY: exclusive component access per the caller contract;
+        // the empty write mask makes the view read-only.
+        let view = SignalView::guarded(a.sigs, a.sig_len, guard);
+        let comp = &mut *a.comps.add(c as usize);
+        comp.tick(&view).is_active()
+    }
+}
+
+/// Persistent cross-cycle state of the activity-driven kernel: the
+/// dirty/pending/active sets, the per-settle change record, and the
+/// cumulative skip counters. Created all-dirty by
+/// [`Scheduler::new_activity_state`] and rebuilt whenever the system's
+/// structure (or settle mode) changes.
+#[derive(Debug)]
+pub(crate) struct ActivityState {
+    /// Settle counter; stamps [`ActivityState::sig_epoch`] so each
+    /// signal is recorded at most once per settle — change detection
+    /// stays O(writes), not O(signals).
+    epoch: u64,
+    /// Component must re-evaluate in the next settle.
+    comp_dirty: Vec<bool>,
+    /// Group holds at least one dirty member (fast skip test).
+    group_dirty: Vec<bool>,
+    /// An observed signal changed since the component's last tick.
+    tick_pending: Vec<bool>,
+    /// The component's last executed tick reported
+    /// [`crate::Activity::Active`].
+    tick_active: Vec<bool>,
+    /// Per-signal epoch of the last recorded change.
+    sig_epoch: Vec<u64>,
+    /// Signals changed during the current settle (deduped).
+    changed: Vec<u32>,
+    /// Scratch: runnable tick list (kept to reuse its allocation).
+    runnable: Vec<u32>,
+    groups_evaluated: u64,
+    groups_skipped: u64,
+    components_ticked: u64,
+    components_quiescent: u64,
+}
+
+impl ActivityState {
+    /// Records `s` as changed this settle; true if newly recorded.
+    fn record_changed(&mut self, s: u32) -> bool {
+        if self.sig_epoch[s as usize] == self.epoch {
+            return false;
+        }
+        self.sig_epoch[s as usize] = self.epoch;
+        self.changed.push(s);
+        true
+    }
+
+    fn mark_dirty(&mut self, c: u32, group: u32) {
+        self.comp_dirty[c as usize] = true;
+        self.group_dirty[group as usize] = true;
+    }
+
+    fn apply_tick(&mut self, c: u32, active: bool, group: u32) {
+        self.tick_pending[c as usize] = false;
+        self.tick_active[c as usize] = active;
+        if active {
+            self.mark_dirty(c, group);
+        }
+    }
+
+    /// Copies the cumulative skip/eval/tick counters into `stats`.
+    pub(crate) fn fill_counters(&self, stats: &mut SchedulerStats) {
+        stats.groups_evaluated = self.groups_evaluated;
+        stats.groups_skipped = self.groups_skipped;
+        stats.components_ticked = self.components_ticked;
+        stats.components_quiescent = self.components_quiescent;
     }
 }
 

@@ -55,16 +55,22 @@ pub(crate) fn bit(words: &[u64], id: usize) -> bool {
     words[id / 64] & (1u64 << (id % 64)) != 0
 }
 
-/// Access permissions and change tracking for one component's `eval`.
+/// Access permissions and change tracking for one component's `eval` or
+/// `tick`.
 ///
 /// `reads`/`writes` are bitsets over signal ids (the component's declared
 /// port sets); `track` collects the ids of signals whose value actually
-/// changed, which drives the worklist inside cyclic groups.
+/// changed, which drives the worklist inside cyclic groups and the
+/// cross-cycle dirty seeding of the activity-driven kernel. During the
+/// tick phase `tick` is set: `reads` holds the full observable set
+/// (`reads ∪ writes ∪ tick_reads`), `writes` is empty, and the panic
+/// messages name the tick-phase rules.
 pub(crate) struct Guard<'a> {
     pub(crate) component: &'a str,
     pub(crate) reads: &'a [u64],
     pub(crate) writes: &'a [u64],
     pub(crate) track: Option<&'a mut Vec<u32>>,
+    pub(crate) tick: bool,
 }
 
 /// Mutable view over the signal values, handed to components during
@@ -149,6 +155,13 @@ impl<'a> SignalView<'a> {
                 // SAFETY: names are immutable after construction; reading
                 // one never races with concurrent `value` writes.
                 let name = unsafe { &(*slot).name };
+                if g.tick {
+                    panic!(
+                        "component `{}` read undeclared signal {id} (`{name}`) during tick: \
+                         add it to the tick_reads of Component::ports()",
+                        g.component
+                    );
+                }
                 panic!(
                     "component `{}` read undeclared signal {id} (`{name}`): \
                      add it to the reads of Component::ports()",
@@ -178,6 +191,13 @@ impl<'a> SignalView<'a> {
             if !bit(g.writes, id.index()) {
                 // SAFETY: names are immutable after construction.
                 let name = unsafe { &(*slot).name };
+                if g.tick {
+                    panic!(
+                        "component `{}` wrote signal {id} (`{name}`) during tick: \
+                         ticks sample settled signals and must not write any",
+                        g.component
+                    );
+                }
                 panic!(
                     "component `{}` wrote undeclared signal {id} (`{name}`): \
                      add it to the writes of Component::ports()",
@@ -276,6 +296,7 @@ mod tests {
                     reads: &reads,
                     writes: &writes,
                     track: Some(&mut track),
+                    tick: false,
                 },
             )
         };
@@ -284,7 +305,6 @@ mod tests {
         view.set(SignalId(1), 9); // unchanged: not tracked twice
                                   // A write-only signal may also be read back (write implies read).
         assert_eq!(view.get(SignalId(1)), 9);
-        drop(view);
         assert_eq!(track, vec![1]);
     }
 
@@ -302,6 +322,7 @@ mod tests {
                     reads: &none,
                     writes: &none,
                     track: None,
+                    tick: false,
                 },
             )
         };
@@ -323,6 +344,7 @@ mod tests {
                     reads: &reads,
                     writes: &none,
                     track: None,
+                    tick: false,
                 },
             )
         };

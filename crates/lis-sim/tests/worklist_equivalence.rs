@@ -1,14 +1,16 @@
-//! Property tests pinning the dependency-aware worklist scheduler to
-//! the legacy full-sweep settle, cycle for cycle over every signal.
+//! Property tests pinning the scheduled settle engines to the legacy
+//! full-sweep settle, cycle for cycle over every signal.
 //!
 //! Random component networks — mixing-function DAGs in shuffled
 //! insertion order, self-latching components (combinational self-loops
-//! with a stable fixpoint), and contracting two-component cycles — are
-//! stepped under random per-cycle stimulus twice: once with
-//! [`SettleMode::FullSweep`] and once with the scheduler at a random
-//! thread count. Every signal must match after every cycle.
+//! with a stable fixpoint), contracting two-component cycles, and
+//! saturating components that *go quiescent* mid-run — are stepped
+//! under random per-cycle stimulus once per engine:
+//! [`SettleMode::FullSweep`], [`SettleMode::Worklist`], and the
+//! activity-driven kernel ([`SettleMode::ActivityDriven`]) at random
+//! thread counts. Every signal must match after every cycle.
 
-use lis_sim::{Component, Ports, SettleMode, SignalId, SignalView, System};
+use lis_sim::{Activity, Component, Ports, SettleMode, SignalId, SignalView, System};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
@@ -50,9 +52,12 @@ impl Component for MixComp {
         }
     }
 
-    fn tick(&mut self, sigs: &SignalView<'_>) {
+    fn tick(&mut self, sigs: &SignalView<'_>) -> Activity {
         let sampled = self.reads.first().map_or(0, |&r| sigs.get(r));
-        self.reg = mix(self.reg, sampled);
+        let next = mix(self.reg, sampled);
+        let changed = next != self.reg;
+        self.reg = next;
+        Activity::from_changed(changed)
     }
 }
 
@@ -82,7 +87,9 @@ impl Component for LatchComp {
         sigs.set(self.out, (own & self.mask) | (x & !self.mask));
     }
 
-    fn tick(&mut self, _sigs: &SignalView<'_>) {}
+    fn tick(&mut self, _sigs: &SignalView<'_>) -> Activity {
+        Activity::Quiescent
+    }
 }
 
 /// One half of a contracting two-component combinational cycle:
@@ -110,7 +117,43 @@ impl Component for AndComp {
         sigs.set(self.out, v & self.mask);
     }
 
-    fn tick(&mut self, _sigs: &SignalView<'_>) {}
+    fn tick(&mut self, _sigs: &SignalView<'_>) -> Activity {
+        Activity::Quiescent
+    }
+}
+
+/// A saturating accumulator: `reg' = min(reg | input, cap-pattern)`.
+/// Once the register saturates it honestly reports quiescence — the
+/// component the activity-driven kernel should stop simulating until
+/// its input signal changes again.
+#[derive(Clone)]
+struct SaturComp {
+    name: String,
+    input: SignalId,
+    out: SignalId,
+    cap: u64,
+    reg: u64,
+}
+
+impl Component for SaturComp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn ports(&self) -> Ports {
+        Ports::new([self.input], [self.out])
+    }
+
+    fn eval(&mut self, sigs: &mut SignalView<'_>) {
+        sigs.set(self.out, self.reg);
+    }
+
+    fn tick(&mut self, sigs: &SignalView<'_>) -> Activity {
+        let next = (self.reg | sigs.get(self.input)) & self.cap;
+        let changed = next != self.reg;
+        self.reg = next;
+        Activity::from_changed(changed)
+    }
 }
 
 /// The full network spec, buildable any number of times.
@@ -119,20 +162,22 @@ struct Net {
     mixers: Vec<(Vec<usize>, Vec<usize>, u64)>, // read idxs, write idxs, salt
     latches: Vec<(usize, u64)>,                 // input idx, mask
     and_pairs: Vec<(u64,)>,                     // shared mask
+    saturs: Vec<(usize, u64)>,                  // input idx, cap mask
     insertion: Vec<usize>,                      // shuffled component order
     total_signals: usize,
 }
 
 /// Generates a random network: input signals, a rank-ordered mixer DAG
 /// (reads only come from lower ranks, every signal has one writer),
-/// plus latches and contracting cycle pairs, in shuffled insertion
-/// order.
+/// plus latches, contracting cycle pairs and saturating accumulators,
+/// in shuffled insertion order.
 fn random_net(
     seed: u64,
     n_inputs: usize,
     n_mixers: usize,
     n_latches: usize,
     n_pairs: usize,
+    n_saturs: usize,
 ) -> Net {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut below = move |n: usize| (rng.next_u64() % n.max(1) as u64) as usize;
@@ -153,23 +198,32 @@ fn random_net(
             })
             .collect();
         readable.extend(writes.iter().copied());
-        mixers.push((reads, writes, below(usize::MAX as usize) as u64));
+        mixers.push((reads, writes, below(usize::MAX) as u64));
     }
     let latches: Vec<(usize, u64)> = (0..n_latches)
         .map(|_| {
             let input = readable[below(readable.len())];
             next_signal += 1;
-            (input, below(usize::MAX as usize) as u64)
+            (input, below(usize::MAX) as u64)
         })
         .collect();
     let and_pairs: Vec<(u64,)> = (0..n_pairs)
         .map(|_| {
             next_signal += 2;
-            (below(usize::MAX as usize) as u64,)
+            (below(usize::MAX) as u64,)
+        })
+        .collect();
+    let saturs: Vec<(usize, u64)> = (0..n_saturs)
+        .map(|_| {
+            let input = readable[below(readable.len())];
+            next_signal += 1;
+            // Narrow caps saturate quickly: the component goes genuinely
+            // quiescent within a few cycles.
+            (input, below(usize::MAX) as u64 & 0xFF)
         })
         .collect();
     // Shuffled insertion order over all components.
-    let n_comps = n_mixers + n_latches + 2 * n_pairs;
+    let n_comps = n_mixers + n_latches + 2 * n_pairs + n_saturs;
     let mut insertion: Vec<usize> = (0..n_comps).collect();
     for i in (1..insertion.len()).rev() {
         insertion.swap(i, below(i + 1));
@@ -179,6 +233,7 @@ fn random_net(
         mixers,
         latches,
         and_pairs,
+        saturs,
         insertion,
         total_signals: next_signal,
     }
@@ -196,17 +251,20 @@ fn build(net: &Net, mode: SettleMode, threads: usize) -> (System, Vec<SignalId>)
     let inputs: Vec<SignalId> = ids[..net.n_inputs].to_vec();
 
     // Signal layout: inputs, then mixer writes (allocated in spec
-    // order), then one output per latch, then two per pair.
+    // order), then one output per latch, then two per pair, then one
+    // per saturator.
     let mut latch_base = net.n_inputs;
     for (_, writes, _) in &net.mixers {
         latch_base += writes.len();
     }
     let pair_base = latch_base + net.latches.len();
+    let satur_base = pair_base + 2 * net.and_pairs.len();
 
     enum Built {
         M(MixComp),
         L(LatchComp),
         A(AndComp),
+        S(SaturComp),
     }
     let mut comps: Vec<Built> = Vec::new();
     for (k, (reads, writes, salt)) in net.mixers.iter().enumerate() {
@@ -242,12 +300,22 @@ fn build(net: &Net, mode: SettleMode, threads: usize) -> (System, Vec<SignalId>)
             mask: *mask,
         }));
     }
+    for (k, (input, cap)) in net.saturs.iter().enumerate() {
+        comps.push(Built::S(SaturComp {
+            name: format!("satur{k}"),
+            input: ids[*input],
+            out: ids[satur_base + k],
+            cap: *cap,
+            reg: 0,
+        }));
+    }
     let mut slots: Vec<Option<Built>> = comps.into_iter().map(Some).collect();
     for &i in &net.insertion {
         match slots[i].take().expect("each component inserted once") {
             Built::M(c) => sys.add_component(c),
             Built::L(c) => sys.add_component(c),
             Built::A(c) => sys.add_component(c),
+            Built::S(c) => sys.add_component(c),
         }
     }
     (sys, inputs)
@@ -266,7 +334,7 @@ proptest! {
         threads in 1usize..5,
         cycles in 1usize..12,
     ) {
-        let net = random_net(seed, n_inputs, n_mixers, n_latches, n_pairs);
+        let net = random_net(seed, n_inputs, n_mixers, n_latches, n_pairs, 0);
         let (mut reference, ref_inputs) = build(&net, SettleMode::FullSweep, 1);
         let (mut scheduled, sched_inputs) = build(&net, SettleMode::Worklist, threads);
         let mut stim = StdRng::seed_from_u64(seed ^ 0xDEAD_BEEF);
@@ -297,7 +365,7 @@ proptest! {
         n_mixers in 1usize..10,
         cycles in 1usize..8,
     ) {
-        let net = random_net(seed, 2, n_mixers, 1, 1);
+        let net = random_net(seed, 2, n_mixers, 1, 1, 0);
         let mut final_values: Option<Vec<u64>> = None;
         for threads in [1usize, 2, 4] {
             let (mut sys, inputs) = build(&net, SettleMode::Worklist, threads);
@@ -316,4 +384,119 @@ proptest! {
             }
         }
     }
+
+    /// The activity-driven kernel — persistent dirty set, skipped
+    /// groups, sharded selective ticks — matches BOTH legacy engines on
+    /// every signal after every cycle, at any thread count, including
+    /// networks with components that genuinely quiesce mid-run.
+    #[test]
+    fn activity_driven_matches_both_legacy_engines(
+        seed in any::<u64>(),
+        n_inputs in 1usize..4,
+        n_mixers in 1usize..12,
+        n_latches in 0usize..3,
+        n_pairs in 0usize..3,
+        n_saturs in 0usize..4,
+        threads in 1usize..5,
+        cycles in 1usize..14,
+    ) {
+        let net = random_net(seed, n_inputs, n_mixers, n_latches, n_pairs, n_saturs);
+        let (mut full, full_in) = build(&net, SettleMode::FullSweep, 1);
+        let (mut worklist, wl_in) = build(&net, SettleMode::Worklist, 1);
+        let (mut activity, act_in) = build(&net, SettleMode::ActivityDriven, threads);
+        let mut stim = StdRng::seed_from_u64(seed ^ 0xAC71_77E5);
+        for cycle in 0..cycles {
+            // Hold inputs constant on some cycles so quiescence actually
+            // kicks in (fresh randoms would re-dirty everything).
+            let hold = cycle % 3 == 2;
+            for ((&a, &b), &c) in full_in.iter().zip(&wl_in).zip(&act_in) {
+                if !hold {
+                    let v = stim.next_u64();
+                    full.poke(a, v);
+                    worklist.poke(b, v);
+                    activity.poke(c, v);
+                }
+            }
+            full.step().unwrap();
+            worklist.step().unwrap();
+            activity.step().unwrap();
+            full.settle().unwrap();
+            worklist.settle().unwrap();
+            activity.settle().unwrap();
+            prop_assert_eq!(
+                full.signal_values(),
+                activity.signal_values(),
+                "activity vs full-sweep divergence at cycle {} (threads={})", cycle, threads
+            );
+            prop_assert_eq!(
+                worklist.signal_values(),
+                activity.signal_values(),
+                "activity vs worklist divergence at cycle {} (threads={})", cycle, threads
+            );
+        }
+    }
+
+    /// Activity-driven results are independent of the thread count.
+    #[test]
+    fn activity_thread_count_does_not_change_results(
+        seed in any::<u64>(),
+        n_mixers in 1usize..10,
+        cycles in 1usize..8,
+    ) {
+        let net = random_net(seed, 2, n_mixers, 1, 1, 2);
+        let mut final_values: Option<Vec<u64>> = None;
+        for threads in [1usize, 2, 4] {
+            let (mut sys, inputs) = build(&net, SettleMode::ActivityDriven, threads);
+            let mut stim = StdRng::seed_from_u64(seed ^ 0xFEED);
+            for _ in 0..cycles {
+                for &i in &inputs {
+                    sys.poke(i, stim.next_u64());
+                }
+                sys.step().unwrap();
+            }
+            sys.settle().unwrap();
+            let values = sys.signal_values();
+            match &final_values {
+                None => final_values = Some(values),
+                Some(expected) => prop_assert_eq!(expected, &values, "threads={}", threads),
+            }
+        }
+    }
+}
+
+/// Deterministic skip regression: once a saturating chain has settled
+/// into quiescence under constant stimulus, the activity kernel must
+/// actually skip — groups in the settle and components in the tick.
+#[test]
+fn quiescent_chain_is_skipped_not_recomputed() {
+    let mut sys = System::new();
+    let input = sys.add_signal("in", 64);
+    let mut prev = input;
+    for k in 0..6 {
+        let out = sys.add_signal(format!("s{k}"), 64);
+        sys.add_component(SaturComp {
+            name: format!("satur{k}"),
+            input: prev,
+            out,
+            cap: 0xFF,
+            reg: 0,
+        });
+        prev = out;
+    }
+    sys.poke(input, 0xAB);
+    // Warm up until the chain saturates, then run quiescent cycles.
+    sys.run(10).unwrap();
+    let warm = sys.scheduler_stats();
+    sys.run(10).unwrap();
+    let done = sys.scheduler_stats();
+    let evaluated = done.groups_evaluated - warm.groups_evaluated;
+    let skipped = done.groups_skipped - warm.groups_skipped;
+    let ticked = done.components_ticked - warm.components_ticked;
+    let quiescent = done.components_quiescent - warm.components_quiescent;
+    assert_eq!(evaluated, 0, "saturated chain must not re-evaluate");
+    assert_eq!(ticked, 0, "saturated chain must not re-tick");
+    assert!(skipped > 0, "{done:?}");
+    assert_eq!(quiescent, 60, "6 components x 10 cycles all quiescent");
+    // And the values are still the settled fixpoint.
+    assert_eq!(sys.peek(prev), 0xAB);
 }

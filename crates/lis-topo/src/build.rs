@@ -124,12 +124,12 @@ impl TopologyBuilder {
     pub fn new(spec: TopologySpec) -> Self {
         TopologyBuilder {
             spec,
-            mode: SettleMode::Worklist,
+            mode: SettleMode::default(),
             threads: None,
         }
     }
 
-    /// Selects the settle engine (default: the sharded scheduler).
+    /// Selects the settle engine (default: the activity-driven kernel).
     #[must_use]
     pub fn settle_mode(mut self, mode: SettleMode) -> Self {
         self.mode = mode;

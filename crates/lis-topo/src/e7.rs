@@ -1,0 +1,378 @@
+//! The E7 activity-kernel bench: stress-mesh settle throughput under
+//! the three settle engines and four traffic regimes.
+//!
+//! The paper's synchronization processor exists so most of a
+//! latency-insensitive SoC can *stall cheaply* — and in a stalled or
+//! back-pressured mesh most components do nothing each cycle. E7
+//! measures what the simulator makes of that: the 8×8 gate-level SP
+//! stress mesh (the E6 hot path) is driven under streaming, bursty,
+//! hotspot, and saturating back-pressured traffic, once per settle
+//! engine (`full-sweep`, `worklist`, `activity`). Every configuration
+//! must deliver bit-identical token streams — checksummed — while the
+//! activity-driven kernel additionally records how much of the mesh it
+//! *skipped* (quiescent groups per settle, quiescent components per
+//! tick). The headline bar, asserted by the bench binary's `--check`:
+//! activity-driven simulates the back-pressured stress run at ≥ 2× the
+//! worklist engine's kilocycles per second.
+
+use crate::build::TopologyBuilder;
+use crate::topology::{NodeModel, SyncVariant, TopologyShape, TopologySpec, TrafficPattern};
+use lis_sim::SettleMode;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::Instant;
+
+/// Configuration of the E7 bench.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct E7Config {
+    /// Mesh rows.
+    pub rows: usize,
+    /// Mesh columns.
+    pub cols: usize,
+    /// Compute-only cycles per pearl period. Kept short so pearl
+    /// *capacity* outruns the clogged sinks of the back-pressured run —
+    /// the fabric saturates and stays saturated.
+    pub compute_latency: usize,
+    /// Physical hop length (relay insertion, as in the E6 stress run).
+    pub hop_distance: u32,
+    /// Latency budget (units one clock may span).
+    pub relay_budget: u32,
+    /// Traffic regimes of the engine-comparison sweep.
+    pub sweep_traffics: Vec<TrafficPattern>,
+    /// Cycles per sweep row (kept modest: the full sweep engine pays
+    /// ~10× the worklist's wall clock on this mesh).
+    pub sweep_cycles: u64,
+    /// The saturating regime of the headline run.
+    pub backpressure: TrafficPattern,
+    /// Cycles of the headline back-pressured run (worklist vs activity).
+    pub check_cycles: u64,
+    /// Tokens each source offers (ample; sources must never dry up).
+    pub tokens_per_source: usize,
+    /// Stall seed.
+    pub seed: u64,
+}
+
+impl Default for E7Config {
+    fn default() -> Self {
+        E7Config {
+            rows: 8,
+            cols: 8,
+            compute_latency: 2,
+            hop_distance: 6,
+            relay_budget: 2,
+            sweep_traffics: vec![
+                TrafficPattern::Streaming,
+                TrafficPattern::Bursty { stall: 0.3 },
+                TrafficPattern::Hotspot { stall: 0.6 },
+                TrafficPattern::BackPressured { stall: 0.95 },
+            ],
+            sweep_cycles: 1_200,
+            backpressure: TrafficPattern::BackPressured { stall: 0.95 },
+            check_cycles: 20_000,
+            tokens_per_source: 100_000,
+            seed: 7,
+        }
+    }
+}
+
+/// One measured (traffic, engine, threads) configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct E7Row {
+    /// Traffic regime label.
+    pub traffic: String,
+    /// Settle engine label.
+    pub engine: String,
+    /// Evaluation threads.
+    pub threads: usize,
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Informative tokens delivered across all sinks (stable).
+    pub tokens: u64,
+    /// Order-sensitive stream checksum (stable; must match across
+    /// engines and thread counts within a traffic regime).
+    pub checksum: u64,
+    /// Whether every sink stream matched the dataflow oracle.
+    pub stream_exact: bool,
+    /// Groups evaluated by activity-driven settles (stable; 0 for
+    /// legacy engines).
+    pub groups_evaluated: u64,
+    /// Groups skipped as quiescent (stable; 0 for legacy engines).
+    pub groups_skipped: u64,
+    /// Component ticks executed (stable; 0 for legacy engines).
+    pub components_ticked: u64,
+    /// Component ticks skipped as quiescent (stable; 0 for legacy
+    /// engines).
+    pub components_quiescent: u64,
+    /// Wall time (volatile; excluded from drift checks).
+    pub wall_ms: f64,
+    /// Simulated kilocycles per second (volatile).
+    pub kcps: f64,
+}
+
+impl E7Row {
+    /// Fraction of group evaluations skipped (stable).
+    pub fn eval_skip_pct(&self) -> f64 {
+        let total = self.groups_evaluated + self.groups_skipped;
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * self.groups_skipped as f64 / total as f64
+        }
+    }
+
+    /// Fraction of component ticks skipped (stable).
+    pub fn tick_skip_pct(&self) -> f64 {
+        let total = self.components_ticked + self.components_quiescent;
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * self.components_quiescent as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for E7Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:20} {:10} threads={}: {:8.1} kcyc/s ({} cycles), {:6} tok, exact={}, \
+             skip eval {:5.1}% tick {:5.1}%, checksum {:#018x}",
+            self.traffic,
+            self.engine,
+            self.threads,
+            self.kcps,
+            self.cycles,
+            self.tokens,
+            self.stream_exact,
+            self.eval_skip_pct(),
+            self.tick_skip_pct(),
+            self.checksum,
+        )
+    }
+}
+
+/// The full E7 report: the engine×traffic sweep, the headline
+/// back-pressured comparison, and the structural shape of the mesh.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct E7Report {
+    /// The configuration measured.
+    pub config: E7Config,
+    /// Pearls in the mesh.
+    pub pearls: usize,
+    /// Relay stations inserted by the latency budget.
+    pub relay_stations: usize,
+    /// Simulator components.
+    pub components: usize,
+    /// Signals in the arena.
+    pub signals: usize,
+    /// Engine × traffic sweep rows.
+    pub sweep: Vec<E7Row>,
+    /// Headline back-pressured rows (worklist@1, activity@1,
+    /// activity@threads).
+    pub check: Vec<E7Row>,
+    /// Activity@1 vs worklist@1 kcyc/s on the back-pressured run
+    /// (volatile; the `--check` bar).
+    pub speedup_activity_vs_worklist: f64,
+}
+
+fn spec_for(cfg: &E7Config, traffic: TrafficPattern) -> TopologySpec {
+    TopologySpec {
+        shape: TopologyShape::Mesh {
+            rows: cfg.rows,
+            cols: cfg.cols,
+        },
+        compute_latency: cfg.compute_latency,
+        hop_distance: cfg.hop_distance,
+        relay_budget: cfg.relay_budget,
+        wire_segments: 0,
+        traffic,
+        model: NodeModel::GateLevel,
+        variant: SyncVariant::SpCompressed,
+        tokens_per_source: cfg.tokens_per_source,
+        seed: cfg.seed,
+    }
+}
+
+/// Runs one (traffic, engine, threads) configuration for `cycles`,
+/// filling `census` with the mesh's structural stats on the first call.
+fn run_one(
+    cfg: &E7Config,
+    traffic: TrafficPattern,
+    mode: SettleMode,
+    threads: usize,
+    cycles: u64,
+    census: &mut Option<crate::build::TopoStats>,
+) -> E7Row {
+    let spec = spec_for(cfg, traffic);
+    let mut topo = TopologyBuilder::new(spec)
+        .settle_mode(mode)
+        .threads(threads)
+        .build();
+    if census.is_none() {
+        // The census is traffic/engine/thread independent.
+        *census = Some(topo.stats.clone());
+    }
+    let start = Instant::now();
+    topo.soc.run(cycles).expect("E7 simulation");
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(topo.soc.violations(), 0, "{traffic}/{mode:?}: violations");
+    let stats = topo.soc.scheduler_stats();
+    E7Row {
+        traffic: traffic.to_string(),
+        engine: lis_core::experiment::engine_name(mode).to_owned(),
+        threads,
+        cycles,
+        tokens: topo.total_received(),
+        checksum: topo.checksum(),
+        stream_exact: topo.token_exact(),
+        groups_evaluated: stats.groups_evaluated,
+        groups_skipped: stats.groups_skipped,
+        components_ticked: stats.components_ticked,
+        components_quiescent: stats.components_quiescent,
+        wall_ms,
+        kcps: cycles as f64 / 1e3 / (wall_ms / 1e3),
+    }
+}
+
+/// Runs the full E7 bench: the engine×traffic sweep plus the headline
+/// back-pressured worklist-vs-activity comparison.
+pub fn e7_bench(cfg: &E7Config, threads: usize) -> E7Report {
+    let mut census = None;
+    let mut sweep = Vec::new();
+    for &traffic in &cfg.sweep_traffics {
+        for mode in [
+            SettleMode::FullSweep,
+            SettleMode::Worklist,
+            SettleMode::ActivityDriven,
+        ] {
+            sweep.push(run_one(
+                cfg,
+                traffic,
+                mode,
+                1,
+                cfg.sweep_cycles,
+                &mut census,
+            ));
+        }
+    }
+
+    let worklist = run_one(
+        cfg,
+        cfg.backpressure,
+        SettleMode::Worklist,
+        1,
+        cfg.check_cycles,
+        &mut census,
+    );
+    let activity = run_one(
+        cfg,
+        cfg.backpressure,
+        SettleMode::ActivityDriven,
+        1,
+        cfg.check_cycles,
+        &mut census,
+    );
+    let speedup = activity.kcps / worklist.kcps;
+    // Always emit a multi-thread row (even on single-core hosts) so the
+    // recorded row structure — and the bit-identity proof across thread
+    // counts — is machine-independent.
+    let activity_nt = run_one(
+        cfg,
+        cfg.backpressure,
+        SettleMode::ActivityDriven,
+        threads.max(2),
+        cfg.check_cycles,
+        &mut census,
+    );
+    let check = vec![worklist, activity, activity_nt];
+
+    let stats = census.expect("at least one run recorded the census");
+    E7Report {
+        config: cfg.clone(),
+        pearls: stats.nodes,
+        relay_stations: stats.relay_stations,
+        components: stats.components,
+        signals: stats.signals,
+        sweep,
+        check,
+        speedup_activity_vs_worklist: speedup,
+    }
+}
+
+/// Asserts the E7 stream-identity claim: within each traffic regime,
+/// every engine/thread configuration delivered the identical token
+/// stream (same count, same checksum) and stayed oracle-exact — and the
+/// activity rows actually skipped work.
+///
+/// # Panics
+///
+/// Panics naming the diverging rows; this is the bench's acceptance
+/// gate, kept loud on purpose.
+pub fn assert_e7_streams(rows: &[E7Row]) {
+    let mut by_traffic: Vec<(&str, &E7Row)> = Vec::new();
+    for row in rows {
+        assert!(row.stream_exact, "stream corrupted: {row}");
+        match by_traffic.iter().find(|(t, _)| *t == row.traffic) {
+            None => by_traffic.push((&row.traffic, row)),
+            Some((_, first)) => {
+                assert_eq!(
+                    (first.tokens, first.checksum),
+                    (row.tokens, row.checksum),
+                    "engines must deliver identical streams:\n  {first}\n  {row}"
+                );
+            }
+        }
+        if row.engine == "activity" {
+            assert!(
+                row.groups_skipped > 0 && row.components_quiescent > 0,
+                "activity row skipped nothing: {row}"
+            );
+        } else {
+            assert_eq!(
+                (row.groups_evaluated, row.components_ticked),
+                (0, 0),
+                "legacy engines must not report activity counters: {row}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature E7 exercising the whole pipeline: all engines and
+    /// traffic regimes stream-identical, activity genuinely skipping.
+    #[test]
+    fn miniature_e7_is_stream_identical_and_skips() {
+        let cfg = E7Config {
+            rows: 2,
+            cols: 2,
+            sweep_traffics: vec![
+                TrafficPattern::Streaming,
+                TrafficPattern::BackPressured { stall: 0.9 },
+            ],
+            sweep_cycles: 250,
+            check_cycles: 600,
+            tokens_per_source: 5_000,
+            ..E7Config::default()
+        };
+        let report = e7_bench(&cfg, 2);
+        assert_eq!(report.sweep.len(), 6);
+        assert_eq!(report.check.len(), 3);
+        assert_e7_streams(&report.sweep);
+        assert_e7_streams(&report.check);
+        assert!(report.pearls == 4 && report.relay_stations > 0);
+        // The back-pressured mesh must be mostly asleep under the
+        // activity kernel.
+        let bp_activity = report
+            .check
+            .iter()
+            .find(|r| r.engine == "activity")
+            .expect("activity row");
+        assert!(
+            bp_activity.tick_skip_pct() > 30.0,
+            "back-pressure must induce real quiescence: {bp_activity}"
+        );
+    }
+}

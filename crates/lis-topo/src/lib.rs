@@ -19,11 +19,15 @@
 //! *token-exact* ([`GeneratedSoc::token_exact`]) when each received
 //! stream is a prefix of the oracle's.
 //!
-//! On top sits the **E6 ablation bench** ([`topology_ablation`],
+//! On top sit the benches. The **E6 ablation** ([`topology_ablation`],
 //! [`stress_run`]): SP-with-ROM-compression vs SP-uncompressed vs
 //! per-pearl FSM synchronizers swept across topology scales, and the
 //! 10⁵-cycle long-schedule stress run of an 8×8 gate-level mesh under
-//! sustained relay back-pressure.
+//! sustained relay back-pressure. And the **E7 kernel bench**
+//! ([`e7_bench`]): the same stress mesh under streaming / bursty /
+//! hotspot / saturating back-pressured traffic, once per settle engine
+//! — proving the activity-driven kernel delivers bit-identical streams
+//! while skipping most of the quiescent mesh.
 //!
 //! # Examples
 //!
@@ -52,6 +56,7 @@
 
 mod ablation;
 mod build;
+mod e7;
 mod oracle;
 mod topology;
 
@@ -60,6 +65,7 @@ pub use ablation::{
     StressReport, TopoAblationRow,
 };
 pub use build::{build_soc, GeneratedSoc, TopoStats, TopologyBuilder};
+pub use e7::{assert_e7_streams, e7_bench, E7Config, E7Report, E7Row};
 pub use oracle::{expected_sink_streams, stream_checksum};
 pub use topology::{
     source_token, Endpoint, NodeModel, SyncVariant, TopoLink, TopoNode, TopologyGraph,

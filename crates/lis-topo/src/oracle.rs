@@ -69,8 +69,8 @@ pub fn expected_sink_streams(graph: &TopologyGraph, tokens_per_source: usize) ->
                 .map(|q| q.pop_front().expect("checked non-empty"))
                 .fold(0u64, u64::wrapping_add);
             acc[n] = acc[n].wrapping_add(sum);
-            for p in 0..graph.nodes[n].n_out {
-                deliver(&mut in_queues, &mut sink_streams, out_dest[n][p], acc[n]);
+            for &dest in out_dest[n].iter().take(graph.nodes[n].n_out) {
+                deliver(&mut in_queues, &mut sink_streams, dest, acc[n]);
             }
         }
     }

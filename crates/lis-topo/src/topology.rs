@@ -92,13 +92,24 @@ pub enum TrafficPattern {
         /// Per-cycle stall probability of the hotspot sink.
         stall: f64,
     },
+    /// Sources stream but *every* sink refuses tokens with the given
+    /// (high) probability: the whole fabric saturates, `stop` stays
+    /// asserted on most links, and pearls block at their write sync
+    /// points — the stalled-mesh regime where an activity-driven kernel
+    /// should be simulating almost nothing per cycle.
+    BackPressured {
+        /// Per-cycle stall probability of every sink.
+        stall: f64,
+    },
 }
 
 impl TrafficPattern {
     /// Stall probability of source `_idx` under this pattern.
     pub fn source_stall(&self, _idx: usize) -> f64 {
         match *self {
-            TrafficPattern::Streaming | TrafficPattern::Hotspot { .. } => 0.0,
+            TrafficPattern::Streaming
+            | TrafficPattern::Hotspot { .. }
+            | TrafficPattern::BackPressured { .. } => 0.0,
             TrafficPattern::Bursty { stall } => stall,
         }
     }
@@ -107,7 +118,7 @@ impl TrafficPattern {
     pub fn sink_stall(&self, idx: usize) -> f64 {
         match *self {
             TrafficPattern::Streaming => 0.0,
-            TrafficPattern::Bursty { stall } => stall,
+            TrafficPattern::Bursty { stall } | TrafficPattern::BackPressured { stall } => stall,
             TrafficPattern::Hotspot { stall } => {
                 if idx == 0 {
                     stall
@@ -125,6 +136,7 @@ impl fmt::Display for TrafficPattern {
             TrafficPattern::Streaming => write!(f, "streaming"),
             TrafficPattern::Bursty { stall } => write!(f, "bursty({stall:.2})"),
             TrafficPattern::Hotspot { stall } => write!(f, "hotspot({stall:.2})"),
+            TrafficPattern::BackPressured { stall } => write!(f, "backpressured({stall:.2})"),
         }
     }
 }
@@ -620,6 +632,6 @@ mod tests {
     fn source_tokens_are_distinct_across_sources() {
         assert_ne!(source_token(0, 0), source_token(1, 0));
         assert_eq!(source_token(0, 4), 5);
-        assert_eq!(source_token(2, 0), 5 * 1);
+        assert_eq!(source_token(2, 0), 5);
     }
 }

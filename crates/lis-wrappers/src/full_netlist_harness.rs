@@ -14,7 +14,7 @@
 use crate::fifo_netlist::assemble_full_wrapper;
 use lis_netlist::Module;
 use lis_proto::{LisChannel, Pearl, PortValues, Token, ViolationCounter};
-use lis_sim::{CompiledNetlistSim, Component, PortHandle, Ports, SignalView, System};
+use lis_sim::{Activity, CompiledNetlistSim, Component, PortHandle, Ports, SignalView, System};
 
 /// A patient process whose complete shell is a gate-level netlist.
 pub struct FullNetlistPatientProcess {
@@ -202,12 +202,19 @@ impl Component for FullNetlistPatientProcess {
         }
     }
 
-    fn tick(&mut self, sigs: &SignalView<'_>) {
+    fn tick(&mut self, sigs: &SignalView<'_>) -> Activity {
         self.drive_shell_inputs(sigs);
         self.maybe_clock_pearl();
-        self.shell.step();
+        let ff_changed = self.shell.step_changed();
+        let pearl_clocked = self.clocked_this_cycle;
         self.clocked_this_cycle = false;
         let _ = &self.violations; // reserved for future shell-level checks
+                                  // The shell's outputs are a pure function of its flip-flops and
+                                  // the channel wires (all declared eval reads): with both frozen
+                                  // and the pearl not clocked, the whole gate-level shell — FIFOs,
+                                  // controller, ROM — can sleep. This is the state a back-pressured
+                                  // mesh keeps most of its shells in.
+        Activity::from_changed(ff_changed || pearl_clocked)
     }
 }
 

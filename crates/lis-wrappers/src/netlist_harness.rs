@@ -13,7 +13,7 @@
 
 use lis_netlist::Module;
 use lis_proto::{LisChannel, Pearl, PortValues, Token, ViolationCounter, PORT_QUEUE_CAPACITY};
-use lis_sim::{CompiledNetlistSim, Component, PortHandle, Ports, SignalView, System};
+use lis_sim::{Activity, CompiledNetlistSim, Component, PortHandle, Ports, SignalView, System};
 use std::collections::VecDeque;
 
 /// A patient process whose control decisions are computed by a wrapper
@@ -144,11 +144,13 @@ impl Component for NetlistPatientProcess {
         }
     }
 
-    fn tick(&mut self, sigs: &SignalView<'_>) {
+    fn tick(&mut self, sigs: &SignalView<'_>) -> Activity {
+        let mut changed = false;
         // 1. Output channels drain.
         for (o, ch) in self.out_channels.iter().enumerate() {
             if !ch.read_stop(sigs) && !self.out_queues[o].is_empty() {
                 self.out_queues[o].pop_front();
+                changed = true;
             }
         }
 
@@ -162,6 +164,7 @@ impl Component for NetlistPatientProcess {
 
         // 3. Fire the pearl.
         if enable {
+            changed = true;
             let io = self.pearl.schedule().at(self.schedule_step);
             let mut inputs = PortValues::empty(self.in_queues.len());
             for (i, q) in self.in_queues.iter_mut().enumerate() {
@@ -185,12 +188,13 @@ impl Component for NetlistPatientProcess {
             }
             self.schedule_step = (self.schedule_step + 1) % self.pearl.schedule().period();
         }
-        self.controller.step();
+        changed |= self.controller.step_changed();
 
         // 4. Input channels deliver.
         for (i, ch) in self.in_channels.iter().enumerate() {
             if !self.in_stop[i] {
                 if let Token::Data(v) = ch.read_token(sigs) {
+                    changed = true;
                     if self.in_queues[i].len() < PORT_QUEUE_CAPACITY {
                         self.in_queues[i].push_back(v);
                     } else {
@@ -198,8 +202,14 @@ impl Component for NetlistPatientProcess {
                     }
                 }
             }
-            self.in_stop[i] = self.in_queues[i].len() >= PORT_QUEUE_CAPACITY;
+            let stop = self.in_queues[i].len() >= PORT_QUEUE_CAPACITY;
+            changed |= stop != self.in_stop[i];
+            self.in_stop[i] = stop;
         }
+        // Quiescent iff the queues, stops, controller flip-flops and
+        // pearl all held still — the controller waiting at a sync point
+        // on unchanged FIFO status.
+        Activity::from_changed(changed)
     }
 }
 

@@ -8,7 +8,7 @@
 
 use crate::policy::SyncPolicy;
 use lis_proto::{LisChannel, Pearl, PortValues, Token, ViolationCounter, PORT_QUEUE_CAPACITY};
-use lis_sim::{Component, Ports, SignalView, System};
+use lis_sim::{Activity, Component, Ports, SignalView, System};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -162,11 +162,13 @@ impl Component for PatientProcess {
         }
     }
 
-    fn tick(&mut self, sigs: &SignalView<'_>) {
+    fn tick(&mut self, sigs: &SignalView<'_>) -> Activity {
+        let mut changed = false;
         // 1. Output channels consume heads unless stalled.
         for (o, ch) in self.out_channels.iter().enumerate() {
             if !ch.read_stop(sigs) && !self.out_queues[o].is_empty() {
                 self.out_queues[o].pop_front();
+                changed = true;
             }
         }
 
@@ -179,6 +181,7 @@ impl Component for PatientProcess {
         //    (identical to the decision masks for safe programs; a
         //    superset during the free-run of burst operations).
         if decision.fire {
+            changed = true;
             let io = self.pearl.schedule().at(self.sched_step);
             let mut inputs = PortValues::empty(self.in_queues.len());
             for port in io.reads.iter() {
@@ -204,15 +207,18 @@ impl Component for PatientProcess {
             self.sched_step = (self.sched_step + 1) % self.pearl.schedule().period();
             self.stats.fired.fetch_add(1, Ordering::Relaxed);
         } else {
+            // Diagnostic only: counts *executed* stalled ticks (cycles
+            // skipped as quiescent are not simulated at all).
             self.stats.stalled.fetch_add(1, Ordering::Relaxed);
         }
-        self.policy.commit(decision.fire);
+        changed |= self.policy.commit(decision.fire);
 
         // 4. Input channels deliver (transfers gated by the stop we
         //    presented this cycle).
         for (i, ch) in self.in_channels.iter().enumerate() {
             if !self.in_stop[i] {
                 if let Token::Data(v) = ch.read_token(sigs) {
+                    changed = true;
                     if self.in_queues[i].len() < self.queue_capacity {
                         self.in_queues[i].push_back(v);
                     } else {
@@ -220,8 +226,11 @@ impl Component for PatientProcess {
                     }
                 }
             }
-            self.in_stop[i] = self.in_queues[i].len() >= self.queue_capacity;
+            let stop = self.in_queues[i].len() >= self.queue_capacity;
+            changed |= stop != self.in_stop[i];
+            self.in_stop[i] = stop;
         }
+        Activity::from_changed(changed)
     }
 }
 

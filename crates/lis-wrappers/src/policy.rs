@@ -51,8 +51,10 @@ pub trait SyncPolicy: fmt::Debug + Send {
     fn decide(&self, not_empty: &[bool], not_full: &[bool]) -> Decision;
 
     /// Commits the cycle at the clock edge. `fired` is the decision's
-    /// `fire` field at settle time.
-    fn commit(&mut self, fired: bool);
+    /// `fire` field at settle time. Returns whether any internal state
+    /// changed — `false` lets the activity-driven kernel skip the whole
+    /// patient process while it stays stalled on unchanged ports.
+    fn commit(&mut self, fired: bool) -> bool;
 
     /// Returns to the power-up state.
     fn reset(&mut self);
@@ -104,10 +106,11 @@ impl SyncPolicy for CombPolicy {
         }
     }
 
-    fn commit(&mut self, fired: bool) {
+    fn commit(&mut self, fired: bool) -> bool {
         if fired {
             self.step = (self.step + 1) % self.schedule.period();
         }
+        fired
     }
 
     fn reset(&mut self) {
@@ -152,10 +155,11 @@ impl SyncPolicy for FsmPolicy {
         }
     }
 
-    fn commit(&mut self, fired: bool) {
+    fn commit(&mut self, fired: bool) -> bool {
         if fired {
             self.step = (self.step + 1) % self.schedule.period();
         }
+        fired
     }
 
     fn reset(&mut self) {
@@ -231,11 +235,14 @@ impl SyncPolicy for ShiftRegPolicy {
         }
     }
 
-    fn commit(&mut self, fired: bool) {
+    fn commit(&mut self, fired: bool) -> bool {
         self.pos = (self.pos + 1) % self.pattern.len();
         if fired {
             self.step = (self.step + 1) % self.schedule.period();
         }
+        // The activation ring rotates every cycle: a static wrapper is
+        // never quiescent (it has no way to know the stream stopped).
+        true
     }
 
     fn reset(&mut self) {
@@ -332,10 +339,11 @@ impl SyncPolicy for SpPolicy {
         }
     }
 
-    fn commit(&mut self, fired: bool) {
+    fn commit(&mut self, fired: bool) -> bool {
         match self.mode {
             SpMode::Reset => {
                 self.mode = SpMode::AtSync;
+                true
             }
             SpMode::AtSync => {
                 if fired {
@@ -347,6 +355,9 @@ impl SyncPolicy for SpPolicy {
                         self.remaining = run - 1;
                     }
                 }
+                // Waiting at a sync point on unchanged ports is the SP's
+                // quiescent state.
+                fired
             }
             SpMode::Running => {
                 self.remaining -= 1;
@@ -354,6 +365,7 @@ impl SyncPolicy for SpPolicy {
                     self.op_idx = (self.op_idx + 1) % self.program.len();
                     self.mode = SpMode::AtSync;
                 }
+                true
             }
         }
     }

@@ -65,7 +65,7 @@ mod tests {
 
     #[test]
     fn area_is_one_ff_per_pattern_bit_and_no_logic() {
-        let m = generate_shiftreg(&vec![true; 128]).unwrap();
+        let m = generate_shiftreg(&[true; 128]).unwrap();
         assert_eq!(m.ff_count(), 128);
         let logic = m
             .cells

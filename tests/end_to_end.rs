@@ -38,7 +38,7 @@ fn viterbi_frame_through_soc(kind: WrapperKind, hardware: bool, relays: usize) {
     b.capture("err", ip.outputs[2], 0.0, 4);
     let mut soc = b.build();
     let done = soc
-        .run_until(50_000, |s| s.received("err").len() >= 1)
+        .run_until(50_000, |s| !s.received("err").is_empty())
         .unwrap();
     assert!(done, "frame not decoded in budget");
     assert_eq!(soc.violations(), 0);

@@ -9,6 +9,7 @@ use latency_insensitive::wrappers::{FsmEncoding, WrapperKind};
 use proptest::prelude::*;
 
 /// Runs a relayed accumulator SoC and returns its informative output.
+#[allow(clippy::too_many_arguments)] // a flat test-parameter list reads best here
 fn run_soc(
     kind: WrapperKind,
     in_latency: usize,

@@ -557,7 +557,7 @@ mod tests {
         #[test]
         fn macro_plumbing_works(x in 1usize..100, y in any::<u64>()) {
             prop_assume!(x != 13);
-            prop_assert!(x >= 1 && x < 100);
+            prop_assert!((1..100).contains(&x));
             prop_assert_eq!(x + 1, 1 + x, "commutativity for x={}", x);
             prop_assert_ne!(y.wrapping_add(1), y);
         }

@@ -350,10 +350,7 @@ impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
         let items = v
             .as_array()
             .ok_or_else(|| DeError::expected("map array", v))?;
-        items
-            .iter()
-            .map(|pair| <(K, V)>::from_value(pair))
-            .collect()
+        items.iter().map(<(K, V)>::from_value).collect()
     }
 }
 
@@ -377,9 +374,6 @@ where
         let items = v
             .as_array()
             .ok_or_else(|| DeError::expected("map array", v))?;
-        items
-            .iter()
-            .map(|pair| <(K, V)>::from_value(pair))
-            .collect()
+        items.iter().map(<(K, V)>::from_value).collect()
     }
 }

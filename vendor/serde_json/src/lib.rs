@@ -120,7 +120,7 @@ fn write_value(
 fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
     if let Some(w) = indent {
         out.push('\n');
-        out.extend(std::iter::repeat(' ').take(w * depth));
+        out.extend(std::iter::repeat_n(' ', w * depth));
     }
 }
 
@@ -397,7 +397,7 @@ mod tests {
                 "nums".into(),
                 Value::Array(vec![Value::UInt(u64::MAX), Value::Int(-7)]),
             ),
-            ("pi".into(), Value::Float(3.141592653589793)),
+            ("pi".into(), Value::Float(std::f64::consts::PI)),
             ("none".into(), Value::Null),
             ("ok".into(), Value::Bool(true)),
             ("empty".into(), Value::Array(vec![])),
