@@ -1,17 +1,22 @@
 //! E7: the activity-driven cycle kernel on the stress mesh.
 //!
 //! The 8×8 gate-level SP mesh (the E6 hot path) is simulated under
-//! streaming, bursty, hotspot, and saturating back-pressured traffic,
-//! once per settle engine — the legacy full sweep, the dependency-aware
-//! worklist, and the activity-driven kernel (cross-cycle quiescence
-//! skipping + sharded selective ticks). Every configuration must
-//! deliver bit-identical token streams; the activity rows additionally
-//! report how much of the mesh they skipped.
+//! streaming, bursty, hotspot, saturating back-pressured, and
+//! periodically back-pressured traffic, once per settle engine — the
+//! legacy full sweep, the dependency-aware worklist, the
+//! activity-driven kernel (cross-cycle quiescence skipping + sharded
+//! selective ticks), and the fast-forward kernel (activity-driven plus
+//! an event wheel that jumps the clock over fully quiescent spans).
+//! Every configuration must deliver bit-identical token streams; the
+//! activity-family rows additionally report how much of the mesh they
+//! skipped and how many cycles they jumped.
 //!
 //! `--json <path>` records the rows (e.g. BENCH_e7.json; wall-clock
 //! fields are volatile and excluded from the CI drift diff) and
-//! `--check` enforces the headline bar: activity-driven ≥ 2× the
-//! worklist engine's kcyc/s on the back-pressured stress run.
+//! `--check` enforces the headline bars: activity-driven ≥ 2× the
+//! worklist engine's kcyc/s on the back-pressured stress run, and
+//! fast-forward ≥ 10× activity-driven on the periodically
+//! back-pressured run.
 
 use lis_bench::{print_rows, section, threads_from_args};
 use lis_topo::{assert_e7_streams, e7_bench, E7Config};
@@ -42,12 +47,16 @@ fn main() {
     print_rows(&report.sweep);
     assert_e7_streams(&report.sweep);
 
-    section("E7 — back-pressured stress run (the headline)");
+    section("E7 — back-pressured and periodic stress runs (the headlines)");
     print_rows(&report.check);
     assert_e7_streams(&report.check);
     println!(
         "speedup activity@1 vs worklist@1: {:.2}x",
         report.speedup_activity_vs_worklist
+    );
+    println!(
+        "speedup fast-forward@1 vs activity@1 (periodic): {:.2}x",
+        report.speedup_fast_forward_vs_activity
     );
 
     if let Some(path) = &json_path {
@@ -66,6 +75,10 @@ fn main() {
                 "speedup_activity_vs_worklist".into(),
                 Value::Float(report.speedup_activity_vs_worklist),
             ),
+            (
+                "speedup_fast_forward_vs_activity".into(),
+                Value::Float(report.speedup_fast_forward_vs_activity),
+            ),
         ]);
         let json = serde_json::to_string_pretty(&baseline).expect("serialize E7 rows");
         std::fs::write(path, json + "\n").expect("write JSON baseline");
@@ -79,9 +92,16 @@ fn main() {
              the worklist kcyc/s (measured {:.2}x)",
             report.speedup_activity_vs_worklist
         );
+        assert!(
+            report.speedup_fast_forward_vs_activity >= 10.0,
+            "the event wheel must simulate the periodically back-pressured mesh at >=10x \
+             the cycle-by-cycle activity kcyc/s (measured {:.2}x)",
+            report.speedup_fast_forward_vs_activity
+        );
         println!(
-            "--check passed: {:.2}x >= 2x, streams bit-identical across engines and thread counts",
-            report.speedup_activity_vs_worklist
+            "--check passed: {:.2}x >= 2x, {:.2}x >= 10x, streams bit-identical across \
+             engines and thread counts",
+            report.speedup_activity_vs_worklist, report.speedup_fast_forward_vs_activity
         );
     }
 }

@@ -592,6 +592,7 @@ pub fn engine_name(mode: SettleMode) -> &'static str {
         SettleMode::FullSweep => "full-sweep",
         SettleMode::Worklist => "worklist",
         SettleMode::ActivityDriven => "activity",
+        SettleMode::FastForward => "fast-forward",
     }
 }
 

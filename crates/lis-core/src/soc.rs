@@ -5,7 +5,9 @@
 //! encapsulated, long wires are segmented with relay stations, and the
 //! resulting system is correct for *any* latency assignment.
 
-use lis_proto::{LisChannel, Pearl, RelayStation, TokenSink, TokenSource, ViolationCounter};
+use lis_proto::{
+    LisChannel, Pearl, RelayStation, StallPattern, TokenSink, TokenSource, ViolationCounter,
+};
 use lis_sim::{
     Activity, Component, Ports, SchedulerStats, SettleMode, SignalView, SimError, System, Trace,
 };
@@ -256,30 +258,32 @@ impl SocBuilder {
         });
     }
 
-    /// Attaches a token source to `channel`.
+    /// Attaches a token source to `channel`. `stall` is a
+    /// [`StallPattern`] — a plain probability (`f64`) still works and
+    /// maps to [`StallPattern::Random`] seeded with `seed`.
     pub fn feed(
         &mut self,
         name: impl Into<String>,
         channel: LisChannel,
         tokens: impl IntoIterator<Item = u64>,
-        stall_probability: f64,
+        stall: impl Into<StallPattern>,
         seed: u64,
     ) {
-        let src = TokenSource::new(name, channel, tokens).with_stalls(stall_probability, seed);
+        let src = TokenSource::new(name, channel, tokens).with_stall_pattern(stall, seed);
         self.system.add_component(src);
     }
 
     /// Attaches a recording sink to `channel`; results retrievable by
-    /// name from [`Soc::received`].
+    /// name from [`Soc::received`]. `stall` as in [`SocBuilder::feed`].
     pub fn capture(
         &mut self,
         name: impl Into<String>,
         channel: LisChannel,
-        stall_probability: f64,
+        stall: impl Into<StallPattern>,
         seed: u64,
     ) {
         let name = name.into();
-        let sink = TokenSink::new(name.clone(), channel).with_stalls(stall_probability, seed);
+        let sink = TokenSink::new(name.clone(), channel).with_stall_pattern(stall, seed);
         self.sinks.insert(name, sink.received());
         self.system.add_component(sink);
     }
@@ -329,25 +333,33 @@ impl Soc {
     fn step_traced(&mut self) -> Result<(), SimError> {
         self.system.settle()?;
         if !self.trace.is_unwatched() {
-            self.trace.sample(&self.system);
+            self.trace.sample(&mut self.system);
         }
         self.system.step()
     }
 
     /// Runs `cycles` clock cycles.
     ///
+    /// Under [`SettleMode::FastForward`] the loop is target-based: after
+    /// each executed cycle the system may jump the clock over a fully
+    /// quiescent span, so fewer than `cycles` cycles are *visited* while
+    /// the cycle counter still advances by exactly `cycles`.
+    ///
     /// # Errors
     ///
     /// Propagates [`SimError`] (combinational-loop detection).
     pub fn run(&mut self, cycles: u64) -> Result<(), SimError> {
-        for _ in 0..cycles {
+        let target = self.system.cycle() + cycles;
+        while self.system.cycle() < target {
             self.step_traced()?;
+            self.system.fast_forward(target);
         }
         Ok(())
     }
 
     /// Runs until `predicate(self)` holds or `max_cycles` pass; returns
-    /// whether it fired.
+    /// whether it fired. The predicate is checked after each *visited*
+    /// cycle (fast-forwarded spans cannot change observable state).
     ///
     /// # Errors
     ///
@@ -357,18 +369,22 @@ impl Soc {
         max_cycles: u64,
         mut predicate: impl FnMut(&Soc) -> bool,
     ) -> Result<bool, SimError> {
-        for _ in 0..max_cycles {
+        let target = self.system.cycle() + max_cycles;
+        while self.system.cycle() < target {
             self.step_traced()?;
             if predicate(self) {
                 return Ok(true);
             }
+            self.system.fast_forward(target);
         }
         Ok(false)
     }
 
     /// Runs until the system makes no progress (no patient process fires
     /// and no sink receives) for `idle_window` consecutive cycles, or
-    /// `max_cycles` elapse. Returns the number of cycles executed.
+    /// `max_cycles` elapse. Returns the number of cycles the clock
+    /// advanced (under [`SettleMode::FastForward`] that includes jumped
+    /// cycles, which are idle by construction).
     ///
     /// A latency-insensitive system that quiesces with unconsumed input
     /// is deadlocked (e.g. a comb wrapper starving on an idle port);
@@ -382,21 +398,25 @@ impl Soc {
         max_cycles: u64,
         idle_window: u64,
     ) -> Result<u64, SimError> {
-        let mut idle = 0u64;
-        let mut executed = 0u64;
+        let start = self.system.cycle();
+        let target = start + max_cycles;
         let mut last = self.progress();
-        while executed < max_cycles && idle < idle_window {
+        let mut last_progress_cycle = start;
+        while self.system.cycle() < target
+            && self.system.cycle() - last_progress_cycle < idle_window
+        {
             self.step_traced()?;
-            executed += 1;
             let now = self.progress();
-            if now == last {
-                idle += 1;
-            } else {
-                idle = 0;
+            if now != last {
                 last = now;
+                last_progress_cycle = self.system.cycle();
             }
+            // Never jump past the idle deadline: quiescence must be
+            // reported at the same cycle count as a stepped run.
+            self.system
+                .fast_forward(target.min(last_progress_cycle + idle_window));
         }
-        Ok(executed)
+        Ok(self.system.cycle() - start)
     }
 
     /// A monotone progress counter: total fired cycles across

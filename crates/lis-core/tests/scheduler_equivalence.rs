@@ -2,11 +2,13 @@
 //! full-sweep settle on *randomized SoCs*: random pearl pipelines
 //! (behavioural and gate-level wrappers), random relay/wire link
 //! latencies, serializer/deserializer width conversions, random stall
-//! patterns, and random thread counts — stepped cycle by cycle with
-//! every signal compared after each settle.
+//! patterns — seeded-random and clock-scheduled periodic — and random
+//! thread counts — stepped cycle by cycle with every signal compared
+//! after each settle, plus the event-wheel kernel compared at chunk
+//! boundaries with jumped spans in between.
 
 use lis_core::SocBuilder;
-use lis_proto::{AccumulatorPearl, Deserializer, LisChannel, Serializer};
+use lis_proto::{AccumulatorPearl, Deserializer, LisChannel, Serializer, StallPattern};
 use lis_sim::SettleMode;
 use lis_wrappers::WrapperKind;
 use proptest::prelude::*;
@@ -22,9 +24,22 @@ struct ChainSpec {
     stages: Vec<StageSpec>,
     src_stall: f64,
     sink_stall: f64,
+    /// When set, the source stalls on a clock-scheduled `(on, period,
+    /// phase)` duty cycle instead of the random probability.
+    src_periodic: Option<(u64, u64, u64)>,
+    /// As above, for the sink — the pattern that lets the endpoint
+    /// declare its wake-up time to the event wheel.
+    sink_periodic: Option<(u64, u64, u64)>,
     seed: u64,
     /// Insert a serializer/deserializer width conversion after stage 0.
     serdes: bool,
+}
+
+fn pattern_of(random: f64, periodic: Option<(u64, u64, u64)>) -> StallPattern {
+    match periodic {
+        Some((on, period, phase)) => StallPattern::Periodic { on, period, phase },
+        None => StallPattern::from(random),
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -64,7 +79,7 @@ fn build(spec: &SocSpec, mode: SettleMode, threads: usize) -> lis_core::Soc {
                     format!("src{c}"),
                     ip.inputs[0],
                     1..=500,
-                    chain.src_stall,
+                    pattern_of(chain.src_stall, chain.src_periodic),
                     chain.seed,
                 ),
                 Some(prev) => {
@@ -92,7 +107,7 @@ fn build(spec: &SocSpec, mode: SettleMode, threads: usize) -> lis_core::Soc {
         b.capture(
             format!("out{c}"),
             upstream.expect("at least one stage"),
-            chain.sink_stall,
+            pattern_of(chain.sink_stall, chain.sink_periodic),
             chain.seed ^ 0xA5A5,
         );
     }
@@ -111,21 +126,40 @@ fn stage_strategy() -> impl Strategy<Value = StageSpec> {
     })
 }
 
+fn periodic_strategy() -> impl Strategy<Value = Option<(u64, u64, u64)>> {
+    // ~35% of endpoints get a scheduled duty cycle: on in 0..6 (0 =
+    // permanently stalled), period = on + 1..24 slack, random phase.
+    (any::<u8>(), 0u64..6, 1u64..24, 0u64..32)
+        .prop_map(|(sel, on, slack, phase)| (sel < 90).then_some((on, on + slack, phase)))
+}
+
 fn chain_strategy() -> impl Strategy<Value = ChainSpec> {
     (
-        prop::collection::vec(stage_strategy(), 1..4),
-        0.0f64..0.5,
-        0.0f64..0.5,
-        any::<u64>(),
-        any::<u8>(),
+        (
+            prop::collection::vec(stage_strategy(), 1..4),
+            0.0f64..0.5,
+            0.0f64..0.5,
+        ),
+        (
+            periodic_strategy(),
+            periodic_strategy(),
+            any::<u64>(),
+            any::<u8>(),
+        ),
     )
-        .prop_map(|(stages, src_stall, sink_stall, seed, serdes)| ChainSpec {
-            stages,
-            src_stall,
-            sink_stall,
-            seed,
-            serdes: serdes < 77,
-        })
+        .prop_map(
+            |((stages, src_stall, sink_stall), (src_periodic, sink_periodic, seed, serdes))| {
+                ChainSpec {
+                    stages,
+                    src_stall,
+                    sink_stall,
+                    src_periodic,
+                    sink_periodic,
+                    seed,
+                    serdes: serdes < 77,
+                }
+            },
+        )
 }
 
 proptest! {
@@ -196,6 +230,49 @@ proptest! {
             prop_assert_eq!(reference.received(&name), activity.received(&name));
         }
         prop_assert_eq!(reference.violations(), activity.violations());
+    }
+
+    /// The event-wheel kernel on random SoCs: run in fixed-size chunks
+    /// against cycle-by-cycle activity-driven, comparing the cycle
+    /// counter and every signal at each chunk boundary (fast-forward may
+    /// have jumped dead spans inside the chunk — the boundary state must
+    /// be indistinguishable), then the delivered streams, violation
+    /// counts, and the executed-work counters, which must match exactly.
+    /// Periodic source/sink schedules make real whole-system quiescence
+    /// windows — and thus real jumps — common.
+    #[test]
+    fn fast_forward_socs_settle_identically(
+        chains in prop::collection::vec(chain_strategy(), 1..3),
+        threads in 1usize..5,
+        chunks in 4u64..12,
+        chunk_len in 5u64..16,
+    ) {
+        let spec = SocSpec { chains };
+        let mut activity = build(&spec, SettleMode::ActivityDriven, 1);
+        let mut ff = build(&spec, SettleMode::FastForward, threads);
+        for chunk in 0..chunks {
+            activity.run(chunk_len).unwrap();
+            ff.run(chunk_len).unwrap();
+            prop_assert_eq!(activity.cycle(), ff.cycle());
+            prop_assert_eq!(
+                activity.system().signal_values(),
+                ff.system().signal_values(),
+                "fast-forward divergence after chunk {} (cycle {}, threads={})",
+                chunk, ff.cycle(), threads
+            );
+        }
+        for c in 0..spec.chains.len() {
+            let name = format!("out{c}");
+            prop_assert_eq!(activity.received(&name), ff.received(&name));
+        }
+        prop_assert_eq!(activity.violations(), ff.violations());
+        let ad = activity.scheduler_stats();
+        let fs = ff.scheduler_stats();
+        prop_assert_eq!(
+            (ad.groups_evaluated, ad.components_ticked),
+            (fs.groups_evaluated, fs.components_ticked),
+            "fast-forward must execute exactly the activity kernel's work"
+        );
     }
 }
 

@@ -2,9 +2,13 @@
 //! irregularity.
 //!
 //! LIS correctness must hold for *any* pattern of stalls; the endpoints
-//! here inject them deterministically (per seed) so experiments and
+//! here inject them deterministically — per seed ([`StallPattern::Random`])
+//! or per schedule ([`StallPattern::Periodic`]) — so experiments and
 //! property tests can sweep the space of data-stream irregularities the
-//! paper's §2 discusses.
+//! paper's §2 discusses. Scheduled patterns derive their phase from the
+//! view's cycle counter and declare their next event time to the
+//! kernel ([`Activity::Sleep`]), which lets the fast-forward mode jump
+//! over whole stall spans.
 
 use crate::channel::LisChannel;
 use crate::token::Token;
@@ -14,17 +18,115 @@ use rand::{RngExt, SeedableRng};
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 
+/// When an endpoint refuses to make progress on its own account.
+///
+/// A `f64` converts into a pattern (`0.0` → [`StallPattern::None`],
+/// otherwise [`StallPattern::Random`]), so probability-taking APIs keep
+/// accepting plain numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum StallPattern {
+    /// Never stall.
+    #[default]
+    None,
+    /// Stall each cycle with this probability, drawn from a seeded RNG.
+    /// The RNG stream is endpoint state advancing every cycle, so a
+    /// random endpoint never quiesces on its own.
+    Random(f64),
+    /// A deterministic duty cycle derived from the simulation clock:
+    /// within each `period`, accept/emit during the first `on` cycles
+    /// (offset by `phase`) and stall for the rest. Being a pure
+    /// function of the cycle counter, the endpoint can sleep through
+    /// the stall span and declare its wake-up to the event wheel.
+    Periodic {
+        /// Accepting/emitting cycles at the start of each period.
+        on: u64,
+        /// Total cycles per period (must be ≥ 1 and ≥ `on`).
+        period: u64,
+        /// Shifts the schedule: cycle `c` maps to slot
+        /// `(c + phase) % period`.
+        phase: u64,
+    },
+}
+
+impl StallPattern {
+    /// Whether the schedule stalls at `cycle` ([`StallPattern::Random`]
+    /// is *not* cycle-determined; this reports `false` for it — random
+    /// endpoints track their stall as state instead).
+    fn scheduled_stall_at(self, cycle: u64) -> bool {
+        match self {
+            StallPattern::Periodic { on, period, phase } => (cycle + phase) % period >= on,
+            _ => false,
+        }
+    }
+
+    /// The endpoint's next self-driven event strictly after `cycle`, as
+    /// an [`Activity`] declaration. Deep inside a periodic stall span
+    /// this is a [`Activity::Sleep`] to the start of the next accept
+    /// window; at span boundaries (and for non-scheduled patterns) it
+    /// is [`Activity::Active`] so the boundary cycle is evaluated.
+    fn next_event(self, cycle: u64) -> Activity {
+        match self {
+            StallPattern::Periodic { on, period, phase } => {
+                if on == 0 {
+                    // Permanently stalled: nothing self-driven, ever.
+                    return Activity::Quiescent;
+                }
+                let offset = (cycle + phase) % period;
+                if offset < on || offset + 1 == period {
+                    // Accept window, or last stall cycle: the next cycle
+                    // may flip the wires — run it.
+                    Activity::Active
+                } else {
+                    // Deep in the stall span: sleep to the next window.
+                    Activity::Sleep(period - offset)
+                }
+            }
+            _ => Activity::Active,
+        }
+    }
+
+    fn validate(self) {
+        match self {
+            StallPattern::None => {}
+            StallPattern::Random(p) => {
+                assert!(
+                    (0.0..=1.0).contains(&p),
+                    "stall probability {p} not in 0..=1"
+                );
+            }
+            StallPattern::Periodic { on, period, .. } => {
+                assert!(period >= 1, "periodic stall pattern needs period >= 1");
+                assert!(
+                    on <= period,
+                    "periodic stall pattern has on={on} > period={period}"
+                );
+            }
+        }
+    }
+}
+
+impl From<f64> for StallPattern {
+    fn from(probability: f64) -> Self {
+        if probability <= 0.0 {
+            StallPattern::None
+        } else {
+            StallPattern::Random(probability)
+        }
+    }
+}
+
 /// A producer driving a predefined token sequence onto a channel,
 /// honouring back-pressure, optionally skipping cycles (emitting void)
-/// with probability `stall_probability`.
+/// per its [`StallPattern`].
 #[derive(Debug)]
 pub struct TokenSource {
     name: String,
     channel: LisChannel,
     pending: VecDeque<u64>,
-    stall_probability: f64,
+    pattern: StallPattern,
     rng: StdRng,
-    /// Whether this cycle is a self-inflicted stall (decided per cycle).
+    /// Whether this cycle is a self-inflicted random stall (decided per
+    /// cycle; scheduled stalls are computed from the clock instead).
     stalling: bool,
     sent: Arc<Mutex<Vec<u64>>>,
 }
@@ -40,7 +142,7 @@ impl TokenSource {
             name: name.into(),
             channel,
             pending: tokens.into_iter().collect(),
-            stall_probability: 0.0,
+            pattern: StallPattern::None,
             rng: StdRng::seed_from_u64(0),
             stalling: false,
             sent: Arc::new(Mutex::new(Vec::new())),
@@ -50,9 +152,18 @@ impl TokenSource {
     /// Makes the source skip cycles with the given probability
     /// (deterministic per `seed`).
     #[must_use]
-    pub fn with_stalls(mut self, probability: f64, seed: u64) -> Self {
+    pub fn with_stalls(self, probability: f64, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&probability));
-        self.stall_probability = probability;
+        self.with_stall_pattern(probability, seed)
+    }
+
+    /// Makes the source stall per `pattern` (the seed feeds
+    /// [`StallPattern::Random`]; scheduled patterns ignore it).
+    #[must_use]
+    pub fn with_stall_pattern(mut self, pattern: impl Into<StallPattern>, seed: u64) -> Self {
+        let pattern = pattern.into();
+        pattern.validate();
+        self.pattern = pattern;
         self.rng = StdRng::seed_from_u64(seed);
         self
     }
@@ -66,6 +177,13 @@ impl TokenSource {
     pub fn remaining(&self) -> usize {
         self.pending.len()
     }
+
+    fn stalled_at(&self, cycle: u64) -> bool {
+        match self.pattern {
+            StallPattern::Random(_) => self.stalling,
+            pattern => pattern.scheduled_stall_at(cycle),
+        }
+    }
 }
 
 impl Component for TokenSource {
@@ -78,7 +196,7 @@ impl Component for TokenSource {
     }
 
     fn eval(&mut self, sigs: &mut SignalView<'_>) {
-        let tok = if self.stalling {
+        let tok = if self.stalled_at(sigs.cycle()) {
             Token::Void
         } else {
             self.pending
@@ -90,31 +208,43 @@ impl Component for TokenSource {
 
     fn tick(&mut self, sigs: &SignalView<'_>) -> Activity {
         let mut changed = false;
-        if !self.stalling && !self.channel.read_stop(sigs) {
+        if !self.stalled_at(sigs.cycle()) && !self.channel.read_stop(sigs) {
             if let Some(v) = self.pending.pop_front() {
                 self.sent.lock().unwrap().push(v);
                 changed = true;
             }
         }
-        // Decide next cycle's stall. A stalling source must keep ticking
-        // every cycle: the RNG stream is state, and it must advance
-        // exactly as in the legacy modes for runs to stay bit-identical.
-        if self.stall_probability > 0.0 {
-            self.stalling = self.rng.random_bool(self.stall_probability);
-            return Activity::Active;
+        match self.pattern {
+            // Decide next cycle's stall. A randomly stalling source must
+            // keep ticking every cycle: the RNG stream is state, and it
+            // must advance exactly as in the legacy modes for runs to
+            // stay bit-identical.
+            StallPattern::Random(p) => {
+                self.stalling = self.rng.random_bool(p);
+                Activity::Active
+            }
+            // Deterministic source: quiescent once drained or held by
+            // stop (a stop change re-wakes the tick).
+            StallPattern::None => Activity::from_changed(changed),
+            StallPattern::Periodic { .. } => {
+                if self.pending.is_empty() {
+                    // Drained: the output is void forever.
+                    Activity::from_changed(changed)
+                } else {
+                    self.pattern.next_event(sigs.cycle())
+                }
+            }
         }
-        // Deterministic source: quiescent once drained or held by stop.
-        Activity::from_changed(changed)
     }
 }
 
 /// A consumer recording the informative stream from a channel,
-/// optionally asserting `stop` with probability `stall_probability`.
+/// optionally asserting `stop` per its [`StallPattern`].
 #[derive(Debug)]
 pub struct TokenSink {
     name: String,
     channel: LisChannel,
-    stall_probability: f64,
+    pattern: StallPattern,
     rng: StdRng,
     stalling: bool,
     received: Arc<Mutex<Vec<u64>>>,
@@ -128,7 +258,7 @@ impl TokenSink {
         TokenSink {
             name: name.into(),
             channel,
-            stall_probability: 0.0,
+            pattern: StallPattern::None,
             rng: StdRng::seed_from_u64(0),
             stalling: false,
             received: Arc::new(Mutex::new(Vec::new())),
@@ -140,9 +270,18 @@ impl TokenSink {
     /// Makes the sink refuse tokens with the given probability
     /// (deterministic per `seed`).
     #[must_use]
-    pub fn with_stalls(mut self, probability: f64, seed: u64) -> Self {
+    pub fn with_stalls(self, probability: f64, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&probability));
-        self.stall_probability = probability;
+        self.with_stall_pattern(probability, seed)
+    }
+
+    /// Makes the sink stall per `pattern` (the seed feeds
+    /// [`StallPattern::Random`]; scheduled patterns ignore it).
+    #[must_use]
+    pub fn with_stall_pattern(mut self, pattern: impl Into<StallPattern>, seed: u64) -> Self {
+        let pattern = pattern.into();
+        pattern.validate();
+        self.pattern = pattern;
         self.rng = StdRng::seed_from_u64(seed);
         self
     }
@@ -150,6 +289,13 @@ impl TokenSink {
     /// Handle to the informative tokens received (in order).
     pub fn received(&self) -> Arc<Mutex<Vec<u64>>> {
         Arc::clone(&self.received)
+    }
+
+    fn stalled_at(&self, cycle: u64) -> bool {
+        match self.pattern {
+            StallPattern::Random(_) => self.stalling,
+            pattern => pattern.scheduled_stall_at(cycle),
+        }
     }
 }
 
@@ -163,7 +309,8 @@ impl Component for TokenSink {
     }
 
     fn eval(&mut self, sigs: &mut SignalView<'_>) {
-        self.channel.write_stop(sigs, self.stalling);
+        let stop = self.stalled_at(sigs.cycle());
+        self.channel.write_stop(sigs, stop);
     }
 
     fn tick(&mut self, sigs: &SignalView<'_>) -> Activity {
@@ -172,20 +319,26 @@ impl Component for TokenSink {
         // counted.
         self.cycles_total += 1;
         let mut changed = false;
-        if !self.stalling {
+        if !self.stalled_at(sigs.cycle()) {
             if let Token::Data(v) = self.channel.read_token(sigs) {
                 self.received.lock().unwrap().push(v);
                 self.cycles_busy += 1;
                 changed = true;
             }
         }
-        // As for the source: a stalling sink's RNG is state and must
-        // advance every cycle.
-        if self.stall_probability > 0.0 {
-            self.stalling = self.rng.random_bool(self.stall_probability);
-            return Activity::Active;
+        match self.pattern {
+            // As for the source: a randomly stalling sink's RNG is state
+            // and must advance every cycle.
+            StallPattern::Random(p) => {
+                self.stalling = self.rng.random_bool(p);
+                Activity::Active
+            }
+            StallPattern::None => Activity::from_changed(changed),
+            // A scheduled sink sleeps through its stall span; a
+            // data/void change still re-wakes the tick early (it then
+            // consumes nothing and re-declares the same wake-up).
+            StallPattern::Periodic { .. } => self.pattern.next_event(sigs.cycle()),
         }
-        Activity::from_changed(changed)
     }
 }
 
@@ -193,7 +346,7 @@ impl Component for TokenSink {
 mod tests {
     use super::*;
     use crate::relay::{RelayStation, ViolationCounter};
-    use lis_sim::System;
+    use lis_sim::{SettleMode, System};
 
     #[test]
     fn source_to_sink_direct() {
@@ -235,5 +388,80 @@ mod tests {
         sys.add_component(TokenSink::new("sink", ch));
         sys.run(5).unwrap();
         assert_eq!(*sent.lock().unwrap(), vec![9, 8]);
+    }
+
+    /// Periodic endpoints are pure functions of the clock: every settle
+    /// mode — including fast-forward, which skips their sleep spans —
+    /// must deliver the identical stream.
+    #[test]
+    fn periodic_stalls_are_identical_across_modes() {
+        let run = |mode: SettleMode| {
+            let mut sys = System::new();
+            sys.set_settle_mode(mode);
+            let violations = ViolationCounter::new();
+            let a = LisChannel::new(&mut sys, "a", 16);
+            let src = TokenSource::new("src", a, 1..=40).with_stall_pattern(
+                StallPattern::Periodic {
+                    on: 3,
+                    period: 8,
+                    phase: 2,
+                },
+                0,
+            );
+            sys.add_component(src);
+            let out = RelayStation::chain(&mut sys, "link", a, 3, &violations);
+            let sink = TokenSink::new("sink", out).with_stall_pattern(
+                StallPattern::Periodic {
+                    on: 2,
+                    period: 16,
+                    phase: 0,
+                },
+                0,
+            );
+            let got = sink.received();
+            sys.add_component(sink);
+            sys.run(700).unwrap();
+            sys.settle().unwrap();
+            assert_eq!(violations.count(), 0);
+            let stream = got.lock().unwrap().clone();
+            (stream, sys.signal_values(), sys.cycle())
+        };
+        let reference = run(SettleMode::FullSweep);
+        assert_eq!(reference.0, (1..=40).collect::<Vec<u64>>());
+        assert_eq!(run(SettleMode::Worklist), reference);
+        assert_eq!(run(SettleMode::ActivityDriven), reference);
+        assert_eq!(run(SettleMode::FastForward), reference);
+    }
+
+    /// A fully periodic pipeline actually exercises the event wheel:
+    /// the kernel must report jumped cycles, not just match bit-exactly.
+    #[test]
+    fn periodic_pipeline_fast_forwards() {
+        let mut sys = System::new();
+        sys.set_settle_mode(SettleMode::FastForward);
+        let violations = ViolationCounter::new();
+        let a = LisChannel::new(&mut sys, "a", 16);
+        let src = TokenSource::new("src", a, 1..=10);
+        sys.add_component(src);
+        let out = RelayStation::chain(&mut sys, "link", a, 2, &violations);
+        let sink = TokenSink::new("sink", out).with_stall_pattern(
+            StallPattern::Periodic {
+                on: 2,
+                period: 64,
+                phase: 0,
+            },
+            0,
+        );
+        let got = sink.received();
+        sys.add_component(sink);
+        sys.run(400).unwrap();
+        assert_eq!(*got.lock().unwrap(), (1..=10).collect::<Vec<u64>>());
+        assert_eq!(violations.count(), 0);
+        let stats = sys.scheduler_stats();
+        assert!(
+            stats.cycles_fast_forwarded > 200,
+            "a 2/64 duty-cycle sink should leave most cycles dead, got {}",
+            stats.cycles_fast_forwarded
+        );
     }
 }

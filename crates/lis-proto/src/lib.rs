@@ -15,8 +15,9 @@
 //!   paper's Figure 2 (`pop`/`not_empty`, `push`/`not_full`).
 //! * [`Pearl`] — the suspendable-IP trait every wrapper encapsulates;
 //!   [`AccumulatorPearl`] is a minimal example implementation.
-//! * [`TokenSource`] / [`TokenSink`] — test-bench endpoints with seeded
-//!   stall injection.
+//! * [`TokenSource`] / [`TokenSink`] — test-bench endpoints with
+//!   [`StallPattern`]-driven stall injection (seeded-random or
+//!   clock-scheduled).
 //!
 //! All components plug into the two-phase simulator of [`lis_sim`].
 
@@ -33,7 +34,7 @@ mod token;
 
 pub use adapter::{Deserializer, Serializer};
 pub use channel::LisChannel;
-pub use endpoints::{TokenSink, TokenSource};
+pub use endpoints::{StallPattern, TokenSink, TokenSource};
 pub use fifo::{InputPort, InputPortFace, OutputPort, OutputPortFace, PORT_QUEUE_CAPACITY};
 pub use pearl::{AccumulatorPearl, Pearl, PortValues};
 pub use relay::{PlainRegisterStage, RelayStation, ViolationCounter};

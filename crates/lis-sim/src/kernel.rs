@@ -41,6 +41,16 @@ use std::fmt;
 /// changes. Purely diagnostic counters (utilization statistics) are
 /// exempt from the promise: they only advance on *executed* ticks.
 ///
+/// A component may also declare a *next event time* by returning
+/// [`Activity::Sleep`]: nothing about it will change for the next `n`
+/// cycles, but it must run again at `cycle + n` even if no observed
+/// signal changes (a scheduled stall pattern ending, a timed stimulus).
+/// The declarations feed the kernel's event wheel: under
+/// [`SettleMode::FastForward`], when every component is asleep or
+/// quiescent and no signal is pending, the clock jumps straight to the
+/// earliest declared wake-up instead of visiting the dead cycles one by
+/// one.
+///
 /// When in doubt, return [`Activity::Active`] — it is always correct,
 /// merely slower.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -48,6 +58,11 @@ pub enum Activity {
     /// State changed (or might have): evaluate and tick again next cycle.
     #[default]
     Active,
+    /// Nothing will change for the next `n` cycles: skip this component
+    /// until cycle `now + n` — or earlier, if an observed signal changes
+    /// first (the component must tolerate early wake-ups). `Sleep(0)`
+    /// and `Sleep(1)` are equivalent to [`Activity::Active`].
+    Sleep(u64),
     /// Nothing changed: skip this component until an observed signal
     /// does.
     Quiescent,
@@ -64,9 +79,22 @@ impl Activity {
         }
     }
 
-    /// Whether this is [`Activity::Active`].
+    /// Whether this component must run again next cycle unconditionally
+    /// ([`Activity::Active`], or a sleep so short it means the same).
     pub fn is_active(self) -> bool {
-        self == Activity::Active
+        matches!(self, Activity::Active | Activity::Sleep(0 | 1))
+    }
+
+    /// The component's next unconditional run, as an offset from the
+    /// current cycle: 1 for [`Activity::Active`], `n` (at least 1) for
+    /// [`Activity::Sleep`], and `u64::MAX` — never, until an observed
+    /// signal changes — for [`Activity::Quiescent`].
+    pub(crate) fn wake_offset(self) -> u64 {
+        match self {
+            Activity::Active => 1,
+            Activity::Sleep(n) => n.max(1),
+            Activity::Quiescent => u64::MAX,
+        }
     }
 }
 
@@ -284,6 +312,16 @@ pub enum SettleMode {
     /// shards. Bit-identical to the other modes at any thread count.
     #[default]
     ActivityDriven,
+    /// The activity-driven kernel plus the event wheel: when a cycle
+    /// ends with nothing dirty, nothing pending and every component
+    /// asleep or quiescent, [`System::run`] (or an explicit
+    /// [`System::fast_forward`]) jumps the clock straight to the
+    /// earliest declared wake-up ([`Activity::Sleep`]) instead of
+    /// visiting the dead cycles. Signal values, streams and executed
+    /// work are bit-identical to [`SettleMode::ActivityDriven`] at any
+    /// thread count; only the per-visited-cycle *skip* diagnostics (and
+    /// wall clock) differ.
+    FastForward,
     /// The dependency-aware sharded scheduler of the previous kernel:
     /// one pass over the SCC-condensed dependency levels every settle,
     /// every component ticked serially every cycle. Kept as a reference
@@ -293,6 +331,14 @@ pub enum SettleMode {
     /// changes. Kept as the reference semantics for differential tests
     /// and baselines.
     FullSweep,
+}
+
+impl SettleMode {
+    /// Whether this mode maintains the scheduler's cross-cycle activity
+    /// state (dirty sets, wake-up times, change epochs).
+    pub fn uses_activity(self) -> bool {
+        matches!(self, SettleMode::ActivityDriven | SettleMode::FastForward)
+    }
 }
 
 /// Extra sweeps the full-sweep reference allows beyond the component
@@ -345,9 +391,22 @@ pub struct System {
     /// scheduler.
     activity: Option<ActivityState>,
     /// Signals poked since the last activity-driven settle (drained into
-    /// the dirty seed; only recorded in activity mode).
+    /// the dirty seed; only recorded in activity modes).
     poked: Vec<u32>,
+    /// Changed-signal accumulator feeding the skip-aware tracing hook
+    /// ([`System::trace_changes`]); armed lazily by the first drain.
+    trace_log: Option<TraceLog>,
     pool: Option<WorkStealingPool>,
+}
+
+/// Deduplicating accumulator of signals whose value changed since a
+/// [`crate::Trace`] last drained it — fed from the activity settle's
+/// per-epoch change list so tracing can sample only what moved.
+struct TraceLog {
+    /// Changed signal ids since the last drain, deduplicated.
+    ids: Vec<u32>,
+    /// Membership bitmap mirroring `ids`, indexed by signal id.
+    seen: Vec<bool>,
 }
 
 impl fmt::Debug for System {
@@ -387,6 +446,7 @@ impl System {
             sched: None,
             activity: None,
             poked: Vec::new(),
+            trace_log: None,
             pool: None,
         }
     }
@@ -397,11 +457,17 @@ impl System {
         if mode != self.mode {
             self.mode = mode;
             // Cross-cycle quiescence bookkeeping is only maintained while
-            // in activity mode; a mode switch restarts it all-dirty.
+            // in activity modes; a mode switch restarts it all-dirty.
             self.activity = None;
             self.poked.clear();
+            self.trace_log = None;
         }
         self.settled = false;
+    }
+
+    /// The configured [`SettleMode`].
+    pub fn settle_mode(&self) -> SettleMode {
+        self.mode
     }
 
     /// Sets the number of evaluation threads (1 = fully sequential).
@@ -435,6 +501,7 @@ impl System {
         self.sched = None;
         self.activity = None;
         self.poked.clear();
+        self.trace_log = None;
         self.settled = false;
         id
     }
@@ -448,6 +515,7 @@ impl System {
         self.sched = None;
         self.activity = None;
         self.poked.clear();
+        self.trace_log = None;
         self.settled = false;
     }
 
@@ -494,7 +562,7 @@ impl System {
         if self.signals[id.index()].value != masked {
             self.signals[id.index()].value = masked;
             self.settled = false;
-            if self.mode == SettleMode::ActivityDriven {
+            if self.mode.uses_activity() {
                 // Seed the next activity settle: readers, co-writers and
                 // tick-observers of a poked signal must wake up.
                 self.poked.push(id.0);
@@ -528,7 +596,7 @@ impl System {
                 self.signals.len(),
             ));
         }
-        if self.mode == SettleMode::ActivityDriven && self.activity.is_none() {
+        if self.mode.uses_activity() && self.activity.is_none() {
             self.activity = Some(
                 self.sched
                     .as_ref()
@@ -568,7 +636,7 @@ impl System {
                     pool,
                 )?;
             }
-            SettleMode::ActivityDriven => {
+            SettleMode::ActivityDriven | SettleMode::FastForward => {
                 self.seal();
                 let pool = if self.threads > 1 {
                     self.pool.as_ref()
@@ -583,10 +651,56 @@ impl System {
                     self.cycle,
                     pool,
                 )?;
+                // Feed the skip-aware tracing hook from this settle's
+                // change epoch (only while a trace has armed the log).
+                if let Some(log) = &mut self.trace_log {
+                    let state = self.activity.as_ref().expect("sealed");
+                    for &s in state.changed_signals() {
+                        if !log.seen[s as usize] {
+                            log.seen[s as usize] = true;
+                            log.ids.push(s);
+                        }
+                    }
+                }
             }
         }
         self.settled = true;
         Ok(())
+    }
+
+    /// Drains the signals whose value changed since the last drain — the
+    /// skip-aware tracing hook.
+    ///
+    /// Returns `None` when the kernel cannot vouch for completeness and
+    /// the caller must fall back to scanning every watched signal: in
+    /// the legacy settle modes (which track no change epochs), and on
+    /// the first call after (re)arming — construction, a structural
+    /// change, or a mode switch reset the log, so intervening changes
+    /// were not recorded. After a `None` the log is armed and subsequent
+    /// calls return exactly the signals that changed in between.
+    /// Single-consumer: two traces draining one system would steal each
+    /// other's changes.
+    pub(crate) fn trace_changes(&mut self) -> Option<Vec<u32>> {
+        if !self.mode.uses_activity() {
+            self.trace_log = None;
+            return None;
+        }
+        match &mut self.trace_log {
+            Some(log) => {
+                let ids = std::mem::take(&mut log.ids);
+                for &s in &ids {
+                    log.seen[s as usize] = false;
+                }
+                Some(ids)
+            }
+            None => {
+                self.trace_log = Some(TraceLog {
+                    ids: Vec::new(),
+                    seen: vec![false; self.signals.len()],
+                });
+                None
+            }
+        }
     }
 
     /// The legacy reference settle: blindly re-evaluate every component
@@ -595,7 +709,7 @@ impl System {
     fn settle_full_sweep(&mut self) -> Result<(), SimError> {
         let max_sweeps = self.components.len() + FULL_SWEEP_MARGIN;
         for _ in 0..max_sweeps {
-            let mut view = SignalView::unguarded(&mut self.signals);
+            let mut view = SignalView::unguarded(&mut self.signals, self.cycle);
             for comp in &mut self.components {
                 comp.eval(&mut view);
             }
@@ -624,7 +738,7 @@ impl System {
     pub fn step(&mut self) -> Result<(), SimError> {
         self.settle()?;
         match self.mode {
-            SettleMode::ActivityDriven => {
+            SettleMode::ActivityDriven | SettleMode::FastForward => {
                 let pool = if self.threads > 1 {
                     self.pool.as_ref()
                 } else {
@@ -634,11 +748,12 @@ impl System {
                     &mut self.signals,
                     &mut self.components,
                     self.activity.as_mut().expect("sealed"),
+                    self.cycle,
                     pool,
                 );
             }
             _ => {
-                let view = SignalView::unguarded(&mut self.signals);
+                let view = SignalView::unguarded(&mut self.signals, self.cycle);
                 for comp in &mut self.components {
                     comp.tick(&view);
                 }
@@ -650,20 +765,60 @@ impl System {
         Ok(())
     }
 
-    /// Runs `n` clock cycles.
+    /// In [`SettleMode::FastForward`], jumps the clock over provably
+    /// dead cycles: when no component is dirty, no tick is pending, no
+    /// poke is unconsumed, and every component's declared wake-up lies
+    /// in the future, the cycle counter advances directly to the
+    /// earliest wake-up (clamped to `bound`). Returns the number of
+    /// cycles skipped — 0 in any other mode, or whenever work is due at
+    /// the current cycle.
+    ///
+    /// [`System::run`]/[`System::run_until`] call this after every step;
+    /// drivers with their own step loops (tracing, predicates) should do
+    /// the same to benefit from the event wheel.
+    pub fn fast_forward(&mut self, bound: u64) -> u64 {
+        if self.mode != SettleMode::FastForward || bound <= self.cycle || !self.poked.is_empty() {
+            return 0;
+        }
+        let Some(state) = &mut self.activity else {
+            return 0;
+        };
+        let Some(next) = state.next_event(self.cycle) else {
+            return 0;
+        };
+        let target = next.min(bound);
+        let skipped = target - self.cycle;
+        state.note_fast_forward(skipped);
+        self.cycle = target;
+        // The landing cycle must settle: its wake scan marks the woken
+        // components dirty.
+        self.settled = false;
+        skipped
+    }
+
+    /// Runs `n` clock cycles (in [`SettleMode::FastForward`], visiting
+    /// only the live ones — the cycle counter still advances by exactly
+    /// `n`).
     ///
     /// # Errors
     ///
     /// Stops at the first [`SimError`].
     pub fn run(&mut self, n: u64) -> Result<(), SimError> {
-        for _ in 0..n {
+        let target = self.cycle.saturating_add(n);
+        while self.cycle < target {
             self.step()?;
+            self.fast_forward(target);
         }
         Ok(())
     }
 
     /// Runs until `predicate` returns true (checked after each settled
     /// cycle) or `max_cycles` elapse. Returns whether the predicate fired.
+    ///
+    /// In [`SettleMode::FastForward`] the predicate is only consulted at
+    /// *visited* cycles; fast-forwarded spans are by construction free
+    /// of signal changes, so a predicate over signal values cannot flip
+    /// inside one.
     ///
     /// # Errors
     ///
@@ -673,11 +828,13 @@ impl System {
         max_cycles: u64,
         mut predicate: impl FnMut(&System) -> bool,
     ) -> Result<bool, SimError> {
-        for _ in 0..max_cycles {
+        let target = self.cycle.saturating_add(max_cycles);
+        while self.cycle < target {
             self.step()?;
             if predicate(self) {
                 return Ok(true);
             }
+            self.fast_forward(target);
         }
         Ok(false)
     }
@@ -990,6 +1147,116 @@ mod tests {
             }
             other => panic!("wrong error {other:?}"),
         }
+    }
+
+    /// A timed stimulus: bumps its output every `period` cycles and
+    /// sleeps in between — the event wheel's bread and butter.
+    struct Pulser {
+        out: SignalId,
+        period: u64,
+        state: u64,
+    }
+
+    impl Component for Pulser {
+        fn name(&self) -> &str {
+            "pulser"
+        }
+        fn ports(&self) -> Ports {
+            Ports::writes_only([self.out])
+        }
+        fn eval(&mut self, sigs: &mut SignalView<'_>) {
+            sigs.set(self.out, self.state);
+        }
+        fn tick(&mut self, sigs: &SignalView<'_>) -> Activity {
+            if sigs.cycle().is_multiple_of(self.period) {
+                self.state += 1;
+            }
+            Activity::Sleep(self.period - sigs.cycle() % self.period)
+        }
+    }
+
+    #[test]
+    fn fast_forward_matches_activity_driven_bit_exactly() {
+        let build = |mode: SettleMode| {
+            let mut sys = System::new();
+            sys.set_settle_mode(mode);
+            let p = sys.add_signal("pulse", 16);
+            let dbl = sys.add_signal("double", 16);
+            sys.add_component(Pulser {
+                out: p,
+                period: 9,
+                state: 0,
+            });
+            sys.add_component(FnComponent::new(
+                "doubler",
+                Ports::new([p], [dbl]),
+                move |s: &mut SignalView<'_>| {
+                    let v = s.get(p);
+                    s.set(dbl, v * 2);
+                },
+                |_| Activity::Quiescent,
+            ));
+            sys.run(100).unwrap();
+            sys.settle().unwrap();
+            (sys.signal_values(), sys.cycle(), sys.scheduler_stats())
+        };
+        let (vals_ad, cycle_ad, stats_ad) = build(SettleMode::ActivityDriven);
+        let (vals_ff, cycle_ff, stats_ff) = build(SettleMode::FastForward);
+        assert_eq!(vals_ff, vals_ad);
+        assert_eq!(cycle_ff, cycle_ad);
+        // Executed work is identical; only cycles *visited* differ.
+        assert_eq!(stats_ff.groups_evaluated, stats_ad.groups_evaluated);
+        assert_eq!(stats_ff.components_ticked, stats_ad.components_ticked);
+        assert_eq!(stats_ad.cycles_fast_forwarded, 0);
+        assert!(
+            stats_ff.cycles_fast_forwarded > 80,
+            "a period-9 pulser leaves ~8 of 9 cycles dead, got {}",
+            stats_ff.cycles_fast_forwarded
+        );
+    }
+
+    #[test]
+    fn fast_forward_jumps_to_bound_when_everything_is_quiescent() {
+        let mut sys = System::new();
+        sys.set_settle_mode(SettleMode::FastForward);
+        let a = sys.add_signal("a", 8);
+        let b = sys.add_signal("b", 8);
+        sys.add_component(FnComponent::new(
+            "buf",
+            Ports::new([a], [b]),
+            move |s: &mut SignalView<'_>| {
+                let v = s.get(a);
+                s.set(b, v);
+            },
+            |_| Activity::Quiescent,
+        ));
+        sys.poke(a, 5);
+        sys.run(1_000_000).unwrap();
+        assert_eq!(sys.cycle(), 1_000_000);
+        assert_eq!(sys.peek(b), 5);
+        let stats = sys.scheduler_stats();
+        assert!(stats.cycles_fast_forwarded >= 1_000_000 - 2);
+        // A poke wakes the system back up mid-run.
+        sys.poke(a, 9);
+        sys.run(10).unwrap();
+        sys.settle().unwrap();
+        assert_eq!(sys.peek(b), 9);
+        assert_eq!(sys.cycle(), 1_000_010);
+    }
+
+    #[test]
+    fn fast_forward_is_inert_while_work_is_pending() {
+        let mut sys = System::new();
+        sys.set_settle_mode(SettleMode::FastForward);
+        let out = sys.add_signal("count", 16);
+        sys.add_component(Counter { out, state: 0 });
+        // An always-active component never lets the clock jump.
+        sys.run(50).unwrap();
+        sys.settle().unwrap();
+        assert_eq!(sys.peek(out), 50);
+        let stats = sys.scheduler_stats();
+        assert_eq!(stats.cycles_fast_forwarded, 0);
+        assert_eq!(sys.fast_forward(sys.cycle() + 100), 0);
     }
 
     #[test]

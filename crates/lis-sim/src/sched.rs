@@ -38,10 +38,21 @@
 //! nothing by contract, the skipped work is exactly the work whose
 //! results are already in place — the fixpoint and every token stream
 //! stay bit-identical to the legacy modes at any thread count.
+//!
+//! The dirty set is seeded through a per-component **wake time**
+//! (`wake_at`): an executed tick declares when the component must next
+//! run ([`crate::Activity`] — next cycle, a scheduled future cycle, or
+//! never until an observed signal changes), and a wake scan at the
+//! start of each settle re-dirties exactly the components whose time
+//! has come. The same wake times form the kernel's event wheel:
+//! [`ActivityState::next_event`] reports the earliest future wake-up
+//! when nothing is due now, which
+//! [`crate::System::fast_forward`] ([`crate::SettleMode::FastForward`])
+//! uses to jump the clock over provably dead cycles.
 
 #![allow(unsafe_code)]
 
-use crate::kernel::{Component, Ports, SimError};
+use crate::kernel::{Activity, Component, Ports, SimError};
 use crate::pool::WorkStealingPool;
 use crate::signal::{bit, Guard, Signal, SignalView};
 use std::sync::Mutex;
@@ -87,6 +98,9 @@ pub struct SchedulerStats {
     pub components_ticked: u64,
     /// Component ticks skipped as quiescent (cumulative).
     pub components_quiescent: u64,
+    /// Cycles the event wheel jumped over without visiting
+    /// ([`crate::SettleMode::FastForward`]; cumulative, deterministic).
+    pub cycles_fast_forwarded: u64,
 }
 
 /// Raw arena pointers shared with worker threads during one level.
@@ -382,7 +396,9 @@ impl Scheduler {
             comp_dirty: vec![true; n],
             group_dirty: vec![true; self.groups.len()],
             tick_pending: vec![true; n],
-            tick_active: vec![true; n],
+            // Everything is due immediately: the first settle evaluates
+            // and the first tick runs every component.
+            wake_at: vec![0; n],
             sig_epoch: vec![0; n_signals],
             changed: Vec::new(),
             runnable: Vec::new(),
@@ -390,6 +406,7 @@ impl Scheduler {
             groups_skipped: 0,
             components_ticked: 0,
             components_quiescent: 0,
+            cycles_fast_forwarded: 0,
         }
     }
 
@@ -467,7 +484,7 @@ impl Scheduler {
     unsafe fn run_group(&self, g: &Group, a: Arenas, cycle: u64) -> Result<(), SimError> {
         if !g.cyclic {
             for &m in &g.members {
-                self.eval_member(m, a, None);
+                self.eval_member(m, a, cycle, None);
             }
             return Ok(());
         }
@@ -487,7 +504,7 @@ impl Scheduler {
                 evaluated = true;
                 let m = g.members[mi];
                 changed.clear();
-                self.eval_member(m, a, Some(&mut changed));
+                self.eval_member(m, a, cycle, Some(&mut changed));
                 for &cid in &changed {
                     // A changed signal re-dirties its readers; a signal
                     // with several writers also re-dirties the
@@ -529,7 +546,7 @@ impl Scheduler {
     /// # Safety
     ///
     /// As [`Scheduler::run_group`]; additionally `m` must be in-bounds.
-    unsafe fn eval_member(&self, m: u32, a: Arenas, track: Option<&mut Vec<u32>>) {
+    unsafe fn eval_member(&self, m: u32, a: Arenas, cycle: u64, track: Option<&mut Vec<u32>>) {
         let guard = Guard {
             component: &self.names[m as usize],
             reads: Self::mask(&self.read_masks, self.words, m),
@@ -539,7 +556,7 @@ impl Scheduler {
         };
         // SAFETY: per the caller contract, this thread has exclusive
         // access to component `m` and to every signal in its write mask.
-        let view = &mut SignalView::guarded(a.sigs, a.sig_len, guard);
+        let view = &mut SignalView::guarded(a.sigs, a.sig_len, cycle, guard);
         let comp = &mut *a.comps.add(m as usize);
         comp.eval(view);
     }
@@ -563,6 +580,15 @@ impl Scheduler {
         debug_assert_eq!(components.len(), self.names.len());
         state.epoch += 1;
         state.changed.clear();
+
+        // Wake scan: components whose declared wake-up time has arrived
+        // re-enter the dirty set (an Active tick wakes next cycle, a
+        // sleeper at its scheduled cycle, a quiescent component never).
+        for c in 0..self.names.len() {
+            if state.wake_at[c] <= cycle {
+                state.mark_dirty(c as u32, self.group_of[c]);
+            }
+        }
 
         // Pokes wake their readers (and the declared writers, which
         // will overwrite the poke next settle exactly as the legacy
@@ -708,7 +734,7 @@ impl Scheduler {
         if !g.cyclic {
             // Acyclic groups are always single-member.
             for &m in &g.members {
-                self.eval_member(m, a, Some(changes));
+                self.eval_member(m, a, cycle, Some(changes));
             }
             return Ok(());
         }
@@ -728,7 +754,7 @@ impl Scheduler {
                 evaluated = true;
                 let m = g.members[mi];
                 changed.clear();
-                self.eval_member(m, a, Some(&mut changed));
+                self.eval_member(m, a, cycle, Some(&mut changed));
                 changes.extend_from_slice(&changed);
                 for &cid in &changed {
                     let contested = bit(&self.multi_writer, cid as usize);
@@ -758,11 +784,12 @@ impl Scheduler {
     }
 
     /// The activity-driven tick phase: runs only components whose
-    /// observed signals changed (`tick_pending`) or whose previous tick
-    /// reported activity (`tick_active`), in component-index order,
+    /// observed signals changed (`tick_pending`) or whose declared
+    /// wake-up time has arrived (`wake_at`), in component-index order,
     /// sharded across `pool` when present. Every executed tick gets a
     /// read-only guarded view over its declared observable set; its
-    /// reported [`Activity`] re-seeds the next settle's dirty set.
+    /// reported [`Activity`] sets the component's next wake-up time,
+    /// which seeds the next settle's dirty set (and the event wheel).
     ///
     /// Sharding is deterministic: the runnable list is index-ordered and
     /// split into contiguous chunks, components never share mutable
@@ -773,13 +800,14 @@ impl Scheduler {
         signals: &mut [Signal],
         components: &mut [Box<dyn Component>],
         state: &mut ActivityState,
+        cycle: u64,
         pool: Option<&WorkStealingPool>,
     ) {
         let n = self.names.len();
         let mut runnable = std::mem::take(&mut state.runnable);
         runnable.clear();
         for c in 0..n {
-            if state.tick_pending[c] || state.tick_active[c] {
+            if state.tick_pending[c] || state.wake_at[c] <= cycle {
                 runnable.push(c as u32);
             }
         }
@@ -794,14 +822,15 @@ impl Scheduler {
         if run_serial {
             for &c in &runnable {
                 // SAFETY: single-threaded here; arenas outlive the call.
-                let active = unsafe { self.tick_member(c, arenas) };
-                state.apply_tick(c, active, self.group_of[c as usize]);
+                let act = unsafe { self.tick_member(c, arenas, cycle) };
+                state.apply_tick(c, act, cycle);
             }
         } else {
             let pool = pool.expect("checked");
             let chunks = runnable.len().min(pool.threads() * 2);
             let per = runnable.len().div_ceil(chunks);
-            let results: Mutex<Vec<(u32, bool)>> = Mutex::new(Vec::with_capacity(runnable.len()));
+            let results: Mutex<Vec<(u32, Activity)>> =
+                Mutex::new(Vec::with_capacity(runnable.len()));
             {
                 let runnable = &runnable;
                 let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..chunks)
@@ -817,8 +846,8 @@ impl Scheduler {
                                 // read-only (empty write mask), so
                                 // concurrent ticks never race. See
                                 // `Arenas`.
-                                let active = unsafe { self.tick_member(c, arenas) };
-                                local.push((c, active));
+                                let act = unsafe { self.tick_member(c, arenas, cycle) };
+                                local.push((c, act));
                             }
                             results.lock().unwrap().extend(local);
                         }) as Box<dyn FnOnce() + Send + '_>
@@ -828,8 +857,8 @@ impl Scheduler {
             }
             // Per-component updates commute; the merge order is
             // irrelevant to the resulting state.
-            for (c, active) in results.into_inner().unwrap() {
-                state.apply_tick(c, active, self.group_of[c as usize]);
+            for (c, act) in results.into_inner().unwrap() {
+                state.apply_tick(c, act, cycle);
             }
         }
         state.runnable = runnable;
@@ -843,7 +872,7 @@ impl Scheduler {
     /// No other thread may concurrently access component `c`, and no
     /// thread may write any signal while ticks run (the tick phase
     /// starts after the settle completes and ticks cannot write).
-    unsafe fn tick_member(&self, c: u32, a: Arenas) -> bool {
+    unsafe fn tick_member(&self, c: u32, a: Arenas, cycle: u64) -> Activity {
         let guard = Guard {
             component: &self.names[c as usize],
             reads: Self::mask(&self.tick_masks, self.words, c),
@@ -853,9 +882,9 @@ impl Scheduler {
         };
         // SAFETY: exclusive component access per the caller contract;
         // the empty write mask makes the view read-only.
-        let view = SignalView::guarded(a.sigs, a.sig_len, guard);
+        let view = SignalView::guarded(a.sigs, a.sig_len, cycle, guard);
         let comp = &mut *a.comps.add(c as usize);
-        comp.tick(&view).is_active()
+        comp.tick(&view)
     }
 }
 
@@ -876,9 +905,12 @@ pub(crate) struct ActivityState {
     group_dirty: Vec<bool>,
     /// An observed signal changed since the component's last tick.
     tick_pending: Vec<bool>,
-    /// The component's last executed tick reported
-    /// [`crate::Activity::Active`].
-    tick_active: Vec<bool>,
+    /// The cycle at which the component must next run unconditionally —
+    /// its event-wheel slot: `cycle + 1` after an
+    /// [`crate::Activity::Active`] tick, a scheduled future cycle after
+    /// [`crate::Activity::Sleep`], `u64::MAX` (never, until an observed
+    /// signal changes) after [`crate::Activity::Quiescent`].
+    wake_at: Vec<u64>,
     /// Per-signal epoch of the last recorded change.
     sig_epoch: Vec<u64>,
     /// Signals changed during the current settle (deduped).
@@ -889,6 +921,7 @@ pub(crate) struct ActivityState {
     groups_skipped: u64,
     components_ticked: u64,
     components_quiescent: u64,
+    cycles_fast_forwarded: u64,
 }
 
 impl ActivityState {
@@ -907,12 +940,37 @@ impl ActivityState {
         self.group_dirty[group as usize] = true;
     }
 
-    fn apply_tick(&mut self, c: u32, active: bool, group: u32) {
+    fn apply_tick(&mut self, c: u32, act: Activity, cycle: u64) {
         self.tick_pending[c as usize] = false;
-        self.tick_active[c as usize] = active;
-        if active {
-            self.mark_dirty(c, group);
+        self.wake_at[c as usize] = cycle.saturating_add(act.wake_offset());
+    }
+
+    /// The signals recorded as changed by the most recent settle.
+    pub(crate) fn changed_signals(&self) -> &[u32] {
+        &self.changed
+    }
+
+    /// The event wheel's verdict at `cycle`: `Some(t)` with `t > cycle`
+    /// if nothing whatsoever is due now — no component dirty, no tick
+    /// pending, every wake-up in the future — and the earliest declared
+    /// wake-up is `t` (`u64::MAX` when everything is quiescent forever).
+    /// `None` means work is due at the current cycle and the clock must
+    /// not jump.
+    pub(crate) fn next_event(&self, cycle: u64) -> Option<u64> {
+        if self.comp_dirty.iter().any(|&d| d) || self.tick_pending.iter().any(|&p| p) {
+            return None;
         }
+        let earliest = self.wake_at.iter().copied().min().unwrap_or(u64::MAX);
+        if earliest > cycle {
+            Some(earliest)
+        } else {
+            None
+        }
+    }
+
+    /// Accounts `skipped` cycles jumped over by the event wheel.
+    pub(crate) fn note_fast_forward(&mut self, skipped: u64) {
+        self.cycles_fast_forwarded += skipped;
     }
 
     /// Copies the cumulative skip/eval/tick counters into `stats`.
@@ -921,6 +979,7 @@ impl ActivityState {
         stats.groups_skipped = self.groups_skipped;
         stats.components_ticked = self.components_ticked;
         stats.components_quiescent = self.components_quiescent;
+        stats.cycles_fast_forwarded = self.cycles_fast_forwarded;
     }
 }
 

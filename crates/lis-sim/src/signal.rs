@@ -85,6 +85,7 @@ pub(crate) struct Guard<'a> {
 pub struct SignalView<'a> {
     ptr: *mut Signal,
     len: usize,
+    cycle: u64,
     pub(crate) changed: bool,
     pub(crate) guard: Option<Guard<'a>>,
     _marker: PhantomData<&'a mut [Signal]>,
@@ -103,10 +104,11 @@ impl fmt::Debug for SignalView<'_> {
 impl<'a> SignalView<'a> {
     /// An unrestricted view over `signals` (used for the tick phase, the
     /// full-sweep reference settle, and top-level stimuli).
-    pub(crate) fn unguarded(signals: &'a mut [Signal]) -> Self {
+    pub(crate) fn unguarded(signals: &'a mut [Signal], cycle: u64) -> Self {
         SignalView {
             ptr: signals.as_mut_ptr(),
             len: signals.len(),
+            cycle,
             changed: false,
             guard: None,
             _marker: PhantomData,
@@ -123,14 +125,32 @@ impl<'a> SignalView<'a> {
     /// guard's `reads` set. The scheduler establishes this by merging
     /// components sharing written signals into one group and by only
     /// running groups of the same dependency level concurrently.
-    pub(crate) unsafe fn guarded(ptr: *mut Signal, len: usize, guard: Guard<'a>) -> Self {
+    pub(crate) unsafe fn guarded(
+        ptr: *mut Signal,
+        len: usize,
+        cycle: u64,
+        guard: Guard<'a>,
+    ) -> Self {
         SignalView {
             ptr,
             len,
+            cycle,
             changed: false,
             guard: Some(guard),
             _marker: PhantomData,
         }
+    }
+
+    /// The simulation cycle this view was issued for.
+    ///
+    /// Components with *scheduled* behaviour (periodic stall patterns,
+    /// timed endpoints) must derive their phase from this clock rather
+    /// than from counted invocations: under [`crate::SettleMode`]s that
+    /// skip quiescent work — and under fast-forward, which skips whole
+    /// cycles — a component is not evaluated or ticked every cycle.
+    #[inline]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
     }
 
     #[inline]
@@ -248,7 +268,7 @@ mod tests {
     #[test]
     fn masking_clips_to_width() {
         let mut signals = arena();
-        let mut view = SignalView::unguarded(&mut signals);
+        let mut view = SignalView::unguarded(&mut signals, 0);
         let id = SignalId(0);
         view.set(id, 0xFF);
         assert_eq!(view.get(id), 0x0F);
@@ -258,7 +278,7 @@ mod tests {
     #[test]
     fn rewriting_same_value_does_not_mark_changed() {
         let mut signals = arena();
-        let mut view = SignalView::unguarded(&mut signals);
+        let mut view = SignalView::unguarded(&mut signals, 0);
         view.set(SignalId(1), 7);
         assert!(!view.changed);
     }
@@ -276,7 +296,7 @@ mod tests {
     #[test]
     fn bool_accessors_use_bit_zero() {
         let mut signals = arena();
-        let mut view = SignalView::unguarded(&mut signals);
+        let mut view = SignalView::unguarded(&mut signals, 0);
         view.set_bool(SignalId(0), true);
         assert!(view.get_bool(SignalId(0)));
     }
@@ -291,6 +311,7 @@ mod tests {
             SignalView::guarded(
                 signals.as_mut_ptr(),
                 signals.len(),
+                0,
                 Guard {
                     component: "t",
                     reads: &reads,
@@ -317,6 +338,7 @@ mod tests {
             SignalView::guarded(
                 signals.as_mut_ptr(),
                 signals.len(),
+                0,
                 Guard {
                     component: "t",
                     reads: &none,
@@ -339,6 +361,7 @@ mod tests {
             SignalView::guarded(
                 signals.as_mut_ptr(),
                 signals.len(),
+                0,
                 Guard {
                     component: "t",
                     reads: &reads,

@@ -4,11 +4,15 @@
 //! Random component networks — mixing-function DAGs in shuffled
 //! insertion order, self-latching components (combinational self-loops
 //! with a stable fixpoint), contracting two-component cycles, and
-//! saturating components that *go quiescent* mid-run — are stepped
+//! saturating components that *go quiescent* mid-run, and periodic
+//! pulse generators that *sleep* between scheduled events — are stepped
 //! under random per-cycle stimulus once per engine:
-//! [`SettleMode::FullSweep`], [`SettleMode::Worklist`], and the
-//! activity-driven kernel ([`SettleMode::ActivityDriven`]) at random
-//! thread counts. Every signal must match after every cycle.
+//! [`SettleMode::FullSweep`], [`SettleMode::Worklist`], the
+//! activity-driven kernel ([`SettleMode::ActivityDriven`]), and the
+//! event-wheel kernel ([`SettleMode::FastForward`]) at random thread
+//! counts. Every signal must match after every cycle — for fast-forward,
+//! after every *visited* cycle (jump boundary), with the legacy engines
+//! stepped to the same cycle number before comparing.
 
 use lis_sim::{Activity, Component, Ports, SettleMode, SignalId, SignalView, System};
 use proptest::prelude::*;
@@ -156,9 +160,49 @@ impl Component for SaturComp {
     }
 }
 
+/// A scheduled pulse generator: every `period` cycles it folds its salt
+/// into a register and publishes it; in between it has nothing to do and
+/// says so with [`Activity::Sleep`] — the component the event wheel
+/// exists for. Phase is derived from the view's cycle counter, never
+/// from counted invocations, so skipped cycles cannot desynchronize it.
+#[derive(Clone)]
+struct PulseComp {
+    name: String,
+    out: SignalId,
+    period: u64,
+    salt: u64,
+    reg: u64,
+}
+
+impl Component for PulseComp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn ports(&self) -> Ports {
+        Ports::new([], [self.out])
+    }
+
+    fn eval(&mut self, sigs: &mut SignalView<'_>) {
+        sigs.set(self.out, self.reg);
+    }
+
+    fn tick(&mut self, sigs: &SignalView<'_>) -> Activity {
+        if sigs.cycle() % self.period == 0 {
+            self.reg = mix(self.reg, self.salt);
+            // The register changed: stay awake one cycle so the next
+            // eval publishes it.
+            Activity::Active
+        } else {
+            Activity::Sleep(self.period - sigs.cycle() % self.period)
+        }
+    }
+}
+
 /// The full network spec, buildable any number of times.
 struct Net {
     n_inputs: usize,
+    pulsers: Vec<(u64, u64)>,                   // period, salt
     mixers: Vec<(Vec<usize>, Vec<usize>, u64)>, // read idxs, write idxs, salt
     latches: Vec<(usize, u64)>,                 // input idx, mask
     and_pairs: Vec<(u64,)>,                     // shared mask
@@ -167,7 +211,8 @@ struct Net {
     total_signals: usize,
 }
 
-/// Generates a random network: input signals, a rank-ordered mixer DAG
+/// Generates a random network: input signals, sleeping pulse generators
+/// (whose outputs join the readable pool), a rank-ordered mixer DAG
 /// (reads only come from lower ranks, every signal has one writer),
 /// plus latches, contracting cycle pairs and saturating accumulators,
 /// in shuffled insertion order.
@@ -178,11 +223,20 @@ fn random_net(
     n_latches: usize,
     n_pairs: usize,
     n_saturs: usize,
+    n_pulsers: usize,
 ) -> Net {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut below = move |n: usize| (rng.next_u64() % n.max(1) as u64) as usize;
     let mut readable: Vec<usize> = (0..n_inputs).collect();
     let mut next_signal = n_inputs;
+    let pulsers: Vec<(u64, u64)> = (0..n_pulsers)
+        .map(|_| {
+            readable.push(next_signal);
+            next_signal += 1;
+            // Periods >= 3 leave real sleep spans between events.
+            (3 + below(9) as u64, below(usize::MAX) as u64)
+        })
+        .collect();
     let mut mixers = Vec::new();
     for _ in 0..n_mixers {
         let n_reads = 1 + below(3.min(readable.len()));
@@ -223,13 +277,14 @@ fn random_net(
         })
         .collect();
     // Shuffled insertion order over all components.
-    let n_comps = n_mixers + n_latches + 2 * n_pairs + n_saturs;
+    let n_comps = n_mixers + n_latches + 2 * n_pairs + n_saturs + n_pulsers;
     let mut insertion: Vec<usize> = (0..n_comps).collect();
     for i in (1..insertion.len()).rev() {
         insertion.swap(i, below(i + 1));
     }
     Net {
         n_inputs,
+        pulsers,
         mixers,
         latches,
         and_pairs,
@@ -250,10 +305,10 @@ fn build(net: &Net, mode: SettleMode, threads: usize) -> (System, Vec<SignalId>)
         .collect();
     let inputs: Vec<SignalId> = ids[..net.n_inputs].to_vec();
 
-    // Signal layout: inputs, then mixer writes (allocated in spec
-    // order), then one output per latch, then two per pair, then one
-    // per saturator.
-    let mut latch_base = net.n_inputs;
+    // Signal layout: inputs, then one output per pulser, then mixer
+    // writes (allocated in spec order), then one output per latch, then
+    // two per pair, then one per saturator.
+    let mut latch_base = net.n_inputs + net.pulsers.len();
     for (_, writes, _) in &net.mixers {
         latch_base += writes.len();
     }
@@ -265,8 +320,18 @@ fn build(net: &Net, mode: SettleMode, threads: usize) -> (System, Vec<SignalId>)
         L(LatchComp),
         A(AndComp),
         S(SaturComp),
+        P(PulseComp),
     }
     let mut comps: Vec<Built> = Vec::new();
+    for (k, (period, salt)) in net.pulsers.iter().enumerate() {
+        comps.push(Built::P(PulseComp {
+            name: format!("pulse{k}"),
+            out: ids[net.n_inputs + k],
+            period: *period,
+            salt: *salt,
+            reg: 0,
+        }));
+    }
     for (k, (reads, writes, salt)) in net.mixers.iter().enumerate() {
         comps.push(Built::M(MixComp {
             name: format!("mix{k}"),
@@ -316,6 +381,7 @@ fn build(net: &Net, mode: SettleMode, threads: usize) -> (System, Vec<SignalId>)
             Built::L(c) => sys.add_component(c),
             Built::A(c) => sys.add_component(c),
             Built::S(c) => sys.add_component(c),
+            Built::P(c) => sys.add_component(c),
         }
     }
     (sys, inputs)
@@ -334,7 +400,7 @@ proptest! {
         threads in 1usize..5,
         cycles in 1usize..12,
     ) {
-        let net = random_net(seed, n_inputs, n_mixers, n_latches, n_pairs, 0);
+        let net = random_net(seed, n_inputs, n_mixers, n_latches, n_pairs, 0, 0);
         let (mut reference, ref_inputs) = build(&net, SettleMode::FullSweep, 1);
         let (mut scheduled, sched_inputs) = build(&net, SettleMode::Worklist, threads);
         let mut stim = StdRng::seed_from_u64(seed ^ 0xDEAD_BEEF);
@@ -365,7 +431,7 @@ proptest! {
         n_mixers in 1usize..10,
         cycles in 1usize..8,
     ) {
-        let net = random_net(seed, 2, n_mixers, 1, 1, 0);
+        let net = random_net(seed, 2, n_mixers, 1, 1, 0, 0);
         let mut final_values: Option<Vec<u64>> = None;
         for threads in [1usize, 2, 4] {
             let (mut sys, inputs) = build(&net, SettleMode::Worklist, threads);
@@ -397,10 +463,11 @@ proptest! {
         n_latches in 0usize..3,
         n_pairs in 0usize..3,
         n_saturs in 0usize..4,
+        n_pulsers in 0usize..3,
         threads in 1usize..5,
         cycles in 1usize..14,
     ) {
-        let net = random_net(seed, n_inputs, n_mixers, n_latches, n_pairs, n_saturs);
+        let net = random_net(seed, n_inputs, n_mixers, n_latches, n_pairs, n_saturs, n_pulsers);
         let (mut full, full_in) = build(&net, SettleMode::FullSweep, 1);
         let (mut worklist, wl_in) = build(&net, SettleMode::Worklist, 1);
         let (mut activity, act_in) = build(&net, SettleMode::ActivityDriven, threads);
@@ -436,6 +503,79 @@ proptest! {
         }
     }
 
+    /// The event-wheel kernel matches both the full sweep and the
+    /// cycle-by-cycle activity kernel at every cycle it *visits* — after
+    /// each step-or-jump the legacy systems are stepped to the same
+    /// cycle number and every signal compared. Nets mix sleeping pulse
+    /// generators (real next-event declarations), saturating components
+    /// and stateless combinational logic, with stimulus held between
+    /// phases so whole-system quiescence actually occurs. At the end the
+    /// executed-work counters must agree exactly: fast-forward evaluates
+    /// the same groups and ticks the same components as activity-driven,
+    /// it just never visits the dead cycles in between.
+    #[test]
+    fn fast_forward_matches_at_every_jump_boundary(
+        seed in any::<u64>(),
+        n_inputs in 1usize..3,
+        n_latches in 0usize..3,
+        n_pairs in 0usize..2,
+        n_saturs in 0usize..4,
+        n_pulsers in 1usize..4,
+        threads in 1usize..5,
+        phases in 2usize..5,
+        span in 8u64..30,
+    ) {
+        let net = random_net(seed, n_inputs, 0, n_latches, n_pairs, n_saturs, n_pulsers);
+        let (mut full, full_in) = build(&net, SettleMode::FullSweep, 1);
+        let (mut activity, act_in) = build(&net, SettleMode::ActivityDriven, 1);
+        let (mut ff, ff_in) = build(&net, SettleMode::FastForward, threads);
+        let mut stim = StdRng::seed_from_u64(seed ^ 0x00FA_57F0);
+        for _ in 0..phases {
+            for ((&a, &b), &c) in full_in.iter().zip(&act_in).zip(&ff_in) {
+                let v = stim.next_u64();
+                full.poke(a, v);
+                activity.poke(b, v);
+                ff.poke(c, v);
+            }
+            let target = ff.cycle() + span;
+            while ff.cycle() < target {
+                ff.step().unwrap();
+                ff.fast_forward(target);
+                // Walk the reference engines to the cycle fast-forward
+                // landed on; the skipped cycles must be no-ops for them.
+                while full.cycle() < ff.cycle() {
+                    full.step().unwrap();
+                }
+                while activity.cycle() < ff.cycle() {
+                    activity.step().unwrap();
+                }
+                full.settle().unwrap();
+                activity.settle().unwrap();
+                ff.settle().unwrap();
+                prop_assert_eq!(
+                    full.signal_values(),
+                    ff.signal_values(),
+                    "fast-forward vs full-sweep divergence at cycle {} (threads={})",
+                    ff.cycle(), threads
+                );
+                prop_assert_eq!(
+                    activity.signal_values(),
+                    ff.signal_values(),
+                    "fast-forward vs activity divergence at cycle {} (threads={})",
+                    ff.cycle(), threads
+                );
+            }
+        }
+        let ad = activity.scheduler_stats();
+        let fs = ff.scheduler_stats();
+        prop_assert_eq!(
+            (ad.groups_evaluated, ad.components_ticked),
+            (fs.groups_evaluated, fs.components_ticked),
+            "fast-forward must execute exactly the activity kernel's work"
+        );
+        prop_assert_eq!(ad.cycles_fast_forwarded, 0, "activity never jumps");
+    }
+
     /// Activity-driven results are independent of the thread count.
     #[test]
     fn activity_thread_count_does_not_change_results(
@@ -443,7 +583,7 @@ proptest! {
         n_mixers in 1usize..10,
         cycles in 1usize..8,
     ) {
-        let net = random_net(seed, 2, n_mixers, 1, 1, 2);
+        let net = random_net(seed, 2, n_mixers, 1, 1, 2, 1);
         let mut final_values: Option<Vec<u64>> = None;
         for threads in [1usize, 2, 4] {
             let (mut sys, inputs) = build(&net, SettleMode::ActivityDriven, threads);

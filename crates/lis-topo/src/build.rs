@@ -193,7 +193,7 @@ impl TopologyBuilder {
                         format!("source{k}"),
                         stage,
                         tokens,
-                        spec.traffic.source_stall(k),
+                        spec.traffic.source_pattern(k),
                         spec.seed.wrapping_add(1000 + k as u64),
                     );
                     stage
@@ -209,7 +209,7 @@ impl TopologyBuilder {
                     b.capture(
                         name.clone(),
                         stage,
-                        spec.traffic.sink_stall(k),
+                        spec.traffic.sink_pattern(k),
                         spec.seed.wrapping_add(2000 + k as u64),
                     );
                     if sink_names.len() <= k {

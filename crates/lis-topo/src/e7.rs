@@ -6,14 +6,18 @@
 //! back-pressured mesh most components do nothing each cycle. E7
 //! measures what the simulator makes of that: the 8×8 gate-level SP
 //! stress mesh (the E6 hot path) is driven under streaming, bursty,
-//! hotspot, and saturating back-pressured traffic, once per settle
-//! engine (`full-sweep`, `worklist`, `activity`). Every configuration
-//! must deliver bit-identical token streams — checksummed — while the
-//! activity-driven kernel additionally records how much of the mesh it
-//! *skipped* (quiescent groups per settle, quiescent components per
-//! tick). The headline bar, asserted by the bench binary's `--check`:
+//! hotspot, saturating back-pressured, and periodically back-pressured
+//! traffic, once per settle engine (`full-sweep`, `worklist`,
+//! `activity`, `fast-forward`). Every configuration must deliver
+//! bit-identical token streams — checksummed — while the
+//! activity-family kernels additionally record how much of the mesh
+//! they *skipped* (quiescent groups per settle, quiescent components
+//! per tick, and — for fast-forward — whole cycles jumped by the event
+//! wheel). Two headline bars, asserted by the bench binary's `--check`:
 //! activity-driven simulates the back-pressured stress run at ≥ 2× the
-//! worklist engine's kilocycles per second.
+//! worklist engine's kilocycles per second, and fast-forward simulates
+//! the *periodically* back-pressured run (scheduled stall spans the
+//! event wheel can jump) at ≥ 10× activity-driven.
 
 use crate::build::TopologyBuilder;
 use crate::topology::{NodeModel, SyncVariant, TopologyShape, TopologySpec, TrafficPattern};
@@ -44,8 +48,21 @@ pub struct E7Config {
     pub sweep_cycles: u64,
     /// The saturating regime of the headline run.
     pub backpressure: TrafficPattern,
+    /// The scheduled-stall regime of the fast-forward headline: sinks
+    /// accept in short lockstep windows, so between windows the mesh
+    /// drains, quiesces, and the event wheel jumps to the next window.
+    /// The period is long (2^19 cycles): each window costs a bounded
+    /// drain transient (~100 visited cycles), so the dead span between
+    /// windows must be long enough to dominate the cycle-by-cycle
+    /// kernel's wall clock before jumping it pays off 10-fold.
+    pub periodic: TrafficPattern,
     /// Cycles of the headline back-pressured run (worklist vs activity).
     pub check_cycles: u64,
+    /// Cycles of the headline periodic run (activity vs fast-forward) —
+    /// a few full periods. Far larger than `check_cycles`: the
+    /// activity kernel crosses dead cycles at ~100× its saturated
+    /// speed, and fast-forward doesn't visit them at all.
+    pub periodic_check_cycles: u64,
     /// Tokens each source offers (ample; sources must never dry up).
     pub tokens_per_source: usize,
     /// Stall seed.
@@ -65,10 +82,16 @@ impl Default for E7Config {
                 TrafficPattern::Bursty { stall: 0.3 },
                 TrafficPattern::Hotspot { stall: 0.6 },
                 TrafficPattern::BackPressured { stall: 0.95 },
+                TrafficPattern::PeriodicBackPressured { on: 4, period: 256 },
             ],
             sweep_cycles: 1_200,
             backpressure: TrafficPattern::BackPressured { stall: 0.95 },
+            periodic: TrafficPattern::PeriodicBackPressured {
+                on: 4,
+                period: 524_288,
+            },
             check_cycles: 20_000,
+            periodic_check_cycles: 2_097_152,
             tokens_per_source: 100_000,
             seed: 7,
         }
@@ -103,6 +126,9 @@ pub struct E7Row {
     /// Component ticks skipped as quiescent (stable; 0 for legacy
     /// engines).
     pub components_quiescent: u64,
+    /// Cycles jumped by the event wheel (stable; 0 unless the engine is
+    /// fast-forward and the traffic leaves whole cycles dead).
+    pub cycles_fast_forwarded: u64,
     /// Wall time (volatile; excluded from drift checks).
     pub wall_ms: f64,
     /// Simulated kilocycles per second (volatile).
@@ -135,13 +161,14 @@ impl fmt::Display for E7Row {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{:20} {:10} threads={}: {:8.1} kcyc/s ({} cycles), {:6} tok, exact={}, \
+            "{:20} {:12} threads={}: {:8.1} kcyc/s ({} cycles, {} jumped), {:6} tok, exact={}, \
              skip eval {:5.1}% tick {:5.1}%, checksum {:#018x}",
             self.traffic,
             self.engine,
             self.threads,
             self.kcps,
             self.cycles,
+            self.cycles_fast_forwarded,
             self.tokens,
             self.stream_exact,
             self.eval_skip_pct(),
@@ -167,12 +194,16 @@ pub struct E7Report {
     pub signals: usize,
     /// Engine × traffic sweep rows.
     pub sweep: Vec<E7Row>,
-    /// Headline back-pressured rows (worklist@1, activity@1,
-    /// activity@threads).
+    /// Headline rows: back-pressured (worklist@1, activity@1,
+    /// activity@threads), then periodic (activity@1, fast-forward@1,
+    /// fast-forward@threads).
     pub check: Vec<E7Row>,
     /// Activity@1 vs worklist@1 kcyc/s on the back-pressured run
     /// (volatile; the `--check` bar).
     pub speedup_activity_vs_worklist: f64,
+    /// Fast-forward@1 vs activity@1 kcyc/s on the periodic run
+    /// (volatile; the event-wheel `--check` bar).
+    pub speedup_fast_forward_vs_activity: f64,
 }
 
 fn spec_for(cfg: &E7Config, traffic: TrafficPattern) -> TopologySpec {
@@ -229,13 +260,15 @@ fn run_one(
         groups_skipped: stats.groups_skipped,
         components_ticked: stats.components_ticked,
         components_quiescent: stats.components_quiescent,
+        cycles_fast_forwarded: stats.cycles_fast_forwarded,
         wall_ms,
         kcps: cycles as f64 / 1e3 / (wall_ms / 1e3),
     }
 }
 
-/// Runs the full E7 bench: the engine×traffic sweep plus the headline
-/// back-pressured worklist-vs-activity comparison.
+/// Runs the full E7 bench: the engine×traffic sweep plus the two
+/// headline comparisons — back-pressured worklist-vs-activity and
+/// periodic activity-vs-fast-forward.
 pub fn e7_bench(cfg: &E7Config, threads: usize) -> E7Report {
     let mut census = None;
     let mut sweep = Vec::new();
@@ -244,6 +277,7 @@ pub fn e7_bench(cfg: &E7Config, threads: usize) -> E7Report {
             SettleMode::FullSweep,
             SettleMode::Worklist,
             SettleMode::ActivityDriven,
+            SettleMode::FastForward,
         ] {
             sweep.push(run_one(
                 cfg,
@@ -284,7 +318,42 @@ pub fn e7_bench(cfg: &E7Config, threads: usize) -> E7Report {
         cfg.check_cycles,
         &mut census,
     );
-    let check = vec![worklist, activity, activity_nt];
+
+    // The event-wheel headline: same mesh, scheduled stalls. Activity
+    // must visit every dead cycle; fast-forward jumps them.
+    let periodic_activity = run_one(
+        cfg,
+        cfg.periodic,
+        SettleMode::ActivityDriven,
+        1,
+        cfg.periodic_check_cycles,
+        &mut census,
+    );
+    let periodic_ff = run_one(
+        cfg,
+        cfg.periodic,
+        SettleMode::FastForward,
+        1,
+        cfg.periodic_check_cycles,
+        &mut census,
+    );
+    let speedup_ff = periodic_ff.kcps / periodic_activity.kcps;
+    let periodic_ff_nt = run_one(
+        cfg,
+        cfg.periodic,
+        SettleMode::FastForward,
+        threads.max(2),
+        cfg.periodic_check_cycles,
+        &mut census,
+    );
+    let check = vec![
+        worklist,
+        activity,
+        activity_nt,
+        periodic_activity,
+        periodic_ff,
+        periodic_ff_nt,
+    ];
 
     let stats = census.expect("at least one run recorded the census");
     E7Report {
@@ -296,13 +365,17 @@ pub fn e7_bench(cfg: &E7Config, threads: usize) -> E7Report {
         sweep,
         check,
         speedup_activity_vs_worklist: speedup,
+        speedup_fast_forward_vs_activity: speedup_ff,
     }
 }
 
 /// Asserts the E7 stream-identity claim: within each traffic regime,
 /// every engine/thread configuration delivered the identical token
-/// stream (same count, same checksum) and stayed oracle-exact — and the
-/// activity rows actually skipped work.
+/// stream (same count, same checksum) and stayed oracle-exact, the
+/// activity-family rows (activity, fast-forward) actually skipped work
+/// *and* agree exactly on how much work they executed — fast-forward
+/// must evaluate the same groups and tick the same components as
+/// cycle-by-cycle activity-driven, at any thread count, jumps or not.
 ///
 /// # Panics
 ///
@@ -310,6 +383,7 @@ pub fn e7_bench(cfg: &E7Config, threads: usize) -> E7Report {
 /// gate, kept loud on purpose.
 pub fn assert_e7_streams(rows: &[E7Row]) {
     let mut by_traffic: Vec<(&str, &E7Row)> = Vec::new();
+    let mut family: Vec<(&str, &E7Row)> = Vec::new();
     for row in rows {
         assert!(row.stream_exact, "stream corrupted: {row}");
         match by_traffic.iter().find(|(t, _)| *t == row.traffic) {
@@ -322,16 +396,33 @@ pub fn assert_e7_streams(rows: &[E7Row]) {
                 );
             }
         }
-        if row.engine == "activity" {
+        if row.engine == "activity" || row.engine == "fast-forward" {
             assert!(
                 row.groups_skipped > 0 && row.components_quiescent > 0,
-                "activity row skipped nothing: {row}"
+                "activity-family row skipped nothing: {row}"
             );
+            match family.iter().find(|(t, _)| *t == row.traffic) {
+                None => family.push((&row.traffic, row)),
+                Some((_, first)) => {
+                    assert_eq!(
+                        (first.groups_evaluated, first.components_ticked),
+                        (row.groups_evaluated, row.components_ticked),
+                        "fast-forward must execute exactly the work activity-driven \
+                         executes:\n  {first}\n  {row}"
+                    );
+                }
+            }
         } else {
             assert_eq!(
                 (row.groups_evaluated, row.components_ticked),
                 (0, 0),
                 "legacy engines must not report activity counters: {row}"
+            );
+        }
+        if row.engine != "fast-forward" {
+            assert_eq!(
+                row.cycles_fast_forwarded, 0,
+                "only the fast-forward engine may jump cycles: {row}"
             );
         }
     }
@@ -342,7 +433,8 @@ mod tests {
     use super::*;
 
     /// A miniature E7 exercising the whole pipeline: all engines and
-    /// traffic regimes stream-identical, activity genuinely skipping.
+    /// traffic regimes stream-identical, activity genuinely skipping,
+    /// fast-forward genuinely jumping.
     #[test]
     fn miniature_e7_is_stream_identical_and_skips() {
         let cfg = E7Config {
@@ -353,13 +445,15 @@ mod tests {
                 TrafficPattern::BackPressured { stall: 0.9 },
             ],
             sweep_cycles: 250,
+            periodic: TrafficPattern::PeriodicBackPressured { on: 4, period: 64 },
             check_cycles: 600,
+            periodic_check_cycles: 600,
             tokens_per_source: 5_000,
             ..E7Config::default()
         };
         let report = e7_bench(&cfg, 2);
-        assert_eq!(report.sweep.len(), 6);
-        assert_eq!(report.check.len(), 3);
+        assert_eq!(report.sweep.len(), 8);
+        assert_eq!(report.check.len(), 6);
         assert_e7_streams(&report.sweep);
         assert_e7_streams(&report.check);
         assert!(report.pearls == 4 && report.relay_stations > 0);
@@ -373,6 +467,17 @@ mod tests {
         assert!(
             bp_activity.tick_skip_pct() > 30.0,
             "back-pressure must induce real quiescence: {bp_activity}"
+        );
+        // The scheduled stall spans of the periodic run must produce
+        // real clock jumps.
+        let ff = report
+            .check
+            .iter()
+            .find(|r| r.engine == "fast-forward")
+            .expect("fast-forward row");
+        assert!(
+            ff.cycles_fast_forwarded > 0,
+            "the event wheel must jump dead spans: {ff}"
         );
     }
 }

@@ -8,6 +8,7 @@
 //! feeds the same token streams — which is what makes the determinism
 //! property tests and the drift-checked E6 baseline possible.
 
+use lis_proto::StallPattern;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -101,31 +102,51 @@ pub enum TrafficPattern {
         /// Per-cycle stall probability of every sink.
         stall: f64,
     },
+    /// Sources stream but every sink runs a deterministic duty cycle:
+    /// accepting for `on` cycles out of each `period`, stalled for the
+    /// rest, all in lockstep. Unlike [`TrafficPattern::BackPressured`]
+    /// the stall spans are *scheduled*, so the endpoints declare their
+    /// wake-up times and the fast-forward kernel can jump the clock
+    /// over the dead spans instead of visiting them.
+    PeriodicBackPressured {
+        /// Accepting cycles at the start of each period.
+        on: u64,
+        /// Total cycles per period.
+        period: u64,
+    },
 }
 
 impl TrafficPattern {
-    /// Stall probability of source `_idx` under this pattern.
-    pub fn source_stall(&self, _idx: usize) -> f64 {
+    /// Stall pattern of source `_idx` under this traffic regime.
+    pub fn source_pattern(&self, _idx: usize) -> StallPattern {
         match *self {
             TrafficPattern::Streaming
             | TrafficPattern::Hotspot { .. }
-            | TrafficPattern::BackPressured { .. } => 0.0,
-            TrafficPattern::Bursty { stall } => stall,
+            | TrafficPattern::BackPressured { .. }
+            | TrafficPattern::PeriodicBackPressured { .. } => StallPattern::None,
+            TrafficPattern::Bursty { stall } => StallPattern::from(stall),
         }
     }
 
-    /// Stall probability of sink `idx` under this pattern.
-    pub fn sink_stall(&self, idx: usize) -> f64 {
+    /// Stall pattern of sink `idx` under this traffic regime.
+    pub fn sink_pattern(&self, idx: usize) -> StallPattern {
         match *self {
-            TrafficPattern::Streaming => 0.0,
-            TrafficPattern::Bursty { stall } | TrafficPattern::BackPressured { stall } => stall,
+            TrafficPattern::Streaming => StallPattern::None,
+            TrafficPattern::Bursty { stall } | TrafficPattern::BackPressured { stall } => {
+                StallPattern::from(stall)
+            }
             TrafficPattern::Hotspot { stall } => {
                 if idx == 0 {
-                    stall
+                    StallPattern::from(stall)
                 } else {
-                    0.0
+                    StallPattern::None
                 }
             }
+            TrafficPattern::PeriodicBackPressured { on, period } => StallPattern::Periodic {
+                on,
+                period,
+                phase: 0,
+            },
         }
     }
 }
@@ -137,6 +158,9 @@ impl fmt::Display for TrafficPattern {
             TrafficPattern::Bursty { stall } => write!(f, "bursty({stall:.2})"),
             TrafficPattern::Hotspot { stall } => write!(f, "hotspot({stall:.2})"),
             TrafficPattern::BackPressured { stall } => write!(f, "backpressured({stall:.2})"),
+            TrafficPattern::PeriodicBackPressured { on, period } => {
+                write!(f, "periodic-bp({on}/{period})")
+            }
         }
     }
 }
