@@ -12,6 +12,7 @@
 //! | `throughput` | E5 — relayed-pipeline throughput & latency-insensitivity |
 //! | `ablation` | E6 — FSM encodings; static wrapper fragility |
 //! | `e7` | E7 — activity-driven kernel vs worklist vs full sweep on the stress mesh |
+//! | `fleet` | Scenario fleets — 64 lane-batched traffic scenarios vs sequential solo runs |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,0 +1,744 @@
+//! Scenario fleets: many independent traffic scenarios of the *same*
+//! SoC, lane-batched through one shared levelized instruction stream.
+//!
+//! A **lane** is one complete scenario — its own source seeds, stall
+//! schedules and back-pressure pattern. A [`FleetBuilder`] assembles up
+//! to [`LANES`] lanes into one [`FleetBatch`] built entirely from
+//! *packed* plumbing: channels are [`PackedLisChannel`]s (one bit-plane
+//! signal per data bit, lane `k` in bit `k`), links are
+//! [`PackedRelayStation`] chains, endpoints are [`PackedTokenSource`] /
+//! [`PackedTokenSink`], and gate-level shells are instantiated *once
+//! per node* as a [`lis_wrappers::PackedFullNetlistPatientProcess`].
+//! One bitwise op advances all 64 lanes of a component at once, so a
+//! batch costs barely more than a solo run. Behavioural wrappers stay
+//! scalar per lane (their state is cheap) and are bridged onto the
+//! packed fabric with [`LaneDemux`] / [`LaneMux`].
+//!
+//! A [`SocFleet`] owns a sequence of batches and fans whole batches
+//! across the work-stealing [`WorkStealingPool`].
+//!
+//! The correctness bar is strict: lane `k` of a fleet is bit-identical
+//! (streams, checksums, violation counts) to a solo [`crate::Soc`] run
+//! with the same seeds, at any thread count.
+
+use lis_proto::{
+    LaneDemux, LaneMux, LisChannel, PackedLisChannel, PackedRelayStation, PackedTokenSink,
+    PackedTokenSource, PackedWire, Pearl, StallPattern, ViolationCounter,
+};
+use lis_sim::{SettleMode, SimError, System, SystemCheckpoint, WorkStealingPool, LANES};
+use lis_wrappers::{
+    wrap_pearl, wrap_pearl_full_netlist, wrap_pearls_packed_full_netlist, SyncPolicy,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Handle to an encapsulated IP inside a [`FleetBuilder`]: the same
+/// shape as [`crate::IpHandle`], with packed channels carrying every
+/// lane of a port at once.
+#[derive(Debug, Clone)]
+pub struct FleetIpHandle {
+    /// Instance name.
+    pub name: String,
+    /// Input channels, one packed channel per pearl input port.
+    pub inputs: Vec<PackedLisChannel>,
+    /// Output channels, one packed channel per pearl output port.
+    pub outputs: Vec<PackedLisChannel>,
+}
+
+/// Incremental constructor for one lane-batched [`FleetBatch`] of up to
+/// [`LANES`] scenarios.
+///
+/// Mirrors [`crate::SocBuilder`] operation for operation; the lane
+/// dimension lives inside the packed channels, so fleet topologies are
+/// declared exactly like solo ones.
+#[derive(Debug)]
+pub struct FleetBuilder {
+    lanes: usize,
+    system: System,
+    violations: Vec<ViolationCounter>,
+    sinks: HashMap<String, Vec<Arc<Mutex<Vec<u64>>>>>,
+}
+
+impl FleetBuilder {
+    /// Starts an empty fleet batch of `lanes` scenarios.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= lanes <= LANES`.
+    pub fn new(lanes: usize) -> Self {
+        assert!(
+            (1..=LANES).contains(&lanes),
+            "a fleet batch holds 1..={LANES} lanes, got {lanes}"
+        );
+        FleetBuilder {
+            lanes,
+            system: System::new(),
+            violations: (0..lanes).map(|_| ViolationCounter::new()).collect(),
+            sinks: HashMap::new(),
+        }
+    }
+
+    /// Number of lanes in this batch.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Encapsulates one pearl per lane behind the *complete* gate-level
+    /// shell, executed as a single packed 64-lane netlist shared by
+    /// every lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pearls.len() != lanes`, the pearls disagree on
+    /// interface shape, or wrapper generation fails.
+    pub fn add_ip_full_netlist(
+        &mut self,
+        name: impl Into<String>,
+        pearls: Vec<Box<dyn Pearl>>,
+        kind: lis_wrappers::WrapperKind,
+    ) -> FleetIpHandle {
+        let controller = kind
+            .generate_netlist(pearls[0].schedule())
+            .expect("wrapper generation failed");
+        self.add_ip_full_netlist_with_controller(name, pearls, controller)
+    }
+
+    /// As [`FleetBuilder::add_ip_full_netlist`] with an explicit
+    /// controller netlist (e.g. an uncompressed SP program).
+    ///
+    /// # Panics
+    ///
+    /// As [`FleetBuilder::add_ip_full_netlist`].
+    pub fn add_ip_full_netlist_with_controller(
+        &mut self,
+        name: impl Into<String>,
+        pearls: Vec<Box<dyn Pearl>>,
+        controller: lis_netlist::Module,
+    ) -> FleetIpHandle {
+        let name = name.into();
+        assert_eq!(pearls.len(), self.lanes, "one pearl per lane");
+        let (inputs, outputs) = wrap_pearls_packed_full_netlist(
+            &mut self.system,
+            &name,
+            pearls,
+            controller,
+            &self.violations,
+        );
+        FleetIpHandle {
+            name,
+            inputs,
+            outputs,
+        }
+    }
+
+    /// Bridges per-lane scalar port channels onto one packed channel
+    /// per port: a [`LaneDemux`] fans each packed input out to the
+    /// lanes, a [`LaneMux`] gathers each output. Both are zero-latency,
+    /// so lane streams stay bit-identical to their solo twins.
+    fn bridge_lanes(
+        &mut self,
+        name: &str,
+        lane_inputs: Vec<Vec<LisChannel>>,
+        lane_outputs: Vec<Vec<LisChannel>>,
+    ) -> (Vec<PackedLisChannel>, Vec<PackedLisChannel>) {
+        let in_ports = lane_inputs[0].len();
+        let out_ports = lane_outputs[0].len();
+        let inputs: Vec<PackedLisChannel> = (0..in_ports)
+            .map(|p| {
+                let width = lane_inputs[0][p].width;
+                let packed =
+                    PackedLisChannel::new(&mut self.system, &format!("{name}_in{p}"), width);
+                let lanes = lane_inputs.iter().map(|l| l[p]).collect();
+                self.system.add_component(LaneDemux::new(
+                    format!("{name}_dx{p}"),
+                    packed.clone(),
+                    lanes,
+                ));
+                packed
+            })
+            .collect();
+        let outputs: Vec<PackedLisChannel> = (0..out_ports)
+            .map(|p| {
+                let width = lane_outputs[0][p].width;
+                let packed =
+                    PackedLisChannel::new(&mut self.system, &format!("{name}_out{p}"), width);
+                let lanes = lane_outputs.iter().map(|l| l[p]).collect();
+                self.system.add_component(LaneMux::new(
+                    format!("{name}_mx{p}"),
+                    lanes,
+                    packed.clone(),
+                ));
+                packed
+            })
+            .collect();
+        (inputs, outputs)
+    }
+
+    /// Encapsulates one pearl per lane behind *behavioural* wrappers —
+    /// one scalar patient process per lane (behavioural state is cheap
+    /// to replicate), bridged onto packed port channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pearls.len() != lanes`.
+    pub fn add_ip(
+        &mut self,
+        name: impl Into<String>,
+        pearls: Vec<Box<dyn Pearl>>,
+        kind: lis_wrappers::WrapperKind,
+    ) -> FleetIpHandle {
+        let name = name.into();
+        assert_eq!(pearls.len(), self.lanes, "one pearl per lane");
+        let mut lane_inputs = Vec::with_capacity(self.lanes);
+        let mut lane_outputs = Vec::with_capacity(self.lanes);
+        for (lane, pearl) in pearls.into_iter().enumerate() {
+            let policy = kind.make_policy(pearl.schedule());
+            let (ins, outs, _stats) = wrap_pearl(
+                &mut self.system,
+                &format!("{name}_l{lane}"),
+                pearl,
+                policy,
+                &self.violations[lane],
+            );
+            lane_inputs.push(ins);
+            lane_outputs.push(outs);
+        }
+        let (inputs, outputs) = self.bridge_lanes(&name, lane_inputs, lane_outputs);
+        FleetIpHandle {
+            name,
+            inputs,
+            outputs,
+        }
+    }
+
+    /// Encapsulates one pearl per lane behind *behavioural* wrappers
+    /// with an explicit synchronization policy per lane (e.g.
+    /// uncompressed SP programs) — the fleet analogue of
+    /// [`crate::SocBuilder::add_ip_with_policy`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pearls` or `policies` do not hold one entry per lane.
+    pub fn add_ip_with_policies(
+        &mut self,
+        name: impl Into<String>,
+        pearls: Vec<Box<dyn Pearl>>,
+        policies: Vec<Box<dyn SyncPolicy>>,
+    ) -> FleetIpHandle {
+        let name = name.into();
+        assert_eq!(pearls.len(), self.lanes, "one pearl per lane");
+        assert_eq!(policies.len(), self.lanes, "one policy per lane");
+        let mut lane_inputs = Vec::with_capacity(self.lanes);
+        let mut lane_outputs = Vec::with_capacity(self.lanes);
+        for (lane, (pearl, policy)) in pearls.into_iter().zip(policies).enumerate() {
+            let (ins, outs, _stats) = wrap_pearl(
+                &mut self.system,
+                &format!("{name}_l{lane}"),
+                pearl,
+                policy,
+                &self.violations[lane],
+            );
+            lane_inputs.push(ins);
+            lane_outputs.push(outs);
+        }
+        let (inputs, outputs) = self.bridge_lanes(&name, lane_inputs, lane_outputs);
+        FleetIpHandle {
+            name,
+            inputs,
+            outputs,
+        }
+    }
+
+    /// Encapsulates one pearl per lane behind per-lane *scalar*
+    /// gate-level shells — the unbatched reference the packed variant is
+    /// benchmarked against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pearls.len() != lanes` or wrapper generation fails.
+    pub fn add_ip_full_netlist_scalar(
+        &mut self,
+        name: impl Into<String>,
+        pearls: Vec<Box<dyn Pearl>>,
+        kind: lis_wrappers::WrapperKind,
+    ) -> FleetIpHandle {
+        let name = name.into();
+        assert_eq!(pearls.len(), self.lanes, "one pearl per lane");
+        let mut lane_inputs = Vec::with_capacity(self.lanes);
+        let mut lane_outputs = Vec::with_capacity(self.lanes);
+        for (lane, pearl) in pearls.into_iter().enumerate() {
+            let controller = kind
+                .generate_netlist(pearl.schedule())
+                .expect("wrapper generation failed");
+            let (ins, outs) = wrap_pearl_full_netlist(
+                &mut self.system,
+                &format!("{name}_l{lane}"),
+                pearl,
+                controller,
+                &self.violations[lane],
+            );
+            lane_inputs.push(ins);
+            lane_outputs.push(outs);
+        }
+        let (inputs, outputs) = self.bridge_lanes(&name, lane_inputs, lane_outputs);
+        FleetIpHandle {
+            name,
+            inputs,
+            outputs,
+        }
+    }
+
+    /// Allocates a free-standing packed staging channel carrying every
+    /// lane.
+    pub fn channel(&mut self, name: &str, width: u32) -> PackedLisChannel {
+        PackedLisChannel::new(&mut self.system, name, width)
+    }
+
+    /// Connects `from` to `to` through `relay_count` packed relay
+    /// stations, exactly as [`crate::SocBuilder::link`] does for a solo
+    /// SoC — one relay chain carries all lanes.
+    pub fn link(&mut self, from: &PackedLisChannel, to: &PackedLisChannel, relay_count: usize) {
+        let tail = PackedRelayStation::chain(
+            &mut self.system,
+            "link",
+            from.clone(),
+            relay_count,
+            &self.violations,
+        );
+        let n = self.system.component_count();
+        self.system
+            .add_component(PackedWire::new(format!("wire{n}"), tail, to.clone()));
+    }
+
+    /// Attaches one packed token source. `per_lane(k)` supplies lane
+    /// `k`'s token stream, stall pattern and seed — the axis along which
+    /// scenarios diverge.
+    pub fn feed(
+        &mut self,
+        name: impl Into<String>,
+        channel: &PackedLisChannel,
+        mut per_lane: impl FnMut(usize) -> (Vec<u64>, StallPattern, u64),
+    ) {
+        let lanes = (0..self.lanes).map(&mut per_lane).collect();
+        self.system
+            .add_component(PackedTokenSource::new(name.into(), channel.clone(), lanes));
+    }
+
+    /// Attaches one packed recording sink; lane `k`'s stream is
+    /// retrievable as [`FleetBatch::received`]`(name, k)`. `per_lane(k)`
+    /// supplies lane `k`'s back-pressure pattern and seed.
+    pub fn capture(
+        &mut self,
+        name: impl Into<String>,
+        channel: &PackedLisChannel,
+        mut per_lane: impl FnMut(usize) -> (StallPattern, u64),
+    ) {
+        let name = name.into();
+        let sink = PackedTokenSink::new(
+            name.clone(),
+            channel.clone(),
+            (0..self.lanes).map(&mut per_lane).collect(),
+        );
+        let handles = (0..self.lanes).map(|l| sink.received(l)).collect();
+        self.system.add_component(sink);
+        self.sinks.insert(name, handles);
+    }
+
+    /// Sets the settle strategy of the underlying [`System`].
+    pub fn set_settle_mode(&mut self, mode: SettleMode) {
+        self.system.set_settle_mode(mode);
+    }
+
+    /// Sets the evaluation thread count of the underlying [`System`]
+    /// (fleets usually pin 1: parallelism comes from fanning batches
+    /// across the pool, not from sharding one batch).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.system.set_threads(threads);
+    }
+
+    /// Mutable access to the underlying [`System`].
+    pub fn system_mut(&mut self) -> &mut System {
+        &mut self.system
+    }
+
+    /// Finalizes the batch.
+    pub fn build(self) -> FleetBatch {
+        FleetBatch {
+            system: self.system,
+            lanes: self.lanes,
+            violations: self.violations,
+            sinks: self.sinks,
+        }
+    }
+}
+
+/// One runnable batch of up to [`LANES`] lane-parallel scenarios.
+#[derive(Debug)]
+pub struct FleetBatch {
+    system: System,
+    lanes: usize,
+    violations: Vec<ViolationCounter>,
+    sinks: HashMap<String, Vec<Arc<Mutex<Vec<u64>>>>>,
+}
+
+impl FleetBatch {
+    /// Number of lanes in this batch.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Runs `cycles` clock cycles (all lanes advance in lockstep;
+    /// quiescent spans are fast-forwarded exactly as in
+    /// [`crate::Soc::run`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] (combinational-loop detection).
+    pub fn run(&mut self, cycles: u64) -> Result<(), SimError> {
+        let target = self.system.cycle() + cycles;
+        while self.system.cycle() < target {
+            self.system.settle()?;
+            self.system.step()?;
+            self.system.fast_forward(target);
+        }
+        Ok(())
+    }
+
+    /// Elapsed cycles.
+    pub fn cycle(&self) -> u64 {
+        self.system.cycle()
+    }
+
+    /// The informative stream lane `lane` received at sink `name` so
+    /// far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no sink has that name or the lane is out of range.
+    pub fn received(&self, name: &str, lane: usize) -> Vec<u64> {
+        self.sinks
+            .get(name)
+            .unwrap_or_else(|| panic!("no sink named {name}"))[lane]
+            .lock()
+            .unwrap()
+            .clone()
+    }
+
+    /// Protocol violations lane `lane` observed so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lane is out of range.
+    pub fn violations(&self, lane: usize) -> u64 {
+        self.violations[lane].count()
+    }
+
+    /// Captures the batch's architectural state (every lane at once —
+    /// lanes share the cycle counter by construction).
+    pub fn checkpoint(&self) -> SystemCheckpoint {
+        self.system.checkpoint()
+    }
+
+    /// Restores state captured by [`FleetBatch::checkpoint`] into a
+    /// batch built identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint shape mismatches this batch.
+    pub fn restore(&mut self, checkpoint: &SystemCheckpoint) {
+        self.system.restore(checkpoint);
+    }
+
+    /// The underlying simulation system.
+    pub fn system(&self) -> &System {
+        &self.system
+    }
+
+    /// Mutable access to the underlying system.
+    pub fn system_mut(&mut self) -> &mut System {
+        &mut self.system
+    }
+}
+
+/// A serializable snapshot of a whole [`SocFleet`] — one
+/// [`SystemCheckpoint`] per batch. Survives a process restart through
+/// the vendored serde and resumes bit-identically.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FleetCheckpoint {
+    /// Per-batch snapshots, in batch order.
+    pub batches: Vec<SystemCheckpoint>,
+}
+
+/// A fleet of scenario batches: N independent scenarios packed into
+/// `ceil(N / LANES)` lane-batched [`FleetBatch`]es, advanced together.
+///
+/// Whole batches fan out across a [`WorkStealingPool`]; each batch runs
+/// single-threaded inside its job, so results are bit-identical at any
+/// pool width.
+#[derive(Debug)]
+pub struct SocFleet {
+    batches: Vec<FleetBatch>,
+    lanes: usize,
+}
+
+impl SocFleet {
+    /// Assembles a fleet from finalized batches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batches` is empty.
+    pub fn new(batches: Vec<FleetBatch>) -> Self {
+        assert!(!batches.is_empty(), "a fleet needs at least one batch");
+        let lanes = batches.iter().map(FleetBatch::lanes).sum();
+        SocFleet { batches, lanes }
+    }
+
+    /// Total scenario lanes across all batches.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Number of batches.
+    pub fn batch_count(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// The batches, for direct inspection.
+    pub fn batches(&self) -> &[FleetBatch] {
+        &self.batches
+    }
+
+    /// Mutable access to the batches.
+    pub fn batches_mut(&mut self) -> &mut [FleetBatch] {
+        &mut self.batches
+    }
+
+    fn locate(&self, lane: usize) -> (usize, usize) {
+        let mut remaining = lane;
+        for (b, batch) in self.batches.iter().enumerate() {
+            if remaining < batch.lanes() {
+                return (b, remaining);
+            }
+            remaining -= batch.lanes();
+        }
+        panic!("lane {lane} out of range ({} lanes)", self.lanes);
+    }
+
+    /// Runs every batch for `cycles` cycles, fanning whole batches
+    /// across `pool`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SimError`] any batch hit (every batch
+    /// still completes its run attempt).
+    pub fn run(&mut self, cycles: u64, pool: &WorkStealingPool) -> Result<(), SimError> {
+        let results = pool.map(
+            self.batches.iter_mut().collect(),
+            |batch: &mut FleetBatch| batch.run(cycles),
+        );
+        results.into_iter().collect()
+    }
+
+    /// The informative stream scenario `lane` received at sink `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no sink has that name or the lane is out of range.
+    pub fn received(&self, name: &str, lane: usize) -> Vec<u64> {
+        let (b, l) = self.locate(lane);
+        self.batches[b].received(name, l)
+    }
+
+    /// Protocol violations scenario `lane` observed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lane is out of range.
+    pub fn violations(&self, lane: usize) -> u64 {
+        let (b, l) = self.locate(lane);
+        self.batches[b].violations(l)
+    }
+
+    /// Elapsed cycles (batches advance in lockstep; the first batch is
+    /// authoritative).
+    pub fn cycle(&self) -> u64 {
+        self.batches[0].cycle()
+    }
+
+    /// Captures every batch's architectural state.
+    pub fn checkpoint(&self) -> FleetCheckpoint {
+        FleetCheckpoint {
+            batches: self.batches.iter().map(FleetBatch::checkpoint).collect(),
+        }
+    }
+
+    /// Restores state captured by [`SocFleet::checkpoint`] into a fleet
+    /// built identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint's batch count or any batch shape
+    /// mismatches this fleet.
+    pub fn restore(&mut self, checkpoint: &FleetCheckpoint) {
+        assert_eq!(
+            checkpoint.batches.len(),
+            self.batches.len(),
+            "fleet restore: batch count mismatch"
+        );
+        for (batch, snap) in self.batches.iter_mut().zip(&checkpoint.batches) {
+            batch.restore(snap);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SocBuilder;
+    use lis_proto::AccumulatorPearl;
+    use lis_wrappers::WrapperKind;
+
+    fn lane_pearls(lanes: usize) -> Vec<Box<dyn Pearl>> {
+        (0..lanes)
+            .map(|_| Box::new(AccumulatorPearl::new("acc", 1, 1, 2)) as Box<dyn Pearl>)
+            .collect()
+    }
+
+    fn lane_stall(lane: usize) -> f64 {
+        [0.0, 0.35, 0.2, 0.5][lane % 4]
+    }
+
+    /// Builds a `lanes`-wide single-IP fleet batch where each lane
+    /// carries its own seed and stall probability.
+    fn build_batch(lanes: usize, gate_level: bool) -> FleetBatch {
+        let mut b = FleetBuilder::new(lanes);
+        b.set_threads(1);
+        let ip = if gate_level {
+            b.add_ip_full_netlist("acc", lane_pearls(lanes), WrapperKind::Sp)
+        } else {
+            b.add_ip("acc", lane_pearls(lanes), WrapperKind::Sp)
+        };
+        b.feed("src", &ip.inputs[0], |lane| {
+            (
+                (1..=10u64).map(|v| v * (lane as u64 + 1)).collect(),
+                StallPattern::from(lane_stall(lane)),
+                100 + lane as u64,
+            )
+        });
+        b.capture("out", &ip.outputs[0], |lane| {
+            (StallPattern::from(lane_stall(lane + 1)), 200 + lane as u64)
+        });
+        b.build()
+    }
+
+    /// The solo twin of lane `lane` from [`build_batch`].
+    fn solo_received(lane: usize, gate_level: bool) -> (Vec<u64>, u64) {
+        let mut b = SocBuilder::new();
+        b.set_threads(1);
+        let pearl = Box::new(AccumulatorPearl::new("acc", 1, 1, 2));
+        let ip = if gate_level {
+            b.add_ip_full_netlist("acc", pearl, WrapperKind::Sp)
+        } else {
+            b.add_ip("acc", pearl, WrapperKind::Sp)
+        };
+        b.feed(
+            "src",
+            ip.inputs[0],
+            (1..=10u64).map(|v| v * (lane as u64 + 1)),
+            lane_stall(lane),
+            100 + lane as u64,
+        );
+        b.capture(
+            "out",
+            ip.outputs[0],
+            lane_stall(lane + 1),
+            200 + lane as u64,
+        );
+        let mut soc = b.build();
+        soc.run(400).unwrap();
+        (soc.received("out"), soc.violations())
+    }
+
+    #[test]
+    fn gate_level_fleet_lanes_match_solo_socs() {
+        let mut batch = build_batch(5, true);
+        batch.run(400).unwrap();
+        for lane in 0..5 {
+            let (want, solo_violations) = solo_received(lane, true);
+            assert!(!want.is_empty());
+            assert_eq!(batch.received("out", lane), want, "lane {lane}");
+            assert_eq!(batch.violations(lane), solo_violations, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn behavioural_fleet_lanes_match_solo_socs() {
+        let mut batch = build_batch(4, false);
+        batch.run(400).unwrap();
+        for lane in 0..4 {
+            let (want, _) = solo_received(lane, false);
+            assert_eq!(batch.received("out", lane), want, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn fleet_spans_batches_and_runs_on_pool() {
+        // 7 lanes over two batches of 4 + 3; lane addressing must cross
+        // the batch boundary transparently.
+        let batches = vec![build_batch(4, true), {
+            // Second batch: lanes 4..7 reuse the same per-lane recipe
+            // shifted by 4 so each global lane has a distinct scenario.
+            let lanes = 3;
+            let mut b = FleetBuilder::new(lanes);
+            b.set_threads(1);
+            let ip = b.add_ip_full_netlist("acc", lane_pearls(lanes), WrapperKind::Sp);
+            b.feed("src", &ip.inputs[0], |l| {
+                let lane = l + 4;
+                (
+                    (1..=10u64).map(|v| v * (lane as u64 + 1)).collect(),
+                    StallPattern::from(lane_stall(lane)),
+                    100 + lane as u64,
+                )
+            });
+            b.capture("out", &ip.outputs[0], |l| {
+                let lane = l + 4;
+                (StallPattern::from(lane_stall(lane + 1)), 200 + lane as u64)
+            });
+            b.build()
+        }];
+        let mut fleet = SocFleet::new(batches);
+        assert_eq!(fleet.lanes(), 7);
+        let pool = WorkStealingPool::new(2);
+        fleet.run(400, &pool).unwrap();
+        for lane in 0..7 {
+            let (want, _) = solo_received(lane, true);
+            assert_eq!(fleet.received("out", lane), want, "lane {lane}");
+            assert_eq!(fleet.violations(lane), 0, "lane {lane}");
+        }
+        assert_eq!(fleet.cycle(), 400);
+    }
+
+    #[test]
+    fn fleet_checkpoint_restores_bit_identically() {
+        // Uninterrupted reference.
+        let mut reference = SocFleet::new(vec![build_batch(3, true)]);
+        let pool = WorkStealingPool::new(1);
+        reference.run(300, &pool).unwrap();
+        // Interrupted twin: snapshot at 120, restore into a fresh fleet.
+        let mut first = SocFleet::new(vec![build_batch(3, true)]);
+        first.run(120, &pool).unwrap();
+        let snap = first.checkpoint();
+        let mut resumed = SocFleet::new(vec![build_batch(3, true)]);
+        resumed.restore(&snap);
+        assert_eq!(resumed.cycle(), 120);
+        resumed.run(180, &pool).unwrap();
+        for lane in 0..3 {
+            assert_eq!(
+                resumed.received("out", lane),
+                reference.received("out", lane),
+                "lane {lane}"
+            );
+        }
+    }
+}

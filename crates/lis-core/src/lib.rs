@@ -39,8 +39,10 @@
 #![deny(missing_docs)]
 
 pub mod experiment;
+mod fleet;
 mod flow;
 mod soc;
 
+pub use fleet::{FleetBatch, FleetBuilder, FleetCheckpoint, FleetIpHandle, SocFleet};
 pub use flow::{synthesize_full_wrapper, synthesize_wrapper, SpCompression, WrapperSynthesis};
 pub use soc::{IpHandle, Soc, SocBuilder};

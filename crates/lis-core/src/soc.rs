@@ -18,12 +18,12 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 /// A zero-latency connector: forwards `data`/`void` downstream and
-/// `stop` upstream, combinationally.
+/// `stop` upstream, combinationally. Shared with the fleet builder.
 #[derive(Debug)]
-struct Wire {
-    name: String,
-    up: LisChannel,
-    down: LisChannel,
+pub(crate) struct Wire {
+    pub(crate) name: String,
+    pub(crate) up: LisChannel,
+    pub(crate) down: LisChannel,
 }
 
 impl Component for Wire {

@@ -52,7 +52,7 @@ impl StallPattern {
     /// Whether the schedule stalls at `cycle` ([`StallPattern::Random`]
     /// is *not* cycle-determined; this reports `false` for it — random
     /// endpoints track their stall as state instead).
-    fn scheduled_stall_at(self, cycle: u64) -> bool {
+    pub(crate) fn scheduled_stall_at(self, cycle: u64) -> bool {
         match self {
             StallPattern::Periodic { on, period, phase } => (cycle + phase) % period >= on,
             _ => false,
@@ -85,10 +85,11 @@ impl StallPattern {
         }
     }
 
-    fn validate(self) {
+    pub(crate) fn validate(self) {
         match self {
             StallPattern::None => {}
             StallPattern::Random(p) => {
+                assert!(!p.is_nan(), "stall probability is NaN");
                 assert!(
                     (0.0..=1.0).contains(&p),
                     "stall probability {p} not in 0..=1"
@@ -106,9 +107,16 @@ impl StallPattern {
 }
 
 impl From<f64> for StallPattern {
+    /// Clamps rather than trusting the caller: `NaN` and `p <= 0` mean
+    /// "never stall" ([`StallPattern::None`]), `p >= 1` saturates to
+    /// `Random(1.0)` (always stall). A degenerate probability therefore
+    /// can never smuggle an invalid schedule past validation (which
+    /// still *rejects* out-of-range values built directly).
     fn from(probability: f64) -> Self {
-        if probability <= 0.0 {
+        if probability.is_nan() || probability <= 0.0 {
             StallPattern::None
+        } else if probability >= 1.0 {
+            StallPattern::Random(1.0)
         } else {
             StallPattern::Random(probability)
         }
@@ -236,6 +244,25 @@ impl Component for TokenSource {
             }
         }
     }
+
+    fn save_state(&self, out: &mut Vec<u64>) {
+        out.extend(self.rng.state());
+        out.push(self.stalling as u64);
+        out.push(self.pending.len() as u64);
+        out.extend(self.pending.iter().copied());
+        let sent = self.sent.lock().unwrap();
+        out.push(sent.len() as u64);
+        out.extend(sent.iter().copied());
+    }
+
+    fn load_state(&mut self, data: &[u64]) {
+        self.rng = StdRng::from_state([data[0], data[1], data[2], data[3]]);
+        self.stalling = data[4] != 0;
+        let n = data[5] as usize;
+        self.pending = data[6..6 + n].iter().copied().collect();
+        let m = data[6 + n] as usize;
+        *self.sent.lock().unwrap() = data[7 + n..7 + n + m].to_vec();
+    }
 }
 
 /// A consumer recording the informative stream from a channel,
@@ -340,6 +367,25 @@ impl Component for TokenSink {
             StallPattern::Periodic { .. } => self.pattern.next_event(sigs.cycle()),
         }
     }
+
+    fn save_state(&self, out: &mut Vec<u64>) {
+        out.extend(self.rng.state());
+        out.push(self.stalling as u64);
+        out.push(self.cycles_busy);
+        out.push(self.cycles_total);
+        let received = self.received.lock().unwrap();
+        out.push(received.len() as u64);
+        out.extend(received.iter().copied());
+    }
+
+    fn load_state(&mut self, data: &[u64]) {
+        self.rng = StdRng::from_state([data[0], data[1], data[2], data[3]]);
+        self.stalling = data[4] != 0;
+        self.cycles_busy = data[5];
+        self.cycles_total = data[6];
+        let n = data[7] as usize;
+        *self.received.lock().unwrap() = data[8..8 + n].to_vec();
+    }
 }
 
 #[cfg(test)]
@@ -347,6 +393,48 @@ mod tests {
     use super::*;
     use crate::relay::{RelayStation, ViolationCounter};
     use lis_sim::{SettleMode, System};
+
+    #[test]
+    fn from_f64_clamps_degenerate_probabilities() {
+        assert_eq!(StallPattern::from(f64::NAN), StallPattern::None);
+        assert_eq!(StallPattern::from(-0.25), StallPattern::None);
+        assert_eq!(StallPattern::from(-0.0), StallPattern::None);
+        assert_eq!(StallPattern::from(0.0), StallPattern::None);
+        assert_eq!(StallPattern::from(f64::NEG_INFINITY), StallPattern::None);
+        assert_eq!(StallPattern::from(1.0), StallPattern::Random(1.0));
+        assert_eq!(StallPattern::from(1.5), StallPattern::Random(1.0));
+        assert_eq!(StallPattern::from(f64::INFINITY), StallPattern::Random(1.0));
+        assert_eq!(StallPattern::from(0.5), StallPattern::Random(0.5));
+        // The boundary values survive a full endpoint construction.
+        let mut sys = System::new();
+        let ch = LisChannel::new(&mut sys, "c", 8);
+        let _ = TokenSource::new("s", ch, 1..=3).with_stall_pattern(1.0, 0);
+        let _ = TokenSink::new("k", ch).with_stall_pattern(0.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "stall probability is NaN")]
+    fn explicit_nan_random_is_rejected() {
+        let mut sys = System::new();
+        let ch = LisChannel::new(&mut sys, "c", 8);
+        let _ = TokenSink::new("k", ch).with_stall_pattern(StallPattern::Random(f64::NAN), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in 0..=1")]
+    fn explicit_out_of_range_random_is_rejected() {
+        let mut sys = System::new();
+        let ch = LisChannel::new(&mut sys, "c", 8);
+        let _ = TokenSource::new("s", ch, 1..=3).with_stall_pattern(StallPattern::Random(1.5), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn with_stalls_rejects_nan() {
+        let mut sys = System::new();
+        let ch = LisChannel::new(&mut sys, "c", 8);
+        let _ = TokenSource::new("s", ch, 1..=3).with_stalls(f64::NAN, 0);
+    }
 
     #[test]
     fn source_to_sink_direct() {

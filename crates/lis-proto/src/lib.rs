@@ -18,6 +18,11 @@
 //! * [`TokenSource`] / [`TokenSink`] — test-bench endpoints with
 //!   [`StallPattern`]-driven stall injection (seeded-random or
 //!   clock-scheduled).
+//! * [`PackedLisChannel`] — the bit-plane lane-batched channel behind
+//!   scenario fleets, with [`PackedRelayStation`],
+//!   [`PackedTokenSource`], [`PackedTokenSink`], [`PackedWire`] and
+//!   the [`LaneDemux`]/[`LaneMux`] bridges to scalar plumbing; every
+//!   lane is bit-identical to its scalar twin.
 //!
 //! All components plug into the two-phase simulator of [`lis_sim`].
 
@@ -28,6 +33,7 @@ mod adapter;
 mod channel;
 mod endpoints;
 mod fifo;
+mod packed;
 mod pearl;
 mod relay;
 mod token;
@@ -36,6 +42,10 @@ pub use adapter::{Deserializer, Serializer};
 pub use channel::LisChannel;
 pub use endpoints::{StallPattern, TokenSink, TokenSource};
 pub use fifo::{InputPort, InputPortFace, OutputPort, OutputPortFace, PORT_QUEUE_CAPACITY};
+pub use packed::{
+    LaneDemux, LaneMux, PackedLisChannel, PackedRelayStation, PackedTokenSink, PackedTokenSource,
+    PackedWire,
+};
 pub use pearl::{AccumulatorPearl, Pearl, PortValues};
 pub use relay::{PlainRegisterStage, RelayStation, ViolationCounter};
 pub use token::{informative, latency_equivalent, Token};

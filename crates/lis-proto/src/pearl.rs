@@ -104,6 +104,19 @@ pub trait Pearl: Send {
 
     /// Returns to the power-up state (enabled cycle 0).
     fn reset(&mut self);
+
+    /// Appends the pearl's architectural state as plain words, for
+    /// checkpointing. Stateless pearls keep the empty default; stateful
+    /// ones must override both this and [`Pearl::load_state`] so a
+    /// restored run continues bit-identically.
+    fn save_state(&self, out: &mut Vec<u64>) {
+        let _ = out;
+    }
+
+    /// Restores state captured by [`Pearl::save_state`].
+    fn load_state(&mut self, data: &[u64]) {
+        let _ = data;
+    }
 }
 
 /// A trivial pearl for tests and examples: reads one word per period on
@@ -191,6 +204,20 @@ impl Pearl for AccumulatorPearl {
         self.step = 0;
         self.held.iter_mut().for_each(|h| *h = 0);
         self.acc = 0;
+    }
+
+    fn save_state(&self, out: &mut Vec<u64>) {
+        out.push(self.step as u64);
+        out.push(self.acc);
+        out.push(self.held.len() as u64);
+        out.extend(self.held.iter().copied());
+    }
+
+    fn load_state(&mut self, data: &[u64]) {
+        self.step = data[0] as usize;
+        self.acc = data[1];
+        let n = data[2] as usize;
+        self.held = data[3..3 + n].to_vec();
     }
 }
 

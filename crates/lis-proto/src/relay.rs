@@ -171,6 +171,21 @@ impl Component for RelayStation {
         // quiescent so deep relay chains get skipped, not recomputed.
         Activity::from_changed(changed)
     }
+
+    fn save_state(&self, out: &mut Vec<u64>) {
+        // Option<u64> encoded as a presence flag + value.
+        out.push(self.main.is_some() as u64);
+        out.push(self.main.unwrap_or(0));
+        out.push(self.aux.is_some() as u64);
+        out.push(self.aux.unwrap_or(0));
+        out.push(self.stop_up as u64);
+    }
+
+    fn load_state(&mut self, data: &[u64]) {
+        self.main = (data[0] != 0).then_some(data[1]);
+        self.aux = (data[2] != 0).then_some(data[3]);
+        self.stop_up = data[4] != 0;
+    }
 }
 
 /// The degenerate "relay station" of Casu & Macchiarulo's approach: a
@@ -220,6 +235,18 @@ impl Component for PlainRegisterStage {
         let changed = next != self.held;
         self.held = next;
         Activity::from_changed(changed)
+    }
+
+    fn save_state(&self, out: &mut Vec<u64>) {
+        out.push(self.held.data().is_some() as u64);
+        out.push(self.held.data().unwrap_or(0));
+    }
+
+    fn load_state(&mut self, data: &[u64]) {
+        self.held = match data[0] {
+            0 => Token::Void,
+            _ => Token::Data(data[1]),
+        };
     }
 }
 

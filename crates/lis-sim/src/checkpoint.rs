@@ -1,0 +1,37 @@
+//! Checkpoint/restore of a [`crate::System`]'s architectural state.
+//!
+//! A [`SystemCheckpoint`] is a plain serde-serializable snapshot: the
+//! cycle counter, every signal value, and one opaque word blob per
+//! component (produced by [`crate::Component::save_state`]). Long
+//! fleet runs snapshot themselves through the vendored serde, survive a
+//! process restart, and resume bit-identically — the contract
+//! [`crate::System::restore`] documents.
+
+use serde::{Deserialize, Serialize};
+
+/// A serializable snapshot of a [`crate::System`], captured by
+/// [`crate::System::checkpoint`].
+///
+/// The snapshot covers *architectural* state only: signal values, the
+/// cycle counter, and each component's [`crate::Component::save_state`]
+/// blob. Scheduler bookkeeping (dirty sets, wake wheels, skip counters)
+/// is deliberately excluded — a restore restarts it all-dirty, which
+/// the quiescence promise makes harmless: re-running a quiescent tick
+/// on unchanged signals changes nothing but diagnostic counters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SystemCheckpoint {
+    /// Elapsed clock cycles at capture time.
+    pub cycle: u64,
+    /// Every signal value, in id order.
+    pub signal_values: Vec<u64>,
+    /// One opaque state blob per component, in insertion order (empty
+    /// for stateless components).
+    pub component_states: Vec<Vec<u64>>,
+}
+
+impl SystemCheckpoint {
+    /// Total words of component state carried (diagnostics).
+    pub fn state_words(&self) -> usize {
+        self.component_states.iter().map(Vec::len).sum()
+    }
+}

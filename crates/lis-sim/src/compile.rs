@@ -436,6 +436,23 @@ impl CompiledNetlistSim {
         }
     }
 
+    /// The registered flip-flop state, in program order (the seam
+    /// checkpointing saves through).
+    pub fn dff_state(&self) -> &[bool] {
+        &self.state
+    }
+
+    /// Restores flip-flop state captured by
+    /// [`CompiledNetlistSim::dff_state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` does not have one entry per flip-flop.
+    pub fn set_dff_state(&mut self, state: &[bool]) {
+        assert_eq!(state.len(), self.state.len(), "dff state length mismatch");
+        self.state.copy_from_slice(state);
+    }
+
     /// Resolves an input port name to a [`PortHandle`].
     ///
     /// # Errors
@@ -623,6 +640,23 @@ impl PackedNetlistSim {
         }
     }
 
+    /// The registered flip-flop state, in program order, one bit per
+    /// lane (the seam checkpointing saves through).
+    pub fn dff_state(&self) -> &[u64] {
+        &self.state
+    }
+
+    /// Restores flip-flop state captured by
+    /// [`PackedNetlistSim::dff_state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` does not have one entry per flip-flop.
+    pub fn set_dff_state(&mut self, state: &[u64]) {
+        assert_eq!(state.len(), self.state.len(), "dff state length mismatch");
+        self.state.copy_from_slice(state);
+    }
+
     /// Resolves an input port name to a [`PortHandle`].
     ///
     /// # Errors
@@ -666,6 +700,23 @@ impl PackedNetlistSim {
         self.values[slots[bit] as usize]
     }
 
+    /// Drives an input port in one lane only, through a pre-resolved
+    /// handle — the fast path for lane-batched harnesses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is not an input handle or `lane >= LANES`.
+    pub fn set_input_lane_h(&mut self, h: PortHandle, lane: usize, value: u64) {
+        assert!(!h.output, "set_input_lane_h needs an input handle");
+        assert!(lane < LANES, "lane {lane} out of range");
+        let (_, slots) = &self.prog.inputs[h.index];
+        for (i, &slot) in slots.iter().enumerate() {
+            let bit = u64::from(i < 64 && (value >> i) & 1 == 1);
+            let w = &mut self.values[slot as usize];
+            *w = (*w & !(1 << lane)) | (bit << lane);
+        }
+    }
+
     /// Drives an input port in one lane only.
     ///
     /// # Errors
@@ -676,14 +727,8 @@ impl PackedNetlistSim {
     ///
     /// Panics if `lane >= LANES`.
     pub fn set_input_lane(&mut self, lane: usize, port: &str, value: u64) -> Result<(), SimError> {
-        assert!(lane < LANES, "lane {lane} out of range");
         let h = self.input_handle(port)?;
-        let (_, slots) = &self.prog.inputs[h.index];
-        for (i, &slot) in slots.iter().enumerate() {
-            let bit = u64::from(i < 64 && (value >> i) & 1 == 1);
-            let w = &mut self.values[slot as usize];
-            *w = (*w & !(1 << lane)) | (bit << lane);
-        }
+        self.set_input_lane_h(h, lane, value);
         Ok(())
     }
 
@@ -705,6 +750,25 @@ impl PackedNetlistSim {
         Ok(())
     }
 
+    /// Reads an output port in one lane through a pre-resolved handle
+    /// (low 64 bits for wider ports).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is not an output handle or `lane >= LANES`.
+    pub fn get_output_lane_h(&self, h: PortHandle, lane: usize) -> u64 {
+        assert!(h.output, "get_output_lane_h needs an output handle");
+        assert!(lane < LANES, "lane {lane} out of range");
+        let (_, slots) = &self.prog.outputs[h.index];
+        let mut v = 0u64;
+        for (i, &slot) in slots.iter().enumerate().take(64) {
+            if (self.values[slot as usize] >> lane) & 1 == 1 {
+                v |= 1 << i;
+            }
+        }
+        v
+    }
+
     /// Reads an output port in one lane (low 64 bits for wider ports).
     ///
     /// # Errors
@@ -715,16 +779,8 @@ impl PackedNetlistSim {
     ///
     /// Panics if `lane >= LANES`.
     pub fn get_output_lane(&self, lane: usize, port: &str) -> Result<u64, SimError> {
-        assert!(lane < LANES, "lane {lane} out of range");
         let h = self.output_handle(port)?;
-        let (_, slots) = &self.prog.outputs[h.index];
-        let mut v = 0u64;
-        for (i, &slot) in slots.iter().enumerate().take(64) {
-            if (self.values[slot as usize] >> lane) & 1 == 1 {
-                v |= 1 << i;
-            }
-        }
-        Ok(v)
+        Ok(self.get_output_lane_h(h, lane))
     }
 
     /// Settles combinational logic in every lane.

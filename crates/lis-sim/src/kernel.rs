@@ -222,6 +222,23 @@ pub trait Component: Send {
     /// Must not write signals. Returns whether anything changed — see
     /// [`Activity`]; returning [`Activity::Active`] is always safe.
     fn tick(&mut self, sigs: &SignalView<'_>) -> Activity;
+
+    /// Appends the component's architectural state as plain words, for
+    /// [`System::checkpoint`]. Stateless components keep the empty
+    /// default; stateful ones must override both this and
+    /// [`Component::load_state`] with matching encodings so a restored
+    /// run continues bit-identically. Purely diagnostic counters may be
+    /// included for fidelity but are not covered by the bit-identity
+    /// contract (see [`Activity::Quiescent`]).
+    fn save_state(&self, out: &mut Vec<u64>) {
+        let _ = out;
+    }
+
+    /// Restores state captured by [`Component::save_state`]. The slice
+    /// is exactly what `save_state` produced for this component.
+    fn load_state(&mut self, data: &[u64]) {
+        let _ = data;
+    }
 }
 
 /// Errors produced by the simulation kernel.
@@ -812,6 +829,71 @@ impl System {
         Ok(())
     }
 
+    /// Captures the system's architectural state — cycle counter,
+    /// signal values, and every component's [`Component::save_state`]
+    /// blob — as a serde-serializable [`crate::SystemCheckpoint`].
+    ///
+    /// Capture at a cycle boundary (after [`System::step`] /
+    /// [`System::run`], not mid-settle) so the snapshot is a state the
+    /// hardware could actually be in.
+    pub fn checkpoint(&self) -> crate::SystemCheckpoint {
+        let component_states = self
+            .components
+            .iter()
+            .map(|c| {
+                let mut blob = Vec::new();
+                c.save_state(&mut blob);
+                blob
+            })
+            .collect();
+        crate::SystemCheckpoint {
+            cycle: self.cycle,
+            signal_values: self.signals.iter().map(|s| s.value).collect(),
+            component_states,
+        }
+    }
+
+    /// Restores state captured by [`System::checkpoint`] into this
+    /// system, which must have been built identically (same signals and
+    /// components in the same order).
+    ///
+    /// Scheduler activity state restarts all-dirty: every component is
+    /// re-evaluated and re-ticked at the landing cycle, which the
+    /// quiescence promise makes behaviour-neutral — signal values,
+    /// streams and the cycle counter of the resumed run are
+    /// bit-identical to an uninterrupted one, while purely diagnostic
+    /// skip/tick counters may differ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint's signal or component census does not
+    /// match this system.
+    pub fn restore(&mut self, checkpoint: &crate::SystemCheckpoint) {
+        assert_eq!(
+            checkpoint.signal_values.len(),
+            self.signals.len(),
+            "checkpoint restore: signal count mismatch"
+        );
+        assert_eq!(
+            checkpoint.component_states.len(),
+            self.components.len(),
+            "checkpoint restore: component count mismatch"
+        );
+        for (signal, &value) in self.signals.iter_mut().zip(&checkpoint.signal_values) {
+            signal.value = value;
+        }
+        for (comp, blob) in self.components.iter_mut().zip(&checkpoint.component_states) {
+            comp.load_state(blob);
+        }
+        self.cycle = checkpoint.cycle;
+        // Restart cross-cycle bookkeeping all-dirty; the next settle
+        // re-evaluates everything from the restored state.
+        self.activity = None;
+        self.poked.clear();
+        self.trace_log = None;
+        self.settled = false;
+    }
+
     /// Runs until `predicate` returns true (checked after each settled
     /// cycle) or `max_cycles` elapse. Returns whether the predicate fired.
     ///
@@ -1257,6 +1339,72 @@ mod tests {
         let stats = sys.scheduler_stats();
         assert_eq!(stats.cycles_fast_forwarded, 0);
         assert_eq!(sys.fast_forward(sys.cycle() + 100), 0);
+    }
+
+    /// A [`Counter`] that checkpoints its register.
+    struct SavedCounter {
+        out: SignalId,
+        state: u64,
+    }
+
+    impl Component for SavedCounter {
+        fn name(&self) -> &str {
+            "saved_counter"
+        }
+        fn ports(&self) -> Ports {
+            Ports::writes_only([self.out])
+        }
+        fn eval(&mut self, sigs: &mut SignalView<'_>) {
+            sigs.set(self.out, self.state);
+        }
+        fn tick(&mut self, _sigs: &SignalView<'_>) -> Activity {
+            self.state = self.state.wrapping_mul(3).wrapping_add(1);
+            Activity::Active
+        }
+        fn save_state(&self, out: &mut Vec<u64>) {
+            out.push(self.state);
+        }
+        fn load_state(&mut self, data: &[u64]) {
+            self.state = data[0];
+        }
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_bit_identically() {
+        let build = || {
+            let mut sys = System::new();
+            let out = sys.add_signal("count", 16);
+            sys.add_component(SavedCounter { out, state: 1 });
+            sys
+        };
+        // Uninterrupted reference run.
+        let mut reference = build();
+        reference.run(40).unwrap();
+        reference.settle().unwrap();
+
+        // Snapshot mid-run, restore into a *fresh* system, resume.
+        let mut first = build();
+        first.run(17).unwrap();
+        let ck = first.checkpoint();
+        assert_eq!(ck.cycle, 17);
+        let mut resumed = build();
+        resumed.restore(&ck);
+        resumed.run(23).unwrap();
+        resumed.settle().unwrap();
+
+        assert_eq!(resumed.cycle(), reference.cycle());
+        assert_eq!(resumed.signal_values(), reference.signal_values());
+    }
+
+    #[test]
+    #[should_panic(expected = "component count mismatch")]
+    fn restore_rejects_mismatched_shape() {
+        let mut sys = System::new();
+        let out = sys.add_signal("count", 16);
+        sys.add_component(SavedCounter { out, state: 0 });
+        let mut ck = sys.checkpoint();
+        ck.component_states.push(Vec::new());
+        sys.restore(&ck);
     }
 
     #[test]

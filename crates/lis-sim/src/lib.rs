@@ -63,6 +63,7 @@
 #![deny(unsafe_code)]
 #![deny(missing_docs)]
 
+mod checkpoint;
 mod compile;
 mod kernel;
 mod netlist_sim;
@@ -71,6 +72,7 @@ mod sched;
 mod signal;
 mod trace;
 
+pub use checkpoint::SystemCheckpoint;
 pub use compile::{CompiledNetlistSim, NetlistProgram, PackedNetlistSim, PortHandle, LANES};
 pub use kernel::{Activity, Component, FnComponent, Ports, SettleMode, SimError, System};
 pub use netlist_sim::{NetlistComponent, NetlistExec, NetlistSim};

@@ -54,7 +54,7 @@
 
 use crate::kernel::{Activity, Component, Ports, SimError};
 use crate::pool::WorkStealingPool;
-use crate::signal::{bit, Guard, Signal, SignalView};
+use crate::signal::{bit, BitWindow, Guard, Signal, SignalView};
 use std::sync::Mutex;
 
 /// Extra worklist rounds a cyclic group may take beyond its member
@@ -123,17 +123,24 @@ unsafe impl Sync for Arenas {}
 /// The sealed schedule. See the module docs.
 #[derive(Debug)]
 pub(crate) struct Scheduler {
-    /// Bitset words per mask.
-    words: usize,
-    /// Per-component declared read set, `words` words each.
-    read_masks: Vec<u64>,
-    /// Per-component declared write set, `words` words each.
-    write_masks: Vec<u64>,
-    /// Per-component tick-phase observable set
-    /// (`reads ∪ writes ∪ tick_reads`), `words` words each.
-    tick_masks: Vec<u64>,
-    /// All-zero mask handed to tick guards as the (empty) write set.
-    zero_mask: Vec<u64>,
+    /// First mask word of each component's signal-id *window*: every
+    /// declared signal of component `c` lies in words
+    /// `mask_start[c] .. mask_start[c] + mask_len[c]`. Storing only the
+    /// window keeps guard-mask memory O(Σ window sizes) rather than
+    /// O(components × signals) — the difference between a few MB and
+    /// gigabytes for a 64-lane fleet batch.
+    mask_start: Vec<u32>,
+    /// Window length of each component, in words.
+    mask_len: Vec<u32>,
+    /// Offset of each component's window inside the bit arenas.
+    mask_off: Vec<usize>,
+    /// Declared read sets, windowed per component.
+    read_bits: Vec<u64>,
+    /// Declared write sets, windowed per component.
+    write_bits: Vec<u64>,
+    /// Tick-phase observable sets (`reads ∪ writes ∪ tick_reads`),
+    /// windowed per component.
+    tick_bits: Vec<u64>,
     /// Component names (for guards and diagnostics).
     names: Vec<String>,
     /// Signals with more than one declared writer: a change re-dirties
@@ -151,6 +158,9 @@ pub(crate) struct Scheduler {
     tick_observers: Vec<Vec<u32>>,
     /// Group index of every component.
     group_of: Vec<u32>,
+    /// Position of every component inside its group's member list
+    /// (cyclic-group dirty propagation addresses members directly).
+    member_pos: Vec<u32>,
     /// Groups in topological order, bucketed contiguously by level.
     groups: Vec<Group>,
     /// Level boundaries: `groups[levels[i]..levels[i+1]]` is level `i`.
@@ -166,37 +176,58 @@ impl Scheduler {
         n_signals: usize,
     ) -> Scheduler {
         let n = components.len();
-        let words = n_signals.div_ceil(64).max(1);
-        let mut read_masks = vec![0u64; n * words];
-        let mut write_masks = vec![0u64; n * words];
-        let mut tick_masks = vec![0u64; n * words];
+        // One word window per component, covering every signal it
+        // declares (reads ∪ writes ∪ tick_reads); all three masks share
+        // the window, so the merge below stays elementwise.
+        let mut win_lo = vec![u32::MAX; n];
+        let mut win_hi = vec![0u32; n];
+        for (c, p) in ports.iter().enumerate() {
+            for id in p.reads.iter().chain(&p.writes).chain(&p.tick_reads) {
+                let w = (id.index() / 64) as u32;
+                win_lo[c] = win_lo[c].min(w);
+                win_hi[c] = win_hi[c].max(w);
+            }
+        }
+        let mut mask_start = vec![0u32; n];
+        let mut mask_len = vec![0u32; n];
+        let mut mask_off = vec![0usize; n];
+        let mut total_words = 0usize;
+        for c in 0..n {
+            if win_lo[c] != u32::MAX {
+                mask_start[c] = win_lo[c];
+                mask_len[c] = win_hi[c] - win_lo[c] + 1;
+            }
+            mask_off[c] = total_words;
+            total_words += mask_len[c] as usize;
+        }
+        let mut read_bits = vec![0u64; total_words];
+        let mut write_bits = vec![0u64; total_words];
+        let mut tick_bits = vec![0u64; total_words];
         let mut writers: Vec<Vec<u32>> = vec![Vec::new(); n_signals];
         let mut readers: Vec<Vec<u32>> = vec![Vec::new(); n_signals];
         let mut tick_observers: Vec<Vec<u32>> = vec![Vec::new(); n_signals];
         for (c, p) in ports.iter().enumerate() {
+            let word = |i: usize| mask_off[c] + i / 64 - mask_start[c] as usize;
             for id in &p.reads {
                 let i = id.index();
-                read_masks[c * words + i / 64] |= 1 << (i % 64);
+                read_bits[word(i)] |= 1 << (i % 64);
                 readers[i].push(c as u32);
                 tick_observers[i].push(c as u32);
             }
             for id in &p.writes {
                 let i = id.index();
-                write_masks[c * words + i / 64] |= 1 << (i % 64);
+                write_bits[word(i)] |= 1 << (i % 64);
                 writers[i].push(c as u32);
                 tick_observers[i].push(c as u32);
             }
             for id in &p.tick_reads {
                 let i = id.index();
-                tick_masks[c * words + i / 64] |= 1 << (i % 64);
+                tick_bits[word(i)] |= 1 << (i % 64);
                 tick_observers[i].push(c as u32);
             }
         }
         // A tick may read everything eval may touch, plus tick_reads.
-        for (t, (r, w)) in tick_masks
-            .iter_mut()
-            .zip(read_masks.iter().zip(&write_masks))
-        {
+        for (t, (r, w)) in tick_bits.iter_mut().zip(read_bits.iter().zip(&write_bits)) {
             *t |= r | w;
         }
         for r in &mut readers {
@@ -272,6 +303,26 @@ impl Scheduler {
             cluster_members[root_pos(uf.find(c))].push(c as u32);
         }
 
+        // Window-aware read/write intersection: only the overlapping
+        // word range of the two components' windows can share a bit.
+        fn slice_window<'a>(
+            bits: &'a [u64],
+            start: &[u32],
+            off: &[usize],
+            len: &[u32],
+            c: u32,
+        ) -> (usize, &'a [u64]) {
+            let c = c as usize;
+            (start[c] as usize, &bits[off[c]..off[c] + len[c] as usize])
+        }
+        let reads_writes_intersect = |r: u32, w: u32| {
+            let (rs, rm) = slice_window(&read_bits, &mask_start, &mask_off, &mask_len, r);
+            let (ws, wm) = slice_window(&write_bits, &mask_start, &mask_off, &mask_len, w);
+            let lo = rs.max(ws);
+            let hi = (rs + rm.len()).min(ws + wm.len());
+            (lo..hi).any(|i| rm[i - rs] & wm[i - ws] != 0)
+        };
+
         let mut groups: Vec<(usize, Group)> = Vec::with_capacity(sccs.len());
         for (i, scc) in sccs.iter().enumerate() {
             let mut members: Vec<u32> = scc
@@ -286,13 +337,9 @@ impl Scheduler {
             // written signals.
             let cyclic = scc.len() > 1
                 || members.len() > 1
-                || members.iter().any(|&m| {
-                    let rm = &read_masks[m as usize * words..(m as usize + 1) * words];
-                    members.iter().any(|&w| {
-                        let wm = &write_masks[w as usize * words..(w as usize + 1) * words];
-                        rm.iter().zip(wm).any(|(a, b)| a & b != 0)
-                    })
-                });
+                || members
+                    .iter()
+                    .any(|&m| members.iter().any(|&w| reads_writes_intersect(m, w)));
             if cyclic && members.len() > 1 {
                 // Quasi-topological member order (Kahn with minimum-index
                 // cycle breaking): evaluating writers before their
@@ -300,13 +347,8 @@ impl Scheduler {
                 // plus one re-eval per broken back edge, instead of one
                 // round per dependency chain link.
                 let k = members.len();
-                let reads_from = |i: usize, j: usize| {
-                    let rm =
-                        &read_masks[members[i] as usize * words..(members[i] as usize + 1) * words];
-                    let wm = &write_masks
-                        [members[j] as usize * words..(members[j] as usize + 1) * words];
-                    i != j && rm.iter().zip(wm).any(|(a, b)| a & b != 0)
-                };
+                let reads_from =
+                    |i: usize, j: usize| i != j && reads_writes_intersect(members[i], members[j]);
                 let mut indegree: Vec<usize> = (0..k)
                     .map(|i| (0..k).filter(|&j| reads_from(i, j)).count())
                     .collect();
@@ -341,7 +383,7 @@ impl Scheduler {
             levels[i] += levels[i - 1];
         }
 
-        let mut multi_writer = vec![0u64; words];
+        let mut multi_writer = vec![0u64; n_signals.div_ceil(64).max(1)];
         for (s, w) in writers.iter().enumerate() {
             if w.len() > 1 {
                 multi_writer[s / 64] |= 1 << (s % 64);
@@ -350,24 +392,28 @@ impl Scheduler {
 
         let groups: Vec<Group> = groups.into_iter().map(|(_, g)| g).collect();
         let mut group_of = vec![0u32; n];
+        let mut member_pos = vec![0u32; n];
         for (gi, g) in groups.iter().enumerate() {
-            for &m in &g.members {
+            for (i, &m) in g.members.iter().enumerate() {
                 group_of[m as usize] = gi as u32;
+                member_pos[m as usize] = i as u32;
             }
         }
 
         Scheduler {
-            words,
-            read_masks,
-            write_masks,
-            tick_masks,
-            zero_mask: vec![0u64; words],
+            mask_start,
+            mask_len,
+            mask_off,
+            read_bits,
+            write_bits,
+            tick_bits,
             names: components.iter().map(|c| c.name().to_owned()).collect(),
             multi_writer,
             eval_readers: readers,
             writers_of: writers,
             tick_observers,
             group_of,
+            member_pos,
             groups,
             levels,
         }
@@ -430,9 +476,9 @@ impl Scheduler {
             let (start, end) = (self.levels[l], self.levels[l + 1]);
             let run_serial = pool.is_none() || end - start < 2;
             if run_serial {
-                for g in &self.groups[start..end] {
+                for gi in start..end {
                     // SAFETY: single-threaded here; arenas outlive the call.
-                    unsafe { self.run_group(g, arenas, cycle)? };
+                    unsafe { self.run_group(gi, arenas, cycle)? };
                 }
             } else {
                 let pool = pool.expect("checked");
@@ -450,9 +496,7 @@ impl Scheduler {
                                 // disjoint members and write sets; reads
                                 // come from completed levels. See
                                 // `Arenas`.
-                                if let Err(e) =
-                                    unsafe { self.run_group(&self.groups[gi], arenas, cycle) }
-                                {
+                                if let Err(e) = unsafe { self.run_group(gi, arenas, cycle) } {
                                     errors.lock().unwrap().push((gi, e));
                                 }
                             }
@@ -470,8 +514,37 @@ impl Scheduler {
         Ok(())
     }
 
-    fn mask(masks: &[u64], words: usize, c: u32) -> &[u64] {
-        &masks[c as usize * words..(c as usize + 1) * words]
+    /// Component `c`'s windowed guard mask inside one of the bit arenas.
+    fn window<'a>(&'a self, bits: &'a [u64], c: u32) -> BitWindow<'a> {
+        let c = c as usize;
+        let off = self.mask_off[c];
+        BitWindow {
+            start_word: self.mask_start[c] as usize,
+            words: &bits[off..off + self.mask_len[c] as usize],
+        }
+    }
+
+    /// Re-dirties the members of group `gi` that must re-evaluate after
+    /// signal `cid` changed: its declared readers, plus — when several
+    /// components write `cid` and may disagree — its co-writers. Walks
+    /// the per-signal reader/writer lists instead of scanning the member
+    /// array, so propagation is O(touchers of the signal), not
+    /// O(group size): inside a lane-batched fleet a node's group holds
+    /// every lane's stop-path neighbours, and a member scan per change
+    /// would cost O(lanes²) per settle.
+    fn redirty_members(&self, gi: u32, cid: u32, dirty: &mut [bool]) {
+        for &r in &self.eval_readers[cid as usize] {
+            if self.group_of[r as usize] == gi {
+                dirty[self.member_pos[r as usize] as usize] = true;
+            }
+        }
+        if bit(&self.multi_writer, cid as usize) {
+            for &w in &self.writers_of[cid as usize] {
+                if self.group_of[w as usize] == gi {
+                    dirty[self.member_pos[w as usize] as usize] = true;
+                }
+            }
+        }
     }
 
     /// Evaluates one group.
@@ -481,7 +554,8 @@ impl Scheduler {
     /// The caller must guarantee no other thread concurrently runs a
     /// group sharing members or written signals with `g` (scheduler
     /// level invariant).
-    unsafe fn run_group(&self, g: &Group, a: Arenas, cycle: u64) -> Result<(), SimError> {
+    unsafe fn run_group(&self, gi: usize, a: Arenas, cycle: u64) -> Result<(), SimError> {
+        let g = &self.groups[gi];
         if !g.cyclic {
             for &m in &g.members {
                 self.eval_member(m, a, cycle, None);
@@ -506,21 +580,7 @@ impl Scheduler {
                 changed.clear();
                 self.eval_member(m, a, cycle, Some(&mut changed));
                 for &cid in &changed {
-                    // A changed signal re-dirties its readers; a signal
-                    // with several writers also re-dirties the
-                    // co-writers (legacy sweeps re-evaluate disagreeing
-                    // writers until they agree, or report
-                    // non-convergence). Sole writers are idempotent by
-                    // contract — re-evaluating them is pure waste.
-                    let contested = bit(&self.multi_writer, cid as usize);
-                    for (mj, &mc) in g.members.iter().enumerate() {
-                        if bit(Self::mask(&self.read_masks, self.words, mc), cid as usize)
-                            || (contested
-                                && bit(Self::mask(&self.write_masks, self.words, mc), cid as usize))
-                        {
-                            dirty[mj] = true;
-                        }
-                    }
+                    self.redirty_members(gi as u32, cid, &mut dirty);
                 }
             }
             if !evaluated {
@@ -549,8 +609,8 @@ impl Scheduler {
     unsafe fn eval_member(&self, m: u32, a: Arenas, cycle: u64, track: Option<&mut Vec<u32>>) {
         let guard = Guard {
             component: &self.names[m as usize],
-            reads: Self::mask(&self.read_masks, self.words, m),
-            writes: Self::mask(&self.write_masks, self.words, m),
+            reads: self.window(&self.read_bits, m),
+            writes: self.window(&self.write_bits, m),
             track,
             tick: false,
         };
@@ -628,7 +688,7 @@ impl Scheduler {
                     // call.
                     unsafe {
                         self.run_group_activity(
-                            &self.groups[gi],
+                            gi,
                             arenas,
                             cycle,
                             &state.comp_dirty,
@@ -662,7 +722,7 @@ impl Scheduler {
                                     // See `Arenas`.
                                     match unsafe {
                                         self.run_group_activity(
-                                            &self.groups[gi],
+                                            gi,
                                             arenas,
                                             cycle,
                                             comp_dirty,
@@ -725,12 +785,13 @@ impl Scheduler {
     /// As [`Scheduler::run_group`].
     unsafe fn run_group_activity(
         &self,
-        g: &Group,
+        gi: usize,
         a: Arenas,
         cycle: u64,
         comp_dirty: &[bool],
         changes: &mut Vec<u32>,
     ) -> Result<(), SimError> {
+        let g = &self.groups[gi];
         if !g.cyclic {
             // Acyclic groups are always single-member.
             for &m in &g.members {
@@ -757,15 +818,13 @@ impl Scheduler {
                 self.eval_member(m, a, cycle, Some(&mut changed));
                 changes.extend_from_slice(&changed);
                 for &cid in &changed {
-                    let contested = bit(&self.multi_writer, cid as usize);
-                    for (mj, &mc) in g.members.iter().enumerate() {
-                        if bit(Self::mask(&self.read_masks, self.words, mc), cid as usize)
-                            || (contested
-                                && bit(Self::mask(&self.write_masks, self.words, mc), cid as usize))
-                        {
-                            dirty[mj] = true;
-                        }
-                    }
+                    // A changed signal re-dirties its readers; a signal
+                    // with several writers also re-dirties the
+                    // co-writers (legacy sweeps re-evaluate disagreeing
+                    // writers until they agree, or report
+                    // non-convergence). Sole writers are idempotent by
+                    // contract — re-evaluating them is pure waste.
+                    self.redirty_members(gi as u32, cid, &mut dirty);
                 }
             }
             if !evaluated || dirty.iter().all(|d| !d) {
@@ -875,8 +934,8 @@ impl Scheduler {
     unsafe fn tick_member(&self, c: u32, a: Arenas, cycle: u64) -> Activity {
         let guard = Guard {
             component: &self.names[c as usize],
-            reads: Self::mask(&self.tick_masks, self.words, c),
-            writes: &self.zero_mask,
+            reads: self.window(&self.tick_bits, c),
+            writes: BitWindow::EMPTY,
             track: None,
             tick: true,
         };

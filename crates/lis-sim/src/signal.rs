@@ -55,6 +55,36 @@ pub(crate) fn bit(words: &[u64], id: usize) -> bool {
     words[id / 64] & (1u64 << (id % 64)) != 0
 }
 
+/// A bitset over signal ids restricted to a contiguous *word window*
+/// `start_word .. start_word + words.len()`; every bit outside the
+/// window is zero. One component's declared signals span a narrow id
+/// range, so the scheduler's guard masks store only that range — total
+/// mask memory is O(Σ window sizes) instead of O(components × signals),
+/// which keeps the guard words cache-resident even for lane-batched
+/// fleets with tens of thousands of components.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct BitWindow<'a> {
+    pub(crate) start_word: usize,
+    pub(crate) words: &'a [u64],
+}
+
+impl BitWindow<'_> {
+    /// The empty bitset (used as the tick phase's write set).
+    pub(crate) const EMPTY: BitWindow<'static> = BitWindow {
+        start_word: 0,
+        words: &[],
+    };
+
+    /// Tests bit `id`.
+    #[inline]
+    pub(crate) fn bit(&self, id: usize) -> bool {
+        (id / 64)
+            .checked_sub(self.start_word)
+            .and_then(|i| self.words.get(i))
+            .is_some_and(|w| w & (1u64 << (id % 64)) != 0)
+    }
+}
+
 /// Access permissions and change tracking for one component's `eval` or
 /// `tick`.
 ///
@@ -67,8 +97,8 @@ pub(crate) fn bit(words: &[u64], id: usize) -> bool {
 /// messages name the tick-phase rules.
 pub(crate) struct Guard<'a> {
     pub(crate) component: &'a str,
-    pub(crate) reads: &'a [u64],
-    pub(crate) writes: &'a [u64],
+    pub(crate) reads: BitWindow<'a>,
+    pub(crate) writes: BitWindow<'a>,
     pub(crate) track: Option<&'a mut Vec<u32>>,
     pub(crate) tick: bool,
 }
@@ -171,7 +201,7 @@ impl<'a> SignalView<'a> {
     pub fn get(&self, id: SignalId) -> u64 {
         let slot = self.slot(id);
         if let Some(g) = &self.guard {
-            if !bit(g.reads, id.index()) && !bit(g.writes, id.index()) {
+            if !g.reads.bit(id.index()) && !g.writes.bit(id.index()) {
                 // SAFETY: names are immutable after construction; reading
                 // one never races with concurrent `value` writes.
                 let name = unsafe { &(*slot).name };
@@ -208,7 +238,7 @@ impl<'a> SignalView<'a> {
     pub fn set(&mut self, id: SignalId, value: u64) {
         let slot = self.slot(id);
         if let Some(g) = &self.guard {
-            if !bit(g.writes, id.index()) {
+            if !g.writes.bit(id.index()) {
                 // SAFETY: names are immutable after construction.
                 let name = unsafe { &(*slot).name };
                 if g.tick {
@@ -302,6 +332,21 @@ mod tests {
     }
 
     #[test]
+    fn bit_window_clips_to_its_word_range() {
+        let words = vec![u64::MAX];
+        let w = BitWindow {
+            start_word: 2,
+            words: &words,
+        };
+        assert!(!w.bit(0)); // below the window
+        assert!(!w.bit(127)); // last bit before the window
+        assert!(w.bit(128)); // first bit inside
+        assert!(w.bit(191)); // last bit inside
+        assert!(!w.bit(192)); // past the window
+        assert!(!BitWindow::EMPTY.bit(0));
+    }
+
+    #[test]
     fn guarded_view_enforces_declared_sets_and_tracks_changes() {
         let mut signals = arena();
         let reads = vec![0b01u64]; // may read signal 0
@@ -314,8 +359,14 @@ mod tests {
                 0,
                 Guard {
                     component: "t",
-                    reads: &reads,
-                    writes: &writes,
+                    reads: BitWindow {
+                        start_word: 0,
+                        words: &reads,
+                    },
+                    writes: BitWindow {
+                        start_word: 0,
+                        words: &writes,
+                    },
                     track: Some(&mut track),
                     tick: false,
                 },
@@ -333,7 +384,6 @@ mod tests {
     #[should_panic(expected = "read undeclared signal")]
     fn guarded_view_panics_on_undeclared_read() {
         let mut signals = arena();
-        let none = vec![0u64];
         let view = unsafe {
             SignalView::guarded(
                 signals.as_mut_ptr(),
@@ -341,8 +391,8 @@ mod tests {
                 0,
                 Guard {
                     component: "t",
-                    reads: &none,
-                    writes: &none,
+                    reads: BitWindow::EMPTY,
+                    writes: BitWindow::EMPTY,
                     track: None,
                     tick: false,
                 },
@@ -356,7 +406,6 @@ mod tests {
     fn guarded_view_panics_on_undeclared_write() {
         let mut signals = arena();
         let reads = vec![0b11u64];
-        let none = vec![0u64];
         let mut view = unsafe {
             SignalView::guarded(
                 signals.as_mut_ptr(),
@@ -364,8 +413,11 @@ mod tests {
                 0,
                 Guard {
                     component: "t",
-                    reads: &reads,
-                    writes: &none,
+                    reads: BitWindow {
+                        start_word: 0,
+                        words: &reads,
+                    },
+                    writes: BitWindow::EMPTY,
                     track: None,
                     tick: false,
                 },

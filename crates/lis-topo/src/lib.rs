@@ -27,7 +27,11 @@
 //! ([`e7_bench`]): the same stress mesh under streaming / bursty /
 //! hotspot / saturating back-pressured traffic, once per settle engine
 //! — proving the activity-driven kernel delivers bit-identical streams
-//! while skipping most of the quiescent mesh.
+//! while skipping most of the quiescent mesh. And the **fleet bench**
+//! ([`fleet_bench`]): up to 64 independent traffic scenarios of the
+//! stress mesh lane-batched through one shared packed instruction
+//! stream ([`FleetTopologyBuilder`]), every lane asserted bit-identical
+//! to a sequential solo run of the same seed.
 //!
 //! # Examples
 //!
@@ -57,6 +61,7 @@
 mod ablation;
 mod build;
 mod e7;
+mod fleet;
 mod oracle;
 mod topology;
 
@@ -66,6 +71,10 @@ pub use ablation::{
 };
 pub use build::{build_soc, GeneratedSoc, TopoStats, TopologyBuilder};
 pub use e7::{assert_e7_streams, e7_bench, E7Config, E7Report, E7Row};
+pub use fleet::{
+    assert_fleet_lanes, build_fleet, fleet_bench, fleet_scenario, FleetBenchConfig, FleetReport,
+    FleetRow, FleetScenario, FleetStats, FleetTopologyBuilder, GeneratedFleet,
+};
 pub use oracle::{expected_sink_streams, stream_checksum};
 pub use topology::{
     source_token, Endpoint, NodeModel, SyncVariant, TopoLink, TopoNode, TopologyGraph,

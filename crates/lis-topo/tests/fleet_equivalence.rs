@@ -1,0 +1,173 @@
+//! Property tests for scenario fleets: for any generated topology —
+//! random shape, latency assignment, synchronizer variant — and any
+//! random per-lane traffic/seed assignment, every fleet lane must be
+//! bit-identical (streams, violations) to a solo SoC run of that lane's
+//! scenario, and the fleet itself must be deterministic across
+//! per-batch evaluation thread counts.
+
+use lis_sim::WorkStealingPool;
+use lis_topo::{
+    build_soc, FleetScenario, FleetTopologyBuilder, NodeModel, SyncVariant, TopologyShape,
+    TopologySpec, TrafficPattern,
+};
+use proptest::prelude::*;
+
+/// Decodes a compact random tuple into a shared fleet spec (traffic and
+/// seed are per-lane and substituted per scenario).
+#[allow(clippy::too_many_arguments)]
+fn base_spec_from(
+    shape_sel: u8,
+    size_a: usize,
+    size_b: usize,
+    compute_latency: usize,
+    hop_distance: u32,
+    relay_budget: u32,
+    variant_sel: u8,
+    gate_level: bool,
+) -> TopologySpec {
+    let shape = match shape_sel % 4 {
+        0 => TopologyShape::Chain { nodes: size_a },
+        1 => TopologyShape::Ring { nodes: size_a },
+        2 => TopologyShape::Star { leaves: size_a },
+        _ => TopologyShape::Mesh {
+            rows: size_a,
+            cols: size_b,
+        },
+    };
+    TopologySpec {
+        shape,
+        compute_latency,
+        hop_distance,
+        relay_budget,
+        wire_segments: 0,
+        traffic: TrafficPattern::Streaming,
+        model: if gate_level {
+            NodeModel::GateLevel
+        } else {
+            NodeModel::Behavioural
+        },
+        variant: SyncVariant::all()[variant_sel as usize % 3],
+        tokens_per_source: 200,
+        seed: 0,
+    }
+}
+
+/// Decodes one random lane: its traffic regime and stall seed.
+fn scenario_from(traffic_sel: u8, stall: f64, seed: u64, lane: usize) -> FleetScenario {
+    let traffic = match (traffic_sel as usize + lane) % 4 {
+        0 => TrafficPattern::Streaming,
+        1 => TrafficPattern::Bursty { stall },
+        2 => TrafficPattern::Hotspot { stall },
+        _ => TrafficPattern::BackPressured {
+            stall: 0.5 + stall / 2.0,
+        },
+    };
+    FleetScenario {
+        traffic,
+        seed: seed.wrapping_add(7919 * lane as u64),
+    }
+}
+
+/// Runs the fleet at the given per-batch thread count and returns each
+/// lane's (streams, violations).
+fn run_fleet(
+    spec: &TopologySpec,
+    scenarios: &[FleetScenario],
+    threads: usize,
+    cycles: u64,
+) -> Vec<(Vec<Vec<u64>>, u64)> {
+    let mut fleet = FleetTopologyBuilder::new(spec.clone(), scenarios.to_vec())
+        .threads(threads)
+        .build();
+    fleet
+        .run(cycles, &WorkStealingPool::new(1))
+        .expect("fleets must never hit NoConvergence");
+    (0..scenarios.len())
+        .map(|lane| (fleet.lane_received(lane), fleet.lane_violations(lane)))
+        .collect()
+}
+
+/// Runs lane `lane`'s solo twin and returns its (streams, violations).
+fn run_solo(spec: &TopologySpec, sc: &FleetScenario, cycles: u64) -> (Vec<Vec<u64>>, u64) {
+    let mut topo = build_soc(&sc.solo_spec(spec));
+    topo.soc
+        .run(cycles)
+        .expect("solo twins must never hit NoConvergence");
+    (topo.received(), topo.soc.violations())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Behavioural fleets: every lane bit-identical to its solo twin,
+    /// and the whole fleet invariant under the per-batch evaluation
+    /// thread count.
+    #[test]
+    fn random_behavioural_fleet_lanes_match_solo_twins(
+        shape_sel in any::<u8>(),
+        size_a in 1usize..5,
+        size_b in 1usize..3,
+        compute_latency in 0usize..5,
+        hop_distance in 1u32..7,
+        relay_budget in 1u32..4,
+        variant_sel in any::<u8>(),
+        traffic_sel in any::<u8>(),
+        stall in 0.0f64..0.6,
+        seed in any::<u64>(),
+        lanes in 2usize..6,
+        cycles in 50u64..240,
+    ) {
+        let spec = base_spec_from(
+            shape_sel, size_a, size_b, compute_latency, hop_distance,
+            relay_budget, variant_sel, false,
+        );
+        let scenarios: Vec<FleetScenario> = (0..lanes)
+            .map(|lane| scenario_from(traffic_sel, stall, seed, lane))
+            .collect();
+        let got_1t = run_fleet(&spec, &scenarios, 1, cycles);
+        let got_4t = run_fleet(&spec, &scenarios, 4, cycles);
+        prop_assert_eq!(&got_1t, &got_4t,
+            "per-batch thread count changed the fleet for {:?}", &spec);
+        for (lane, sc) in scenarios.iter().enumerate() {
+            let want = run_solo(&spec, sc, cycles);
+            prop_assert_eq!(&got_1t[lane], &want,
+                "lane {} diverged from its solo twin for {:?}", lane, &spec);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Gate-level fleets (shared packed netlist shells): same
+    /// guarantees, smaller sizes — each case simulates every lane both
+    /// packed and solo.
+    #[test]
+    fn random_gate_level_fleet_lanes_match_solo_twins(
+        shape_sel in any::<u8>(),
+        size_a in 1usize..4,
+        size_b in 1usize..3,
+        compute_latency in 0usize..4,
+        hop_distance in 1u32..6,
+        relay_budget in 1u32..3,
+        variant_sel in any::<u8>(),
+        traffic_sel in any::<u8>(),
+        stall in 0.0f64..0.5,
+        seed in any::<u64>(),
+        lanes in 2usize..5,
+    ) {
+        let spec = base_spec_from(
+            shape_sel, size_a, size_b, compute_latency, hop_distance,
+            relay_budget, variant_sel, true,
+        );
+        let scenarios: Vec<FleetScenario> = (0..lanes)
+            .map(|lane| scenario_from(traffic_sel, stall, seed, lane))
+            .collect();
+        let got = run_fleet(&spec, &scenarios, 1, 150);
+        for (lane, sc) in scenarios.iter().enumerate() {
+            let want = run_solo(&spec, sc, 150);
+            prop_assert_eq!(&got[lane], &want,
+                "lane {} diverged from its solo twin for {:?}", lane, &spec);
+        }
+    }
+}

@@ -216,6 +216,30 @@ impl Component for FullNetlistPatientProcess {
                                   // mesh keeps most of its shells in.
         Activity::from_changed(ff_changed || pearl_clocked)
     }
+
+    fn save_state(&self, out: &mut Vec<u64>) {
+        out.push(self.schedule_step as u64);
+        out.push(self.clocked_this_cycle as u64);
+        out.extend(self.pearl_out.iter().copied());
+        let dffs = self.shell.dff_state();
+        out.push(dffs.len() as u64);
+        out.extend(dffs.iter().map(|&b| b as u64));
+        self.pearl.save_state(out);
+    }
+
+    fn load_state(&mut self, data: &[u64]) {
+        self.schedule_step = data[0] as usize;
+        self.clocked_this_cycle = data[1] != 0;
+        let n_out = self.pearl_out.len();
+        self.pearl_out.copy_from_slice(&data[2..2 + n_out]);
+        let n_dffs = data[2 + n_out] as usize;
+        let dffs: Vec<bool> = data[3 + n_out..3 + n_out + n_dffs]
+            .iter()
+            .map(|&w| w != 0)
+            .collect();
+        self.shell.set_dff_state(&dffs);
+        self.pearl.load_state(&data[3 + n_out + n_dffs..]);
+    }
 }
 
 /// Wires a fully gate-level patient process into `system`, mirroring

@@ -52,6 +52,7 @@ mod fsm_netlist;
 mod full_netlist_harness;
 mod kind;
 mod netlist_harness;
+mod packed_full_harness;
 mod patient;
 mod policy;
 mod shiftreg_netlist;
@@ -63,6 +64,7 @@ pub use fsm_netlist::{generate_fsm, FsmEncoding};
 pub use full_netlist_harness::{wrap_pearl_full_netlist, FullNetlistPatientProcess};
 pub use kind::WrapperKind;
 pub use netlist_harness::{wrap_pearl_netlist, NetlistPatientProcess};
+pub use packed_full_harness::{wrap_pearls_packed_full_netlist, PackedFullNetlistPatientProcess};
 pub use patient::{wrap_pearl, PatientProcess, PatientStats};
 pub use policy::{
     firing_trace, CombPolicy, Decision, FsmPolicy, ShiftRegPolicy, SpPolicy, SyncPolicy,

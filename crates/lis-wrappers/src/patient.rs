@@ -232,6 +232,41 @@ impl Component for PatientProcess {
         }
         Activity::from_changed(changed)
     }
+
+    fn save_state(&self, out: &mut Vec<u64>) {
+        out.push(self.sched_step as u64);
+        for q in self.in_queues.iter().chain(&self.out_queues) {
+            out.push(q.len() as u64);
+            out.extend(q.iter().copied());
+        }
+        for &stop in &self.in_stop {
+            out.push(stop as u64);
+        }
+        let mut policy = Vec::new();
+        self.policy.save_state(&mut policy);
+        out.push(policy.len() as u64);
+        out.extend(policy);
+        // The pearl's blob goes last; like the policy's it is
+        // self-describing, so no trailing length is needed.
+        self.pearl.save_state(out);
+    }
+
+    fn load_state(&mut self, data: &[u64]) {
+        self.sched_step = data[0] as usize;
+        let mut at = 1;
+        for q in self.in_queues.iter_mut().chain(&mut self.out_queues) {
+            let n = data[at] as usize;
+            *q = data[at + 1..at + 1 + n].iter().copied().collect();
+            at += 1 + n;
+        }
+        for stop in &mut self.in_stop {
+            *stop = data[at] != 0;
+            at += 1;
+        }
+        let n_policy = data[at] as usize;
+        self.policy.load_state(&data[at + 1..at + 1 + n_policy]);
+        self.pearl.load_state(&data[at + 1 + n_policy..]);
+    }
 }
 
 /// Builds the standard single-pearl test bench: source channels feeding

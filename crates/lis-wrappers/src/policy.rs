@@ -61,6 +61,16 @@ pub trait SyncPolicy: fmt::Debug + Send {
 
     /// Short model name for reports.
     fn model_name(&self) -> &'static str;
+
+    /// Appends the policy's registered state as plain words — the
+    /// policy's share of a [`lis_sim::SystemCheckpoint`]. Stateless
+    /// policies append nothing.
+    fn save_state(&self, _out: &mut Vec<u64>) {}
+
+    /// Restores state captured by
+    /// [`SyncPolicy::save_state`]. `data` holds exactly the words this
+    /// policy saved.
+    fn load_state(&mut self, _data: &[u64]) {}
 }
 
 fn masks_ready(reads: PortSet, writes: PortSet, not_empty: &[bool], not_full: &[bool]) -> bool {
@@ -120,6 +130,14 @@ impl SyncPolicy for CombPolicy {
     fn model_name(&self) -> &'static str {
         "comb"
     }
+
+    fn save_state(&self, out: &mut Vec<u64>) {
+        out.push(self.step as u64);
+    }
+
+    fn load_state(&mut self, data: &[u64]) {
+        self.step = data[0] as usize;
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -168,6 +186,14 @@ impl SyncPolicy for FsmPolicy {
 
     fn model_name(&self) -> &'static str {
         "fsm"
+    }
+
+    fn save_state(&self, out: &mut Vec<u64>) {
+        out.push(self.step as u64);
+    }
+
+    fn load_state(&mut self, data: &[u64]) {
+        self.step = data[0] as usize;
     }
 }
 
@@ -252,6 +278,16 @@ impl SyncPolicy for ShiftRegPolicy {
 
     fn model_name(&self) -> &'static str {
         "shiftreg"
+    }
+
+    fn save_state(&self, out: &mut Vec<u64>) {
+        out.push(self.pos as u64);
+        out.push(self.step as u64);
+    }
+
+    fn load_state(&mut self, data: &[u64]) {
+        self.pos = data[0] as usize;
+        self.step = data[1] as usize;
     }
 }
 
@@ -378,6 +414,27 @@ impl SyncPolicy for SpPolicy {
 
     fn model_name(&self) -> &'static str {
         "sp"
+    }
+
+    fn save_state(&self, out: &mut Vec<u64>) {
+        out.push(match self.mode {
+            SpMode::Reset => 0,
+            SpMode::AtSync => 1,
+            SpMode::Running => 2,
+        });
+        out.push(self.op_idx as u64);
+        out.push(u64::from(self.remaining));
+    }
+
+    fn load_state(&mut self, data: &[u64]) {
+        self.mode = match data[0] {
+            0 => SpMode::Reset,
+            1 => SpMode::AtSync,
+            2 => SpMode::Running,
+            m => panic!("invalid SP mode {m} in checkpoint"),
+        };
+        self.op_idx = data[1] as usize;
+        self.remaining = data[2] as u32;
     }
 }
 
