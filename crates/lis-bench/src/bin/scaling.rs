@@ -9,18 +9,23 @@
 //! sweep only.
 //!
 //! A third sweep measures **simulation throughput** over the same
-//! growing schedules: the interpreting `NetlistSim` vs the levelized
-//! compiled engine vs the 64-lane packed engine, on both the FSM
-//! wrapper (whose netlist grows with schedule length — the hard case)
-//! and the SP wrapper (constant logic). This is the baseline every
+//! growing schedules, on all five netlist engines: the interpreting
+//! `NetlistSim`, the levelized compiled engine, the 64-lane packed
+//! engine, and the two JIT-lowered engines (fused direct-threaded
+//! scalar, and level-parallel packed). Both the FSM wrapper (whose
+//! netlist grows with schedule length — the hard case) and the SP
+//! wrapper (constant logic) are swept. This is the baseline every
 //! future perf PR has to beat; `--json <path>` records it (plus the
-//! structural sweeps) as e.g. BENCH_scaling.json.
+//! structural sweeps) as e.g. BENCH_scaling.json, and `--check`
+//! enforces the JIT speedup bars at the largest FSM point.
 
 use lis_bench::{bar, pool_from_args, print_rows, section};
 use lis_core::experiment::{scaling_by_length_with, scaling_by_ports_with};
-use lis_netlist::{Module, NetlistStats};
+use lis_netlist::{LoweringStats, Module, NetlistStats};
 use lis_schedule::{random_schedule, IoSchedule, RandomScheduleParams};
-use lis_sim::{CompiledNetlistSim, NetlistSim, PackedNetlistSim, LANES};
+use lis_sim::{
+    CompiledNetlistSim, JitNetlistSim, JitPackedNetlistSim, NetlistSim, PackedNetlistSim, LANES,
+};
 use lis_synth::TechParams;
 use lis_wrappers::{FsmEncoding, WrapperKind};
 use rand::rngs::StdRng;
@@ -29,9 +34,13 @@ use serde::{Serialize, Value};
 use std::time::Instant;
 
 /// One simulation-throughput point: a wrapper netlist at one schedule
-/// length, timed on all three engines. Throughputs are million
-/// cycles/second (`mcps`) and, for the packed engine, million
+/// length, timed on all five engines. Throughputs are million
+/// cycles/second (`mcps`) and, for the packed engines, million
 /// *lane*-cycles/second (`mlcps`, 64 Monte-Carlo lanes per cycle).
+/// `jit_stats` records what the JIT lowering did to the instruction
+/// stream — structural, deterministic counters that CI pins against
+/// drift (the `*_mcps`/`*_mlcps`/`speedup_*` wall-clock fields are
+/// excluded from the diff).
 #[derive(Debug, Clone, Serialize)]
 struct SimScalingRow {
     period: usize,
@@ -43,15 +52,20 @@ struct SimScalingRow {
     interp_mcps: f64,
     compiled_mcps: f64,
     packed_mlcps: f64,
+    jit_mcps: f64,
+    jit_packed_mlcps: f64,
     speedup_compiled: f64,
     speedup_packed: f64,
+    speedup_jit: f64,
+    speedup_jit_packed: f64,
+    jit_stats: LoweringStats,
 }
 
 impl std::fmt::Display for SimScalingRow {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "x={:5} {:12} {:6} cells {:3} levels | interp {:8.3} Mc/s | compiled {:8.3} Mc/s ({:5.1}x) | packed {:8.1} Mlc/s ({:6.1}x)",
+            "x={:5} {:12} {:6} cells {:3} levels | interp {:8.3} Mc/s | compiled {:8.3} Mc/s ({:5.1}x) | jit {:8.3} Mc/s ({:5.1}x) | packed {:8.1} Mlc/s ({:6.1}x) | jit packed {:8.1} Mlc/s ({:6.1}x)",
             self.period,
             self.model,
             self.cells,
@@ -59,8 +73,12 @@ impl std::fmt::Display for SimScalingRow {
             self.interp_mcps,
             self.compiled_mcps,
             self.speedup_compiled,
+            self.jit_mcps,
+            self.speedup_jit,
             self.packed_mlcps,
             self.speedup_packed,
+            self.jit_packed_mlcps,
+            self.speedup_jit_packed,
         )
     }
 }
@@ -102,7 +120,7 @@ fn time_compiled(module: &Module, cycles: u64) -> (f64, u64) {
     (start.elapsed().as_secs_f64(), checksum)
 }
 
-fn time_packed(module: &Module, cycles: u64) -> f64 {
+fn time_packed(module: &Module, cycles: u64) -> (f64, u64) {
     let mut sim = PackedNetlistSim::new(module.clone()).expect("wrapper validates");
     let h_ne = sim.input_handle("ne").unwrap();
     let h_nf = sim.input_handle("nf").unwrap();
@@ -121,11 +139,55 @@ fn time_packed(module: &Module, cycles: u64) -> f64 {
         sim.step();
         checksum = checksum.wrapping_add(sim.get_output_bit_lanes(h_en, 0));
     }
-    std::hint::black_box(checksum);
-    start.elapsed().as_secs_f64()
+    (start.elapsed().as_secs_f64(), checksum)
 }
 
-fn sim_scaling_rows(periods: &[usize]) -> Vec<SimScalingRow> {
+/// Same protocol as [`time_compiled`] on the JIT-lowered scalar engine,
+/// so the speedup ratio isolates the lowering itself.
+fn time_jit(module: &Module, cycles: u64) -> (f64, u64) {
+    let mut sim = JitNetlistSim::new(module.clone()).expect("wrapper validates");
+    let h_ne = sim.input_handle("ne").unwrap();
+    let h_nf = sim.input_handle("nf").unwrap();
+    let h_en = sim.output_handle("enable").unwrap();
+    sim.set_input("rst", 0).unwrap();
+    let mut rng = StdRng::seed_from_u64(0x5CA1_AB1E);
+    let mut checksum = 0u64;
+    let start = Instant::now();
+    for _ in 0..cycles {
+        let r = rng.next_u64();
+        sim.set_input_h(h_ne, r & 0b11);
+        sim.set_input_h(h_nf, (r >> 32) & 0b11);
+        sim.step();
+        checksum += sim.get_output_h(h_en);
+    }
+    (start.elapsed().as_secs_f64(), checksum)
+}
+
+/// Same protocol as [`time_packed`] on the JIT-lowered packed engine.
+/// Returns (seconds, lane-0 checksum) so the caller can pin it against
+/// the baseline packed engine's stream.
+fn time_jit_packed(module: &Module, cycles: u64, threads: usize) -> (f64, u64) {
+    let mut sim =
+        JitPackedNetlistSim::with_threads(module.clone(), threads).expect("wrapper validates");
+    let h_ne = sim.input_handle("ne").unwrap();
+    let h_nf = sim.input_handle("nf").unwrap();
+    let h_en = sim.output_handle("enable").unwrap();
+    sim.set_input_all("rst", 0).unwrap();
+    let mut rng = StdRng::seed_from_u64(0xB1A5_ED00);
+    let mut checksum = 0u64;
+    let start = Instant::now();
+    for _ in 0..cycles {
+        sim.set_input_bit_lanes(h_ne, 0, rng.next_u64());
+        sim.set_input_bit_lanes(h_ne, 1, rng.next_u64());
+        sim.set_input_bit_lanes(h_nf, 0, rng.next_u64());
+        sim.set_input_bit_lanes(h_nf, 1, rng.next_u64());
+        sim.step();
+        checksum = checksum.wrapping_add(sim.get_output_bit_lanes(h_en, 0));
+    }
+    (start.elapsed().as_secs_f64(), checksum)
+}
+
+fn sim_scaling_rows(periods: &[usize], threads: usize) -> Vec<SimScalingRow> {
     let mut rows = Vec::new();
     for &period in periods {
         let schedule: IoSchedule = random_schedule(
@@ -152,13 +214,30 @@ fn sim_scaling_rows(periods: &[usize]) -> Vec<SimScalingRow> {
             let (s1, c2) = time_compiled(&module, cycles);
             let (s2, _) = time_compiled(&module, cycles);
             let compiled_s = s1.min(s2);
+            let (j1, c3) = time_jit(&module, cycles);
+            let (j2, _) = time_jit(&module, cycles);
+            let jit_s = j1.min(j2);
             // Same stimulus stream => same enable checksum; a cheap
             // cross-check that the engines agreed while being timed.
             assert_eq!(c1, c2, "engines diverged during timing");
-            let packed_s = time_packed(&module, cycles * 2).min(time_packed(&module, cycles * 2));
+            assert_eq!(c1, c3, "jit engine diverged during timing");
+            let (p1, pc1) = time_packed(&module, cycles * 2);
+            let (p2, _) = time_packed(&module, cycles * 2);
+            let packed_s = p1.min(p2);
+            let (jp1, pc2) = time_jit_packed(&module, cycles * 2, threads);
+            let (jp2, _) = time_jit_packed(&module, cycles * 2, threads);
+            let jit_packed_s = jp1.min(jp2);
+            assert_eq!(pc1, pc2, "jit packed engine diverged during timing");
+            let jit_stats = JitNetlistSim::new(module.clone())
+                .expect("wrapper validates")
+                .program()
+                .stats()
+                .clone();
             let interp_mcps = cycles as f64 / interp_s / 1e6;
             let compiled_mcps = cycles as f64 / compiled_s / 1e6;
+            let jit_mcps = cycles as f64 / jit_s / 1e6;
             let packed_mlcps = (cycles * 2 * LANES as u64) as f64 / packed_s / 1e6;
+            let jit_packed_mlcps = (cycles * 2 * LANES as u64) as f64 / jit_packed_s / 1e6;
             rows.push(SimScalingRow {
                 period,
                 model: kind.to_string(),
@@ -169,8 +248,13 @@ fn sim_scaling_rows(periods: &[usize]) -> Vec<SimScalingRow> {
                 interp_mcps,
                 compiled_mcps,
                 packed_mlcps,
+                jit_mcps,
+                jit_packed_mlcps,
                 speedup_compiled: compiled_mcps / interp_mcps,
                 speedup_packed: packed_mlcps / interp_mcps,
+                speedup_jit: jit_mcps / interp_mcps,
+                speedup_jit_packed: jit_packed_mlcps / interp_mcps,
+                jit_stats,
             });
         }
     }
@@ -196,6 +280,16 @@ fn main() {
         .map(|i| args.get(i + 1).expect("--json needs a path").clone());
     let what = if json_path.is_some() && what != "both" {
         eprintln!("--json needs every sweep for a complete baseline; ignoring --sweep {what}");
+        "both"
+    } else {
+        what
+    };
+    // `--check` enforces the JIT performance bars at the largest FSM
+    // point: jit >= 2x compiled and jit-packed >= 2x packed, both
+    // best-of-two on each side so the comparison is symmetric.
+    let check = args.iter().any(|a| a == "--check");
+    let what = if check && (what == "ports" || what == "length") {
+        eprintln!("--check needs the sim sweep; ignoring --sweep {what}");
         "both"
     } else {
         what
@@ -234,19 +328,47 @@ fn main() {
     let mut sim_rows = Vec::new();
     if what == "both" || what == "sim" {
         section(
-            "Simulation throughput vs schedule length (interpreter / compiled / 64-lane packed)",
+            "Simulation throughput vs schedule length (interpreter / compiled / jit / 64-lane packed / jit packed)",
         );
-        sim_rows = sim_scaling_rows(&periods);
+        sim_rows = sim_scaling_rows(&periods, pool.threads());
         print_rows(&sim_rows);
+        section("JIT lowering (per row: fusion / folding / elimination counters)");
+        for r in &sim_rows {
+            println!("x={:5} {:12} {}", r.period, r.model, r.jit_stats);
+        }
         if let Some(worst) = sim_rows
             .iter()
             .filter(|r| r.model.starts_with("fsm"))
             .max_by_key(|r| r.cells)
         {
             println!(
-                "largest point ({} @ {} cells): compiled engine {:.1}x, packed sweeps {:.1}x lane-throughput",
-                worst.model, worst.cells, worst.speedup_compiled, worst.speedup_packed
+                "largest point ({} @ {} cells): compiled {:.1}x, jit {:.1}x, packed {:.1}x, jit packed {:.1}x lane-throughput",
+                worst.model,
+                worst.cells,
+                worst.speedup_compiled,
+                worst.speedup_jit,
+                worst.speedup_packed,
+                worst.speedup_jit_packed,
             );
+            println!("largest point opcode runs:");
+            for oc in &worst.jit_stats.ops {
+                println!(
+                    "  {:10} {:5} instrs in {:3} runs",
+                    oc.op, oc.instrs, oc.runs
+                );
+            }
+            if check {
+                let jit_ratio = worst.jit_mcps / worst.compiled_mcps;
+                let jit_packed_ratio = worst.jit_packed_mlcps / worst.packed_mlcps;
+                println!(
+                    "check @ largest point: jit/compiled {jit_ratio:.2}x (bar 2.00x), jit-packed/packed {jit_packed_ratio:.2}x (bar 2.00x)"
+                );
+                if jit_ratio < 2.0 || jit_packed_ratio < 2.0 {
+                    eprintln!("--check FAILED: JIT speedup bars not met");
+                    std::process::exit(1);
+                }
+                println!("--check passed");
+            }
         }
     }
 

@@ -48,5 +48,5 @@ pub use cell::{Cell, CellKind};
 pub use error::NetlistError;
 pub use id::{CellId, NetId, RomId};
 pub use module::{Driver, Module, Net, Port, Rom};
-pub use stats::NetlistStats;
+pub use stats::{LoweringStats, NetlistStats, OpCount};
 pub use validate::{levelize, topo_order, validate, CombNode, Levelization};

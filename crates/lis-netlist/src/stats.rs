@@ -76,6 +76,84 @@ impl NetlistStats {
     }
 }
 
+/// Per-opcode census of a lowered (JIT) instruction stream: how many
+/// contiguous dispatch `runs` an opcode occupies per cycle and how many
+/// `instrs` those runs execute. Filled by the JIT lowering in `lis-sim`,
+/// recorded by the scaling bench.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpCount {
+    /// Opcode mnemonic (e.g. `and`, `and-not-a`, `mux`, `rom`).
+    pub op: String,
+    /// Contiguous same-opcode dispatch runs per cycle.
+    pub runs: usize,
+    /// Instructions executed across those runs.
+    pub instrs: usize,
+}
+
+/// Observability counters for a netlist lowering/optimization pass —
+/// what fusion, constant folding and dead-net elimination did to the
+/// instruction stream. Structural and deterministic: the scaling bench
+/// records these and CI pins them against drift.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoweringStats {
+    /// Combinational instructions before optimization.
+    pub instrs_before: usize,
+    /// Combinational instructions after fusion/folding/elimination.
+    pub instrs_after: usize,
+    /// Peephole fusions applied (NOT-into-gate superinstructions,
+    /// De Morgan rewrites, 3-input chains, MUX rewrites, and gate
+    /// inversions absorbed into flip-flop pins).
+    pub fused: usize,
+    /// Net slots whose value folded to a compile-time constant.
+    pub const_folded: usize,
+    /// Buffer/copy instructions propagated away (consumers rewired to
+    /// the source slot).
+    pub copies_propagated: usize,
+    /// Instructions removed as duplicates of an identical earlier
+    /// computation (common-subexpression elimination).
+    pub deduped: usize,
+    /// Instructions removed because no live slot ever reads their
+    /// result.
+    pub dead_instrs: usize,
+    /// Net slots before lowering.
+    pub nets_before: usize,
+    /// Dense live net slots after dead-net elimination and remapping.
+    pub nets_after: usize,
+    /// Non-empty combinational levels after lowering.
+    pub levels: usize,
+    /// Total per-opcode dispatch runs per cycle (one branch each).
+    pub runs: usize,
+    /// Per-opcode run/instruction census, sorted by mnemonic.
+    pub ops: Vec<OpCount>,
+}
+
+impl LoweringStats {
+    /// Net slots eliminated by folding and dead-net elimination.
+    pub fn nets_eliminated(&self) -> usize {
+        self.nets_before.saturating_sub(self.nets_after)
+    }
+}
+
+impl fmt::Display for LoweringStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "instrs {}->{} (fused={} const={} copies={} cse={} dead={}) nets {}->{} levels={} runs={}",
+            self.instrs_before,
+            self.instrs_after,
+            self.fused,
+            self.const_folded,
+            self.copies_propagated,
+            self.deduped,
+            self.dead_instrs,
+            self.nets_before,
+            self.nets_after,
+            self.levels,
+            self.runs,
+        )
+    }
+}
+
 impl fmt::Display for NetlistStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(

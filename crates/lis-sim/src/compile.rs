@@ -28,16 +28,16 @@ pub const LANES: usize = 64;
 /// net-slot indices (pin order follows [`CellKind`]); for
 /// [`OpCode::Rom`], `a` indexes [`NetlistProgram::roms`] instead.
 #[derive(Debug, Clone, Copy)]
-struct Instr {
-    op: OpCode,
-    a: u32,
-    b: u32,
-    c: u32,
-    dest: u32,
+pub(crate) struct Instr {
+    pub(crate) op: OpCode,
+    pub(crate) a: u32,
+    pub(crate) b: u32,
+    pub(crate) c: u32,
+    pub(crate) dest: u32,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum OpCode {
+pub(crate) enum OpCode {
     And,
     Or,
     Xor,
@@ -52,20 +52,20 @@ enum OpCode {
 
 /// A flip-flop with its pin slots pre-resolved.
 #[derive(Debug, Clone, Copy)]
-struct CompiledDff {
-    d: u32,
-    en: u32,
-    rst: u32,
-    q: u32,
-    reset_value: bool,
+pub(crate) struct CompiledDff {
+    pub(crate) d: u32,
+    pub(crate) en: u32,
+    pub(crate) rst: u32,
+    pub(crate) q: u32,
+    pub(crate) reset_value: bool,
 }
 
 /// A ROM with address/data slots pre-resolved and contents baked in.
 #[derive(Debug, Clone)]
-struct CompiledRom {
-    addr: Vec<u32>,
-    data: Vec<u32>,
-    contents: Vec<u64>,
+pub(crate) struct CompiledRom {
+    pub(crate) addr: Vec<u32>,
+    pub(crate) data: Vec<u32>,
+    pub(crate) contents: Vec<u64>,
 }
 
 /// A [`Module`] lowered to a levelized, flat instruction stream.
@@ -77,20 +77,20 @@ struct CompiledRom {
 #[derive(Debug, Clone)]
 pub struct NetlistProgram {
     /// Number of net slots (one per module net).
-    slots: usize,
+    pub(crate) slots: usize,
     /// Levelized combinational stream (constants excluded — they are
     /// applied once at initialization and never change).
-    instrs: Vec<Instr>,
+    pub(crate) instrs: Vec<Instr>,
     /// `instrs[level_starts[l]..level_starts[l + 1]]` is level `l`.
-    level_starts: Vec<usize>,
+    pub(crate) level_starts: Vec<usize>,
     /// Constant drivers, applied at initialization.
-    consts: Vec<(u32, bool)>,
-    dffs: Vec<CompiledDff>,
-    roms: Vec<CompiledRom>,
+    pub(crate) consts: Vec<(u32, bool)>,
+    pub(crate) dffs: Vec<CompiledDff>,
+    pub(crate) roms: Vec<CompiledRom>,
     /// `(name, bit slots)` per input port, in module order.
-    inputs: Vec<(String, Vec<u32>)>,
+    pub(crate) inputs: Vec<(String, Vec<u32>)>,
     /// `(name, bit slots)` per output port, in module order.
-    outputs: Vec<(String, Vec<u32>)>,
+    pub(crate) outputs: Vec<(String, Vec<u32>)>,
 }
 
 impl NetlistProgram {
@@ -237,7 +237,11 @@ impl NetlistProgram {
 
     /// Resolves an input port name to a handle (shared by both
     /// engines; `module` supplies the name for the error).
-    fn resolve_input(&self, module: &Module, name: &str) -> Result<PortHandle, SimError> {
+    pub(crate) fn resolve_input(
+        &self,
+        module: &Module,
+        name: &str,
+    ) -> Result<PortHandle, SimError> {
         Ok(PortHandle {
             index: self.find_port(&self.inputs, module, name, false)?,
             output: false,
@@ -245,7 +249,11 @@ impl NetlistProgram {
     }
 
     /// Resolves an output port name to a handle.
-    fn resolve_output(&self, module: &Module, name: &str) -> Result<PortHandle, SimError> {
+    pub(crate) fn resolve_output(
+        &self,
+        module: &Module,
+        name: &str,
+    ) -> Result<PortHandle, SimError> {
         Ok(PortHandle {
             index: self.find_port(&self.outputs, module, name, true)?,
             output: true,
@@ -258,8 +266,9 @@ impl NetlistProgram {
 /// plain bitwise operators for both, which is what lets the two
 /// engines share a single instruction walk ([`eval_program`]) and
 /// flip-flop commit ([`commit_dffs`]) instead of maintaining two
-/// hand-synchronized copies.
-trait SimWord:
+/// hand-synchronized copies. The JIT engines (`crate::jit`) execute
+/// over the same words.
+pub(crate) trait SimWord:
     Copy
     + PartialEq
     + std::ops::BitAnd<Output = Self>
@@ -347,7 +356,7 @@ fn commit_dffs<W: SimWord>(prog: &NetlistProgram, values: &[W], state: &mut [W])
 /// addressed word: 0 beyond the populated contents, and 0 when any set
 /// address bit lies past bit 63 (such an address can never land inside
 /// a `Vec`-backed table).
-fn rom_word(rom: &CompiledRom, mut bit_of: impl FnMut(u32) -> bool) -> u64 {
+pub(crate) fn rom_word(rom: &CompiledRom, mut bit_of: impl FnMut(u32) -> bool) -> u64 {
     let mut addr = 0u64;
     let mut high = false;
     for (i, &a) in rom.addr.iter().enumerate() {
@@ -370,6 +379,57 @@ fn rom_word(rom: &CompiledRom, mut bit_of: impl FnMut(u32) -> bool) -> u64 {
     }
 }
 
+/// Packed (64-lane) view of the net-slot buffer a ROM read goes
+/// through — implemented by the plain slice in [`PackedNetlistSim`]
+/// and by the unchecked slot pointer in the packed JIT engine.
+pub(crate) trait RomSlots {
+    fn get(&self, s: u32) -> u64;
+    fn set(&mut self, s: u32, w: u64);
+}
+
+impl RomSlots for &mut [u64] {
+    fn get(&self, s: u32) -> u64 {
+        self[s as usize]
+    }
+    fn set(&mut self, s: u32, w: u64) {
+        self[s as usize] = w;
+    }
+}
+
+/// Performs one packed ROM read through the `slots` accessor: gathers
+/// a per-lane address and scatters the per-lane word back onto the
+/// data slots. Shared by [`PackedNetlistSim`] and the packed JIT
+/// engine (`crate::jit`).
+///
+/// Fast path: wrapper controllers almost always drive every lane to the
+/// *same* ROM address (the slice table is indexed by a shared schedule
+/// counter), which makes each address slot all-zeros or all-ones. In
+/// that case one table lookup serves all 64 lanes and the per-lane
+/// gather/scatter loop is skipped entirely.
+pub(crate) fn packed_rom_gather(rom: &CompiledRom, slots: &mut impl RomSlots) {
+    let shared_addr = rom.addr.iter().all(|&a| {
+        let w = slots.get(a);
+        w == 0 || w == u64::MAX
+    });
+    if shared_addr {
+        let word = rom_word(rom, |a| slots.get(a) == u64::MAX);
+        for (i, &d) in rom.data.iter().enumerate() {
+            slots.set(d, if (word >> i) & 1 == 1 { u64::MAX } else { 0 });
+        }
+        return;
+    }
+    let mut out = [0u64; 64];
+    for lane in 0..LANES {
+        let word = rom_word(rom, |a| (slots.get(a) >> lane) & 1 == 1);
+        for (i, slot) in out.iter_mut().enumerate().take(rom.data.len()) {
+            *slot |= ((word >> i) & 1) << lane;
+        }
+    }
+    for (i, &d) in rom.data.iter().enumerate() {
+        slots.set(d, out[i]);
+    }
+}
+
 /// A pre-resolved reference to a module port, produced by
 /// [`CompiledNetlistSim::input_handle`]/[`CompiledNetlistSim::output_handle`]
 /// (and the packed equivalents). Using a handle skips the name lookup on
@@ -381,8 +441,8 @@ fn rom_word(rom: &CompiledRom, mut bit_of: impl FnMut(u32) -> bool) -> u64 {
 /// port.
 #[derive(Debug, Clone, Copy)]
 pub struct PortHandle {
-    index: usize,
-    output: bool,
+    pub(crate) index: usize,
+    pub(crate) output: bool,
 }
 
 /// Scalar compiled executor: identical semantics to
@@ -786,18 +846,7 @@ impl PackedNetlistSim {
     /// Settles combinational logic in every lane.
     pub fn eval(&mut self) {
         eval_program(&self.prog, &mut self.values, &self.state, |rom, values| {
-            // Gather a per-lane address, then scatter the per-lane word
-            // back onto the data slots.
-            let mut out = [0u64; 64];
-            for lane in 0..LANES {
-                let word = rom_word(rom, |a| (values[a as usize] >> lane) & 1 == 1);
-                for (i, slot) in out.iter_mut().enumerate().take(rom.data.len()) {
-                    *slot |= ((word >> i) & 1) << lane;
-                }
-            }
-            for (i, &d) in rom.data.iter().enumerate() {
-                values[d as usize] = out[i];
-            }
+            packed_rom_gather(rom, &mut &mut *values);
         });
     }
 
@@ -984,6 +1033,54 @@ mod tests {
                 sim.get_output_lane(lane, "data").unwrap(),
                 7 * ((lane % 8) as u64 + 1),
                 "lane {lane}"
+            );
+        }
+    }
+
+    #[test]
+    fn packed_rom_shared_address_fast_path_matches_general() {
+        // All lanes share one address -> the gather takes the single-
+        // lookup fast path; mixed per-lane addresses take the general
+        // per-lane path. Both must agree with the scalar engine.
+        let build = || {
+            let mut b = ModuleBuilder::new("romtest");
+            let addr = b.input("addr", 3);
+            let data = b.rom("r", &addr, 8, vec![7, 14, 21, 28, 35, 42, 49, 56]);
+            b.output("data", &data);
+            b.finish().unwrap()
+        };
+        let mut scalar = CompiledNetlistSim::new(build()).unwrap();
+        let mut packed = PackedNetlistSim::new(build()).unwrap();
+        for a in 0..8u64 {
+            // Shared-address: every lane drives the same address.
+            packed.set_input_all("addr", a).unwrap();
+            packed.eval();
+            scalar.set_input("addr", a).unwrap();
+            scalar.eval();
+            let expect = scalar.get_output("data").unwrap();
+            for lane in 0..LANES {
+                assert_eq!(
+                    packed.get_output_lane(lane, "data").unwrap(),
+                    expect,
+                    "shared addr {a} lane {lane}"
+                );
+            }
+        }
+        // Mixed addresses in the same program exercise the general
+        // path and must still match the scalar engine lane-by-lane.
+        for lane in 0..LANES {
+            packed
+                .set_input_lane(lane, "addr", (lane % 7) as u64)
+                .unwrap();
+        }
+        packed.eval();
+        for lane in 0..LANES {
+            scalar.set_input("addr", (lane % 7) as u64).unwrap();
+            scalar.eval();
+            assert_eq!(
+                packed.get_output_lane(lane, "data").unwrap(),
+                scalar.get_output("data").unwrap(),
+                "mixed addr lane {lane}"
             );
         }
     }

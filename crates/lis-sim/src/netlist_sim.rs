@@ -13,19 +13,19 @@ use crate::signal::{SignalId, SignalView};
 use lis_netlist::{topo_order, CellKind, CombNode, Module, NetlistError};
 
 /// Common surface over netlist executors: the interpreting
-/// [`NetlistSim`] and the compiled [`crate::CompiledNetlistSim`] expose
-/// identical two-phase semantics, so harnesses (and
-/// [`NetlistComponent`]) can swap engines without caring which one is
-/// underneath.
+/// [`NetlistSim`], the compiled [`crate::CompiledNetlistSim`], and the
+/// fused direct-threaded [`crate::JitNetlistSim`] expose identical
+/// two-phase semantics, so harnesses (and [`NetlistComponent`]) can
+/// swap engines without caring which one is underneath.
 ///
 /// # Examples
 ///
-/// Drive a generated gate-level wrapper through either engine — the
+/// Drive a generated gate-level wrapper through any engine — the
 /// README's "netlist execution engines" table, runnable:
 ///
 /// ```
 /// use lis_netlist::ModuleBuilder;
-/// use lis_sim::{CompiledNetlistSim, NetlistExec, NetlistSim};
+/// use lis_sim::{CompiledNetlistSim, JitNetlistSim, NetlistExec, NetlistSim};
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// // A gate-level mod-3 counter.
@@ -36,10 +36,11 @@ use lis_netlist::{topo_order, CellKind, CombNode, Module, NetlistError};
 /// b.output("q", &q);
 /// let module = b.finish()?;
 ///
-/// // Interpreter and compiled engine behind the same trait.
+/// // Interpreter, compiled and JIT engines behind the same trait.
 /// let mut engines: Vec<Box<dyn NetlistExec>> = vec![
 ///     Box::new(NetlistSim::new(module.clone())?),
-///     Box::new(CompiledNetlistSim::new(module)?),
+///     Box::new(CompiledNetlistSim::new(module.clone())?),
+///     Box::new(JitNetlistSim::new(module)?),
 /// ];
 /// for engine in &mut engines {
 ///     let counts: Vec<u64> = (0..5)

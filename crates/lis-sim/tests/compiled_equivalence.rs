@@ -1,15 +1,25 @@
-//! Property tests pinning the compiled engines to the interpreter.
+//! Property tests pinning every fast engine to the interpreter —
+//! five-way: interpreter / compiled / packed / JIT scalar /
+//! JIT threaded-packed.
 //!
 //! [`NetlistSim`] is the simple, auditable reference; the levelized
-//! [`CompiledNetlistSim`] and the 64-lane [`PackedNetlistSim`] are the
-//! fast engines the harnesses actually run. These properties build
-//! random feed-forward netlists — gates, muxes, DFF chains with random
-//! reset values and reset wiring, and ROM cells with random contents —
-//! and assert all three executors agree **cycle for cycle on every
-//! output port** under random stimulus, including reset pulses.
+//! [`CompiledNetlistSim`], the 64-lane [`PackedNetlistSim`], and the
+//! fused direct-threaded [`JitNetlistSim`] / [`JitPackedNetlistSim`]
+//! are the fast engines the harnesses actually run. These properties
+//! build random feed-forward netlists — gates, muxes, DFF chains with
+//! random reset values and reset wiring, ROM cells with random
+//! contents, and single-reader sum-of-products / product-of-sums trees
+//! (the exact shapes the JIT lowering collapses into wide
+//! superinstructions) — and assert all executors agree **cycle for
+//! cycle on every output port** under random stimulus, including reset
+//! pulses. The threaded-packed engine runs with the level-parallel
+//! path forced on and the worker count from `LIS_SIM_THREADS`, so the
+//! CI matrix exercises it at 1 and 4 workers.
 
 use lis_netlist::{Bus, Module, ModuleBuilder, NetId};
-use lis_sim::{CompiledNetlistSim, NetlistSim, PackedNetlistSim};
+use lis_sim::{
+    CompiledNetlistSim, JitNetlistSim, JitPackedNetlistSim, NetlistSim, PackedNetlistSim,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
@@ -54,7 +64,7 @@ fn random_module(seed: u64, n_gates: usize) -> Module {
         let a = nets[rng.below(nets.len())];
         let c = nets[rng.below(nets.len())];
         let d = nets[rng.below(nets.len())];
-        let out = match rng.below(12) {
+        let out = match rng.below(14) {
             0 => b.and(a, c),
             1 => b.or(a, c),
             2 => b.xor(a, c),
@@ -65,6 +75,31 @@ fn random_module(seed: u64, n_gates: usize) -> Module {
             7 => b.buf(a),
             8 => b.mux(a, c, d),
             9 => b.constant(rng.chance(50)),
+            10 => {
+                // Fused-pattern fodder: a sum-of-products tree whose
+                // interior nets each have exactly one reader (they are
+                // never pushed into `nets`) — the shape the JIT
+                // lowering flattens into a single wide OrN.
+                let mut acc = b.and(a, c);
+                for _ in 0..2 + rng.below(6) {
+                    let x = nets[rng.below(nets.len())];
+                    let y = nets[rng.below(nets.len())];
+                    let term = b.and(x, y);
+                    acc = b.or(acc, term);
+                }
+                acc
+            }
+            11 => {
+                // Product-of-sums twin, flattened into a wide AndN.
+                let mut acc = b.or(a, c);
+                for _ in 0..2 + rng.below(6) {
+                    let x = nets[rng.below(nets.len())];
+                    let y = nets[rng.below(nets.len())];
+                    let term = b.or(x, y);
+                    acc = b.and(acc, term);
+                }
+                acc
+            }
             _ => {
                 // DFF: enable and data random; reset pin is the module
                 // reset half the time (so reset pulses actually land),
@@ -209,8 +244,9 @@ proptest! {
         }
     }
 
-    /// `reset_state` returns all three engines to an identical power-up
-    /// state: re-running the same stimulus reproduces the same outputs.
+    /// `reset_state` returns the engines to an identical power-up
+    /// state: re-running the same stimulus reproduces the same outputs,
+    /// on the compiled and JIT scalar engines alike.
     #[test]
     fn reset_state_restores_power_up_equivalence(seed in any::<u64>(), n_gates in 1usize..40) {
         let module = random_module(seed, n_gates);
@@ -218,18 +254,156 @@ proptest! {
         let expected = reference_run(&module, &stim);
 
         let mut compiled = CompiledNetlistSim::new(module.clone()).unwrap();
+        let mut jit = JitNetlistSim::new(module.clone()).unwrap();
         for _ in 0..2 {
             for (t, step) in stim.iter().enumerate() {
                 for (port, &v) in module.inputs.iter().zip(step) {
                     compiled.set_input(&port.name, v).unwrap();
+                    jit.set_input(&port.name, v).unwrap();
                 }
                 compiled.eval();
+                jit.eval();
                 for (o, port) in module.outputs.iter().enumerate() {
                     prop_assert_eq!(compiled.get_output(&port.name).unwrap(), expected[t][o]);
+                    prop_assert_eq!(jit.get_output(&port.name).unwrap(), expected[t][o]);
                 }
                 compiled.step();
+                jit.step();
             }
             compiled.reset_state();
+            jit.reset_state();
         }
+    }
+
+    /// The JIT scalar engine — fused superinstructions executed as
+    /// direct-threaded per-opcode runs — agrees with the interpreter
+    /// cycle for cycle on every output of random netlists.
+    #[test]
+    fn jit_matches_interpreter(seed in any::<u64>(), n_gates in 1usize..80, cycles in 1usize..40) {
+        let module = random_module(seed, n_gates);
+        let stim = stimulus(seed, &module, cycles);
+        let expected = reference_run(&module, &stim);
+
+        let mut jit = JitNetlistSim::new(module.clone()).unwrap();
+        for (t, step) in stim.iter().enumerate() {
+            for (port, &v) in module.inputs.iter().zip(step) {
+                jit.set_input(&port.name, v).unwrap();
+            }
+            jit.eval();
+            for (o, port) in module.outputs.iter().enumerate() {
+                prop_assert_eq!(
+                    jit.get_output(&port.name).unwrap(),
+                    expected[t][o],
+                    "cycle {} output {} (seed {:#x})", t, &port.name, seed
+                );
+            }
+            jit.step();
+        }
+    }
+
+    /// The threaded packed JIT engine agrees with the interpreter in
+    /// every checked lane, with the level-parallel path forced on even
+    /// for tiny programs and the worker count from `LIS_SIM_THREADS`
+    /// (the CI matrix runs this at 1 and 4 workers).
+    #[test]
+    fn jit_packed_threaded_lanes_match_interpreter(seed in any::<u64>(), n_gates in 1usize..60, cycles in 1usize..25) {
+        let module = random_module(seed, n_gates);
+        let lanes = [0usize, 1, 7, 31, 63];
+        let streams: Vec<Vec<Vec<u64>>> = lanes
+            .iter()
+            .map(|&l| stimulus(seed.wrapping_add(l as u64), &module, cycles))
+            .collect();
+        let expected: Vec<Vec<Vec<u64>>> =
+            streams.iter().map(|s| reference_run(&module, s)).collect();
+
+        let threads = std::env::var("LIS_SIM_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(4);
+        let mut packed = JitPackedNetlistSim::with_threads(module.clone(), threads).unwrap();
+        packed.set_parallel_threshold(0);
+        for t in 0..cycles {
+            for (li, &lane) in lanes.iter().enumerate() {
+                for (port, &v) in module.inputs.iter().zip(&streams[li][t]) {
+                    packed.set_input_lane(lane, &port.name, v).unwrap();
+                }
+            }
+            packed.eval();
+            for (li, &lane) in lanes.iter().enumerate() {
+                for (o, port) in module.outputs.iter().enumerate() {
+                    prop_assert_eq!(
+                        packed.get_output_lane(lane, &port.name).unwrap(),
+                        expected[li][t][o],
+                        "cycle {} lane {} output {} (seed {:#x})", t, lane, &port.name, seed
+                    );
+                }
+            }
+            packed.step();
+        }
+    }
+
+    /// `step_changed` — the quiescence signal the activity-driven
+    /// kernel relies on — agrees between the compiled and JIT scalar
+    /// engines cycle for cycle under identical stimulus.
+    #[test]
+    fn step_changed_agrees_between_compiled_and_jit(seed in any::<u64>(), n_gates in 1usize..60, cycles in 1usize..25) {
+        let module = random_module(seed, n_gates);
+        let stim = stimulus(seed, &module, cycles);
+
+        let mut compiled = CompiledNetlistSim::new(module.clone()).unwrap();
+        let mut jit = JitNetlistSim::new(module.clone()).unwrap();
+        for (t, step) in stim.iter().enumerate() {
+            for (port, &v) in module.inputs.iter().zip(step) {
+                compiled.set_input(&port.name, v).unwrap();
+                jit.set_input(&port.name, v).unwrap();
+            }
+            compiled.eval();
+            jit.eval();
+            prop_assert_eq!(
+                compiled.step_changed(),
+                jit.step_changed(),
+                "cycle {} step_changed (seed {:#x})", t, seed
+            );
+        }
+    }
+}
+
+/// A program the lowering strips to nothing — the only output is a
+/// constant, every gate cone unread — must still construct, eval and
+/// step, reporting `step_changed() == false` forever, on both JIT
+/// engines.
+#[test]
+fn fully_eliminated_program_still_steps() {
+    let mut b = ModuleBuilder::new("dead");
+    let a = b.input("a", 1).bit(0);
+    let x = b.and(a, a);
+    let y = b.not(x);
+    let _unread = b.or(y, a);
+    let k = b.constant(true);
+    b.output_bit("k", k);
+    let module = b.finish().expect("dead module is structurally valid");
+
+    let mut jit = JitNetlistSim::new(module.clone()).unwrap();
+    assert_eq!(
+        jit.program().stats().instrs_after,
+        0,
+        "constant folding + DCE must strip every instruction"
+    );
+    for v in [0, 1, 1, 0] {
+        jit.set_input("a", v).unwrap();
+        jit.eval();
+        assert_eq!(jit.get_output("k").unwrap(), 1);
+        assert!(!jit.step_changed(), "a dead program must stay quiescent");
+    }
+
+    let mut packed = JitPackedNetlistSim::with_threads(module, 2).unwrap();
+    packed.set_parallel_threshold(0);
+    for _ in 0..3 {
+        packed.eval();
+        assert_eq!(packed.get_output_lane(63, "k").unwrap(), 1);
+        assert!(
+            !packed.step_changed(),
+            "dead packed program must stay quiescent"
+        );
     }
 }

@@ -1,6 +1,6 @@
 //! The fully gate-level patient process: the complete shell — controller
 //! *and* port FIFOs, as assembled by [`crate::assemble_full_wrapper`] —
-//! is executed gate by gate on `lis-sim`'s compiled netlist engine;
+//! is executed gate by gate on `lis-sim`'s JIT netlist engine;
 //! only the pearl remains behavioural (it is the black box the
 //! methodology encapsulates). Every shell port is pre-resolved to a
 //! handle at construction, so the per-cycle path performs no string
@@ -14,13 +14,13 @@
 use crate::fifo_netlist::assemble_full_wrapper;
 use lis_netlist::Module;
 use lis_proto::{LisChannel, Pearl, PortValues, Token, ViolationCounter};
-use lis_sim::{Activity, CompiledNetlistSim, Component, PortHandle, Ports, SignalView, System};
+use lis_sim::{Activity, Component, JitNetlistSim, PortHandle, Ports, SignalView, System};
 
 /// A patient process whose complete shell is a gate-level netlist.
 pub struct FullNetlistPatientProcess {
     name: String,
     pearl: Box<dyn Pearl>,
-    shell: CompiledNetlistSim,
+    shell: JitNetlistSim,
     /// Pre-resolved shell ports, one set per pearl port.
     h_rst: PortHandle,
     h_enable: PortHandle,
@@ -77,7 +77,7 @@ impl FullNetlistPatientProcess {
         let full = assemble_full_wrapper(&controller, &in_widths, &out_widths)
             .expect("full wrapper must assemble");
         let n_out = out_widths.len();
-        let shell = CompiledNetlistSim::new(full).expect("full wrapper must validate");
+        let shell = JitNetlistSim::new(full).expect("full wrapper must validate");
         let in_h = |name: String| shell.input_handle(&name).expect("shell port");
         let out_h = |name: String| shell.output_handle(&name).expect("shell port");
         let h_rst = in_h("rst".into());

@@ -1,10 +1,10 @@
 //! Hardware-in-the-loop patient process: the pearl and port queues run
 //! behaviourally, but every synchronization decision comes from a
-//! *gate-level* wrapper controller executed by `lis-sim`'s **compiled**
-//! netlist engine ([`CompiledNetlistSim`], proven cycle-for-cycle
-//! equivalent to the interpreter by property tests) with all port
-//! lookups pre-resolved to handles — the co-simulation hot path walks a
-//! flat instruction stream instead of re-interpreting the module.
+//! *gate-level* wrapper controller executed by `lis-sim`'s **JIT**
+//! netlist engine ([`JitNetlistSim`], proven cycle-for-cycle equivalent
+//! to the interpreter by property tests) with all port lookups
+//! pre-resolved to handles — the co-simulation hot path walks a fused,
+//! run-sorted instruction stream instead of re-interpreting the module.
 //!
 //! This is the strongest evidence the generated hardware is right: a
 //! [`NetlistPatientProcess`] must be indistinguishable — token for
@@ -13,7 +13,7 @@
 
 use lis_netlist::Module;
 use lis_proto::{LisChannel, Pearl, PortValues, Token, ViolationCounter, PORT_QUEUE_CAPACITY};
-use lis_sim::{Activity, CompiledNetlistSim, Component, PortHandle, Ports, SignalView, System};
+use lis_sim::{Activity, Component, JitNetlistSim, PortHandle, Ports, SignalView, System};
 use std::collections::VecDeque;
 
 /// A patient process whose control decisions are computed by a wrapper
@@ -21,7 +21,7 @@ use std::collections::VecDeque;
 pub struct NetlistPatientProcess {
     name: String,
     pearl: Box<dyn Pearl>,
-    controller: CompiledNetlistSim,
+    controller: JitNetlistSim,
     /// Pre-resolved controller ports (`ne`/`nf` are optional: a
     /// schedule with no inputs or no outputs omits them).
     h_rst: PortHandle,
@@ -68,7 +68,7 @@ impl NetlistPatientProcess {
         if let Some(ne) = controller.input("ne") {
             assert_eq!(ne.width(), n_in, "controller ne width mismatch");
         }
-        let sim = CompiledNetlistSim::new(controller).expect("controller must validate");
+        let sim = JitNetlistSim::new(controller).expect("controller must validate");
         let h_rst = sim.input_handle("rst").expect("controller has rst");
         let h_ne = sim.input_handle("ne").ok();
         let h_nf = sim.input_handle("nf").ok();

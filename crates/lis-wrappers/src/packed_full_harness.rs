@@ -1,5 +1,5 @@
 //! The lane-batched gate-level patient process: one
-//! [`PackedNetlistSim`] executes up to [`LANES`] independent scenario
+//! [`JitPackedNetlistSim`] executes up to [`LANES`] independent scenario
 //! lanes of the *same* shell — controller and port FIFOs, as assembled
 //! by [`crate::assemble_full_wrapper`] — with a single bitwise
 //! instruction stream shared by every lane. Each lane keeps its own
@@ -19,13 +19,13 @@ use crate::fifo_netlist::assemble_full_wrapper;
 use lis_netlist::Module;
 use lis_proto::{PackedLisChannel, Pearl, PortValues, ViolationCounter};
 use lis_sim::{
-    Activity, Component, PackedNetlistSim, PortHandle, Ports, SignalView, System, LANES,
+    Activity, Component, JitPackedNetlistSim, PortHandle, Ports, SignalView, System, LANES,
 };
 
 /// A patient process whose gate-level shell executes up to [`LANES`]
 /// scenario lanes in one packed netlist, wired to packed channels.
 ///
-/// All lanes share one compiled shell program; per-lane state is the
+/// All lanes share one JIT-lowered shell program; per-lane state is the
 /// packed flip-flop words plus one pearl, schedule position and
 /// deferred `pearl_out` register set per lane. Unused lanes (when fewer
 /// than [`LANES`] scenarios are batched) are held in reset so they stay
@@ -34,7 +34,7 @@ pub struct PackedFullNetlistPatientProcess {
     name: String,
     /// One pearl per lane; all share interface and schedule shape.
     pearls: Vec<Box<dyn Pearl>>,
-    shell: PackedNetlistSim,
+    shell: JitPackedNetlistSim,
     h_rst: PortHandle,
     h_enable: PortHandle,
     h_in_data: Vec<PortHandle>,
@@ -145,7 +145,7 @@ impl PackedFullNetlistPatientProcess {
         let full = assemble_full_wrapper(&controller, &in_widths, &out_widths)
             .expect("full wrapper must assemble");
         let n_out = out_widths.len();
-        let shell = PackedNetlistSim::new(full).expect("full wrapper must validate");
+        let shell = JitPackedNetlistSim::new(full).expect("full wrapper must validate");
         let in_h = |name: String| shell.input_handle(&name).expect("shell port");
         let out_h = |name: String| shell.output_handle(&name).expect("shell port");
         let h_rst = in_h("rst".into());
@@ -204,7 +204,7 @@ impl PackedFullNetlistPatientProcess {
 
     /// Drives one input port with a per-lane value, transposed into
     /// per-bit lane words (one shell write per port bit, not per lane).
-    fn drive_port(shell: &mut PackedNetlistSim, h: PortHandle, width: usize, values: &[u64]) {
+    fn drive_port(shell: &mut JitPackedNetlistSim, h: PortHandle, width: usize, values: &[u64]) {
         for bit in 0..width {
             let mut word = 0u64;
             for (lane, v) in values.iter().enumerate() {
