@@ -1,0 +1,260 @@
+//! Verify — bounded model checking of the SP wrapper protocol.
+//!
+//! Runs the `lis-verify` explorer over every registered closed
+//! configuration: the correct gate-level and behavioural SP systems
+//! must come out clean for *all* adversary stall schedules up to the
+//! depth bound, and every seeded protocol mutant must be caught. This
+//! is the paper's central correctness claim — wrapped systems are
+//! patient, i.e. functionally insensitive to any stall/latency
+//! assignment — checked exhaustively-within-bound instead of sampled.
+//!
+//! `--json <path>` records the structural results (e.g.
+//! BENCH_verify.json; wall-clock fields are volatile and excluded from
+//! the CI drift diff), `--corpus <dir>` re-emits each mutant's
+//! minimized counterexample as JSON (the committed corpus under
+//! `crates/lis-verify/tests/counterexamples/`), and `--check` enforces
+//! the bars:
+//!
+//! * every correct configuration explores to depth ≥ 12 with zero
+//!   violations and no truncation;
+//! * the correct configurations together cover ≥ 10⁵ deduplicated
+//!   states;
+//! * every mutant is caught within depth 12, with the expected
+//!   verdict kind, and its minimized counterexample still reproduces.
+
+use lis_bench::section;
+use lis_verify::{
+    build_config, explore, ExploreOptions, ExploreReport, CORRECT_CONFIGS, MUTANT_CONFIGS,
+};
+use serde::{Serialize, Value};
+use std::time::Instant;
+
+/// Depth the acceptance bars require.
+const REQUIRED_DEPTH: u32 = 12;
+/// Deduplicated-state floor across the correct configurations.
+const REQUIRED_STATES: u64 = 100_000;
+/// Depth bound for the mutant hunts. Deeper than [`REQUIRED_DEPTH`]
+/// because a fault needs *detection latency* on top of its trigger: a
+/// token dropped at the wrapper's input edge is only observed once its
+/// successor has crossed the whole period-3 pipeline to the sink
+/// (~8 more cycles).
+const MUTANT_DEPTH: u32 = 24;
+
+/// Per-config exploration depth: every config must clear
+/// [`REQUIRED_DEPTH`]; the join config is the state-space workhorse
+/// (3 controlled edges, two skewed branches) and carries the
+/// deduplicated-state floor, while the cheap 2-edge configs go deeper
+/// than required for margin.
+fn default_depth(config: &str) -> u32 {
+    match config {
+        "spj" => 18,
+        _ => 20,
+    }
+}
+
+fn expected_kinds(config: &str) -> &'static [&'static str] {
+    match config {
+        // A lost token surfaces either as a sink order fault (its
+        // successor arrives out of sequence) or — under enough
+        // back-pressure — as a conservation fault first: every drop
+        // leaves a phantom token in the ledger's in-flight count, and
+        // the BFS reaches the capacity overflow before the skip has
+        // crossed the pipeline to the sink. Duplicates are symmetric.
+        "mut-drop" => &["sequencing", "conservation"],
+        "mut-dup" => &["sequencing", "conservation"],
+        "mut-stuck" => &["deadlock"],
+        "mut-eager" => &["sequencing"],
+        _ => &[],
+    }
+}
+
+struct Run {
+    report: ExploreReport,
+    wall_ms: u128,
+}
+
+fn run_config(name: &str, opts: &ExploreOptions) -> Run {
+    let mut cfg = build_config(name).expect("registered config");
+    let start = Instant::now();
+    let report = explore(&mut cfg, opts);
+    Run {
+        report,
+        wall_ms: start.elapsed().as_millis(),
+    }
+}
+
+fn report_value(run: &Run) -> Value {
+    let r = &run.report;
+    Value::Object(vec![
+        ("config".into(), Value::Str(r.config.clone())),
+        ("depth".into(), Value::UInt(u64::from(r.depth))),
+        ("edges".into(), r.edges.to_value()),
+        ("states".into(), Value::UInt(r.states)),
+        ("transitions".into(), Value::UInt(r.transitions)),
+        ("dedup_hits".into(), Value::UInt(r.dedup_hits)),
+        ("deadlock_checks".into(), Value::UInt(r.deadlock_checks)),
+        ("total_violations".into(), Value::UInt(r.total_violations)),
+        ("truncated".into(), Value::Bool(r.truncated)),
+        (
+            "first_kind".into(),
+            match r.counterexamples.first() {
+                Some(cx) => Value::Str(cx.kind.clone()),
+                None => Value::Null,
+            },
+        ),
+        (
+            "minimized_schedule_len".into(),
+            match r.counterexamples.first() {
+                Some(cx) => Value::UInt(cx.schedule.len() as u64),
+                None => Value::Null,
+            },
+        ),
+        ("wall_ms".into(), Value::UInt(run.wall_ms as u64)),
+    ])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| args.get(i + 1).expect("--json needs a path").clone());
+    let check = args.iter().any(|a| a == "--check");
+    let corpus_dir = args
+        .iter()
+        .position(|a| a == "--corpus")
+        .map(|i| args.get(i + 1).expect("--corpus needs a directory").clone());
+    let depth_override: Option<u32> = args
+        .iter()
+        .position(|a| a == "--depth")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--depth needs a number"));
+
+    section("Verify — correct configurations (every stall schedule to the depth bound)");
+    let mut correct = Vec::new();
+    let mut total_states = 0u64;
+    for name in CORRECT_CONFIGS {
+        let run = run_config(
+            name,
+            &ExploreOptions {
+                depth: depth_override.unwrap_or_else(|| default_depth(name)),
+                ..ExploreOptions::default()
+            },
+        );
+        let r = &run.report;
+        total_states += r.states;
+        println!(
+            "{:<11} depth {:>2}  states {:>8}  transitions {:>9}  dedup {:>9}  \
+             deadlock-checked {:>8}  violations {}  [{} ms]",
+            r.config,
+            r.depth,
+            r.states,
+            r.transitions,
+            r.dedup_hits,
+            r.deadlock_checks,
+            r.total_violations,
+            run.wall_ms
+        );
+        correct.push(run);
+    }
+    println!("total deduplicated states: {total_states}");
+
+    section("Verify — seeded mutants (each must be caught)");
+    let mut mutants = Vec::new();
+    for name in MUTANT_CONFIGS {
+        let run = run_config(
+            name,
+            &ExploreOptions {
+                depth: MUTANT_DEPTH,
+                stop_at_first_violation: true,
+                ..ExploreOptions::default()
+            },
+        );
+        let r = &run.report;
+        match r.counterexamples.first() {
+            Some(cx) => println!(
+                "{:<11} CAUGHT as {:<12} after {:>6} states; minimized schedule {:?} \
+                 (+{} free-run)  [{} ms]",
+                r.config, cx.kind, r.states, cx.schedule, cx.free_run, run.wall_ms
+            ),
+            None => println!(
+                "{:<11} MISSED within depth {} ({} states)  [{} ms]",
+                r.config, r.depth, r.states, run.wall_ms
+            ),
+        }
+        mutants.push(run);
+    }
+
+    if let Some(dir) = &corpus_dir {
+        std::fs::create_dir_all(dir).expect("create corpus directory");
+        for run in &mutants {
+            if let Some(cx) = run.report.counterexamples.first() {
+                let path = format!("{dir}/{}.json", run.report.config);
+                std::fs::write(&path, cx.to_json() + "\n").expect("write counterexample");
+                eprintln!("wrote {path}");
+            }
+        }
+    }
+
+    if let Some(path) = &json_path {
+        let baseline = Value::Object(vec![
+            (
+                "verify_correct".into(),
+                Value::Array(correct.iter().map(report_value).collect()),
+            ),
+            (
+                "verify_mutants".into(),
+                Value::Array(mutants.iter().map(report_value).collect()),
+            ),
+            ("verify_total_states".into(), Value::UInt(total_states)),
+        ]);
+        let json = serde_json::to_string_pretty(&baseline).expect("serialize verify rows");
+        std::fs::write(path, json + "\n").expect("write JSON baseline");
+        eprintln!("wrote {path}");
+    }
+
+    if check {
+        for run in &correct {
+            let r = &run.report;
+            assert_eq!(
+                r.total_violations, 0,
+                "{}: the correct configuration must be violation-free, found {:?}",
+                r.config, r.counterexamples
+            );
+            assert!(!r.truncated, "{}: exploration truncated", r.config);
+            assert!(
+                r.depth >= REQUIRED_DEPTH,
+                "{}: depth {} below the required {REQUIRED_DEPTH}",
+                r.config,
+                r.depth
+            );
+        }
+        assert!(
+            total_states >= REQUIRED_STATES,
+            "correct configurations covered {total_states} deduplicated states, \
+             need >= {REQUIRED_STATES}"
+        );
+        for run in &mutants {
+            let r = &run.report;
+            let cx = r.counterexamples.first().unwrap_or_else(|| {
+                panic!(
+                    "{}: mutant escaped the checker within depth {}",
+                    r.config, r.depth
+                )
+            });
+            assert!(
+                expected_kinds(&r.config).contains(&cx.kind.as_str()),
+                "{}: caught as {:?}, expected one of {:?}",
+                r.config,
+                cx.kind,
+                expected_kinds(&r.config)
+            );
+        }
+        println!(
+            "\nCHECK PASSED: {} correct configs clean to depth >= {REQUIRED_DEPTH} \
+             ({total_states} states), {} mutants caught",
+            correct.len(),
+            mutants.len()
+        );
+    }
+}

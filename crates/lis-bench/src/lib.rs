@@ -13,6 +13,7 @@
 //! | `ablation` | E6 — FSM encodings; static wrapper fragility |
 //! | `e7` | E7 — activity-driven kernel vs worklist vs full sweep on the stress mesh |
 //! | `fleet` | Scenario fleets — 64 lane-batched traffic scenarios vs sequential solo runs |
+//! | `verify` | Bounded model check — SP protocol proven clean to depth 12; mutants caught |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -6,7 +6,8 @@
 //! resulting system is correct for *any* latency assignment.
 
 use lis_proto::{
-    LisChannel, Pearl, RelayStation, StallPattern, TokenSink, TokenSource, ViolationCounter,
+    LisChannel, Pearl, RelayStation, SeqSink, SeqSource, StallControl, StallPattern, TokenSink,
+    TokenSource, ViolationCounter,
 };
 use lis_sim::{
     Activity, Component, Ports, SchedulerStats, SettleMode, SignalView, SimError, System, Trace,
@@ -15,6 +16,7 @@ use lis_wrappers::{
     wrap_pearl, wrap_pearl_full_netlist, wrap_pearl_netlist, PatientStats, WrapperKind,
 };
 use std::collections::HashMap;
+use std::sync::atomic::AtomicU64;
 use std::sync::{Arc, Mutex};
 
 /// A zero-latency connector: forwards `data`/`void` downstream and
@@ -286,6 +288,45 @@ impl SocBuilder {
         let sink = TokenSink::new(name.clone(), channel).with_stall_pattern(stall, seed);
         self.sinks.insert(name, sink.received());
         self.system.add_component(sink);
+    }
+
+    /// Attaches an adversary sequence source to `channel` — the replay
+    /// form of a model-checker stall schedule (see
+    /// [`lis_proto::SeqSource`]).
+    pub fn adversary_feed(
+        &mut self,
+        name: impl Into<String>,
+        channel: LisChannel,
+        control: StallControl,
+        modulus: u64,
+    ) {
+        self.system
+            .add_component(SeqSource::new(name, channel, control, modulus));
+    }
+
+    /// Attaches an adversary sequence sink to `channel`. Order faults
+    /// (dropped or duplicated tokens) land on the SoC-wide violation
+    /// counter reported by [`Soc::violations`]; the returned atomic
+    /// counts informative deliveries, the progress signal a deadlock
+    /// check watches.
+    pub fn adversary_capture(
+        &mut self,
+        name: impl Into<String>,
+        channel: LisChannel,
+        control: StallControl,
+        modulus: u64,
+    ) -> Arc<AtomicU64> {
+        let sink = SeqSink::new(name, channel, control, modulus, &self.violations);
+        let delivered = sink.delivered();
+        self.system.add_component(sink);
+        delivered
+    }
+
+    /// Shared handle to the SoC-wide violation counter — lets
+    /// externally built components (mutant relays, custom checkers)
+    /// report faults through [`Soc::violations`].
+    pub fn violations_handle(&self) -> ViolationCounter {
+        self.violations.clone()
     }
 
     /// Mutable access to the underlying [`System`] — for attaching

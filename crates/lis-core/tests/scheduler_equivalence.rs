@@ -128,9 +128,11 @@ fn stage_strategy() -> impl Strategy<Value = StageSpec> {
 
 fn periodic_strategy() -> impl Strategy<Value = Option<(u64, u64, u64)>> {
     // ~35% of endpoints get a scheduled duty cycle: on in 0..6 (0 =
-    // permanently stalled), period = on + 1..24 slack, random phase.
-    (any::<u8>(), 0u64..6, 1u64..24, 0u64..32)
-        .prop_map(|(sel, on, slack, phase)| (sel < 90).then_some((on, on + slack, phase)))
+    // permanently stalled), period = on + 1..24 slack, random phase
+    // folded into the period (construction rejects phase >= period).
+    (any::<u8>(), 0u64..6, 1u64..24, 0u64..32).prop_map(|(sel, on, slack, phase)| {
+        (sel < 90).then_some((on, on + slack, phase % (on + slack)))
+    })
 }
 
 fn chain_strategy() -> impl Strategy<Value = ChainSpec> {

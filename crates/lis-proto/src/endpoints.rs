@@ -95,11 +95,21 @@ impl StallPattern {
                     "stall probability {p} not in 0..=1"
                 );
             }
-            StallPattern::Periodic { on, period, .. } => {
+            StallPattern::Periodic { on, period, phase } => {
                 assert!(period >= 1, "periodic stall pattern needs period >= 1");
                 assert!(
                     on <= period,
                     "periodic stall pattern has on={on} > period={period}"
+                );
+                // A phase is a slot within the period. Accepting
+                // `phase >= period` would silently alias `phase % period`
+                // (and overflow `cycle + phase` near u64::MAX), hiding
+                // typos such as swapped on/phase arguments — reject it
+                // loudly instead of normalizing.
+                assert!(
+                    phase < period,
+                    "periodic stall pattern has phase={phase} >= period={period} \
+                     (phases are slots within the period; did you mean phase % period?)"
                 );
             }
         }
@@ -426,6 +436,62 @@ mod tests {
         let mut sys = System::new();
         let ch = LisChannel::new(&mut sys, "c", 8);
         let _ = TokenSource::new("s", ch, 1..=3).with_stall_pattern(StallPattern::Random(1.5), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "phase=8 >= period=8")]
+    fn periodic_phase_equal_to_period_is_rejected() {
+        let mut sys = System::new();
+        let ch = LisChannel::new(&mut sys, "c", 8);
+        let _ = TokenSource::new("s", ch, 1..=3).with_stall_pattern(
+            StallPattern::Periodic {
+                on: 3,
+                period: 8,
+                phase: 8,
+            },
+            0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "phase=9 >= period=8")]
+    fn periodic_phase_beyond_period_is_rejected() {
+        let mut sys = System::new();
+        let ch = LisChannel::new(&mut sys, "c", 8);
+        let _ = TokenSink::new("k", ch).with_stall_pattern(
+            StallPattern::Periodic {
+                on: 3,
+                period: 8,
+                phase: 9,
+            },
+            0,
+        );
+    }
+
+    #[test]
+    fn periodic_phase_edges_inside_the_period_are_accepted() {
+        let mut sys = System::new();
+        let ch = LisChannel::new(&mut sys, "c", 8);
+        // phase = 0 and phase = period - 1 are the legal extremes.
+        for phase in [0, 7] {
+            let _ = TokenSource::new("s", ch, 1..=3).with_stall_pattern(
+                StallPattern::Periodic {
+                    on: 3,
+                    period: 8,
+                    phase,
+                },
+                0,
+            );
+        }
+        // The degenerate period=1 pattern only admits phase 0.
+        let _ = TokenSink::new("k", ch).with_stall_pattern(
+            StallPattern::Periodic {
+                on: 1,
+                period: 1,
+                phase: 0,
+            },
+            0,
+        );
     }
 
     #[test]

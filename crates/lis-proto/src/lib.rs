@@ -23,6 +23,11 @@
 //!   [`PackedTokenSource`], [`PackedTokenSink`], [`PackedWire`] and
 //!   the [`LaneDemux`]/[`LaneMux`] bridges to scalar plumbing; every
 //!   lane is bit-identical to its scalar twin.
+//! * [`SeqSource`] / [`SeqSink`] (and their packed twins) — the
+//!   model-checking adversary endpoints: sequence-numbered feed and
+//!   capture with externally-scripted or atomically-rewritable stall
+//!   masks ([`StallControl`]), used by `lis-verify` to close a wrapper
+//!   configuration and drive every stall schedule exhaustively.
 //!
 //! All components plug into the two-phase simulator of [`lis_sim`].
 
@@ -30,6 +35,7 @@
 #![warn(missing_docs)]
 
 mod adapter;
+mod adversary;
 mod channel;
 mod endpoints;
 mod fifo;
@@ -39,6 +45,7 @@ mod relay;
 mod token;
 
 pub use adapter::{Deserializer, Serializer};
+pub use adversary::{PackedSeqSink, PackedSeqSource, SeqSink, SeqSource, StallControl};
 pub use channel::LisChannel;
 pub use endpoints::{StallPattern, TokenSink, TokenSource};
 pub use fifo::{InputPort, InputPortFace, OutputPort, OutputPortFace, PORT_QUEUE_CAPACITY};

@@ -332,6 +332,36 @@ impl Component for PackedRelayStation {
         self.aux_v
             .copy_from_slice(&data[3 + planes..3 + 2 * planes]);
     }
+
+    fn save_lane_state(&self, lane: usize, out: &mut Vec<u64>) {
+        let bit = 1u64 << lane;
+        let mut flags = 0u64;
+        flags |= u64::from(self.main_p & bit != 0);
+        flags |= u64::from(self.aux_p & bit != 0) << 1;
+        flags |= u64::from(self.stop_up & bit != 0) << 2;
+        out.push(flags);
+        out.push(PackedLisChannel::lane_value(&self.main_v, lane));
+        out.push(PackedLisChannel::lane_value(&self.aux_v, lane));
+    }
+
+    fn load_lane_state(&mut self, lane: usize, data: &[u64]) {
+        let bit = 1u64 << lane;
+        let set = |plane: &mut u64, on: bool| {
+            if on {
+                *plane |= bit;
+            } else {
+                *plane &= !bit;
+            }
+        };
+        set(&mut self.main_p, data[0] & 1 != 0);
+        set(&mut self.aux_p, data[0] & 2 != 0);
+        set(&mut self.stop_up, data[0] & 4 != 0);
+        for plane in self.main_v.iter_mut().chain(self.aux_v.iter_mut()) {
+            *plane &= !bit;
+        }
+        PackedLisChannel::scatter_value(&mut self.main_v, lane, data[1]);
+        PackedLisChannel::scatter_value(&mut self.aux_v, lane, data[2]);
+    }
 }
 
 /// The zero-latency packed connector: forwards the token planes
@@ -1092,5 +1122,44 @@ mod tests {
                 "lane {lane}"
             );
         }
+    }
+
+    /// Per-lane save/load on the packed relay: writing one lane's state
+    /// back must reproduce exactly the full-state words, and must not
+    /// disturb any other lane.
+    #[test]
+    fn packed_relay_lane_state_round_trips() {
+        let counters: Vec<_> = (0..LANES).map(|_| ViolationCounter::new()).collect();
+        let mut sys = System::new();
+        let up = PackedLisChannel::new(&mut sys, "up", 16);
+        let down = PackedLisChannel::new(&mut sys, "down", 16);
+        let mut relay = PackedRelayStation::new("rs", up, down, counters);
+        // Hand-fill a mixed occupancy: lane 3 holds main+aux, lane 7
+        // main only, others empty.
+        relay.main_p = (1 << 3) | (1 << 7);
+        relay.aux_p = 1 << 3;
+        relay.stop_up = 1 << 3;
+        PackedLisChannel::scatter_value(&mut relay.main_v, 3, 0xAB);
+        PackedLisChannel::scatter_value(&mut relay.main_v, 7, 0x55);
+        PackedLisChannel::scatter_value(&mut relay.aux_v, 3, 0xCD);
+        let mut full = Vec::new();
+        relay.save_state(&mut full);
+
+        let mut lane3 = Vec::new();
+        relay.save_lane_state(3, &mut lane3);
+        assert_eq!(lane3, vec![0b111, 0xAB, 0xCD]);
+        let mut lane0 = Vec::new();
+        relay.save_lane_state(0, &mut lane0);
+        assert_eq!(lane0, vec![0, 0, 0]);
+
+        // Clobber lane 3, restore it, and check nothing else moved.
+        relay.load_lane_state(3, &[0, 0, 0]);
+        let mut l7 = Vec::new();
+        relay.save_lane_state(7, &mut l7);
+        assert_eq!(l7, vec![0b001, 0x55, 0], "lane 7 untouched by lane 3 load");
+        relay.load_lane_state(3, &lane3);
+        let mut again = Vec::new();
+        relay.save_state(&mut again);
+        assert_eq!(again, full, "lane round trip restores the full state");
     }
 }

@@ -239,6 +239,42 @@ pub trait Component: Send {
     fn load_state(&mut self, data: &[u64]) {
         let _ = data;
     }
+
+    /// Appends the architectural state of one *lane* of a lane-batched
+    /// component (a packed engine running up to [`crate::LANES`]
+    /// scenarios in bit-planes). A scalar component is one-lane by
+    /// definition: the default delegates to [`Component::save_state`]
+    /// for lane 0 and panics when asked for any other lane while
+    /// holding state. Packed components override this together with
+    /// [`Component::load_lane_state`] so a single lane can be
+    /// extracted, hashed and re-injected independently of its
+    /// neighbours — the seam the bounded model checker uses to expand
+    /// 64 adversary branches of a search frontier per packed step.
+    fn save_lane_state(&self, lane: usize, out: &mut Vec<u64>) {
+        let mut full = Vec::new();
+        self.save_state(&mut full);
+        assert!(
+            lane == 0 || full.is_empty(),
+            "component {} is scalar (stateful, no per-lane encoding); asked for lane {}",
+            self.name(),
+            lane
+        );
+        out.extend(full);
+    }
+
+    /// Restores one lane's state captured by
+    /// [`Component::save_lane_state`]; other lanes are untouched. The
+    /// default mirrors `save_lane_state`: lane 0 delegates to
+    /// [`Component::load_state`], any other lane must be stateless.
+    fn load_lane_state(&mut self, lane: usize, data: &[u64]) {
+        assert!(
+            lane == 0 || data.is_empty(),
+            "component {} is scalar (stateful, no per-lane encoding); asked for lane {}",
+            self.name(),
+            lane
+        );
+        self.load_state(data);
+    }
 }
 
 /// Errors produced by the simulation kernel.
@@ -894,6 +930,50 @@ impl System {
         self.settled = false;
     }
 
+    /// Captures one lane's architectural state as a flat word vector:
+    /// for each component in insertion order, a length prefix followed
+    /// by its [`Component::save_lane_state`] blob. Signal values are
+    /// deliberately excluded — at a cycle boundary every settled signal
+    /// is a function of component state, recomputed by the next settle
+    /// — so the vector is a canonical per-lane state for hashing and
+    /// deduplication (see [`crate::hash_words`]).
+    ///
+    /// Capture at a cycle boundary, as with [`System::checkpoint`].
+    pub fn save_lane(&self, lane: usize) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut blob = Vec::new();
+        for comp in &self.components {
+            blob.clear();
+            comp.save_lane_state(lane, &mut blob);
+            out.push(blob.len() as u64);
+            out.extend_from_slice(&blob);
+        }
+        out
+    }
+
+    /// Restores one lane from words captured by [`System::save_lane`]
+    /// on an identically built system; all other lanes keep their
+    /// state. As with [`System::restore`], scheduler activity restarts
+    /// all-dirty and the system must re-settle before signals are
+    /// observed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word vector does not split exactly into one blob
+    /// per component.
+    pub fn load_lane(&mut self, lane: usize, words: &[u64]) {
+        let mut at = 0usize;
+        for comp in self.components.iter_mut() {
+            let len = words[at] as usize;
+            comp.load_lane_state(lane, &words[at + 1..at + 1 + len]);
+            at += 1 + len;
+        }
+        assert_eq!(at, words.len(), "lane state words: trailing garbage");
+        self.activity = None;
+        self.poked.clear();
+        self.settled = false;
+    }
+
     /// Runs until `predicate` returns true (checked after each settled
     /// cycle) or `max_cycles` elapse. Returns whether the predicate fired.
     ///
@@ -1394,6 +1474,37 @@ mod tests {
 
         assert_eq!(resumed.cycle(), reference.cycle());
         assert_eq!(resumed.signal_values(), reference.signal_values());
+    }
+
+    #[test]
+    fn save_lane_round_trips_scalar_components_as_lane_zero() {
+        let build = || {
+            let mut sys = System::new();
+            let out = sys.add_signal("count", 16);
+            sys.add_component(SavedCounter { out, state: 1 });
+            (sys, out)
+        };
+        let (mut reference, ref_out) = build();
+        reference.run(9).unwrap();
+        let lane = reference.save_lane(0);
+        // A state hash over the lane words is stable per state.
+        assert_eq!(crate::hash_words(&lane), crate::hash_words(&lane));
+        let (mut resumed, out) = build();
+        resumed.load_lane(0, &lane);
+        resumed.run(5).unwrap();
+        resumed.settle().unwrap();
+        reference.run(5).unwrap();
+        reference.settle().unwrap();
+        assert_eq!(resumed.peek(out), reference.peek(ref_out));
+    }
+
+    #[test]
+    #[should_panic(expected = "no per-lane encoding")]
+    fn save_lane_rejects_nonzero_lanes_of_stateful_scalar_components() {
+        let mut sys = System::new();
+        let out = sys.add_signal("count", 16);
+        sys.add_component(SavedCounter { out, state: 0 });
+        let _ = sys.save_lane(1);
     }
 
     #[test]

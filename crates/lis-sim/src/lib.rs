@@ -82,7 +82,7 @@ mod sched;
 mod signal;
 mod trace;
 
-pub use checkpoint::SystemCheckpoint;
+pub use checkpoint::{hash_words, SystemCheckpoint};
 pub use compile::{CompiledNetlistSim, NetlistProgram, PackedNetlistSim, PortHandle, LANES};
 pub use jit::{JitNetlistProgram, JitNetlistSim, JitPackedNetlistSim, JIT_PARALLEL_MIN_INSTRS};
 pub use kernel::{Activity, Component, FnComponent, Ports, SettleMode, SimError, System};
