@@ -8,29 +8,40 @@
 //! patient, i.e. functionally insensitive to any stall/latency
 //! assignment — checked exhaustively-within-bound instead of sampled.
 //!
-//! `--json <path>` records the structural results (e.g.
-//! BENCH_verify.json; wall-clock fields are volatile and excluded from
-//! the CI drift diff), `--corpus <dir>` re-emits each mutant's
-//! minimized counterexample as JSON (the committed corpus under
-//! `crates/lis-verify/tests/counterexamples/`), and `--check` enforces
-//! the bars:
+//! Each exploration shards its BFS levels across `--threads`
+//! configuration twins (default: `LIS_SIM_THREADS`, else 1) with the
+//! configuration's partial-order and symmetry reductions on; the merge
+//! is deterministic, so every structural number is identical at any
+//! thread count.
 //!
-//! * every correct configuration explores to depth ≥ 12 with zero
+//! `--json <path>` records the structural results (e.g.
+//! BENCH_verify.json; wall-clock, rate, and thread-count fields are
+//! volatile and excluded from the CI drift diff), `--corpus <dir>`
+//! re-emits each mutant's minimized counterexample as JSON (the
+//! committed corpus under `crates/lis-verify/tests/counterexamples/`),
+//! and `--check` enforces the bars:
+//!
+//! * every correct configuration explores to depth ≥ 16 with zero
 //!   violations and no truncation;
 //! * the correct configurations together cover ≥ 10⁵ deduplicated
 //!   states;
-//! * every mutant is caught within depth 12, with the expected
-//!   verdict kind, and its minimized counterexample still reproduces.
+//! * on the join workhorse, a reduced and an unreduced reference walk
+//!   agree state-for-state (the reductions are census-preserving), and
+//!   the reduction counters attest an effective speedup ≥ 4× whenever
+//!   ≥ 4 threads are in play;
+//! * the symmetric join folds mirror states (`sym_folds > 0`);
+//! * every mutant is caught with the expected verdict kind, and its
+//!   minimized counterexample still reproduces.
 
 use lis_bench::section;
 use lis_verify::{
-    build_config, explore, ExploreOptions, ExploreReport, CORRECT_CONFIGS, MUTANT_CONFIGS,
+    build_config, explore_pool, ExploreOptions, ExploreReport, CORRECT_CONFIGS, MUTANT_CONFIGS,
 };
 use serde::{Serialize, Value};
 use std::time::Instant;
 
 /// Depth the acceptance bars require.
-const REQUIRED_DEPTH: u32 = 12;
+const REQUIRED_DEPTH: u32 = 16;
 /// Deduplicated-state floor across the correct configurations.
 const REQUIRED_STATES: u64 = 100_000;
 /// Depth bound for the mutant hunts. Deeper than [`REQUIRED_DEPTH`]
@@ -39,15 +50,20 @@ const REQUIRED_STATES: u64 = 100_000;
 /// successor has crossed the whole period-3 pipeline to the sink
 /// (~8 more cycles).
 const MUTANT_DEPTH: u32 = 24;
+/// Depth of the reduced-vs-unreduced census cross-check on the join
+/// workhorse (kept below its full depth: the unreduced reference walk
+/// pays for every pruned transition).
+const REFERENCE_DEPTH: u32 = 12;
 
 /// Per-config exploration depth: every config must clear
-/// [`REQUIRED_DEPTH`]; the join config is the state-space workhorse
-/// (3 controlled edges, two skewed branches) and carries the
-/// deduplicated-state floor, while the cheap 2-edge configs go deeper
-/// than required for margin.
+/// [`REQUIRED_DEPTH`]; the packed join config is the state-space
+/// workhorse (3 controlled edges, two skewed branches) and carries the
+/// deduplicated-state floor, while the cheaper configs go deeper than
+/// required for margin.
 fn default_depth(config: &str) -> u32 {
     match config {
         "spj" => 18,
+        "spj-sym" => 18,
         _ => 20,
     }
 }
@@ -71,15 +87,36 @@ fn expected_kinds(config: &str) -> &'static [&'static str] {
 struct Run {
     report: ExploreReport,
     wall_ms: u128,
+    threads: usize,
 }
 
-fn run_config(name: &str, opts: &ExploreOptions) -> Run {
-    let mut cfg = build_config(name).expect("registered config");
+impl Run {
+    /// Deduplicated states per wall-clock second.
+    fn states_per_sec(&self) -> u64 {
+        self.report.states * 1000 / (self.wall_ms.max(1) as u64)
+    }
+
+    /// Deterministic speedup evidence: the thread fan-out times the
+    /// POR work-avoidance factor `(transitions + por_pruned) /
+    /// transitions` — the unreduced single-thread walk executes that
+    /// many times this run's per-thread transition load.
+    fn effective_speedup(&self) -> f64 {
+        let r = &self.report;
+        let avoided = (r.transitions + r.por_pruned) as f64 / (r.transitions.max(1)) as f64;
+        self.threads as f64 * avoided
+    }
+}
+
+fn run_config(name: &str, opts: &ExploreOptions, threads: usize) -> Run {
+    let mut twins: Vec<_> = (0..threads.max(1))
+        .map(|_| build_config(name).expect("registered config"))
+        .collect();
     let start = Instant::now();
-    let report = explore(&mut cfg, opts);
+    let report = explore_pool(&mut twins, opts);
     Run {
         report,
         wall_ms: start.elapsed().as_millis(),
+        threads: threads.max(1),
     }
 }
 
@@ -92,6 +129,8 @@ fn report_value(run: &Run) -> Value {
         ("states".into(), Value::UInt(r.states)),
         ("transitions".into(), Value::UInt(r.transitions)),
         ("dedup_hits".into(), Value::UInt(r.dedup_hits)),
+        ("por_pruned".into(), Value::UInt(r.por_pruned)),
+        ("sym_folds".into(), Value::UInt(r.sym_folds)),
         ("deadlock_checks".into(), Value::UInt(r.deadlock_checks)),
         ("total_violations".into(), Value::UInt(r.total_violations)),
         ("truncated".into(), Value::Bool(r.truncated)),
@@ -109,6 +148,8 @@ fn report_value(run: &Run) -> Value {
                 None => Value::Null,
             },
         ),
+        ("threads".into(), Value::UInt(run.threads as u64)),
+        ("states_per_sec".into(), Value::UInt(run.states_per_sec())),
         ("wall_ms".into(), Value::UInt(run.wall_ms as u64)),
     ])
 }
@@ -129,8 +170,21 @@ fn main() {
         .position(|a| a == "--depth")
         .and_then(|i| args.get(i + 1))
         .map(|v| v.parse().expect("--depth needs a number"));
+    let threads: usize = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--threads needs a number"))
+        .or_else(|| {
+            std::env::var("LIS_SIM_THREADS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(1)
+        .max(1);
 
     section("Verify — correct configurations (every stall schedule to the depth bound)");
+    println!("threads: {threads} configuration twin(s) per exploration");
     let mut correct = Vec::new();
     let mut total_states = 0u64;
     for name in CORRECT_CONFIGS {
@@ -140,19 +194,22 @@ fn main() {
                 depth: depth_override.unwrap_or_else(|| default_depth(name)),
                 ..ExploreOptions::default()
             },
+            threads,
         );
         let r = &run.report;
         total_states += r.states;
         println!(
             "{:<11} depth {:>2}  states {:>8}  transitions {:>9}  dedup {:>9}  \
-             deadlock-checked {:>8}  violations {}  [{} ms]",
+             pruned {:>9}  folds {:>7}  violations {}  [{} states/s, {} ms]",
             r.config,
             r.depth,
             r.states,
             r.transitions,
             r.dedup_hits,
-            r.deadlock_checks,
+            r.por_pruned,
+            r.sym_folds,
             r.total_violations,
+            run.states_per_sec(),
             run.wall_ms
         );
         correct.push(run);
@@ -169,6 +226,7 @@ fn main() {
                 stop_at_first_violation: true,
                 ..ExploreOptions::default()
             },
+            threads,
         );
         let r = &run.report;
         match r.counterexamples.first() {
@@ -234,6 +292,74 @@ fn main() {
             "correct configurations covered {total_states} deduplicated states, \
              need >= {REQUIRED_STATES}"
         );
+
+        section("Check — reduction soundness and speedup evidence");
+        // Census cross-check: a reduced and an unreduced reference walk
+        // of the join workhorse must agree state for state — live proof
+        // that the POR guards prune only provably inert choices.
+        let reduced = run_config(
+            "spj",
+            &ExploreOptions {
+                depth: REFERENCE_DEPTH,
+                ..ExploreOptions::default()
+            },
+            1,
+        );
+        let unreduced = run_config(
+            "spj",
+            &ExploreOptions {
+                depth: REFERENCE_DEPTH,
+                por: false,
+                symmetry: false,
+                ..ExploreOptions::default()
+            },
+            1,
+        );
+        assert_eq!(
+            reduced.report.states, unreduced.report.states,
+            "spj: the reduced walk must preserve the census at depth {REFERENCE_DEPTH}"
+        );
+        assert_eq!(
+            reduced.report.transitions + reduced.report.por_pruned,
+            unreduced.report.transitions,
+            "spj: pruning must account for every skipped transition"
+        );
+        assert_eq!(reduced.report.total_violations, 0);
+        assert_eq!(unreduced.report.total_violations, 0);
+        println!(
+            "spj census cross-check at depth {REFERENCE_DEPTH}: {} states both ways, \
+             {} of {} transitions pruned",
+            reduced.report.states, reduced.report.por_pruned, unreduced.report.transitions
+        );
+
+        let spj = correct
+            .iter()
+            .find(|run| run.report.config == "spj")
+            .expect("spj is registered");
+        println!(
+            "spj effective speedup: {:.2}x ({} threads x {:.2} work avoidance)",
+            spj.effective_speedup(),
+            spj.threads,
+            spj.effective_speedup() / spj.threads as f64
+        );
+        if threads >= 4 {
+            assert!(
+                spj.effective_speedup() >= 4.0,
+                "spj: effective speedup {:.2} below the 4x bar at {} threads",
+                spj.effective_speedup(),
+                threads
+            );
+        }
+
+        let spj_sym = correct
+            .iter()
+            .find(|run| run.report.config == "spj-sym")
+            .expect("spj-sym is registered");
+        assert!(
+            spj_sym.report.sym_folds > 0,
+            "spj-sym: the branch symmetry must fold mirror states"
+        );
+
         for run in &mutants {
             let r = &run.report;
             let cx = r.counterexamples.first().unwrap_or_else(|| {

@@ -587,6 +587,34 @@ impl System {
         self.components.len()
     }
 
+    /// One-step cone of influence of component `comp`: the indices of
+    /// every *other* component whose declared [`Ports`] observe a
+    /// signal `comp` writes — through `eval` reads or clock-edge
+    /// `tick_reads`. This is exactly the fan-out the scheduler seals
+    /// into its dependency graph, so anything outside the returned set
+    /// provably cannot change behaviour within a single settle/tick
+    /// cycle in response to `comp`. Bounded model checking uses it to
+    /// validate partial-order-reduction guards: an adversary edge whose
+    /// one-step cone is a single component is inert whenever that
+    /// component's registered state masks the stimulus.
+    ///
+    /// Returned indices are sorted ascending.
+    pub fn influence_cone(&self, comp: usize) -> Vec<usize> {
+        let writes = &self.ports[comp].writes;
+        self.ports
+            .iter()
+            .enumerate()
+            .filter(|&(i, p)| {
+                i != comp
+                    && p.reads
+                        .iter()
+                        .chain(&p.tick_reads)
+                        .any(|s| writes.contains(s))
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
     /// Signal metadata (name, width).
     pub fn signal(&self, id: SignalId) -> &Signal {
         &self.signals[id.index()]
@@ -936,7 +964,7 @@ impl System {
     /// deliberately excluded — at a cycle boundary every settled signal
     /// is a function of component state, recomputed by the next settle
     /// — so the vector is a canonical per-lane state for hashing and
-    /// deduplication (see [`crate::hash_words`]).
+    /// deduplication (see [`crate::hash_words128`]).
     ///
     /// Capture at a cycle boundary, as with [`System::checkpoint`].
     pub fn save_lane(&self, lane: usize) -> Vec<u64> {
@@ -1488,7 +1516,7 @@ mod tests {
         reference.run(9).unwrap();
         let lane = reference.save_lane(0);
         // A state hash over the lane words is stable per state.
-        assert_eq!(crate::hash_words(&lane), crate::hash_words(&lane));
+        assert_eq!(crate::hash_words128(&lane), crate::hash_words128(&lane));
         let (mut resumed, out) = build();
         resumed.load_lane(0, &lane);
         resumed.run(5).unwrap();
@@ -1505,6 +1533,43 @@ mod tests {
         let out = sys.add_signal("count", 16);
         sys.add_component(SavedCounter { out, state: 0 });
         let _ = sys.save_lane(1);
+    }
+
+    #[test]
+    fn influence_cone_follows_declared_ports() {
+        let mut sys = System::new();
+        let a = sys.add_signal("a", 8);
+        let b = sys.add_signal("b", 8);
+        // 0: writes a. 1: reads a in eval, writes b. 2: samples a at the
+        // clock edge only. 3: reads b (downstream of 1, not of 0 within
+        // one step).
+        sys.add_component(FnComponent::new(
+            "w",
+            Ports::writes_only([a]),
+            |_: &mut SignalView<'_>| {},
+            |_: &SignalView<'_>| {},
+        ));
+        sys.add_component(FnComponent::new(
+            "r",
+            Ports::new([a], [b]),
+            |_: &mut SignalView<'_>| {},
+            |_: &SignalView<'_>| {},
+        ));
+        sys.add_component(FnComponent::new(
+            "t",
+            Ports::none().tick_read(a),
+            |_: &mut SignalView<'_>| {},
+            |_: &SignalView<'_>| {},
+        ));
+        sys.add_component(FnComponent::new(
+            "d",
+            Ports::reads_only([b]),
+            |_: &mut SignalView<'_>| {},
+            |_: &SignalView<'_>| {},
+        ));
+        assert_eq!(sys.influence_cone(0), vec![1, 2]);
+        assert_eq!(sys.influence_cone(1), vec![3]);
+        assert_eq!(sys.influence_cone(3), Vec::<usize>::new());
     }
 
     #[test]

@@ -82,7 +82,9 @@ mod sched;
 mod signal;
 mod trace;
 
-pub use checkpoint::{hash_words, SystemCheckpoint};
+#[allow(deprecated)]
+pub use checkpoint::hash_words;
+pub use checkpoint::{hash_words128, SystemCheckpoint};
 pub use compile::{CompiledNetlistSim, NetlistProgram, PackedNetlistSim, PortHandle, LANES};
 pub use jit::{JitNetlistProgram, JitNetlistSim, JitPackedNetlistSim, JIT_PARALLEL_MIN_INSTRS};
 pub use kernel::{Activity, Component, FnComponent, Ports, SettleMode, SimError, System};

@@ -14,6 +14,7 @@
 
 use crate::join::JoinPearl;
 use crate::mutants::{EagerPolicy, MutantRelay, RelayBug};
+use crate::reduce::{BranchSwap, EdgeGuard, ReductionPlan};
 use lis_proto::{
     LisChannel, PackedLisChannel, PackedRelayStation, PackedSeqSink, PackedSeqSource, Pearl,
     RelayStation, SeqSink, SeqSource, StallControl, ViolationCounter,
@@ -93,6 +94,7 @@ pub struct ClosedConfig {
     probes: Vec<Probe>,
     initial: Vec<u64>,
     free_run_horizon: u64,
+    plan: ReductionPlan,
 }
 
 impl ClosedConfig {
@@ -128,6 +130,14 @@ impl ClosedConfig {
     /// declared deadlocked.
     pub fn free_run_horizon(&self) -> u64 {
         self.free_run_horizon
+    }
+
+    /// The configuration's reduction plan — per-edge partial-order
+    /// guards and the symmetry generator, both attached (and validated
+    /// against the port graph) at build time. Cloned by the explorer
+    /// into every parallel worker.
+    pub fn reduction_plan(&self) -> ReductionPlan {
+        self.plan.clone()
     }
 
     /// Injects `words` (a [`Self::save`] result) into lane `lane`.
@@ -255,6 +265,25 @@ fn fresh_counters(n: usize) -> Vec<ViolationCounter> {
     (0..n).map(|_| ViolationCounter::new()).collect()
 }
 
+/// Validates one POR guard against the sealed port graph: the
+/// adversary component's one-step cone of influence must be exactly the
+/// guarded component. If any third component could observe the stall
+/// choice, the inertness proof would not cover it, so the builder
+/// panics rather than attach an unsound guard. Must run on the fully
+/// assembled system (later components could add readers).
+fn validated_guard(system: &System, adversary: usize, guard: EdgeGuard) -> EdgeGuard {
+    if let Some(watched) = guard.watched_component() {
+        let cone = system.influence_cone(adversary);
+        assert_eq!(
+            cone,
+            vec![watched],
+            "POR guard unsound: adversary component {adversary}'s cone of influence \
+             must be exactly the watched component {watched}"
+        );
+    }
+    guard
+}
+
 fn checker_system() -> System {
     let mut system = System::new();
     // Reference-grade settle: state injection marks everything dirty,
@@ -298,6 +327,7 @@ pub fn packed_sp(name: &str, relays_before: usize, relays_after: usize) -> Close
         u64::MAX,
     ));
     let mut cur = src_ch;
+    let first_relay = system.component_count();
     for i in 0..relays_before {
         let next = if i + 1 == relays_before {
             ins[0].clone()
@@ -315,9 +345,11 @@ pub fn packed_sp(name: &str, relays_before: usize, relays_after: usize) -> Close
         cur = next;
     }
     let mut cur = outs[0].clone();
+    let mut last_after_relay = None;
     for i in 0..relays_after {
         let next = PackedLisChannel::new(&mut system, &format!("seg_out{i}"), 32);
         probes.push(Probe::Packed(next.clone()));
+        last_after_relay = Some(system.component_count());
         system.add_component(PackedRelayStation::new(
             format!("ra{i}"),
             cur,
@@ -340,6 +372,20 @@ pub fn packed_sp(name: &str, relays_before: usize, relays_after: usize) -> Close
     system.add_component(snk);
 
     let relays = relays_before + relays_after;
+    let guards = vec![
+        validated_guard(
+            &system,
+            source,
+            EdgeGuard::PackedRelayStopUp { comp: first_relay },
+        ),
+        match last_after_relay {
+            Some(comp) => validated_guard(&system, sink, EdgeGuard::PackedRelayMainEmpty { comp }),
+            // With no relay after the shell the sink talks straight to
+            // the gate-level wrapper, whose netlist state we do not
+            // inspect: no inertness proof.
+            None => EdgeGuard::None,
+        },
+    ];
     let initial = system.save_lane(0);
     ClosedConfig {
         name: name.to_string(),
@@ -365,6 +411,10 @@ pub fn packed_sp(name: &str, relays_before: usize, relays_after: usize) -> Close
         probes,
         initial,
         free_run_horizon: 64,
+        plan: ReductionPlan {
+            guards,
+            symmetry: None,
+        },
     }
 }
 
@@ -387,6 +437,7 @@ pub fn packed_spj(name: &str) -> ClosedConfig {
 
     let mut probes = vec![Probe::Packed(outs[0].clone())];
     let mut edges = Vec::new();
+    let mut guard_specs = Vec::new();
     let mut streams = Vec::new();
     for (branch, relays) in [1usize, 2].into_iter().enumerate() {
         let src_ch = PackedLisChannel::new(&mut system, &format!("adv_src{branch}"), 32);
@@ -405,6 +456,8 @@ pub fn packed_spj(name: &str) -> ClosedConfig {
             name: format!("src{branch}"),
             mask: stall,
         });
+        let first_relay = system.component_count();
+        guard_specs.push((source, EdgeGuard::PackedRelayStopUp { comp: first_relay }));
         let mut cur = src_ch;
         for i in 0..relays {
             let next = if i + 1 == relays {
@@ -440,7 +493,14 @@ pub fn packed_spj(name: &str) -> ClosedConfig {
         name: "sink".into(),
         mask: sink_stall,
     });
+    // The sink talks straight to the gate-level wrapper shell: no
+    // inertness proof for its edge.
+    guard_specs.push((sink, EdgeGuard::None));
 
+    let guards = guard_specs
+        .into_iter()
+        .map(|(adversary, guard)| validated_guard(&system, adversary, guard))
+        .collect();
     let initial = system.save_lane(0);
     ClosedConfig {
         name: name.to_string(),
@@ -460,6 +520,10 @@ pub fn packed_spj(name: &str) -> ClosedConfig {
         probes,
         initial,
         free_run_horizon: 64,
+        plan: ReductionPlan {
+            guards,
+            symmetry: None,
+        },
     }
 }
 
@@ -478,6 +542,7 @@ pub fn scalar_sp(name: &str, relays_after: usize, mutant: Option<Mutant>) -> Clo
         Some(Mutant::Eager) => Box::new(EagerPolicy::new(schedule)),
         _ => Box::new(SpPolicy::from_schedule(&schedule)),
     };
+    let wrapper = system.component_count();
     let (ins, outs, _stats) = wrap_pearl(&mut system, "sp", Box::new(pearl), policy, &violations);
 
     let mut probes = vec![Probe::Scalar(ins[0]), Probe::Scalar(outs[0])];
@@ -496,6 +561,7 @@ pub fn scalar_sp(name: &str, relays_after: usize, mutant: Option<Mutant>) -> Clo
     // SP's output is throttled to one token per period): that mutant
     // replaces the input relay, the others sit on the output edge.
     let mutant_before = matches!(mutant, Some(Mutant::Relay(RelayBug::DropOnDoubleStall)));
+    let in_relay = system.component_count();
     if mutant_before {
         system.add_component(MutantRelay::new(
             "mut",
@@ -509,6 +575,8 @@ pub fn scalar_sp(name: &str, relays_after: usize, mutant: Option<Mutant>) -> Clo
 
     let mut cur = outs[0];
     let mut relays = 1;
+    let mut last_after_relay = None;
+    let mutant_after = matches!((mutant, mutant_before), (Some(Mutant::Relay(_)), false));
     if let (Some(Mutant::Relay(bug)), false) = (mutant, mutant_before) {
         let ch = LisChannel::new(&mut system, "adv_out", 32);
         probes.push(Probe::Scalar(ch));
@@ -519,6 +587,7 @@ pub fn scalar_sp(name: &str, relays_after: usize, mutant: Option<Mutant>) -> Clo
         for i in 0..relays_after {
             let ch = LisChannel::new(&mut system, &format!("seg_out{i}"), 32);
             probes.push(Probe::Scalar(ch));
+            last_after_relay = Some(system.component_count());
             system.add_component(RelayStation::new(
                 format!("ra{i}"),
                 cur,
@@ -541,6 +610,36 @@ pub fn scalar_sp(name: &str, relays_after: usize, mutant: Option<Mutant>) -> Clo
     let delivered = snk.delivered();
     system.add_component(snk);
 
+    // The source edge's inertness proof rests on the *correct* relay's
+    // registered protocol, the sink edge's on either a correct output
+    // relay or the behavioural wrapper's output queue. Any edge feeding
+    // a mutant component gets no guard: a bug invalidates the proof,
+    // and the mutants exist precisely to be caught.
+    let guards = vec![
+        if mutant_before {
+            EdgeGuard::None
+        } else {
+            validated_guard(
+                &system,
+                source,
+                EdgeGuard::ScalarRelayStopUp { comp: in_relay },
+            )
+        },
+        if mutant_after {
+            EdgeGuard::None
+        } else if let Some(comp) = last_after_relay {
+            validated_guard(&system, sink, EdgeGuard::ScalarRelayMainEmpty { comp })
+        } else {
+            validated_guard(
+                &system,
+                sink,
+                EdgeGuard::WrapperOutEmpty {
+                    comp: wrapper,
+                    n_in: 1,
+                },
+            )
+        },
+    ];
     let initial = system.save_lane(0);
     ClosedConfig {
         name: name.to_string(),
@@ -566,11 +665,142 @@ pub fn scalar_sp(name: &str, relays_after: usize, mutant: Option<Mutant>) -> Clo
         probes,
         initial,
         free_run_horizon: 64,
+        plan: ReductionPlan {
+            guards,
+            symmetry: None,
+        },
+    }
+}
+
+/// Builds the symmetric scalar join configuration: two *identical*
+/// adversary branches — source → one relay station → the 2-input
+/// behavioural SP wrapper around a join pearl — plus one adversary
+/// sink. Because the branches are structurally interchangeable (same
+/// relay depth, same stream capacity, and a join schedule that reads
+/// both ports in the same step), the configuration carries a
+/// [`BranchSwap`] symmetry folding mirror-image states into one orbit
+/// representative, on top of POR guards on all three edges. The
+/// power-up state is asserted to be a fixed point of the swap, so the
+/// canonical orbit of the initial state is itself.
+pub fn scalar_spj(name: &str) -> ClosedConfig {
+    let mut system = checker_system();
+    let violations = ViolationCounter::new();
+    let wrapper = system.component_count();
+    let pearl = JoinPearl::new("join", 2, 1, &violations);
+    let schedule = pearl.schedule().clone();
+    let (ins, outs, _stats) = wrap_pearl(
+        &mut system,
+        "spj",
+        Box::new(pearl),
+        Box::new(SpPolicy::from_schedule(&schedule)),
+        &violations,
+    );
+
+    let mut probes = vec![
+        Probe::Scalar(ins[0]),
+        Probe::Scalar(ins[1]),
+        Probe::Scalar(outs[0]),
+    ];
+    let mut edges = Vec::new();
+    let mut guard_specs = Vec::new();
+    let mut branch_comps = Vec::new();
+    let mut streams = Vec::new();
+    for (branch, &wrapper_in) in ins.iter().enumerate().take(2) {
+        let src_ch = LisChannel::new(&mut system, &format!("adv_src{branch}"), 32);
+        probes.push(Probe::Scalar(src_ch));
+        let stall = Arc::new(AtomicU64::new(0));
+        let source = system.component_count();
+        system.add_component(SeqSource::new(
+            format!("src{branch}"),
+            src_ch,
+            StallControl::External(Arc::clone(&stall)),
+            MODULUS,
+        ));
+        let relay = system.component_count();
+        system.add_component(RelayStation::new(
+            format!("rb{branch}"),
+            src_ch,
+            wrapper_in,
+            violations.clone(),
+        ));
+        edges.push(Edge {
+            name: format!("src{branch}"),
+            mask: stall,
+        });
+        guard_specs.push((source, EdgeGuard::ScalarRelayStopUp { comp: relay }));
+        branch_comps.push((source, relay));
+        streams.push(Stream {
+            source,
+            sink: usize::MAX, // patched below once the sink exists
+            capacity: path_capacity(1),
+        });
+    }
+    let sink_stall = Arc::new(AtomicU64::new(0));
+    let sink = system.component_count();
+    let snk = SeqSink::new(
+        "snk",
+        outs[0],
+        StallControl::External(Arc::clone(&sink_stall)),
+        MODULUS,
+        &violations,
+    );
+    let delivered = snk.delivered();
+    system.add_component(snk);
+    edges.push(Edge {
+        name: "sink".into(),
+        mask: sink_stall,
+    });
+    guard_specs.push((
+        sink,
+        EdgeGuard::WrapperOutEmpty {
+            comp: wrapper,
+            n_in: 2,
+        },
+    ));
+    for s in &mut streams {
+        s.sink = sink;
+    }
+
+    let guards = guard_specs
+        .into_iter()
+        .map(|(adversary, guard)| validated_guard(&system, adversary, guard))
+        .collect();
+    let symmetry = BranchSwap {
+        comp_swaps: vec![
+            (branch_comps[0].0, branch_comps[1].0),
+            (branch_comps[0].1, branch_comps[1].1),
+        ],
+        wrapper,
+        n_in: 2,
+        n_out: 1,
+        ports: (0, 1),
+    };
+    let initial = system.save_lane(0);
+    assert_eq!(
+        symmetry.mirror(&initial),
+        initial,
+        "the power-up state must be a fixed point of the branch swap"
+    );
+    ClosedConfig {
+        name: name.to_string(),
+        lanes: 1,
+        system,
+        edges,
+        lane_violations: vec![violations],
+        delivered: Delivered::Scalar(delivered),
+        streams,
+        probes,
+        initial,
+        free_run_horizon: 64,
+        plan: ReductionPlan {
+            guards,
+            symmetry: Some(symmetry),
+        },
     }
 }
 
 /// Names of the correct configurations the checker must prove clean.
-pub const CORRECT_CONFIGS: &[&str] = &["sp1", "sp2", "spj", "sp1-scalar", "sp2-scalar"];
+pub const CORRECT_CONFIGS: &[&str] = &["sp1", "sp2", "spj", "spj-sym", "sp1-scalar", "sp2-scalar"];
 
 /// Names of the seeded-mutant configurations the checker must catch.
 pub const MUTANT_CONFIGS: &[&str] = &["mut-drop", "mut-dup", "mut-stuck", "mut-eager"];
@@ -581,6 +811,8 @@ pub const MUTANT_CONFIGS: &[&str] = &["mut-drop", "mut-dup", "mut-stuck", "mut-e
 /// * `sp1` / `sp2` — packed gate-level SP with 1 / 2 relay stations.
 /// * `spj` — packed gate-level SP joining two branches of skewed relay
 ///   depth (1 and 2).
+/// * `spj-sym` — behavioural join with two *identical* branches and a
+///   branch-swap symmetry ([`scalar_spj`]).
 /// * `sp1-scalar` / `sp2-scalar` — behavioural single-lane twins.
 /// * `mut-drop` / `mut-dup` / `mut-stuck` — a [`MutantRelay`] on the
 ///   SP's output edge with the corresponding [`RelayBug`].
@@ -590,6 +822,7 @@ pub fn build_config(name: &str) -> Option<ClosedConfig> {
         "sp1" => packed_sp("sp1", 1, 0),
         "sp2" => packed_sp("sp2", 1, 1),
         "spj" => packed_spj("spj"),
+        "spj-sym" => scalar_spj("spj-sym"),
         "sp1-scalar" => scalar_sp("sp1-scalar", 0, None),
         "sp2-scalar" => scalar_sp("sp2-scalar", 1, None),
         "mut-drop" => scalar_sp(

@@ -126,6 +126,7 @@ fn shape_of(config: &str) -> Option<Shape> {
         "sp1" | "sp1-scalar" => shape(vec![1], 0, None),
         "sp2" | "sp2-scalar" => shape(vec![1], 1, None),
         "spj" => shape(vec![1, 2], 0, None),
+        "spj-sym" => shape(vec![1, 1], 0, None),
         "mut-drop" => shape(vec![1], 0, Some(Mutant::Relay(RelayBug::DropOnDoubleStall))),
         "mut-dup" => shape(
             vec![1],

@@ -3,11 +3,25 @@
 //! From a [`ClosedConfig`]'s power-up state, the explorer walks the
 //! tree of adversary decisions breadth-first: each cycle every
 //! controlled edge independently stalls or flows, so a state has
-//! `2^edges` successors. States are deduplicated by a 64-bit hash of
-//! their dense lane snapshot ([`lis_sim::hash_words`]), which collapses
-//! the exponential tree into the reachable state graph. On a packed
-//! configuration the 64 SIMD lanes of the underlying engine expand 64
-//! pending `(state, choice)` jobs per settle/tick pass.
+//! `2^edges` successors. Three mechanisms keep the walk tractable:
+//!
+//! * **Deduplication** — states are fingerprinted by a 128-bit hash of
+//!   their dense lane snapshot ([`lis_sim::hash_words128`]), which
+//!   collapses the exponential decision tree into the reachable state
+//!   graph. On a packed configuration the 64 SIMD lanes of the
+//!   underlying engine expand 64 pending `(state, choice)` jobs per
+//!   settle/tick pass.
+//! * **Reduction** — the configuration's [`ReductionPlan`] prunes
+//!   stall choices that are provably inert in the current state
+//!   (census-preserving partial-order reduction) and hashes the
+//!   canonical orbit representative under the configuration's branch
+//!   symmetry, if it has one ([`crate::reduce`]).
+//! * **Parallel frontier expansion** — [`explore_pool`] shards each
+//!   BFS level across configuration *twins* driven by a
+//!   [`WorkStealingPool`] worker each. Jobs are batched exactly as in
+//!   the single-threaded walk and merged single-threaded in job order,
+//!   so census, verdicts, and counterexamples are bit-identical at any
+//!   worker count.
 //!
 //! Every transition is checked against three safety invariants —
 //! sequencing (the sink's order counter), conservation (the KPN ledger
@@ -21,9 +35,11 @@
 
 use crate::config::ClosedConfig;
 use crate::counterexample::Counterexample;
-use lis_sim::hash_words;
+use crate::reduce::ReductionPlan;
+use lis_sim::WorkStealingPool;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
+use std::sync::Mutex;
 
 /// Cap on fully recorded counterexamples per report (the total count
 /// keeps counting past it — a mutant config can violate on a large
@@ -43,6 +59,18 @@ pub struct ExploreOptions {
     pub max_states: u64,
     /// Greedily minimize recorded counterexamples.
     pub minimize: bool,
+    /// Apply the configuration's partial-order guards (census- and
+    /// counterexample-preserving; off = unreduced reference mode).
+    pub por: bool,
+    /// Fold states through the configuration's branch symmetry before
+    /// dedup (verdict-preserving; off = unreduced reference mode).
+    pub symmetry: bool,
+    /// Memory guard: cap, in 64-bit words, on the retained exploration
+    /// arena (frontier, liveness queue, dedup set, back-pointers). An
+    /// exploration that outgrows it panics loudly with the depth
+    /// reached instead of getting OOM-killed. Default 2^28 words
+    /// (2 GiB).
+    pub max_retained_words: usize,
 }
 
 impl Default for ExploreOptions {
@@ -52,6 +80,9 @@ impl Default for ExploreOptions {
             stop_at_first_violation: false,
             max_states: 2_000_000,
             minimize: true,
+            por: true,
+            symmetry: true,
+            max_retained_words: 1 << 28,
         }
     }
 }
@@ -71,6 +102,14 @@ pub struct ExploreReport {
     pub transitions: u64,
     /// Transitions that landed on an already-known state.
     pub dedup_hits: u64,
+    /// Transitions skipped because a partial-order guard proved the
+    /// stall choice inert. For a clean run, the unreduced walk of the
+    /// same census executes exactly `transitions + por_pruned`
+    /// transitions.
+    pub por_pruned: u64,
+    /// Executed transitions whose successor was folded through the
+    /// branch symmetry to its mirror-image orbit representative.
+    pub sym_folds: u64,
     /// States liveness-checked against the free-run horizon.
     pub deadlock_checks: u64,
     /// Total violating transitions/states observed.
@@ -86,6 +125,17 @@ pub struct ExploreReport {
 struct Rec {
     parent: u32,
     choice: u8,
+}
+
+/// One executed `(state, choice)` expansion, as handed back by a
+/// worker for the deterministic merge.
+struct JobOut {
+    parent: u32,
+    choice: u8,
+    fault: Option<(&'static str, String)>,
+    words: Vec<u64>,
+    key: u128,
+    folded: bool,
 }
 
 /// Reconstructs the root→`id` choice schedule from the back-pointers.
@@ -109,132 +159,310 @@ fn idle_mask(chunk_len: usize) -> u64 {
     }
 }
 
-/// Runs the bounded exploration of `cfg`.
+/// Runs the bounded exploration of `cfg` single-threaded (one worker
+/// driving the one system). Equivalent to [`explore_pool`] on a
+/// one-element slice — and bit-identical to it at any twin count.
 pub fn explore(cfg: &mut ClosedConfig, opts: &ExploreOptions) -> ExploreReport {
-    let n_edges = cfg.edge_count();
-    let branch: u32 = 1 << n_edges;
-    let lanes = cfg.lanes();
+    explore_pool(std::slice::from_mut(cfg), opts)
+}
 
-    let initial = cfg.initial_state();
-    let mut seen: HashSet<u64> = HashSet::new();
-    seen.insert(hash_words(&initial));
+/// Executes one batch of up to `lanes` `(frontier index, choice)` jobs
+/// on a worker's configuration twin, returning per-job outcomes for
+/// the merge. Lanes beyond the batch are frozen by stalling every
+/// edge; each loaded lane's outcome depends only on its own state and
+/// choice, which is what makes the parallel walk deterministic.
+fn run_batch(
+    cfg: &mut ClosedConfig,
+    frontier: &[(u32, Vec<u64>)],
+    chunk: &[(usize, u8)],
+    n_edges: usize,
+    plan: &ReductionPlan,
+) -> Vec<JobOut> {
+    for (k, &(fi, _)) in chunk.iter().enumerate() {
+        cfg.load(k, &frontier[fi].1);
+    }
+    let idle = idle_mask(chunk.len());
+    for e in 0..n_edges {
+        let mut mask = idle;
+        for (k, &(_, choice)) in chunk.iter().enumerate() {
+            if choice >> e & 1 == 1 {
+                mask |= 1 << k;
+            }
+        }
+        cfg.set_stall(e, mask);
+    }
+    let before: Vec<u64> = (0..chunk.len()).map(|k| cfg.violations(k)).collect();
+    cfg.settle();
+    let bad_signals = cfg.signal_bad_mask();
+    cfg.step();
+    chunk
+        .iter()
+        .enumerate()
+        .map(|(k, &(fi, choice))| {
+            let words = cfg.save(k);
+            let fault: Option<(&'static str, String)> = if bad_signals >> k & 1 == 1 {
+                Some((
+                    "signalling",
+                    "a void channel carried non-zero data at the settled cycle".into(),
+                ))
+            } else if cfg.violations(k) > before[k] {
+                Some((
+                    "sequencing",
+                    format!(
+                        "{} component-checked fault(s) in one transition \
+                         (sink order, relay overflow, or wrapper fault)",
+                        cfg.violations(k) - before[k]
+                    ),
+                ))
+            } else {
+                cfg.ledger_violation(&words).map(|d| ("conservation", d))
+            };
+            let (key, folded) = if fault.is_none() {
+                plan.canonical_key(&words)
+            } else {
+                (0, false)
+            };
+            JobOut {
+                parent: frontier[fi].0,
+                choice,
+                fault,
+                words,
+                key,
+                folded,
+            }
+        })
+        .collect()
+}
+
+/// Locks any free configuration twin (workers outnumber neither twins
+/// nor batches, so a slot is always about to free up).
+fn with_any_slot<R>(
+    slots: &[Mutex<&mut ClosedConfig>],
+    f: impl FnOnce(&mut ClosedConfig) -> R,
+) -> R {
+    loop {
+        for slot in slots {
+            if let Ok(mut cfg) = slot.try_lock() {
+                return f(&mut cfg);
+            }
+        }
+        std::thread::yield_now();
+    }
+}
+
+/// Runs the bounded exploration of `cfgs[0]`, sharding each BFS level
+/// across all the configuration twins in `cfgs` (which must be
+/// independently built copies of the *same* configuration), one
+/// work-stealing worker per twin.
+///
+/// Jobs are batched into lane-sized chunks exactly as in the
+/// single-threaded walk, executed speculatively across the twins, and
+/// merged single-threaded in job order — so the report (census,
+/// verdicts, counterexamples, every counter except nothing) is
+/// bit-identical whatever `cfgs.len()` is.
+///
+/// # Panics
+///
+/// Panics when the twins disagree on the configuration, or when the
+/// retained arena outgrows [`ExploreOptions::max_retained_words`]
+/// (the memory guard).
+pub fn explore_pool(cfgs: &mut [ClosedConfig], opts: &ExploreOptions) -> ExploreReport {
+    assert!(!cfgs.is_empty(), "need at least one configuration twin");
+    let n_edges = cfgs[0].edge_count();
+    let branch: u32 = 1 << n_edges;
+    let lanes = cfgs[0].lanes();
+    let horizon = cfgs[0].free_run_horizon();
+    let initial = cfgs[0].initial_state();
+    let plan = ReductionPlan::of(&cfgs[0], opts.por, opts.symmetry);
+    assert!(
+        plan.guards.is_empty() || plan.guards.len() == n_edges,
+        "one POR guard per edge"
+    );
+    for cfg in cfgs.iter().skip(1) {
+        assert_eq!(
+            cfg.name(),
+            cfgs[0].name(),
+            "twins must build the same configuration"
+        );
+        assert_eq!(cfg.initial_state(), initial, "twins must power up alike");
+    }
+
+    let mut seen: HashSet<u128> = HashSet::new();
+    seen.insert(plan.canonical_key(&initial).0);
     let mut recs: Vec<Rec> = vec![Rec {
         parent: u32::MAX,
         choice: 0,
     }];
     let mut report = ExploreReport {
-        config: cfg.name().to_string(),
+        config: cfgs[0].name().to_string(),
         depth: opts.depth,
-        edges: cfg.edge_names(),
+        edges: cfgs[0].edge_names(),
         states: 1,
         transitions: 0,
         dedup_hits: 0,
+        por_pruned: 0,
+        sym_folds: 0,
         deadlock_checks: 0,
         total_violations: 0,
         truncated: false,
         counterexamples: Vec::new(),
     };
 
-    let mut frontier: Vec<(u32, Vec<u64>)> = vec![(0, initial.clone())];
-    // States awaiting the liveness check (drained level by level; the
-    // check clobbers lanes, so it must not interleave with expansion).
-    let mut pending: Vec<(u32, Vec<u64>)> = vec![(0, initial)];
-    let mut stop = false;
+    {
+        let workers = cfgs.len();
+        let pool = (workers > 1).then(|| WorkStealingPool::new(workers));
+        let slots: Vec<Mutex<&mut ClosedConfig>> = cfgs.iter_mut().map(Mutex::new).collect();
 
-    check_deadlocks(cfg, &mut pending, &recs, &mut report, opts, &mut stop);
+        // Executes a super-chunk of batches: fanned out over the twins
+        // when a pool exists, in order on the one twin otherwise. Either
+        // way each batch's outcome depends only on its own jobs.
+        let run_chunks =
+            |chunks: &[&[(usize, u8)]], frontier: &[(u32, Vec<u64>)]| -> Vec<Vec<JobOut>> {
+                match &pool {
+                    Some(pool) => pool.map(chunks.to_vec(), |chunk| {
+                        with_any_slot(&slots, |cfg| {
+                            run_batch(cfg, frontier, chunk, n_edges, &plan)
+                        })
+                    }),
+                    None => chunks
+                        .iter()
+                        .map(|chunk| {
+                            with_any_slot(&slots, |cfg| {
+                                run_batch(cfg, frontier, chunk, n_edges, &plan)
+                            })
+                        })
+                        .collect(),
+                }
+            };
 
-    for _depth in 0..opts.depth {
-        if stop || frontier.is_empty() {
-            break;
-        }
-        let mut next: Vec<(u32, Vec<u64>)> = Vec::new();
-        let jobs: Vec<(usize, u8)> = (0..frontier.len())
-            .flat_map(|fi| (0..branch).map(move |c| (fi, c as u8)))
-            .collect();
-        'level: for chunk in jobs.chunks(lanes) {
-            for (k, &(fi, _)) in chunk.iter().enumerate() {
-                cfg.load(k, &frontier[fi].1);
+        let mut frontier: Vec<(u32, Vec<u64>)> = vec![(0, initial.clone())];
+        // States awaiting the liveness check (drained level by level; the
+        // check clobbers lanes, so it must not interleave with expansion).
+        let mut pending: Vec<(u32, Vec<u64>)> = vec![(0, initial)];
+        let mut stop = false;
+
+        check_deadlocks(
+            pool.as_ref(),
+            &slots,
+            lanes,
+            n_edges,
+            horizon,
+            &mut pending,
+            &recs,
+            &mut report,
+            opts,
+            &mut stop,
+        );
+
+        for depth in 0..opts.depth {
+            if stop || frontier.is_empty() {
+                break;
             }
-            let idle = idle_mask(chunk.len());
-            for e in 0..n_edges {
-                let mut mask = idle;
-                for (k, &(_, choice)) in chunk.iter().enumerate() {
-                    if choice >> e & 1 == 1 {
-                        mask |= 1 << k;
-                    }
-                }
-                cfg.set_stall(e, mask);
-            }
-            let before: Vec<u64> = (0..chunk.len()).map(|k| cfg.violations(k)).collect();
-            cfg.settle();
-            let bad_signals = cfg.signal_bad_mask();
-            cfg.step();
-            for (k, &(fi, choice)) in chunk.iter().enumerate() {
-                let parent = frontier[fi].0;
-                report.transitions += 1;
-                let words = cfg.save(k);
-                let fault: Option<(&str, String)> = if bad_signals >> k & 1 == 1 {
-                    Some((
-                        "signalling",
-                        "a void channel carried non-zero data at the settled cycle".into(),
-                    ))
-                } else if cfg.violations(k) > before[k] {
-                    Some((
-                        "sequencing",
-                        format!(
-                            "{} component-checked fault(s) in one transition \
-                             (sink order, relay overflow, or wrapper fault)",
-                            cfg.violations(k) - before[k]
-                        ),
-                    ))
+            let mut next: Vec<(u32, Vec<u64>)> = Vec::new();
+            // Partial-order reduction: expand one representative per
+            // commuting class — the choice with every inert bit at
+            // "flow". The representative is numerically smallest in its
+            // class, so it is also the first member job order would
+            // reach: first-discovery back-pointers are unchanged.
+            let mut jobs: Vec<(usize, u8)> = Vec::new();
+            for (fi, (_, words)) in frontier.iter().enumerate() {
+                let inert = plan.inert_mask(words);
+                if inert == 0 {
+                    jobs.extend((0..branch).map(|c| (fi, c as u8)));
                 } else {
-                    cfg.ledger_violation(&words).map(|d| ("conservation", d))
-                };
-                if let Some((kind, detail)) = fault {
-                    report.total_violations += 1;
-                    if report.counterexamples.len() < MAX_RECORDED {
-                        let mut schedule = schedule_to(&recs, parent);
-                        schedule.push(u64::from(choice));
-                        report.counterexamples.push(Counterexample {
-                            config: cfg.name().to_string(),
-                            kind: kind.to_string(),
-                            edges: cfg.edge_names(),
-                            schedule,
-                            free_run: 0,
-                            detail: detail.clone(),
-                        });
-                    }
-                    if opts.stop_at_first_violation {
-                        stop = true;
-                        break 'level;
-                    }
-                    continue; // violating states are not expanded
-                }
-                let hash = hash_words(&words);
-                if seen.insert(hash) {
-                    let id = recs.len() as u32;
-                    recs.push(Rec { parent, choice });
-                    report.states += 1;
-                    next.push((id, words.clone()));
-                    pending.push((id, words));
-                    if report.states >= opts.max_states {
-                        report.truncated = true;
-                        stop = true;
-                        break 'level;
-                    }
-                } else {
-                    report.dedup_hits += 1;
+                    let kept = branch >> inert.count_ones();
+                    report.por_pruned += u64::from(branch - kept);
+                    jobs.extend(
+                        (0..branch)
+                            .filter(|&c| u64::from(c) & inert == 0)
+                            .map(|c| (fi, c as u8)),
+                    );
                 }
             }
+            let chunks: Vec<&[(usize, u8)]> = jobs.chunks(lanes).collect();
+            'level: for superchunk in chunks.chunks(workers * 8) {
+                for batch in run_chunks(superchunk, &frontier) {
+                    for out in batch {
+                        report.transitions += 1;
+                        if let Some((kind, detail)) = out.fault {
+                            report.total_violations += 1;
+                            if report.counterexamples.len() < MAX_RECORDED {
+                                let mut schedule = schedule_to(&recs, out.parent);
+                                schedule.push(u64::from(out.choice));
+                                report.counterexamples.push(Counterexample {
+                                    config: report.config.clone(),
+                                    kind: kind.to_string(),
+                                    edges: report.edges.clone(),
+                                    schedule,
+                                    free_run: 0,
+                                    detail,
+                                });
+                            }
+                            if opts.stop_at_first_violation {
+                                stop = true;
+                                break 'level;
+                            }
+                            continue; // violating states are not expanded
+                        }
+                        if out.folded {
+                            report.sym_folds += 1;
+                        }
+                        if seen.insert(out.key) {
+                            let id = recs.len() as u32;
+                            recs.push(Rec {
+                                parent: out.parent,
+                                choice: out.choice,
+                            });
+                            report.states += 1;
+                            next.push((id, out.words.clone()));
+                            pending.push((id, out.words));
+                            if report.states >= opts.max_states {
+                                report.truncated = true;
+                                stop = true;
+                                break 'level;
+                            }
+                        } else {
+                            report.dedup_hits += 1;
+                        }
+                    }
+                }
+            }
+            // Memory guard: every word the exploration retains — the
+            // next frontier, the liveness queue, the dedup fingerprints
+            // (two words each), and the back-pointer arena.
+            let retained: usize = next.iter().map(|(_, w)| w.len()).sum::<usize>()
+                + pending.iter().map(|(_, w)| w.len()).sum::<usize>()
+                + 2 * seen.len()
+                + recs.len();
+            assert!(
+                retained <= opts.max_retained_words,
+                "memory guard: {retained} retained words exceed the {}-word cap \
+                 after depth {} with {} states discovered — raise \
+                 max_retained_words or lower the depth bound",
+                opts.max_retained_words,
+                depth + 1,
+                report.states,
+            );
+            check_deadlocks(
+                pool.as_ref(),
+                &slots,
+                lanes,
+                n_edges,
+                horizon,
+                &mut pending,
+                &recs,
+                &mut report,
+                opts,
+                &mut stop,
+            );
+            frontier = next;
         }
-        check_deadlocks(cfg, &mut pending, &recs, &mut report, opts, &mut stop);
-        frontier = next;
     }
 
     if opts.minimize {
         let mut minimized = std::mem::take(&mut report.counterexamples);
         for cx in &mut minimized {
-            minimize(cfg, cx);
+            minimize(&mut cfgs[0], cx);
         }
         report.counterexamples = minimized;
     }
@@ -243,26 +471,32 @@ pub fn explore(cfg: &mut ClosedConfig, opts: &ExploreOptions) -> ExploreReport {
 
 /// Liveness-checks every state in `pending`: with every edge stall-free
 /// for the config's horizon, each lane's sink must deliver at least one
-/// token. A lane that stays silent is a deadlocked state.
+/// token. A lane that stays silent is a deadlocked state. Chunks run
+/// speculatively across the twins; deadlock verdicts merge in chunk
+/// order, so the records match the single-threaded walk exactly.
+#[allow(clippy::too_many_arguments)]
 fn check_deadlocks(
-    cfg: &mut ClosedConfig,
+    pool: Option<&WorkStealingPool>,
+    slots: &[Mutex<&mut ClosedConfig>],
+    lanes: usize,
+    n_edges: usize,
+    horizon: u64,
     pending: &mut Vec<(u32, Vec<u64>)>,
     recs: &[Rec],
     report: &mut ExploreReport,
     opts: &ExploreOptions,
     stop: &mut bool,
 ) {
-    let lanes = cfg.lanes();
-    let horizon = cfg.free_run_horizon();
-    for chunk in pending.chunks(lanes) {
-        if *stop {
-            break;
-        }
+    if *stop || pending.is_empty() {
+        pending.clear();
+        return;
+    }
+    let free_run = |cfg: &mut ClosedConfig, chunk: &[(u32, Vec<u64>)]| -> u64 {
         for (k, (_, words)) in chunk.iter().enumerate() {
             cfg.load(k, words);
         }
         let idle = idle_mask(chunk.len());
-        for e in 0..cfg.edge_count() {
+        for e in 0..n_edges {
             cfg.set_stall(e, idle);
         }
         let before: Vec<u64> = (0..chunk.len()).map(|k| cfg.delivered(k)).collect();
@@ -282,15 +516,31 @@ fn check_deadlocks(
                 break;
             }
         }
+        waiting
+    };
+    let chunks: Vec<&[(u32, Vec<u64>)]> = pending.chunks(lanes).collect();
+    let waitings: Vec<u64> = match pool {
+        Some(pool) => pool.map(chunks.clone(), |chunk| {
+            with_any_slot(slots, |cfg| free_run(cfg, chunk))
+        }),
+        None => chunks
+            .iter()
+            .map(|chunk| with_any_slot(slots, |cfg| free_run(cfg, chunk)))
+            .collect(),
+    };
+    for (chunk, waiting) in chunks.iter().zip(waitings) {
+        if *stop {
+            break;
+        }
         report.deadlock_checks += chunk.len() as u64;
         for (k, &(id, _)) in chunk.iter().enumerate() {
             if waiting >> k & 1 == 1 {
                 report.total_violations += 1;
                 if report.counterexamples.len() < MAX_RECORDED {
                     report.counterexamples.push(Counterexample {
-                        config: cfg.name().to_string(),
+                        config: report.config.clone(),
                         kind: "deadlock".to_string(),
-                        edges: cfg.edge_names(),
+                        edges: report.edges.clone(),
                         schedule: schedule_to(recs, id),
                         free_run: horizon,
                         detail: format!("no token delivered within {horizon} stall-free cycles"),
@@ -302,6 +552,7 @@ fn check_deadlocks(
             }
         }
     }
+    drop(chunks);
     pending.clear();
 }
 
@@ -403,7 +654,7 @@ fn minimize(cfg: &mut ClosedConfig, cx: &mut Counterexample) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::scalar_sp;
+    use crate::config::{scalar_sp, scalar_spj};
 
     #[test]
     fn scalar_exploration_of_the_correct_wrapper_is_clean() {
@@ -434,6 +685,73 @@ mod tests {
         let a = explore(&mut scalar_sp("sp1-scalar", 0, None), &opts);
         let b = explore(&mut scalar_sp("sp1-scalar", 0, None), &opts);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_twins_report_bit_identically() {
+        let opts = ExploreOptions {
+            depth: 5,
+            ..ExploreOptions::default()
+        };
+        let single = explore(&mut scalar_sp("sp1-scalar", 0, None), &opts);
+        let mut twins: Vec<_> = (0..3).map(|_| scalar_sp("sp1-scalar", 0, None)).collect();
+        let pooled = explore_pool(&mut twins, &opts);
+        assert_eq!(single, pooled);
+    }
+
+    #[test]
+    fn partial_order_reduction_preserves_the_census() {
+        let reduced = explore(
+            &mut scalar_sp("sp1-scalar", 0, None),
+            &ExploreOptions {
+                depth: 6,
+                ..ExploreOptions::default()
+            },
+        );
+        let unreduced = explore(
+            &mut scalar_sp("sp1-scalar", 0, None),
+            &ExploreOptions {
+                depth: 6,
+                por: false,
+                symmetry: false,
+                ..ExploreOptions::default()
+            },
+        );
+        assert!(reduced.por_pruned > 0, "guards must fire: {reduced:?}");
+        assert_eq!(reduced.states, unreduced.states, "census is preserved");
+        assert_eq!(reduced.deadlock_checks, unreduced.deadlock_checks);
+        assert_eq!(
+            reduced.transitions + reduced.por_pruned,
+            unreduced.transitions,
+            "pruning accounts for every skipped transition"
+        );
+    }
+
+    #[test]
+    fn symmetry_folds_mirror_states() {
+        let report = explore(
+            &mut scalar_spj("spj-sym"),
+            &ExploreOptions {
+                depth: 4,
+                ..ExploreOptions::default()
+            },
+        );
+        assert_eq!(report.total_violations, 0, "{:#?}", report.counterexamples);
+        assert!(report.sym_folds > 0, "mirror states must fold: {report:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "memory guard")]
+    fn memory_guard_fails_loudly_with_the_depth_reached() {
+        let mut cfg = scalar_sp("sp1-scalar", 0, None);
+        explore(
+            &mut cfg,
+            &ExploreOptions {
+                depth: 4,
+                max_retained_words: 64,
+                ..ExploreOptions::default()
+            },
+        );
     }
 
     #[test]

@@ -5,10 +5,15 @@
 //! **every** stall pattern up to a depth bound. Small closed
 //! configurations — an SP-wrapped pearl, relay stations, and an
 //! adversary on each open edge — are explored breadth-first over the
-//! adversary's per-cycle stall decisions ([`explore()`]), with hashed
-//! state deduplication collapsing the decision tree into the reachable
-//! state graph, 64 branches expanded per step on the packed SIMD
-//! engine.
+//! adversary's per-cycle stall decisions ([`explore()`]), with
+//! 128-bit-hashed state deduplication collapsing the decision tree
+//! into the reachable state graph, 64 branches expanded per step on
+//! the packed SIMD engine. Each BFS level shards across configuration
+//! twins on a work-stealing pool ([`explore_pool()`]), and the
+//! [`reduce`] module prunes the walk further — partial-order reduction
+//! over provably inert stall choices and symmetry reduction over
+//! interchangeable branches — without giving up concrete, replayable
+//! counterexamples.
 //!
 //! Checked invariants, all consequences of the latency-insensitive
 //! protocol of Bomel/Martin/Boutillon (DATE 2005) and of Carloni's
@@ -38,12 +43,14 @@ pub mod counterexample;
 pub mod explore;
 pub mod join;
 pub mod mutants;
+pub mod reduce;
 
 pub use config::{
-    build_config, packed_sp, packed_spj, scalar_sp, ClosedConfig, Mutant, CORRECT_CONFIGS, MODULUS,
-    MUTANT_CONFIGS,
+    build_config, packed_sp, packed_spj, scalar_sp, scalar_spj, ClosedConfig, Mutant,
+    CORRECT_CONFIGS, MODULUS, MUTANT_CONFIGS,
 };
 pub use counterexample::{replay_on_soc, Counterexample, ReplayVerdict};
-pub use explore::{explore, replay_on_checker, ExploreOptions, ExploreReport};
+pub use explore::{explore, explore_pool, replay_on_checker, ExploreOptions, ExploreReport};
 pub use join::JoinPearl;
 pub use mutants::{EagerPolicy, MutantRelay, RelayBug};
+pub use reduce::{BranchSwap, EdgeGuard, ReductionPlan};

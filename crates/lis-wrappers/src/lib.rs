@@ -65,7 +65,7 @@ pub use full_netlist_harness::{wrap_pearl_full_netlist, FullNetlistPatientProces
 pub use kind::WrapperKind;
 pub use netlist_harness::{wrap_pearl_netlist, NetlistPatientProcess};
 pub use packed_full_harness::{wrap_pearls_packed_full_netlist, PackedFullNetlistPatientProcess};
-pub use patient::{wrap_pearl, PatientProcess, PatientStats};
+pub use patient::{swap_patient_inputs, wrap_pearl, PatientProcess, PatientStats};
 pub use policy::{
     firing_trace, CombPolicy, Decision, FsmPolicy, ShiftRegPolicy, SpPolicy, SyncPolicy,
 };

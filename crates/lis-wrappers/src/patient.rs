@@ -269,6 +269,80 @@ impl Component for PatientProcess {
     }
 }
 
+/// Rewrites a [`PatientProcess`] [`save_state`](PatientProcess) blob
+/// with input ports `a` and `b` exchanged: their pending-input queues
+/// and registered stop flags swap places, and `swap_pearl` is applied
+/// in place to the trailing pearl blob so pearl-internal per-port state
+/// can follow the relabeling. Output queues, the schedule position, and
+/// the policy blob are copied verbatim — callers must only use this on
+/// wrappers whose policy state is port-symmetric between `a` and `b`
+/// (true of every policy that keys decisions off the schedule alone).
+///
+/// This is the wrapper half of the bounded model checker's symmetry
+/// reduction: two structurally interchangeable source branches induce
+/// an involution on saved lane states, and the branch-local pieces
+/// (sources, relay stations) swap as whole component blobs while the
+/// shared wrapper needs this port-level splice.
+///
+/// # Panics
+///
+/// Panics if the blob is shorter than the declared `n_in`/`n_out`
+/// layout requires.
+pub fn swap_patient_inputs(
+    blob: &[u64],
+    n_in: usize,
+    n_out: usize,
+    a: usize,
+    b: usize,
+    swap_pearl: impl FnOnce(&mut [u64]),
+) -> Vec<u64> {
+    assert!(a < n_in && b < n_in, "swapped ports must be input ports");
+    // Layout (see `PatientProcess::save_state`): sched_step, then
+    // `n_in + n_out` length-prefixed queues, `n_in` stop flags, the
+    // length-prefixed policy blob, and the self-describing pearl blob.
+    let mut at = 1usize;
+    let queues: Vec<(usize, usize)> = (0..n_in + n_out)
+        .map(|_| {
+            let len = blob[at] as usize;
+            let range = (at, at + 1 + len);
+            at = range.1;
+            range
+        })
+        .collect();
+    let stops = at;
+    at += n_in;
+    let policy_end = at + 1 + blob[at] as usize;
+
+    let mut out = Vec::with_capacity(blob.len());
+    out.push(blob[0]);
+    for q in 0..n_in + n_out {
+        let src = if q == a {
+            b
+        } else if q == b {
+            a
+        } else {
+            q
+        };
+        let (start, end) = queues[src];
+        out.extend_from_slice(&blob[start..end]);
+    }
+    for i in 0..n_in {
+        let src = if i == a {
+            b
+        } else if i == b {
+            a
+        } else {
+            i
+        };
+        out.extend_from_slice(&blob[stops + src..stops + src + 1]);
+    }
+    out.extend_from_slice(&blob[stops + n_in..policy_end]);
+    let pearl_at = out.len();
+    out.extend_from_slice(&blob[policy_end..]);
+    swap_pearl(&mut out[pearl_at..]);
+    out
+}
+
 /// Builds the standard single-pearl test bench: source channels feeding
 /// the patient process, which feeds sink channels.
 ///
@@ -591,5 +665,30 @@ mod tests {
         assert!(stats.fired() >= 9, "3 periods × 3 cycles");
         assert!(stats.stalled() > 0, "source exhausts; wrapper must stall");
         assert!(stats.utilization() > 0.0 && stats.utilization() < 1.0);
+    }
+
+    #[test]
+    fn swap_patient_inputs_is_an_involution_and_loads_cleanly() {
+        let mut sys = System::new();
+        let violations = ViolationCounter::new();
+        let pearl = AccumulatorPearl::new("acc", 2, 1, 3);
+        let policy = Box::new(SpPolicy::from_schedule(pearl.schedule()));
+        let (ins, _outs, _stats) = wrap_pearl(&mut sys, "pp", Box::new(pearl), policy, &violations);
+        // Skewed feeding: port 1's source exhausts early, so the two
+        // input queues end up observably different.
+        sys.add_component(TokenSource::new("s0", ins[0], (1..=20u64).map(|v| v * 10)));
+        sys.add_component(TokenSource::new("s1", ins[1], 1..=4u64));
+        sys.run(15).unwrap();
+        let mut ck = sys.checkpoint();
+        let blob = ck.component_states[0].clone();
+        let swapped = swap_patient_inputs(&blob, 2, 1, 0, 1, |_| {});
+        assert_ne!(swapped, blob, "skewed ports must be distinguishable");
+        let back = swap_patient_inputs(&swapped, 2, 1, 0, 1, |_| {});
+        assert_eq!(back, blob, "the swap is an involution");
+        // The spliced blob is a valid save_state: restoring it and
+        // saving again reproduces it bit-for-bit.
+        ck.component_states[0] = swapped.clone();
+        sys.restore(&ck);
+        assert_eq!(sys.checkpoint().component_states[0], swapped);
     }
 }
